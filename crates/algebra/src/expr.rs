@@ -1,0 +1,280 @@
+//! SPOJ operator trees and the delta-expression operators.
+
+use std::fmt;
+
+use crate::pred::Pred;
+use crate::table_set::{TableId, TableSet};
+
+/// Join operators. User views may contain the first four; the semijoins
+/// appear only in generated maintenance expressions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum JoinKind {
+    Inner,
+    LeftOuter,
+    RightOuter,
+    FullOuter,
+    /// `⋉` — left tuples with at least one match.
+    LeftSemi,
+    /// `▷` — left tuples with no match.
+    LeftAnti,
+}
+
+impl JoinKind {
+    /// The kind after commuting the two inputs.
+    pub fn commuted(self) -> JoinKind {
+        match self {
+            JoinKind::LeftOuter => JoinKind::RightOuter,
+            JoinKind::RightOuter => JoinKind::LeftOuter,
+            k @ (JoinKind::Inner | JoinKind::FullOuter) => k,
+            k @ (JoinKind::LeftSemi | JoinKind::LeftAnti) => {
+                panic!("semijoin {k:?} is not commutable")
+            }
+        }
+    }
+
+    /// True for the four SPOJ join kinds allowed in view definitions.
+    pub fn is_spoj(self) -> bool {
+        matches!(
+            self,
+            JoinKind::Inner | JoinKind::LeftOuter | JoinKind::RightOuter | JoinKind::FullOuter
+        )
+    }
+}
+
+impl fmt::Display for JoinKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            JoinKind::Inner => "JOIN",
+            JoinKind::LeftOuter => "LEFT OUTER JOIN",
+            JoinKind::RightOuter => "RIGHT OUTER JOIN",
+            JoinKind::FullOuter => "FULL OUTER JOIN",
+            JoinKind::LeftSemi => "LEFT SEMI JOIN",
+            JoinKind::LeftAnti => "LEFT ANTI JOIN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// An operator tree over the tables of one view.
+///
+/// User-defined views use `Table`, `Select`, and SPOJ `Join` nodes. The
+/// maintenance algorithms (§4–§6) extend the vocabulary with:
+///
+/// * [`Expr::Delta`] — the update batch `ΔT`,
+/// * [`Expr::OldState`] — `T± ▷_{eq(T)} ΔT` after an insert, i.e. the
+///   pre-update contents of `T` (§5.3),
+/// * [`Expr::NullIf`] — the paper's `λ^c_p` operator from §4.1: for every
+///   tuple *not* satisfying `pred`, all columns of `null_tables` are set to
+///   null (the paper states it as nulling tuples that satisfy `¬p`; we store
+///   `p` and negate at evaluation),
+/// * [`Expr::CleanDup`] — the `δ` cleanup paired with null-if in rules 1, 4
+///   and 5: removes duplicates *and* tuples subsumed by another tuple in the
+///   result (which null-if can create alongside plain duplicates),
+/// * [`Expr::Empty`] — the empty relation, produced by `SimplifyTree` when a
+///   foreign key proves the whole delta is empty (§6.1 step 1).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Scan of base table `T`.
+    Table(TableId),
+    /// Scan of the update batch `ΔT`.
+    Delta(TableId),
+    /// The pre-update state of `T` when only the post-update table and `ΔT`
+    /// are available: `T − ΔT` after an insert.
+    OldState(TableId),
+    /// The empty relation (over the view-wide schema).
+    Empty,
+    Select(Pred, Box<Expr>),
+    Join {
+        kind: JoinKind,
+        pred: Pred,
+        left: Box<Expr>,
+        right: Box<Expr>,
+    },
+    NullIf {
+        /// Tables whose columns are nulled when `pred` fails.
+        null_tables: TableSet,
+        pred: Pred,
+        input: Box<Expr>,
+    },
+    /// Duplicate elimination + removal of subsumed tuples (the `δ` cleanup
+    /// required after a null-if).
+    CleanDup(Box<Expr>),
+}
+
+impl Expr {
+    pub fn table(t: TableId) -> Expr {
+        Expr::Table(t)
+    }
+
+    pub fn select(pred: Pred, input: Expr) -> Expr {
+        Expr::Select(pred, Box::new(input))
+    }
+
+    pub fn join(kind: JoinKind, pred: Pred, left: Expr, right: Expr) -> Expr {
+        Expr::Join {
+            kind,
+            pred,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    pub fn inner(pred: Pred, left: Expr, right: Expr) -> Expr {
+        Expr::join(JoinKind::Inner, pred, left, right)
+    }
+
+    pub fn left_outer(pred: Pred, left: Expr, right: Expr) -> Expr {
+        Expr::join(JoinKind::LeftOuter, pred, left, right)
+    }
+
+    pub fn right_outer(pred: Pred, left: Expr, right: Expr) -> Expr {
+        Expr::join(JoinKind::RightOuter, pred, left, right)
+    }
+
+    pub fn full_outer(pred: Pred, left: Expr, right: Expr) -> Expr {
+        Expr::join(JoinKind::FullOuter, pred, left, right)
+    }
+
+    /// The tables whose tuples (and columns) can appear non-null in this
+    /// expression's output.
+    pub fn sources(&self) -> TableSet {
+        match self {
+            Expr::Table(t) | Expr::Delta(t) | Expr::OldState(t) => TableSet::singleton(*t),
+            Expr::Empty => TableSet::empty(),
+            Expr::Select(_, e) | Expr::NullIf { input: e, .. } | Expr::CleanDup(e) => e.sources(),
+            Expr::Join {
+                kind, left, right, ..
+            } => match kind {
+                JoinKind::LeftSemi | JoinKind::LeftAnti => left.sources(),
+                _ => left.sources().union(right.sources()),
+            },
+        }
+    }
+
+    /// True iff the subtree contains a `Table`/`Delta`/`OldState` leaf for
+    /// `t`.
+    pub fn references(&self, t: TableId) -> bool {
+        self.sources().contains(t)
+    }
+
+    /// True iff the tree is a valid user view definition: only `Table`,
+    /// `Select`, and SPOJ joins.
+    pub fn is_user_spoj(&self) -> bool {
+        match self {
+            Expr::Table(_) => true,
+            Expr::Select(_, e) => e.is_user_spoj(),
+            Expr::Join {
+                kind, left, right, ..
+            } => kind.is_spoj() && left.is_user_spoj() && right.is_user_spoj(),
+            _ => false,
+        }
+    }
+
+    /// Pretty-print as an indented tree; used by tests asserting the exact
+    /// shapes of the paper's Figures 2 and 3 and by the `repro` binary.
+    pub fn tree_string(&self, names: &dyn Fn(TableId) -> String) -> String {
+        let mut out = String::new();
+        self.tree_fmt(&mut out, 0, names);
+        out
+    }
+
+    fn tree_fmt(&self, out: &mut String, depth: usize, names: &dyn Fn(TableId) -> String) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Expr::Table(t) => out.push_str(&format!("{pad}{}\n", names(*t))),
+            Expr::Delta(t) => out.push_str(&format!("{pad}Δ{}\n", names(*t))),
+            Expr::OldState(t) => out.push_str(&format!("{pad}old({})\n", names(*t))),
+            Expr::Empty => out.push_str(&format!("{pad}∅\n")),
+            Expr::Select(p, e) => {
+                out.push_str(&format!("{pad}σ[{p}]\n"));
+                e.tree_fmt(out, depth + 1, names);
+            }
+            Expr::Join {
+                kind,
+                pred,
+                left,
+                right,
+            } => {
+                out.push_str(&format!("{pad}{kind} ON {pred}\n"));
+                left.tree_fmt(out, depth + 1, names);
+                right.tree_fmt(out, depth + 1, names);
+            }
+            Expr::NullIf {
+                null_tables, pred, ..
+            } => {
+                out.push_str(&format!("{pad}λ[null {null_tables} unless {pred}]\n"));
+                if let Expr::NullIf { input, .. } = self {
+                    input.tree_fmt(out, depth + 1, names);
+                }
+            }
+            Expr::CleanDup(e) => {
+                out.push_str(&format!("{pad}δ↓\n"));
+                e.tree_fmt(out, depth + 1, names);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{Atom, ColRef};
+
+    fn t(i: u8) -> TableId {
+        TableId(i)
+    }
+
+    fn p(a: u8, b: u8) -> Pred {
+        Pred::atom(Atom::eq(ColRef::new(t(a), 0), ColRef::new(t(b), 0)))
+    }
+
+    #[test]
+    fn commuted_kinds() {
+        assert_eq!(JoinKind::LeftOuter.commuted(), JoinKind::RightOuter);
+        assert_eq!(JoinKind::RightOuter.commuted(), JoinKind::LeftOuter);
+        assert_eq!(JoinKind::FullOuter.commuted(), JoinKind::FullOuter);
+        assert_eq!(JoinKind::Inner.commuted(), JoinKind::Inner);
+    }
+
+    #[test]
+    fn sources_of_join_tree() {
+        let e = Expr::full_outer(
+            p(0, 1),
+            Expr::table(t(0)),
+            Expr::left_outer(p(1, 2), Expr::table(t(1)), Expr::table(t(2))),
+        );
+        assert_eq!(e.sources(), TableSet::first_n(3));
+        assert!(e.references(t(2)));
+        assert!(!e.references(t(3)));
+    }
+
+    #[test]
+    fn semijoin_sources_are_left_only() {
+        let e = Expr::join(
+            JoinKind::LeftAnti,
+            p(0, 1),
+            Expr::table(t(0)),
+            Expr::table(t(1)),
+        );
+        assert_eq!(e.sources(), TableSet::singleton(t(0)));
+    }
+
+    #[test]
+    fn user_spoj_validation() {
+        let ok = Expr::select(p(0, 1), Expr::inner(p(0, 1), Expr::table(t(0)), Expr::table(t(1))));
+        assert!(ok.is_user_spoj());
+        let bad = Expr::Delta(t(0));
+        assert!(!bad.is_user_spoj());
+        let bad2 = Expr::CleanDup(Box::new(Expr::table(t(0))));
+        assert!(!bad2.is_user_spoj());
+    }
+
+    #[test]
+    fn tree_string_renders() {
+        let e = Expr::left_outer(p(0, 1), Expr::table(t(0)), Expr::Delta(t(1)));
+        let s = e.tree_string(&|id| format!("tbl{}", id.0));
+        assert!(s.contains("LEFT OUTER JOIN"));
+        assert!(s.contains("tbl0"));
+        assert!(s.contains("Δtbl1"));
+    }
+}

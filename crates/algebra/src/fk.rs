@@ -1,0 +1,133 @@
+//! Foreign-key edges between a view's tables.
+
+use crate::pred::{Atom, ColRef, Pred};
+use crate::table_set::TableId;
+
+/// A foreign-key constraint between two tables of a view, expressed in the
+/// view's positional vocabulary.
+///
+/// `child.(child_cols)` references the non-null unique key
+/// `parent.(parent_cols)` (paper §6). `child_cols_non_null` records whether
+/// the child columns are declared NOT NULL — the term-pruning and
+/// `SimplifyTree` optimizations additionally rely on every child row actually
+/// having a parent, which a nullable FK column does not guarantee.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FkEdge {
+    pub child: TableId,
+    pub child_cols: Vec<usize>,
+    pub parent: TableId,
+    pub parent_cols: Vec<usize>,
+    pub child_cols_non_null: bool,
+    /// §6's caveat list: cascading deletes disable the FK optimizations.
+    pub cascade_delete: bool,
+    /// §6's caveat list: deferrable constraints disable the FK optimizations
+    /// inside multi-statement transactions.
+    pub deferrable: bool,
+}
+
+impl FkEdge {
+    /// The equijoin atoms `child.fk_i = parent.key_i` this FK corresponds to.
+    pub fn join_atoms(&self) -> Vec<Atom> {
+        self.child_cols
+            .iter()
+            .zip(&self.parent_cols)
+            .map(|(&c, &p)| {
+                Atom::eq(
+                    ColRef::new(self.child, c),
+                    ColRef::new(self.parent, p),
+                )
+            })
+            .collect()
+    }
+
+    /// True iff predicate `pred` contains every join atom of this FK
+    /// (in either column orientation), i.e. the two tables are joined *on*
+    /// the foreign key.
+    pub fn matched_by(&self, pred: &Pred) -> bool {
+        self.join_atoms().iter().all(|want| {
+            pred.atoms().iter().any(|have| {
+                atom_eq_sym(have, want)
+            })
+        })
+    }
+
+    /// True iff the §6 optimizations may use this edge at all.
+    pub fn usable(&self) -> bool {
+        self.child_cols_non_null && !self.cascade_delete && !self.deferrable
+    }
+}
+
+/// Equality of equijoin atoms up to operand order.
+fn atom_eq_sym(a: &Atom, b: &Atom) -> bool {
+    use crate::pred::CmpOp;
+    match (a, b) {
+        (Atom::Cols(a1, CmpOp::Eq, a2), Atom::Cols(b1, CmpOp::Eq, b2)) => {
+            (a1 == b1 && a2 == b2) || (a1 == b2 && a2 == b1)
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::CmpOp;
+
+    fn edge() -> FkEdge {
+        FkEdge {
+            child: TableId(1),
+            child_cols: vec![2],
+            parent: TableId(0),
+            parent_cols: vec![0],
+            child_cols_non_null: true,
+            cascade_delete: false,
+            deferrable: false,
+        }
+    }
+
+    #[test]
+    fn join_atoms_align_columns() {
+        let e = edge();
+        let atoms = e.join_atoms();
+        assert_eq!(atoms.len(), 1);
+        assert_eq!(
+            atoms[0],
+            Atom::eq(ColRef::new(TableId(1), 2), ColRef::new(TableId(0), 0))
+        );
+    }
+
+    #[test]
+    fn matched_by_is_orientation_insensitive() {
+        let e = edge();
+        let fwd = Pred::atom(Atom::eq(
+            ColRef::new(TableId(1), 2),
+            ColRef::new(TableId(0), 0),
+        ));
+        let rev = Pred::atom(Atom::eq(
+            ColRef::new(TableId(0), 0),
+            ColRef::new(TableId(1), 2),
+        ));
+        assert!(e.matched_by(&fwd));
+        assert!(e.matched_by(&rev));
+        let other = Pred::atom(Atom::Cols(
+            ColRef::new(TableId(1), 2),
+            CmpOp::Lt,
+            ColRef::new(TableId(0), 0),
+        ));
+        assert!(!e.matched_by(&other));
+    }
+
+    #[test]
+    fn usable_respects_caveats() {
+        let mut e = edge();
+        assert!(e.usable());
+        e.cascade_delete = true;
+        assert!(!e.usable());
+        let mut e2 = edge();
+        e2.child_cols_non_null = false;
+        assert!(!e2.usable());
+        let mut e3 = edge();
+        e3.deferrable = true;
+        assert!(!e3.usable());
+    }
+}

@@ -1,0 +1,331 @@
+//! Conversion of `ΔV^D` expressions to left-deep join trees (paper §4.1).
+//!
+//! The derived delta expression may contain subexpressions joining base
+//! tables only (e.g. `R fo S` in Example 4), which can produce large
+//! intermediate results even when `ΔT` is tiny. The paper introduces five
+//! associativity rules — rules 1, 4 and 5 being new — that pull the top
+//! operator of such a right operand into the main path, so that the right
+//! operand of every join along the spine is a single base table.
+//!
+//! Rules 1, 4 and 5 require the *null-if* operator `λ^c_p` followed by a
+//! cleanup `δ`. Note on the cleanup: nulling out the columns of a
+//! mis-matched right side can create, for the same left tuple, both a
+//! null-extended row and surviving joined rows; the null-extended row is
+//! then *subsumed*, not merely duplicated. The cleanup operator therefore
+//! removes duplicates **and** subsumed tuples ([`Expr::CleanDup`]); with
+//! unique keys on the left input this reproduces the exact semantics of the
+//! original bushy expression (the paper's `δ` with proofs in its companion
+//! technical report).
+
+use crate::expr::{Expr, JoinKind};
+use crate::pred::Pred;
+use crate::table_set::TableSet;
+
+/// Convert a delta expression to a left-deep tree.
+///
+/// Joins whose predicates span both children of a bushy right operand (i.e.
+/// non-binary predicates) are left bushy — the paper's rules assume binary
+/// predicates — but their subtrees are still converted recursively.
+pub fn to_left_deep(expr: Expr) -> Expr {
+    match expr {
+        Expr::Select(p, input) => Expr::Select(p, Box::new(to_left_deep(*input))),
+        Expr::NullIf {
+            null_tables,
+            pred,
+            input,
+        } => Expr::NullIf {
+            null_tables,
+            pred,
+            input: Box::new(to_left_deep(*input)),
+        },
+        Expr::CleanDup(input) => Expr::CleanDup(Box::new(to_left_deep(*input))),
+        Expr::Join {
+            kind,
+            pred,
+            left,
+            right,
+        } => {
+            let left = to_left_deep(*left);
+            rewrite_join(kind, pred, left, *right)
+        }
+        leaf => leaf,
+    }
+}
+
+fn rewrite_join(kind: JoinKind, pred: Pred, left: Expr, right: Expr) -> Expr {
+    if is_leaf(&right) {
+        return Expr::join(kind, pred, left, right);
+    }
+    match right {
+        // Right operand is a selection over a non-leaf expression.
+        Expr::Select(q, inner) => match kind {
+            // σ commutes with inner join: pull it above and keep going.
+            JoinKind::Inner => to_left_deep(Expr::Select(
+                q,
+                Box::new(Expr::join(JoinKind::Inner, pred, left, *inner)),
+            )),
+            // Rule 1: e1 lo_p (σ_q e2) = δ λ^{e2.*}_{¬q} (e1 lo_p e2).
+            JoinKind::LeftOuter => {
+                let null_tables = inner.sources();
+                Expr::CleanDup(Box::new(Expr::NullIf {
+                    null_tables,
+                    pred: q,
+                    input: Box::new(to_left_deep(Expr::join(
+                        JoinKind::LeftOuter,
+                        pred,
+                        left,
+                        *inner,
+                    ))),
+                }))
+            }
+            other => unreachable!("spine join of kind {other:?} in ΔV^D"),
+        },
+        // Right operand is itself a join: associate its top into the spine.
+        Expr::Join {
+            kind: rkind,
+            pred: q,
+            left: a,
+            right: b,
+        } => {
+            let (a, b) = (*a, *b);
+            // Orient so that the spine predicate's right-side tables live in
+            // `a` (commute the right operand if they live in `b`).
+            let pr: TableSet = pred
+                .tables()
+                .intersect(a.sources().union(b.sources()));
+            let (a, b, rkind) = if pr.is_subset_of(a.sources()) {
+                (a, b, rkind)
+            } else if pr.is_subset_of(b.sources()) {
+                (b, a, rkind.commuted())
+            } else {
+                // Non-binary spine predicate: leave this join bushy but
+                // normalize both subtrees.
+                return Expr::join(
+                    kind,
+                    pred,
+                    left,
+                    to_left_deep(Expr::join(rkind, q, a, b)),
+                );
+            };
+            let a_sources = a.sources();
+            let b_sources = b.sources();
+            let rewritten = match (kind, rkind) {
+                // Inner spine join: standard associativity; the right
+                // operand's outer join degrades according to which side it
+                // protected.
+                (JoinKind::Inner, JoinKind::Inner | JoinKind::RightOuter) => Expr::join(
+                    JoinKind::Inner,
+                    q,
+                    Expr::join(JoinKind::Inner, pred, left, a),
+                    b,
+                ),
+                (JoinKind::Inner, JoinKind::LeftOuter | JoinKind::FullOuter) => Expr::join(
+                    JoinKind::LeftOuter,
+                    q,
+                    Expr::join(JoinKind::Inner, pred, left, a),
+                    b,
+                ),
+                // Rules 2 and 3: lo spine join over fo/lo right operand.
+                (JoinKind::LeftOuter, JoinKind::FullOuter | JoinKind::LeftOuter) => Expr::join(
+                    JoinKind::LeftOuter,
+                    q.clone(),
+                    Expr::join(JoinKind::LeftOuter, pred, left, a),
+                    b,
+                ),
+                // Rules 4 and 5: lo spine join over ro/inner right operand —
+                // need the null-if + cleanup fix-up.
+                (JoinKind::LeftOuter, JoinKind::RightOuter | JoinKind::Inner) => {
+                    Expr::CleanDup(Box::new(Expr::NullIf {
+                        null_tables: a_sources.union(b_sources),
+                        pred: q.clone(),
+                        input: Box::new(Expr::join(
+                            JoinKind::LeftOuter,
+                            q,
+                            Expr::join(JoinKind::LeftOuter, pred, left, a),
+                            b,
+                        )),
+                    }))
+                }
+                (k, rk) => unreachable!("spine join {k:?} over right operand {rk:?} in ΔV^D"),
+            };
+            to_left_deep(rewritten)
+        }
+        other => Expr::join(kind, pred, left, other),
+    }
+}
+
+/// A leaf for the purposes of the conversion: a base-table (or delta) scan,
+/// possibly under a single-table selection.
+fn is_leaf(e: &Expr) -> bool {
+    match e {
+        Expr::Table(_) | Expr::Delta(_) | Expr::OldState(_) | Expr::Empty => true,
+        Expr::Select(_, inner) => is_leaf(inner),
+        _ => false,
+    }
+}
+
+/// True iff the expression is a left-deep tree: every join's right operand
+/// is a leaf (used by tests and assertions).
+pub fn is_left_deep(e: &Expr) -> bool {
+    match e {
+        Expr::Join { left, right, .. } => is_leaf(right) && is_left_deep(left),
+        Expr::Select(_, i) | Expr::NullIf { input: i, .. } | Expr::CleanDup(i) => is_left_deep(i),
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{Atom, ColRef};
+    use crate::table_set::TableId;
+
+    fn t(i: u8) -> TableId {
+        TableId(i)
+    }
+
+    fn eq(a: u8, b: u8) -> Pred {
+        Pred::atom(Atom::eq(ColRef::new(t(a), 0), ColRef::new(t(b), 0)))
+    }
+
+    /// Example 4 / Figure 3: `(ΔT lo U) ⋈ (R fo S)` becomes
+    /// `((ΔT lo U) ⋈ R) lo S`.
+    #[test]
+    fn example_4_bushy_to_left_deep() {
+        // R=0, S=1, T=2, U=3.
+        let bushy = Expr::inner(
+            eq(0, 2),
+            Expr::left_outer(eq(2, 3), Expr::Delta(t(2)), Expr::table(t(3))),
+            Expr::full_outer(eq(0, 1), Expr::table(t(0)), Expr::table(t(1))),
+        );
+        let ld = to_left_deep(bushy);
+        let expected = Expr::left_outer(
+            eq(0, 1),
+            Expr::inner(
+                eq(0, 2),
+                Expr::left_outer(eq(2, 3), Expr::Delta(t(2)), Expr::table(t(3))),
+                Expr::table(t(0)),
+            ),
+            Expr::table(t(1)),
+        );
+        assert_eq!(ld, expected);
+        assert!(is_left_deep(&ld));
+    }
+
+    /// Rule 4: lo spine over a right operand whose protected side is away
+    /// from the spine predicate — requires the λ/δ fix-up.
+    #[test]
+    fn rule_4_introduces_null_if_and_cleanup() {
+        // ΔP lo_{p(0,2)} (O lo_{q(1,2)} L): P=0, O=1, L=2. The spine pred
+        // references L, which is the right child of the right operand, so the
+        // right operand commutes to (L ro O) and rule 4 fires.
+        let bushy = Expr::left_outer(
+            eq(0, 2),
+            Expr::Delta(t(0)),
+            Expr::left_outer(eq(1, 2), Expr::table(t(1)), Expr::table(t(2))),
+        );
+        let ld = to_left_deep(bushy);
+        let expected = Expr::CleanDup(Box::new(Expr::NullIf {
+            null_tables: TableSet::from_iter([t(1), t(2)]),
+            pred: eq(1, 2),
+            input: Box::new(Expr::left_outer(
+                eq(1, 2),
+                Expr::left_outer(eq(0, 2), Expr::Delta(t(0)), Expr::table(t(2))),
+                Expr::table(t(1)),
+            )),
+        }));
+        assert_eq!(ld, expected);
+        assert!(is_left_deep(&ld));
+    }
+
+    /// Rule 1: lo spine over a selection on a non-leaf operand.
+    #[test]
+    fn rule_1_pulls_selection_with_null_if() {
+        // ΔA lo_{p(0,1)} σ_{q(1,2)}(B ⋈ C): A=0, B=1, C=2.
+        let sel = Pred::atom(Atom::eq(ColRef::new(t(1), 1), ColRef::new(t(2), 1)));
+        let bushy = Expr::left_outer(
+            eq(0, 1),
+            Expr::Delta(t(0)),
+            Expr::select(
+                sel.clone(),
+                Expr::inner(eq(1, 2), Expr::table(t(1)), Expr::table(t(2))),
+            ),
+        );
+        let ld = to_left_deep(bushy);
+        assert!(is_left_deep(&ld));
+        // Outermost operator must be the rule-1 cleanup.
+        match &ld {
+            Expr::CleanDup(inner) => match inner.as_ref() {
+                Expr::NullIf {
+                    null_tables, pred, ..
+                } => {
+                    assert_eq!(*null_tables, TableSet::from_iter([t(1), t(2)]));
+                    assert_eq!(*pred, sel);
+                }
+                other => panic!("expected NullIf, got {other:?}"),
+            },
+            other => panic!("expected CleanDup, got {other:?}"),
+        }
+    }
+
+    /// Inner spine join with a selection on the right commutes the selection
+    /// above (no null-if needed).
+    #[test]
+    fn inner_join_pulls_selection_above() {
+        let sel = Pred::atom(Atom::eq(ColRef::new(t(1), 1), ColRef::new(t(2), 1)));
+        let bushy = Expr::inner(
+            eq(0, 1),
+            Expr::Delta(t(0)),
+            Expr::select(
+                sel.clone(),
+                Expr::inner(eq(1, 2), Expr::table(t(1)), Expr::table(t(2))),
+            ),
+        );
+        let ld = to_left_deep(bushy);
+        assert!(is_left_deep(&ld));
+        assert!(matches!(ld, Expr::Select(ref p, _) if *p == sel));
+    }
+
+    #[test]
+    fn single_table_selects_count_as_leaves() {
+        let filt = Pred::atom(Atom::Const(
+            ColRef::new(t(1), 1),
+            crate::pred::CmpOp::Lt,
+            ojv_rel::Datum::Int(10),
+        ));
+        let e = Expr::inner(
+            eq(0, 1),
+            Expr::Delta(t(0)),
+            Expr::select(filt, Expr::table(t(1))),
+        );
+        let ld = to_left_deep(e.clone());
+        assert_eq!(ld, e);
+        assert!(is_left_deep(&ld));
+    }
+
+    #[test]
+    fn deep_right_nest_fully_linearizes() {
+        // ΔA ⋈ (B ⋈ (C ⋈ D)) with a chain of binary predicates.
+        let bushy = Expr::inner(
+            eq(0, 1),
+            Expr::Delta(t(0)),
+            Expr::inner(
+                eq(1, 2),
+                Expr::table(t(1)),
+                Expr::inner(eq(2, 3), Expr::table(t(2)), Expr::table(t(3))),
+            ),
+        );
+        let ld = to_left_deep(bushy);
+        assert!(is_left_deep(&ld));
+        let expected = Expr::inner(
+            eq(2, 3),
+            Expr::inner(
+                eq(1, 2),
+                Expr::inner(eq(0, 1), Expr::Delta(t(0)), Expr::table(t(1))),
+                Expr::table(t(2)),
+            ),
+            Expr::table(t(3)),
+        );
+        assert_eq!(ld, expected);
+    }
+}

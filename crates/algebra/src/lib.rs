@@ -1,0 +1,42 @@
+//! Logical algebra for SPOJ views — the analytical machinery of
+//! Larson & Zhou, ICDE 2007.
+//!
+//! This crate is purely symbolic: it knows about tables only as positions
+//! ([`TableId`]) in a view's table list and manipulates
+//!
+//! * [`TableSet`] — bitsets of tables (source sets, null-extension sets),
+//! * [`Pred`] — structured conjunctions of null-rejecting atoms,
+//! * [`Expr`] — SPOJ operator trees, extended with the delta-expression
+//!   operators the maintenance algorithms introduce (Δ-leaves, null-if,
+//!   duplicate/subsumption cleanup),
+//! * the **join-disjunctive normal form** (§2.2) and its FK-based term
+//!   pruning,
+//! * the **subsumption graph** (§2.3) and **maintenance graph** (§3.1) with
+//!   the Theorem 3 foreign-key reduction (§6.2),
+//! * the **primary-delta derivation** (§4), **left-deep conversion** with
+//!   associativity rules 1–5 (§4.1), and **SimplifyTree** (§6.1).
+//!
+//! Execution of the resulting expressions lives in `ojv-exec`; the end-to-end
+//! maintenance procedure lives in `ojv-core`.
+
+pub mod expr;
+pub mod fk;
+pub mod left_deep;
+pub mod maintenance_graph;
+pub mod normal_form;
+pub mod pred;
+pub mod primary_delta;
+pub mod simplify_fk;
+pub mod subsumption;
+pub mod table_set;
+
+pub use expr::{Expr, JoinKind};
+pub use fk::FkEdge;
+pub use left_deep::to_left_deep;
+pub use maintenance_graph::{Affect, MaintenanceGraph};
+pub use normal_form::{normalize, normalize_unpruned, Term};
+pub use pred::{Atom, CmpOp, ColRef, Pred};
+pub use primary_delta::derive_primary_delta;
+pub use simplify_fk::simplify_tree;
+pub use subsumption::SubsumptionGraph;
+pub use table_set::{TableId, TableSet};

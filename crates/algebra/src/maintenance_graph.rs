@@ -1,0 +1,274 @@
+//! The maintenance graph (paper §3.1) and its foreign-key reduction (§6.2).
+
+use std::fmt;
+
+use crate::fk::FkEdge;
+use crate::subsumption::SubsumptionGraph;
+use crate::table_set::TableId;
+
+/// How an update to table `T` affects a term (paper §3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Affect {
+    /// `T` is among the term's source tables.
+    Direct,
+    /// `T` is not a source table, but is a source of at least one parent.
+    Indirect,
+}
+
+/// An indirectly affected term together with its affected parents, split
+/// into directly affected (`pard`) and indirectly affected (`pari`) — the
+/// sets the §5 secondary-delta expressions are built from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IndirectTerm {
+    pub term: usize,
+    pub pard: Vec<usize>,
+    pub pari: Vec<usize>,
+}
+
+/// The maintenance graph for one view and one updated table: the affected
+/// subgraph of the subsumption graph, with nodes classified direct/indirect.
+///
+/// When usable foreign keys are supplied, Theorem 3 removes directly
+/// affected terms that provably cannot change, and indirect terms left
+/// without a directly affected parent are removed with them (§6.2's
+/// *reduced maintenance graph*).
+#[derive(Debug, Clone)]
+pub struct MaintenanceGraph {
+    pub updated: TableId,
+    /// Directly affected term ids (indexes into the subsumption graph).
+    pub direct: Vec<usize>,
+    /// Indirectly affected terms with their parent classification.
+    pub indirect: Vec<IndirectTerm>,
+}
+
+impl MaintenanceGraph {
+    /// Build the (possibly reduced) maintenance graph. Pass an empty `fks`
+    /// slice to skip the Theorem 3 reduction.
+    pub fn build(graph: &SubsumptionGraph, updated: TableId, fks: &[FkEdge]) -> Self {
+        let n = graph.len();
+        // Step 1: directly affected terms.
+        let mut direct: Vec<bool> = (0..n)
+            .map(|i| graph.term(i).tables.contains(updated))
+            .collect();
+
+        // Theorem 3: a directly affected term is unaffected if its source set
+        // contains a table R ≠ T with a usable FK referencing T's key, joined
+        // on that FK within the term's predicate. (Inserted T rows have no
+        // referencing R rows; deleted T rows passed the restrict check.)
+        #[allow(clippy::needless_range_loop)]
+        for i in 0..n {
+            if !direct[i] {
+                continue;
+            }
+            let term = graph.term(i);
+            let reducible = fks.iter().any(|fk| {
+                fk.usable()
+                    && fk.parent == updated
+                    && fk.child != updated
+                    && term.tables.contains(fk.child)
+                    && fk.matched_by(&term.pred)
+            });
+            if reducible {
+                direct[i] = false;
+            }
+        }
+
+        // Step 2: indirectly affected terms — at least one (surviving)
+        // directly affected parent.
+        let mut indirect = Vec::new();
+        for i in 0..n {
+            if direct[i] || graph.term(i).tables.contains(updated) {
+                // Terms containing T that were reduced away are unaffected,
+                // not indirect.
+                continue;
+            }
+            let pard: Vec<usize> = graph
+                .parents(i)
+                .iter()
+                .copied()
+                .filter(|&p| direct[p])
+                .collect();
+            if pard.is_empty() {
+                continue;
+            }
+            let pari: Vec<usize> = graph
+                .parents(i)
+                .iter()
+                .copied()
+                .filter(|&p| {
+                    // An indirectly affected parent: not direct, but itself
+                    // has a directly affected parent.
+                    !direct[p]
+                        && !graph.term(p).tables.contains(updated)
+                        && graph.parents(p).iter().any(|&pp| direct[pp])
+                })
+                .collect();
+            indirect.push(IndirectTerm {
+                term: i,
+                pard,
+                pari,
+            });
+        }
+
+        // Order indirect terms by descending source-set size. The §5
+        // deletion-case anti-join of a term must see the new orphans that
+        // superset terms insert (a freshly orphaned {R,S} tuple keeps
+        // covering its {R} sub-tuple), so supersets are processed first.
+        indirect.sort_by_key(|ind| std::cmp::Reverse(graph.term(ind.term).tables.len()));
+
+        MaintenanceGraph {
+            updated,
+            direct: (0..n).filter(|&i| direct[i]).collect(),
+            indirect,
+        }
+    }
+
+    /// True iff the update cannot affect the view at all.
+    pub fn is_empty(&self) -> bool {
+        self.direct.is_empty() && self.indirect.is_empty()
+    }
+}
+
+impl fmt::Display for MaintenanceGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "update {}: direct={:?}", self.updated, self.direct)?;
+        write!(
+            f,
+            " indirect={:?}",
+            self.indirect.iter().map(|i| i.term).collect::<Vec<_>>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::normal_form::Term;
+    use crate::pred::{Atom, ColRef, Pred};
+    use crate::table_set::TableSet;
+
+    fn t(i: u8) -> TableId {
+        TableId(i)
+    }
+
+    fn term(ids: &[u8], pred: Pred) -> Term {
+        Term {
+            tables: TableSet::from_iter(ids.iter().map(|&i| t(i))),
+            pred,
+        }
+    }
+
+    fn eq(a: u8, ac: usize, b: u8, bc: usize) -> Pred {
+        Pred::atom(Atom::eq(ColRef::new(t(a), ac), ColRef::new(t(b), bc)))
+    }
+
+    /// Figure 1(b): maintenance graph of V1 when T (=id 2) is updated.
+    /// Terms (R=0,S=1,T=2,U=3): TURS, TUR, TRS, TR, RS, R, S.
+    #[test]
+    fn v1_maintenance_graph_matches_figure_1b() {
+        let terms = vec![
+            term(&[0, 1, 2, 3], Pred::true_()), // 0 TURS D
+            term(&[0, 2, 3], Pred::true_()),    // 1 TUR  D
+            term(&[0, 1, 2], Pred::true_()),    // 2 TRS  D
+            term(&[0, 2], Pred::true_()),       // 3 TR   D
+            term(&[0, 1], Pred::true_()),       // 4 RS   I
+            term(&[0], Pred::true_()),          // 5 R    I
+            term(&[1], Pred::true_()),          // 6 S    unaffected
+        ];
+        let g = SubsumptionGraph::new(terms);
+        let m = MaintenanceGraph::build(&g, t(2), &[]);
+        assert_eq!(m.direct, vec![0, 1, 2, 3]);
+        let ind: Vec<usize> = m.indirect.iter().map(|i| i.term).collect();
+        assert_eq!(ind, vec![4, 5]);
+        // RS's affected parent is TRS (direct); no indirect parents.
+        let rs = &m.indirect[0];
+        assert_eq!(rs.pard, vec![2]);
+        assert!(rs.pari.is_empty());
+        // R's parents are TR (direct) and RS (indirect).
+        let r = &m.indirect[1];
+        assert_eq!(r.pard, vec![3]);
+        assert_eq!(r.pari, vec![4]);
+        // S is unaffected: its only parent RS is indirect.
+        assert!(!ind.contains(&6));
+    }
+
+    /// Example 11 / Figure 4: V2 terms {C,O,L},{C,O},{O,L},{C},{O},{L}
+    /// (C=0, O=1, L=2), updated table O, FK L.lok → O.ok.
+    fn v2_graph() -> SubsumptionGraph {
+        let ck_ock = eq(0, 0, 1, 2);
+        let ok_lok = eq(1, 0, 2, 0);
+        SubsumptionGraph::new(vec![
+            term(&[0, 1, 2], ck_ock.and(&ok_lok)), // 0 COL
+            term(&[0, 1], ck_ock),                 // 1 CO
+            term(&[1, 2], ok_lok),                 // 2 OL
+            term(&[0], Pred::true_()),             // 3 C
+            term(&[1], Pred::true_()),             // 4 O
+            term(&[2], Pred::true_()),             // 5 L
+        ])
+    }
+
+    #[test]
+    fn v2_maintenance_graph_matches_figure_4a() {
+        let m = MaintenanceGraph::build(&v2_graph(), t(1), &[]);
+        assert_eq!(m.direct, vec![0, 1, 2, 4]);
+        let ind: Vec<usize> = m.indirect.iter().map(|i| i.term).collect();
+        assert_eq!(ind, vec![3, 5]);
+    }
+
+    #[test]
+    fn v2_reduced_graph_matches_figure_4b() {
+        let fk = FkEdge {
+            child: t(2),
+            child_cols: vec![0],
+            parent: t(1),
+            parent_cols: vec![0],
+            child_cols_non_null: true,
+            cascade_delete: false,
+            deferrable: false,
+        };
+        let m = MaintenanceGraph::build(&v2_graph(), t(1), &[fk]);
+        // COL and OL are eliminated (they join L to O on the FK); L loses its
+        // only affected parent and disappears; C stays via CO.
+        assert_eq!(m.direct, vec![1, 4]);
+        let ind: Vec<usize> = m.indirect.iter().map(|i| i.term).collect();
+        assert_eq!(ind, vec![3]);
+        assert_eq!(m.indirect[0].pard, vec![1]);
+    }
+
+    #[test]
+    fn unusable_fk_does_not_reduce() {
+        let fk = FkEdge {
+            child: t(2),
+            child_cols: vec![0],
+            parent: t(1),
+            parent_cols: vec![0],
+            child_cols_non_null: true,
+            cascade_delete: true, // §6 caveat 2
+            deferrable: false,
+        };
+        let m = MaintenanceGraph::build(&v2_graph(), t(1), &[fk]);
+        assert_eq!(m.direct, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn fk_not_matching_join_pred_does_not_reduce() {
+        // FK on a column pair that is not the join predicate.
+        let fk = FkEdge {
+            child: t(2),
+            child_cols: vec![5],
+            parent: t(1),
+            parent_cols: vec![0],
+            child_cols_non_null: true,
+            cascade_delete: false,
+            deferrable: false,
+        };
+        let m = MaintenanceGraph::build(&v2_graph(), t(1), &[fk]);
+        assert_eq!(m.direct, vec![0, 1, 2, 4]);
+    }
+
+    #[test]
+    fn update_of_unreferenced_table_yields_empty_graph() {
+        let m = MaintenanceGraph::build(&v2_graph(), t(7), &[]);
+        assert!(m.is_empty());
+    }
+}

@@ -1,0 +1,413 @@
+//! Join-disjunctive normal form (paper §2.2).
+//!
+//! Any SPOJ expression `E` over tables `U` can be written as a minimum union
+//! of *terms* `E = E_1 ⊕ … ⊕ E_n`, where each term is a selection over an
+//! inner (cross) join of a subset of `U`:
+//! `E_i = σ_{p_i}(T_{i1} × … × T_{im})`.
+//!
+//! The normalizer traverses the operator tree once, bottom-up
+//! (Galindo-Legaria's algorithm as summarized in the paper's Example 2):
+//! joins "multiply" the term sets of their operands, keeping a combined term
+//! only when every predicate conjunct references tables present in the
+//! combination (null-rejecting predicates eliminate the rest), and outer
+//! joins additionally preserve the terms of the protected side(s).
+//!
+//! Foreign keys further prune terms whose net contribution is provably empty
+//! (the `{orders, lineitem}` term of the paper's Example 1).
+
+use std::fmt;
+
+use crate::expr::{Expr, JoinKind};
+use crate::fk::FkEdge;
+use crate::pred::{Atom, CmpOp, Pred};
+use crate::table_set::TableSet;
+
+/// One term of the normal form: `σ_{pred}(× tables)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Term {
+    /// The term's source tables `T_i`.
+    pub tables: TableSet,
+    /// The conjunction `p_i` (a subset of the view's selection and join
+    /// conjuncts).
+    pub pred: Pred,
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "σ[{}]({})", self.pred, self.tables)
+    }
+}
+
+/// Normalize without foreign-key pruning.
+///
+/// # Panics
+/// Panics if `expr` is not a user SPOJ expression ([`Expr::is_user_spoj`]).
+pub fn normalize_unpruned(expr: &Expr) -> Vec<Term> {
+    assert!(
+        expr.is_user_spoj(),
+        "normalization is defined for user SPOJ expressions"
+    );
+    norm(expr)
+}
+
+/// Normalize and prune terms whose net contribution is empty due to
+/// foreign-key constraints.
+pub fn normalize(expr: &Expr, fks: &[FkEdge]) -> Vec<Term> {
+    let terms = normalize_unpruned(expr);
+    prune_fk_terms(terms, fks)
+}
+
+fn norm(expr: &Expr) -> Vec<Term> {
+    match expr {
+        Expr::Table(t) => vec![Term {
+            tables: TableSet::singleton(*t),
+            pred: Pred::true_(),
+        }],
+        Expr::Select(p, input) => {
+            let mut out = Vec::new();
+            'term: for mut term in norm(input) {
+                for atom in p.atoms() {
+                    if atom.tables().is_subset_of(term.tables) {
+                        term.pred = term.pred.and(&Pred::atom(atom.clone()));
+                    } else {
+                        // The atom references a table the term is
+                        // null-extended on; being null-rejecting, it
+                        // eliminates the term.
+                        continue 'term;
+                    }
+                }
+                out.push(term);
+            }
+            out
+        }
+        Expr::Join {
+            kind,
+            pred,
+            left,
+            right,
+        } => {
+            let lt = norm(left);
+            let rt = norm(right);
+            let mut out = Vec::new();
+            // "Multiplication": every combination of a left and a right term
+            // that the (null-rejecting) join predicate can accept.
+            for a in &lt {
+                'combo: for b in &rt {
+                    let tables = a.tables.union(b.tables);
+                    for atom in pred.atoms() {
+                        if !atom.tables().is_subset_of(tables) {
+                            continue 'combo;
+                        }
+                    }
+                    out.push(Term {
+                        tables,
+                        pred: a.pred.and(&b.pred).and(pred),
+                    });
+                }
+            }
+            // Outer joins preserve the protected side(s).
+            match kind {
+                JoinKind::Inner => {}
+                JoinKind::LeftOuter => out.extend(lt),
+                JoinKind::RightOuter => out.extend(rt),
+                JoinKind::FullOuter => {
+                    out.extend(lt);
+                    out.extend(rt);
+                }
+                JoinKind::LeftSemi | JoinKind::LeftAnti => {
+                    unreachable!("semijoins are rejected by is_user_spoj")
+                }
+            }
+            debug_assert_distinct_sources(&out);
+            out
+        }
+        other => unreachable!("normalization over non-SPOJ node {other:?}"),
+    }
+}
+
+fn debug_assert_distinct_sources(terms: &[Term]) {
+    if cfg!(debug_assertions) {
+        for (i, a) in terms.iter().enumerate() {
+            for b in &terms[i + 1..] {
+                debug_assert_ne!(
+                    a.tables, b.tables,
+                    "normal form produced two terms with source set {}",
+                    a.tables
+                );
+            }
+        }
+    }
+}
+
+/// Remove terms whose net contribution is empty because of a foreign key.
+///
+/// A term `t` can be dropped when some usable FK `child → parent` has
+/// `child ∈ t.tables`, `parent ∉ t.tables`, and the term `t ∪ {parent}`
+/// exists with predicate exactly `t.pred ∧ fk-join-atoms`: then every tuple
+/// of `t` joins its (unique, guaranteed-present) parent, is subsumed by the
+/// corresponding tuple of the parent term, and never surfaces in the view.
+/// An extra predicate on `parent` in the parent term (like the
+/// `p_retailprice < 2000` join conjunct of the paper's V3) blocks the
+/// pruning, because parents failing it leave the child tuples unsubsumed.
+pub fn prune_fk_terms(terms: Vec<Term>, fks: &[FkEdge]) -> Vec<Term> {
+    let keep: Vec<bool> = terms
+        .iter()
+        .map(|t| !fk_prunable(t, &terms, fks))
+        .collect();
+    terms
+        .into_iter()
+        .zip(keep)
+        .filter_map(|(t, k)| if k { Some(t) } else { None })
+        .collect()
+}
+
+fn fk_prunable(term: &Term, all: &[Term], fks: &[FkEdge]) -> bool {
+    for fk in fks {
+        if !fk.usable()
+            || !term.tables.contains(fk.child)
+            || term.tables.contains(fk.parent)
+        {
+            continue;
+        }
+        let parent_set = term.tables.insert(fk.parent);
+        let Some(parent_term) = all.iter().find(|t| t.tables == parent_set) else {
+            continue;
+        };
+        // parent_term.pred must equal term.pred + the FK join atoms.
+        let mut expected: Vec<Atom> = term.pred.atoms().to_vec();
+        expected.extend(fk.join_atoms());
+        if atom_multiset_eq(parent_term.pred.atoms(), &expected) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Multiset equality of atom lists, treating `a = b` and `b = a` as equal.
+fn atom_multiset_eq(a: &[Atom], b: &[Atom]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut used = vec![false; b.len()];
+    'outer: for x in a {
+        for (i, y) in b.iter().enumerate() {
+            if !used[i] && atom_eq_sym(x, y) {
+                used[i] = true;
+                continue 'outer;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+fn atom_eq_sym(a: &Atom, b: &Atom) -> bool {
+    match (a, b) {
+        (Atom::Cols(a1, CmpOp::Eq, a2), Atom::Cols(b1, CmpOp::Eq, b2)) => {
+            (a1 == b1 && a2 == b2) || (a1 == b2 && a2 == b1)
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::ColRef;
+    use crate::table_set::TableId;
+
+    fn t(i: u8) -> TableId {
+        TableId(i)
+    }
+
+    fn eq(a: u8, ac: usize, b: u8, bc: usize) -> Pred {
+        Pred::atom(Atom::eq(ColRef::new(t(a), ac), ColRef::new(t(b), bc)))
+    }
+
+    fn sets(terms: &[Term]) -> Vec<TableSet> {
+        let mut v: Vec<TableSet> = terms.iter().map(|t| t.tables).collect();
+        v.sort();
+        v
+    }
+
+    fn ts(ids: &[u8]) -> TableSet {
+        TableSet::from_iter(ids.iter().map(|&i| t(i)))
+    }
+
+    /// The paper's running example V1 (Example 2):
+    /// `(R fo S) lo (T fo U)` with predicates p(r,s), p(r,t), p(t,u).
+    /// Tables: R=0, S=1, T=2, U=3.
+    fn v1() -> Expr {
+        Expr::left_outer(
+            eq(0, 1, 2, 1), // p(r,t)
+            Expr::full_outer(eq(0, 0, 1, 0), Expr::table(t(0)), Expr::table(t(1))),
+            Expr::full_outer(eq(2, 0, 3, 0), Expr::table(t(2)), Expr::table(t(3))),
+        )
+    }
+
+    #[test]
+    fn v1_normal_form_matches_example_2() {
+        let terms = normalize_unpruned(&v1());
+        // Paper: TURS, TUR, TRS, TR, RS, R, S — i.e. with our ids:
+        // {0,1,2,3}, {0,2,3}, {0,1,2}, {0,2}, {0,1}, {0}, {1}.
+        assert_eq!(
+            sets(&terms),
+            vec![
+                ts(&[0]),
+                ts(&[1]),
+                ts(&[0, 1]),
+                ts(&[0, 2]),
+                ts(&[0, 1, 2]),
+                ts(&[0, 2, 3]),
+                ts(&[0, 1, 2, 3]),
+            ]
+        );
+        // Spot-check predicates: the {0,2} term carries exactly p(r,t).
+        let tr = terms.iter().find(|x| x.tables == ts(&[0, 2])).unwrap();
+        assert_eq!(tr.pred.atoms().len(), 1);
+        // The full term carries all three predicates.
+        let all = terms.iter().find(|x| x.tables == ts(&[0, 1, 2, 3])).unwrap();
+        assert_eq!(all.pred.atoms().len(), 3);
+    }
+
+    /// Example 1's oj_view: `part fo (orders lo lineitem)`.
+    /// part=0, orders=1, lineitem=2; FKs lineitem→part and lineitem→orders.
+    fn oj_view() -> Expr {
+        Expr::full_outer(
+            eq(0, 0, 2, 1), // p_partkey = l_partkey
+            Expr::table(t(0)),
+            Expr::left_outer(eq(1, 0, 2, 0), Expr::table(t(1)), Expr::table(t(2))),
+        )
+    }
+
+    fn oj_view_fks() -> Vec<FkEdge> {
+        vec![
+            FkEdge {
+                child: t(2),
+                child_cols: vec![1],
+                parent: t(0),
+                parent_cols: vec![0],
+                child_cols_non_null: true,
+                cascade_delete: false,
+                deferrable: false,
+            },
+            FkEdge {
+                child: t(2),
+                child_cols: vec![0],
+                parent: t(1),
+                parent_cols: vec![0],
+                child_cols_non_null: true,
+                cascade_delete: false,
+                deferrable: false,
+            },
+        ]
+    }
+
+    #[test]
+    fn oj_view_unpruned_has_four_terms() {
+        let terms = normalize_unpruned(&oj_view());
+        assert_eq!(
+            sets(&terms),
+            vec![ts(&[0]), ts(&[1]), ts(&[1, 2]), ts(&[0, 1, 2])]
+        );
+    }
+
+    #[test]
+    fn oj_view_fk_pruning_drops_orders_lineitem_term() {
+        // Paper, Example 1: "the view may contain tuples of three types:
+        // {part, orders, lineitem}, {orders}, and {part}".
+        let terms = normalize(&oj_view(), &oj_view_fks());
+        assert_eq!(sets(&terms), vec![ts(&[0]), ts(&[1]), ts(&[0, 1, 2])]);
+    }
+
+    #[test]
+    fn fk_pruning_blocked_by_extra_parent_predicate() {
+        // Like oj_view, but the join to part carries an extra selection on
+        // part (the V3 situation): {orders,lineitem} must then survive.
+        let view = Expr::full_outer(
+            eq(0, 0, 2, 1).and(&Pred::atom(Atom::Const(
+                ColRef::new(t(0), 2),
+                CmpOp::Lt,
+                ojv_rel::Datum::Int(2000),
+            ))),
+            Expr::table(t(0)),
+            Expr::left_outer(eq(1, 0, 2, 0), Expr::table(t(1)), Expr::table(t(2))),
+        );
+        let terms = normalize(&view, &oj_view_fks());
+        assert_eq!(
+            sets(&terms),
+            vec![ts(&[0]), ts(&[1]), ts(&[1, 2]), ts(&[0, 1, 2])]
+        );
+    }
+
+    #[test]
+    fn fk_pruning_requires_non_null_child_columns() {
+        let mut fks = oj_view_fks();
+        fks[0].child_cols_non_null = false;
+        let terms = normalize(&oj_view(), &fks);
+        assert_eq!(
+            sets(&terms),
+            vec![ts(&[0]), ts(&[1]), ts(&[1, 2]), ts(&[0, 1, 2])]
+        );
+    }
+
+    #[test]
+    fn select_eliminates_terms_null_extended_on_predicate_tables() {
+        // σ_{p(t1)}(T0 lo T1): the {T0} term dies because p references T1.
+        let view = Expr::select(
+            Pred::atom(Atom::Const(
+                ColRef::new(t(1), 1),
+                CmpOp::Gt,
+                ojv_rel::Datum::Int(0),
+            )),
+            Expr::left_outer(eq(0, 0, 1, 0), Expr::table(t(0)), Expr::table(t(1))),
+        );
+        let terms = normalize_unpruned(&view);
+        assert_eq!(sets(&terms), vec![ts(&[0, 1])]);
+    }
+
+    #[test]
+    fn inner_join_produces_single_term() {
+        let view = Expr::inner(eq(0, 0, 1, 0), Expr::table(t(0)), Expr::table(t(1)));
+        let terms = normalize_unpruned(&view);
+        assert_eq!(sets(&terms), vec![ts(&[0, 1])]);
+    }
+
+    #[test]
+    fn v2_normal_form_matches_example_11() {
+        // V2 = σpc C fo (σpo O fo L), C=0, O=1, L=2.
+        let pc = Pred::atom(Atom::Const(
+            ColRef::new(t(0), 1),
+            CmpOp::Gt,
+            ojv_rel::Datum::Int(0),
+        ));
+        let po = Pred::atom(Atom::Const(
+            ColRef::new(t(1), 1),
+            CmpOp::Gt,
+            ojv_rel::Datum::Int(0),
+        ));
+        let v2 = Expr::full_outer(
+            eq(0, 0, 1, 2), // ck = ock
+            Expr::select(pc, Expr::table(t(0))),
+            Expr::full_outer(
+                eq(1, 0, 2, 0), // ok = lok
+                Expr::select(po, Expr::table(t(1))),
+                Expr::table(t(2)),
+            ),
+        );
+        let terms = normalize_unpruned(&v2);
+        // Paper: {C,O,L}, {C,O}, {O,L}, {C}, {O}, {L} — listed here in
+        // bitset order.
+        assert_eq!(
+            sets(&terms),
+            vec![
+                ts(&[0]),
+                ts(&[1]),
+                ts(&[0, 1]),
+                ts(&[2]),
+                ts(&[1, 2]),
+                ts(&[0, 1, 2]),
+            ]
+        );
+    }
+}

@@ -1,0 +1,157 @@
+//! Construction of the primary-delta expression `ΔV^D` (paper §4).
+//!
+//! Given the original view tree `V` and the updated table `T`, the paper's
+//! algorithm produces an expression computing exactly the change to the
+//! directly affected terms:
+//!
+//! 1. Commute joins along the path from `T` to the root so the input
+//!    referencing `T` is always on the left.
+//! 2. Along that path, convert full outer joins to left outer joins and
+//!    right outer joins to inner joins — discarding all tuples null-extended
+//!    on `T`, which can never belong to `V^D`.
+//! 3. Substitute `ΔT` for `T`.
+//!
+//! Correctness rests on the delta-propagation rules for select, inner join
+//! and left outer join listed in §4.
+
+use crate::expr::{Expr, JoinKind};
+use crate::table_set::TableId;
+
+/// Derive the `ΔV^D` expression for an update of `updated`.
+///
+/// # Panics
+/// Panics if `view` does not reference `updated` (the caller classifies such
+/// updates as no-ops before getting here) or is not a user SPOJ tree.
+pub fn derive_primary_delta(view: &Expr, updated: TableId) -> Expr {
+    assert!(view.is_user_spoj(), "ΔV^D derivation needs a user SPOJ tree");
+    assert!(
+        view.references(updated),
+        "view does not reference {updated}"
+    );
+    transform(view, updated)
+}
+
+fn transform(expr: &Expr, t: TableId) -> Expr {
+    match expr {
+        Expr::Table(id) if *id == t => Expr::Delta(t),
+        Expr::Select(p, input) => Expr::Select(p.clone(), Box::new(transform(input, t))),
+        Expr::Join {
+            kind,
+            pred,
+            left,
+            right,
+        } => {
+            // Commute so the side referencing T is on the left (step 1),
+            // then weaken the operator (step 2).
+            let (l, r, k) = if left.references(t) {
+                (left.as_ref(), right.as_ref(), *kind)
+            } else {
+                (right.as_ref(), left.as_ref(), kind.commuted())
+            };
+            let k = match k {
+                JoinKind::FullOuter => JoinKind::LeftOuter,
+                JoinKind::RightOuter => JoinKind::Inner,
+                other => other,
+            };
+            Expr::join(k, pred.clone(), transform(l, t), r.clone())
+        }
+        other => unreachable!("transform over non-SPOJ node {other:?}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{Atom, ColRef, Pred};
+
+    fn t(i: u8) -> TableId {
+        TableId(i)
+    }
+
+    fn eq(a: u8, b: u8) -> Pred {
+        Pred::atom(Atom::eq(ColRef::new(t(a), 0), ColRef::new(t(b), 0)))
+    }
+
+    /// V1 = (R fo S) lo (T fo U); R=0, S=1, T=2, U=3.
+    fn v1() -> Expr {
+        Expr::left_outer(
+            eq(0, 2),
+            Expr::full_outer(eq(0, 1), Expr::table(t(0)), Expr::table(t(1))),
+            Expr::full_outer(eq(2, 3), Expr::table(t(2)), Expr::table(t(3))),
+        )
+    }
+
+    /// Example 3 / Figure 2(d): updating T in V1 yields
+    /// `ΔV1^D = (ΔT lo U) ⋈ (R fo S)`.
+    #[test]
+    fn v1_update_t_matches_example_3() {
+        let d = derive_primary_delta(&v1(), t(2));
+        let expected = Expr::inner(
+            eq(0, 2),
+            Expr::left_outer(eq(2, 3), Expr::Delta(t(2)), Expr::table(t(3))),
+            Expr::full_outer(eq(0, 1), Expr::table(t(0)), Expr::table(t(1))),
+        );
+        assert_eq!(d, expected);
+    }
+
+    /// Updating R: the path stays on the left; the root lo is kept and the
+    /// left fo becomes lo.
+    #[test]
+    fn v1_update_r() {
+        let d = derive_primary_delta(&v1(), t(0));
+        let expected = Expr::left_outer(
+            eq(0, 2),
+            Expr::left_outer(eq(0, 1), Expr::Delta(t(0)), Expr::table(t(1))),
+            Expr::full_outer(eq(2, 3), Expr::table(t(2)), Expr::table(t(3))),
+        );
+        assert_eq!(d, expected);
+    }
+
+    /// Updating S: commute the left fo, and the root lo — S is in its left
+    /// input after the inner commute, so the root join must flip to right
+    /// outer... which then becomes inner? No: S is in the *left* input of
+    /// the root (R fo S side), so the root lo survives as lo.
+    #[test]
+    fn v1_update_s() {
+        let d = derive_primary_delta(&v1(), t(1));
+        let expected = Expr::left_outer(
+            eq(0, 2),
+            Expr::left_outer(eq(0, 1), Expr::Delta(t(1)), Expr::table(t(0))),
+            Expr::full_outer(eq(2, 3), Expr::table(t(2)), Expr::table(t(3))),
+        );
+        assert_eq!(d, expected);
+    }
+
+    /// Updating U: the path passes through the right input of the root lo,
+    /// so the root is commuted to ro and then converted to inner.
+    #[test]
+    fn v1_update_u() {
+        let d = derive_primary_delta(&v1(), t(3));
+        let expected = Expr::inner(
+            eq(0, 2),
+            Expr::left_outer(eq(2, 3), Expr::Delta(t(3)), Expr::table(t(2))),
+            Expr::full_outer(eq(0, 1), Expr::table(t(0)), Expr::table(t(1))),
+        );
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    fn select_nodes_are_preserved_on_the_path() {
+        let view = Expr::select(
+            eq(0, 1),
+            Expr::full_outer(eq(0, 1), Expr::table(t(0)), Expr::table(t(1))),
+        );
+        let d = derive_primary_delta(&view, t(1));
+        let expected = Expr::select(
+            eq(0, 1),
+            Expr::left_outer(eq(0, 1), Expr::Delta(t(1)), Expr::table(t(0))),
+        );
+        assert_eq!(d, expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not reference")]
+    fn unreferenced_table_panics() {
+        derive_primary_delta(&v1(), t(9));
+    }
+}

@@ -1,0 +1,252 @@
+//! `SimplifyTree` — foreign-key simplification of `ΔV^D` (paper §6.1).
+//!
+//! Let `S` be the set of tables with a usable foreign key referencing the
+//! updated table `T`. Because `ΔT` rows carry keys no child row references
+//! (new keys on insert; restrict-checked keys on delete), `ΔT` can never
+//! join any tuple of a table in `S` *through the FK join predicate*:
+//!
+//! * an **inner join** (or a selection) on the spine whose predicate needs
+//!   such a match makes the whole delta empty;
+//! * a **left outer join** on the spine whose predicate needs such a match
+//!   passes the spine through unchanged — the join node is removed, and all
+//!   tables of the discarded right subtree join the "always null on the
+//!   spine" set.
+//!
+//! The implementation refines the paper's condition slightly: for a table
+//! `s ∈ S` that still has live columns, a join is removed only when its
+//! predicate contains the full FK equijoin (`fk.matched_by`), which is the
+//! property the impossibility argument actually uses. Tables that became
+//! all-null because their subtree was discarded kill any predicate that
+//! references them (null-rejection), which is the paper's rule verbatim.
+
+use crate::expr::{Expr, JoinKind};
+use crate::fk::FkEdge;
+use crate::pred::Pred;
+use crate::table_set::{TableId, TableSet};
+
+/// Apply `SimplifyTree` to a derived `ΔV^D` expression.
+///
+/// `updated` is the changed table; `fks` are all usable FK edges among the
+/// view's tables (edges not referencing `updated` as parent are ignored).
+/// Returns the simplified tree, possibly [`Expr::Empty`].
+pub fn simplify_tree(expr: Expr, updated: TableId, fks: &[FkEdge]) -> Expr {
+    let fk_children: Vec<&FkEdge> = fks
+        .iter()
+        .filter(|fk| fk.usable() && fk.parent == updated && fk.child != updated)
+        .collect();
+    let mut null_set = TableSet::empty();
+    simplify(expr, &fk_children, &mut null_set)
+}
+
+fn simplify(expr: Expr, fk_children: &[&FkEdge], null_set: &mut TableSet) -> Expr {
+    match expr {
+        Expr::Select(p, input) => {
+            let inner = simplify(*input, fk_children, null_set);
+            if matches!(inner, Expr::Empty) || p.null_rejecting_on_any(*null_set) {
+                Expr::Empty
+            } else {
+                Expr::Select(p, Box::new(inner))
+            }
+        }
+        Expr::Join {
+            kind,
+            pred,
+            left,
+            right,
+        } => {
+            // Simplification walks the spine: only the left input is on the
+            // path from ΔT to the root.
+            let spine = simplify(*left, fk_children, null_set);
+            if matches!(spine, Expr::Empty) {
+                return Expr::Empty;
+            }
+            let right_tables = right.sources();
+            if cannot_match(&pred, right_tables, fk_children, *null_set) {
+                match kind {
+                    JoinKind::Inner => Expr::Empty,
+                    JoinKind::LeftOuter => {
+                        // Remove the node; the discarded right subtree's
+                        // tables are now always null on the spine.
+                        *null_set = null_set.union(right_tables);
+                        spine
+                    }
+                    other => unreachable!("spine join of kind {other:?} in ΔV^D"),
+                }
+            } else {
+                Expr::join(kind, pred, spine, *right)
+            }
+        }
+        // Wrappers introduced by the left-deep conversion pass through
+        // (simplification normally runs before that conversion).
+        Expr::NullIf {
+            null_tables,
+            pred,
+            input,
+        } => {
+            let inner = simplify(*input, fk_children, null_set);
+            if matches!(inner, Expr::Empty) {
+                Expr::Empty
+            } else {
+                Expr::NullIf {
+                    null_tables,
+                    pred,
+                    input: Box::new(inner),
+                }
+            }
+        }
+        Expr::CleanDup(input) => {
+            let inner = simplify(*input, fk_children, null_set);
+            if matches!(inner, Expr::Empty) {
+                Expr::Empty
+            } else {
+                Expr::CleanDup(Box::new(inner))
+            }
+        }
+        leaf => leaf,
+    }
+}
+
+/// True iff no spine tuple can satisfy `pred` against the right operand.
+fn cannot_match(
+    pred: &Pred,
+    right_tables: TableSet,
+    fk_children: &[&FkEdge],
+    null_set: TableSet,
+) -> bool {
+    // (a) The predicate references a table that is always null on the spine.
+    if pred.null_rejecting_on_any(null_set) {
+        return true;
+    }
+    // (b) The predicate joins an FK child of ΔT's table on the full FK.
+    fk_children
+        .iter()
+        .any(|fk| right_tables.contains(fk.child) && fk.matched_by(pred))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pred::{Atom, CmpOp, ColRef};
+
+    fn t(i: u8) -> TableId {
+        TableId(i)
+    }
+
+    fn eq(a: u8, ac: usize, b: u8, bc: usize) -> Pred {
+        Pred::atom(Atom::eq(ColRef::new(t(a), ac), ColRef::new(t(b), bc)))
+    }
+
+    fn fk(child: u8, ccol: usize, parent: u8, pcol: usize) -> FkEdge {
+        FkEdge {
+            child: t(child),
+            child_cols: vec![ccol],
+            parent: t(parent),
+            parent_cols: vec![pcol],
+            child_cols_non_null: true,
+            cascade_delete: false,
+            deferrable: false,
+        }
+    }
+
+    /// Example 10: `ΔV1^D = ((ΔT lo_{pk=fk} U) ⋈ R) lo S` with FK
+    /// `U.fk → T.pk` reduces to `(ΔT ⋈ R) lo S`.
+    #[test]
+    fn example_10_removes_fk_child_join() {
+        // R=0, S=1, T=2, U=3; p(t,u) is the FK join T.0 = U.1.
+        let delta = Expr::left_outer(
+            eq(0, 1, 1, 1),
+            Expr::inner(
+                eq(0, 0, 2, 1),
+                Expr::left_outer(eq(2, 0, 3, 1), Expr::Delta(t(2)), Expr::table(t(3))),
+                Expr::table(t(0)),
+            ),
+            Expr::table(t(1)),
+        );
+        let simplified = simplify_tree(delta, t(2), &[fk(3, 1, 2, 0)]);
+        let expected = Expr::left_outer(
+            eq(0, 1, 1, 1),
+            Expr::inner(eq(0, 0, 2, 1), Expr::Delta(t(2)), Expr::table(t(0))),
+            Expr::table(t(1)),
+        );
+        assert_eq!(simplified, expected);
+    }
+
+    /// Example 1: inserting into `part` (id 0) of
+    /// `ΔV^D = ΔP lo (O lo L)` with FK `L.partkey → P` reduces to `ΔP`.
+    #[test]
+    fn example_1_part_insert_reduces_to_delta_scan() {
+        let delta = Expr::left_outer(
+            eq(0, 0, 2, 1), // p_partkey = l_partkey (the FK join)
+            Expr::Delta(t(0)),
+            Expr::left_outer(eq(1, 0, 2, 0), Expr::table(t(1)), Expr::table(t(2))),
+        );
+        let simplified = simplify_tree(delta, t(0), &[fk(2, 1, 0, 0)]);
+        assert_eq!(simplified, Expr::Delta(t(0)));
+    }
+
+    /// V3 with an orders update: the spine's first join is an inner join to
+    /// lineitem on the FK — the whole delta is empty.
+    #[test]
+    fn inner_join_on_fk_child_empties_delta() {
+        // O=0, L=1, C=2: ΔV^D = (ΔO ⋈_{ok=lok} L) ⋈_{ck=ock} C.
+        let delta = Expr::inner(
+            eq(2, 0, 0, 1),
+            Expr::inner(eq(0, 0, 1, 0), Expr::Delta(t(0)), Expr::table(t(1))),
+            Expr::table(t(2)),
+        );
+        let simplified = simplify_tree(delta, t(0), &[fk(1, 0, 0, 0)]);
+        assert_eq!(simplified, Expr::Empty);
+    }
+
+    /// Cascading elimination: once a join is removed, predicates referencing
+    /// the discarded tables are unsatisfiable and later lo joins fall too
+    /// (the customer-update case of V3).
+    #[test]
+    fn cascading_elimination_through_null_set() {
+        // C=0, O=1, L=2, P=3.
+        // ΔV^D = (ΔC lo_{ck=ock} (L ⋈ O)) lo_{lp=pp} P, FK O.custkey → C.
+        let delta = Expr::left_outer(
+            eq(2, 1, 3, 0), // l_partkey = p_partkey (references L)
+            Expr::left_outer(
+                eq(0, 0, 1, 1), // ck = ock (the FK join)
+                Expr::Delta(t(0)),
+                Expr::inner(eq(1, 0, 2, 0), Expr::table(t(1)), Expr::table(t(2))),
+            ),
+            Expr::table(t(3)),
+        );
+        let simplified = simplify_tree(delta, t(0), &[fk(1, 1, 0, 0)]);
+        assert_eq!(simplified, Expr::Delta(t(0)));
+    }
+
+    #[test]
+    fn select_on_discarded_table_empties_delta() {
+        // (ΔC lo_{fk} O) then σ on O: the σ can never pass.
+        let delta = Expr::select(
+            Pred::atom(Atom::Const(ColRef::new(t(1), 2), CmpOp::Gt, ojv_rel::Datum::Int(0))),
+            Expr::left_outer(eq(0, 0, 1, 1), Expr::Delta(t(0)), Expr::table(t(1))),
+        );
+        let simplified = simplify_tree(delta, t(0), &[fk(1, 1, 0, 0)]);
+        assert_eq!(simplified, Expr::Empty);
+    }
+
+    #[test]
+    fn non_fk_join_is_untouched() {
+        // Join on a non-FK column pair must not be eliminated.
+        let delta = Expr::left_outer(
+            eq(0, 2, 1, 2), // not the FK columns
+            Expr::Delta(t(0)),
+            Expr::table(t(1)),
+        );
+        let simplified = simplify_tree(delta.clone(), t(0), &[fk(1, 1, 0, 0)]);
+        assert_eq!(simplified, delta);
+    }
+
+    #[test]
+    fn unusable_fk_is_ignored() {
+        let mut bad = fk(1, 1, 0, 0);
+        bad.cascade_delete = true;
+        let delta = Expr::left_outer(eq(0, 0, 1, 1), Expr::Delta(t(0)), Expr::table(t(1)));
+        let simplified = simplify_tree(delta.clone(), t(0), &[bad]);
+        assert_eq!(simplified, delta);
+    }
+}

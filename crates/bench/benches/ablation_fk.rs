@@ -1,0 +1,89 @@
+//! Ablation A2: foreign-key exploitation (§6).
+//!
+//! With FK knowledge, part inserts into V3 collapse to a single view insert
+//! (`SimplifyTree` prunes every join) and orders inserts become no-ops
+//! (Theorem 3 empties the maintenance graph). Without it, the full primary
+//! and secondary machinery runs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ojv_bench::harness::{Config, Env, System};
+use ojv_core::maintain::maintain;
+use ojv_core::policy::MaintenancePolicy;
+use ojv_rel::Datum;
+use ojv_tpch::TpchGen;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config {
+        sf: 0.01,
+        seed: 42,
+        batch_sizes: vec![100],
+        repetitions: 1,
+        verify: false,
+    };
+    let env = Env::new(&cfg);
+    let mut group = c.benchmark_group("ablation_fk");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    for (label, use_fk) in [("fk_off", false), ("fk_on", true)] {
+        let policy = MaintenancePolicy {
+            use_fk,
+            ..Default::default()
+        };
+        // Part inserts: FK turns them into plain view inserts.
+        group.bench_function(BenchmarkId::new(label, "insert_100_parts"), |b| {
+            b.iter_batched(
+                || {
+                    let (mut catalog, view) = env.fresh_view(System::OuterJoin);
+                    let rows: Vec<Vec<Datum>> = (0..100i64)
+                        .map(|i| {
+                            let key = env.gen.part_count() + 1 + i;
+                            vec![
+                                Datum::Int(key),
+                                Datum::str("bench part"),
+                                Datum::str("Manufacturer#1"),
+                                Datum::str("Brand#11"),
+                                Datum::str("STANDARD ANODIZED TIN"),
+                                Datum::Int(10),
+                                Datum::str("SM BOX"),
+                                Datum::Float(TpchGen::retail_price(key)),
+                                Datum::str("bench"),
+                            ]
+                        })
+                        .collect();
+                    let update = catalog.insert("part", rows).expect("parts insert");
+                    (catalog, view, update)
+                },
+                |(catalog, mut view, update)| {
+                    let report =
+                        maintain(&mut view, &catalog, &update, &policy).expect("maintenance");
+                    (report, catalog, view, update)
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+        // Orders inserts: FK proves the view unaffected.
+        group.bench_function(BenchmarkId::new(label, "insert_100_orders"), |b| {
+            b.iter_batched(
+                || {
+                    let (mut catalog, view) = env.fresh_view(System::OuterJoin);
+                    let (orders, _) = env.gen.order_insert_batch(100, 0);
+                    let update = catalog.insert("orders", orders).expect("orders insert");
+                    (catalog, view, update)
+                },
+                |(catalog, mut view, update)| {
+                    let report =
+                        maintain(&mut view, &catalog, &update, &policy).expect("maintenance");
+                    (report, catalog, view, update)
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

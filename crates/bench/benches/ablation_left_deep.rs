@@ -1,0 +1,80 @@
+//! Ablation A1: the left-deep conversion of §4.1.
+//!
+//! Updating `part` in V3 derives
+//! `ΔV^D = ΔP lo ((L ⋈ O) ro C)` — a bushy tree whose right operand joins
+//! base tables only. Without the conversion the maintenance cost scales with
+//! the database (the `(L ⋈ O) ro C` intermediate); with it, with the delta.
+//! Foreign keys are disabled here, since `SimplifyTree` would remove the
+//! join altogether (that effect is ablation A2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ojv_bench::harness::{Config, Env, System};
+use ojv_core::maintain::maintain;
+use ojv_core::policy::MaintenancePolicy;
+use ojv_rel::Datum;
+use ojv_tpch::TpchGen;
+
+fn part_rows(gen: &TpchGen, n: usize) -> Vec<Vec<Datum>> {
+    (0..n as i64)
+        .map(|i| {
+            let key = gen.part_count() + 1 + i;
+            vec![
+                Datum::Int(key),
+                Datum::str(format!("bench part {i}")),
+                Datum::str("Manufacturer#1"),
+                Datum::str("Brand#11"),
+                Datum::str("STANDARD ANODIZED TIN"),
+                Datum::Int(10),
+                Datum::str("SM BOX"),
+                Datum::Float(TpchGen::retail_price(key)),
+                Datum::str("bench"),
+            ]
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config {
+        sf: 0.01,
+        seed: 42,
+        batch_sizes: vec![1, 100],
+        repetitions: 1,
+        verify: false,
+    };
+    let env = Env::new(&cfg);
+    let mut group = c.benchmark_group("ablation_left_deep");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &batch in &cfg.batch_sizes {
+        for (label, left_deep) in [("bushy", false), ("left_deep", true)] {
+            let policy = MaintenancePolicy {
+                use_fk: false,
+                left_deep,
+                ..Default::default()
+            };
+            group.bench_with_input(BenchmarkId::new(label, batch), &batch, |b, &batch| {
+                b.iter_batched(
+                    || {
+                        let (mut catalog, view) = env.fresh_view(System::OuterJoin);
+                        let update = catalog
+                            .insert("part", part_rows(&env.gen, batch))
+                            .expect("parts insert");
+                        (catalog, view, update)
+                    },
+                    |(catalog, mut view, update)| {
+                        let report =
+                            maintain(&mut view, &catalog, &update, &policy).expect("maintenance");
+                        (report, catalog, view, update)
+                    },
+                    criterion::BatchSize::PerIteration,
+                );
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Ablation A3: secondary-delta strategy — from the view (§5.2) vs from
+//! base tables (§5.3) vs the cost-based Auto choice, for both update
+//! directions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ojv_bench::harness::{Config, Env, System};
+use ojv_core::maintain::maintain;
+use ojv_core::policy::{MaintenancePolicy, SecondaryStrategy};
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config {
+        sf: 0.01,
+        seed: 42,
+        batch_sizes: vec![600],
+        repetitions: 1,
+        verify: false,
+    };
+    let batch = cfg.batch_sizes[0];
+    let env = Env::new(&cfg);
+    let mut group = c.benchmark_group("ablation_secondary");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    let strategies = [
+        ("from_view", SecondaryStrategy::FromView),
+        ("from_base", SecondaryStrategy::FromBase),
+        ("auto", SecondaryStrategy::Auto),
+    ];
+    for (label, secondary) in strategies {
+        let policy = MaintenancePolicy {
+            secondary,
+            ..Default::default()
+        };
+        group.bench_function(BenchmarkId::new(label, format!("insert_{batch}")), |b| {
+            b.iter_batched(
+                || {
+                    let (mut catalog, view) = env.fresh_view(System::OuterJoin);
+                    let rows = env.gen.lineitem_insert_batch(batch, 0);
+                    let update = catalog.insert("lineitem", rows).expect("batch applies");
+                    (catalog, view, update)
+                },
+                |(catalog, mut view, update)| {
+                    let report =
+                        maintain(&mut view, &catalog, &update, &policy).expect("maintenance");
+                    (report, catalog, view, update)
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+        group.bench_function(BenchmarkId::new(label, format!("delete_{batch}")), |b| {
+            b.iter_batched(
+                || {
+                    let (mut catalog, view) = env.fresh_view(System::OuterJoin);
+                    let keys = env.gen.lineitem_delete_keys(batch, 0);
+                    let update = catalog.delete("lineitem", &keys).expect("batch applies");
+                    (catalog, view, update)
+                },
+                |(catalog, mut view, update)| {
+                    let report =
+                        maintain(&mut view, &catalog, &update, &policy).expect("maintenance");
+                    (report, catalog, view, update)
+                },
+                criterion::BatchSize::PerIteration,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Ablation A4: aggregated outer-join views (§3.3) — maintenance cost of an
+//! aggregated rollup of V3 compared with the non-aggregated view, plus the
+//! initial materialization cost of each.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ojv_bench::harness::{Config, Env, System};
+use ojv_bench::views::v3_def;
+use ojv_core::agg_view::{AggSpec, AggViewDef, MaterializedAggView};
+use ojv_core::maintain::maintain;
+use ojv_core::materialize::MaterializedView;
+use ojv_core::policy::MaintenancePolicy;
+
+fn agg_def() -> AggViewDef {
+    AggViewDef::new("rev_by_customer", v3_def())
+        .group_by("customer", "c_custkey")
+        .agg("rows", AggSpec::CountRows)
+        .agg(
+            "lines",
+            AggSpec::CountNonNull {
+                table: "lineitem".into(),
+                column: "l_orderkey".into(),
+            },
+        )
+        .agg(
+            "revenue",
+            AggSpec::Sum {
+                table: "lineitem".into(),
+                column: "l_extendedprice".into(),
+            },
+        )
+}
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config {
+        sf: 0.01,
+        seed: 42,
+        batch_sizes: vec![600],
+        repetitions: 1,
+        verify: false,
+    };
+    let batch = cfg.batch_sizes[0];
+    let env = Env::new(&cfg);
+    let mut group = c.benchmark_group("agg_view");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+
+    group.bench_function("materialize/plain_v3", |b| {
+        b.iter(|| MaterializedView::create(&env.catalog, v3_def()).expect("materializes"))
+    });
+    group.bench_function("materialize/aggregated", |b| {
+        b.iter(|| MaterializedAggView::create(&env.catalog, agg_def()).expect("materializes"))
+    });
+
+    let policy = MaintenancePolicy::paper();
+    group.bench_function(BenchmarkId::new("maintain_insert", "plain_v3"), |b| {
+        b.iter_batched(
+            || {
+                let (mut catalog, view) = env.fresh_view(System::OuterJoin);
+                let rows = env.gen.lineitem_insert_batch(batch, 0);
+                let update = catalog.insert("lineitem", rows).expect("batch applies");
+                (catalog, view, update)
+            },
+            |(catalog, mut view, update)| {
+                let report =
+                    maintain(&mut view, &catalog, &update, &policy).expect("maintenance");
+                (report, catalog, view, update)
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+    group.bench_function(BenchmarkId::new("maintain_insert", "aggregated"), |b| {
+        b.iter_batched(
+            || {
+                let mut catalog = env.catalog.clone();
+                let view =
+                    MaterializedAggView::create(&catalog, agg_def()).expect("materializes");
+                let rows = env.gen.lineitem_insert_batch(batch, 0);
+                let update = catalog.insert("lineitem", rows).expect("batch applies");
+                (catalog, view, update)
+            },
+            |(catalog, mut view, update)| {
+                let report = view.maintain(&catalog, &update, &policy).expect("maintenance");
+                (report, catalog, view, update)
+            },
+            criterion::BatchSize::PerIteration,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Figure 5(b): maintenance cost of V3 under lineitem **deletions**.
+//!
+//! Paper shape: the outer-join view stays near the core view; GK is "much
+//! worse than ours" for deletions at every batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ojv_bench::harness::{maintain_with, Config, Env, System};
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config {
+        sf: 0.01,
+        seed: 42,
+        batch_sizes: vec![60, 600, 6_000],
+        repetitions: 1,
+        verify: false,
+    };
+    let env = Env::new(&cfg);
+    let mut group = c.benchmark_group("fig5b_delete");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &batch in &cfg.batch_sizes {
+        for system in System::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(system.label(), batch),
+                &batch,
+                |b, &batch| {
+                    b.iter_batched(
+                        || {
+                            let (mut catalog, view) = env.fresh_view(system);
+                            let keys = env.gen.lineitem_delete_keys(batch, 0);
+                            let update =
+                                catalog.delete("lineitem", &keys).expect("batch applies");
+                            (catalog, view, update)
+                        },
+                        |(catalog, mut view, update)| {
+                            let report = maintain_with(system, &mut view, &catalog, &update);
+                            // Return the inputs so the (expensive) teardown of
+                            // the cloned catalog/view happens outside timing.
+                            (report, catalog, view, update)
+                        },
+                        criterion::BatchSize::PerIteration,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Figure 5(a): maintenance cost of V3 under lineitem **insertions**, for
+//! the core view, the outer-join view (this paper), and the GK baseline.
+//!
+//! The paper's batch ladder is 60/600/6,000/60,000 at its scale; we keep the
+//! 1:10:100 ratios at a laptop scale factor. The shape to reproduce: the
+//! outer-join view costs about the same as the core view, while GK's cost is
+//! dominated by base-table joins and deteriorates with batch size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ojv_bench::harness::{maintain_with, Config, Env, System};
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config {
+        sf: 0.01,
+        seed: 42,
+        batch_sizes: vec![60, 600, 6_000],
+        repetitions: 1,
+        verify: false,
+    };
+    let env = Env::new(&cfg);
+    let mut group = c.benchmark_group("fig5a_insert");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for &batch in &cfg.batch_sizes {
+        for system in System::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(system.label(), batch),
+                &batch,
+                |b, &batch| {
+                    b.iter_batched(
+                        || {
+                            let (mut catalog, view) = env.fresh_view(system);
+                            let rows = env.gen.lineitem_insert_batch(batch, 0);
+                            let update =
+                                catalog.insert("lineitem", rows).expect("batch applies");
+                            (catalog, view, update)
+                        },
+                        |(catalog, mut view, update)| {
+                            let report = maintain_with(system, &mut view, &catalog, &update);
+                            // Return the inputs so the (expensive) teardown of
+                            // the cloned catalog/view happens outside timing.
+                            (report, catalog, view, update)
+                        },
+                        criterion::BatchSize::PerIteration,
+                    );
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Micro-benchmarks for the execution substrate: the operators the
+//! maintenance plans are built from (hash join vs index-nested-loop join,
+//! the null-if cleanup, subsumption removal).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use ojv_algebra::{Atom, ColRef, Expr, JoinKind, Pred, TableId};
+use ojv_bench::harness::{Config, Env};
+use ojv_exec::{eval_expr, ops, DeltaInput, ExecCtx, ViewLayout};
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config {
+        sf: 0.01,
+        seed: 42,
+        batch_sizes: vec![600],
+        repetitions: 1,
+        verify: false,
+    };
+    let env = Env::new(&cfg);
+    let layout =
+        ViewLayout::new(&env.catalog, &["lineitem", "orders", "customer", "part"]).expect("layout");
+    let l = TableId(0);
+    let o = TableId(1);
+
+    let delta_rows = {
+        let rows = env.gen.lineitem_insert_batch(600, 0);
+        ojv_rel::Relation::new(env.catalog.table("lineitem").expect("t").schema().clone(), rows)
+    };
+    // ΔL ⋈ O on l_orderkey = o_orderkey.
+    let pred = Pred::atom(Atom::eq(ColRef::new(l, 0), ColRef::new(o, 0)));
+    let join = Expr::inner(pred.clone(), Expr::Delta(l), Expr::Table(o));
+
+    let mut group = c.benchmark_group("substrate_join");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for (label, prefer_index) in [("index_nested_loop", true), ("hash_full_scan", false)] {
+        group.bench_function(BenchmarkId::new(label, "delta600_join_orders"), |b| {
+            let mut ctx = ExecCtx::with_delta(
+                &env.catalog,
+                &layout,
+                DeltaInput {
+                    table: l,
+                    rows: &delta_rows,
+                },
+            );
+            ctx.prefer_index_joins = prefer_index;
+            b.iter(|| eval_expr(&ctx, &join));
+        });
+    }
+    group.finish();
+
+    // Cleanup operator on a realistic mixed row set.
+    let ctx = ExecCtx::with_delta(
+        &env.catalog,
+        &layout,
+        DeltaInput {
+            table: l,
+            rows: &delta_rows,
+        },
+    );
+    let lo = Expr::join(
+        JoinKind::LeftOuter,
+        Pred::atom(Atom::eq(ColRef::new(l, 0), ColRef::new(o, 0))),
+        Expr::Delta(l),
+        Expr::Table(o),
+    );
+    let rows = eval_expr(&ctx, &lo);
+    c.bench_function("substrate_clean_dup", |b| {
+        b.iter(|| ops::clean_dup(&layout, rows.clone()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

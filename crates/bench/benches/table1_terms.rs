@@ -1,0 +1,42 @@
+//! Table 1 companions: the cost of the static analysis behind the term
+//! table — JDNF normalization, subsumption-graph construction, maintenance-
+//! graph classification, and the per-term cardinality scan of V3.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use ojv_bench::harness::{Config, Env, System};
+use ojv_bench::views::v3_def;
+use ojv_core::analyze::analyze;
+
+fn bench(c: &mut Criterion) {
+    let cfg = Config {
+        sf: 0.01,
+        seed: 42,
+        batch_sizes: vec![600],
+        repetitions: 1,
+        verify: false,
+    };
+    let env = Env::new(&cfg);
+
+    c.bench_function("table1/analyze_v3", |b| {
+        b.iter(|| analyze(&env.catalog, &v3_def()).expect("analyzes"))
+    });
+
+    let analysis = analyze(&env.catalog, &v3_def()).expect("analyzes");
+    c.bench_function("table1/maintenance_graphs_all_tables", |b| {
+        b.iter(|| {
+            for name in ["lineitem", "orders", "customer", "part"] {
+                let t = analysis.layout.table_id(name).expect("table");
+                criterion::black_box(analysis.maintenance_graph(t, true));
+            }
+        })
+    });
+
+    let (_catalog, view) = env.fresh_view(System::OuterJoin);
+    c.bench_function("table1/term_cardinalities_scan", |b| {
+        b.iter(|| criterion::black_box(view.term_cardinalities()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

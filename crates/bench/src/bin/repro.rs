@@ -1,0 +1,166 @@
+//! Reproduce the paper's tables and figures.
+//!
+//! ```text
+//! repro [--sf 0.05] [--seed 42] [--quick] [table1|fig5a|fig5b|example1|graphs|all]
+//! ```
+//!
+//! * `table1` — Table 1: term cardinalities of V3 and rows affected by a
+//!   lineitem insert batch,
+//! * `fig5a` / `fig5b` — Figure 5(a)/(b): maintenance cost for lineitem
+//!   insertions/deletions across batch sizes, for the core view, the
+//!   outer-join view, and the GK baseline,
+//! * `example1` — the §1/§6 foreign-key fast paths,
+//! * `graphs` — the subsumption and maintenance graphs of Figures 1 and 4,
+//! * `all` — everything above.
+
+use std::time::Instant;
+
+use ojv_bench::harness::{run_fast_paths, run_fig5, run_table1, Config, Env};
+use ojv_bench::report::{render_fig5, render_rows, render_table1};
+use ojv_bench::views::{v2_def, v3_def};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = Config::default();
+    let mut command = "all".to_string();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                cfg.sf = args[i].parse().expect("--sf takes a number");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = args[i].parse().expect("--seed takes an integer");
+            }
+            "--reps" => {
+                i += 1;
+                cfg.repetitions = args[i].parse().expect("--reps takes an integer");
+            }
+            "--quick" => {
+                let seed = cfg.seed;
+                cfg = Config::quick();
+                cfg.seed = seed;
+            }
+            other => command = other.to_string(),
+        }
+        i += 1;
+    }
+
+    println!(
+        "# Reproduction of Larson & Zhou, ICDE 2007 — SF={}, seed={}\n",
+        cfg.sf, cfg.seed
+    );
+    let start = Instant::now();
+    print!("loading TPC-H data ... ");
+    let env = Env::new(&cfg);
+    println!(
+        "done in {:.1}s ({} lineitems)\n",
+        start.elapsed().as_secs_f64(),
+        env.gen.lineitem_count()
+    );
+
+    match command.as_str() {
+        "table1" => table1(&env, &cfg),
+        "fig5a" => fig5(&env, &cfg, false),
+        "fig5b" => fig5(&env, &cfg, true),
+        "example1" => example1(&env),
+        "graphs" => graphs(&env),
+        "sql" => sql(&env),
+        "all" => {
+            graphs(&env);
+            sql(&env);
+            example1(&env);
+            table1(&env, &cfg);
+            fig5(&env, &cfg, false);
+            fig5(&env, &cfg, true);
+        }
+        other => {
+            eprintln!("unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|all");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn table1(env: &Env, cfg: &Config) {
+    let batch = *cfg.batch_sizes.last().expect("batch sizes configured");
+    let t = run_table1(env, batch);
+    println!("{}", render_table1(&t));
+}
+
+fn fig5(env: &Env, cfg: &Config, deletes: bool) {
+    let (panel, verb) = if deletes {
+        ("Figure 5(b). Maintenance costs for V3 — deletion", "Deleted")
+    } else {
+        ("Figure 5(a). Maintenance costs for V3 — insertion", "Inserted")
+    };
+    let ms = run_fig5(env, cfg, deletes);
+    println!("{}", render_fig5(panel, &ms));
+    println!("{verb} rows touched per system/batch:");
+    println!("{}", render_rows(&ms));
+}
+
+fn example1(env: &Env) {
+    println!("Example 1 / Section 6 foreign-key fast paths:");
+    for demo in run_fast_paths(env) {
+        println!(
+            "  {:<62} primary={} secondary={} noop={} time={:?}",
+            demo.description, demo.primary_rows, demo.secondary_rows, demo.noop, demo.time
+        );
+    }
+    println!();
+}
+
+fn sql(env: &Env) {
+    use ojv_core::analyze::analyze;
+    use ojv_storage::UpdateOp;
+    let a = analyze(&env.catalog, &v3_def()).expect("V3 analyzes");
+    println!("Maintenance script for a lineitem insert into V3 (cf. the paper's Q1–Q4):\n");
+    println!(
+        "{}",
+        ojv_core::sql::maintenance_script(&a, "V3", "lineitem", UpdateOp::Insert, true, true)
+    );
+    println!("Maintenance script for a part insert (FK fast path):\n");
+    println!(
+        "{}",
+        ojv_core::sql::maintenance_script(&a, "V3", "part", UpdateOp::Insert, true, true)
+    );
+    println!("Maintenance script for an orders insert (FK no-op):\n");
+    println!(
+        "{}",
+        ojv_core::sql::maintenance_script(&a, "V3", "orders", UpdateOp::Insert, true, true)
+    );
+}
+
+fn graphs(env: &Env) {
+    use ojv_core::analyze::analyze;
+    // Figure 4 (Example 11): V2's maintenance graphs for orders updates,
+    // without and with the L.l_orderkey → O.o_orderkey foreign key.
+    let v2 = analyze(&env.catalog, &v2_def()).expect("V2 analyzes");
+    let o = v2.layout.table_id("orders").expect("orders in V2");
+    println!("V2 maintenance graph, update orders (Figure 4(a)):");
+    println!("  {}", v2.maintenance_graph(o, false));
+    println!("V2 reduced maintenance graph (Figure 4(b)):");
+    println!("  {}
+", v2.maintenance_graph(o, true));
+
+    let a = analyze(&env.catalog, &v3_def()).expect("V3 analyzes");
+    println!("V3 subsumption graph (cf. Figure 1(a) for V1):");
+    print!("{}", a.graph);
+    println!();
+    for table in ["lineitem", "customer", "orders", "part"] {
+        let t = a.layout.table_id(table).expect("V3 table");
+        let m = a.maintenance_graph(t, true);
+        println!("reduced maintenance graph, update {table}: {m}");
+    }
+    println!();
+    let l = a.layout.table_id("lineitem").expect("lineitem in V3");
+    println!("ΔV3^D plan for a lineitem update (left-deep, FK-simplified):");
+    let plan = a.primary_delta_plan(l, true, true);
+    print!(
+        "{}",
+        plan.tree_string(&|t| a.layout.slot(t).name.clone())
+    );
+    println!();
+}

@@ -1,0 +1,359 @@
+//! A small façade owning the catalog and all materialized views: every
+//! update flows through it, constraints are enforced, and all registered
+//! views are maintained incrementally.
+
+use ojv_rel::{Datum, Row};
+use ojv_storage::{Catalog, Update};
+
+use crate::agg_view::{AggViewDef, MaterializedAggView};
+use crate::error::{CoreError, Result};
+use crate::maintain::{maintain, MaintenanceReport};
+use crate::materialize::MaterializedView;
+use crate::policy::MaintenancePolicy;
+use crate::view_def::ViewDef;
+
+/// The catalog plus registered materialized (and aggregated) views.
+#[derive(Debug, Clone)]
+pub struct Database {
+    catalog: Catalog,
+    views: Vec<MaterializedView>,
+    agg_views: Vec<MaterializedAggView>,
+    /// Maintenance policy applied to every view on every update.
+    pub policy: MaintenancePolicy,
+    /// Maintain independent views on separate threads. Views never share
+    /// mutable state (each owns its store; the catalog is read-only during
+    /// maintenance), so this is a pure fan-out.
+    pub parallel_maintenance: bool,
+}
+
+impl Database {
+    pub fn new(catalog: Catalog) -> Self {
+        Database {
+            catalog,
+            views: Vec::new(),
+            agg_views: Vec::new(),
+            policy: MaintenancePolicy::default(),
+            parallel_maintenance: false,
+        }
+    }
+
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Create and materialize an outer-join view.
+    pub fn create_view(&mut self, def: ViewDef) -> Result<&MaterializedView> {
+        if self.views.iter().any(|v| v.name() == def.name())
+            || self.agg_views.iter().any(|v| v.name() == def.name())
+        {
+            return Err(CoreError::DuplicateView {
+                view: def.name().to_string(),
+            });
+        }
+        let view = MaterializedView::create(&self.catalog, def)?;
+        self.views.push(view);
+        Ok(self.views.last().expect("just pushed"))
+    }
+
+    /// Create a view from a SQL `SELECT` statement (see [`crate::parser`])
+    /// and materialize it.
+    pub fn create_view_sql(&mut self, name: &str, sql: &str) -> Result<&MaterializedView> {
+        let def = crate::parser::parse_view(&self.catalog, name, sql)?;
+        self.create_view(def)
+    }
+
+    /// Render the maintenance procedure the engine would run for an update
+    /// of `table` against the named view, as SQL (the paper's Q1–Q4 form).
+    pub fn explain_maintenance(
+        &self,
+        view: &str,
+        table: &str,
+        op: ojv_storage::UpdateOp,
+    ) -> Result<String> {
+        let v = self.view(view).ok_or_else(|| CoreError::UnknownView {
+            view: view.to_string(),
+        })?;
+        Ok(crate::sql::maintenance_script(
+            &v.analysis,
+            view,
+            table,
+            op,
+            self.policy.fk_enabled(),
+            self.policy.left_deep,
+        ))
+    }
+
+    /// Create and materialize an aggregated outer-join view.
+    pub fn create_agg_view(&mut self, def: AggViewDef) -> Result<&MaterializedAggView> {
+        if self.views.iter().any(|v| v.name() == def.name)
+            || self.agg_views.iter().any(|v| v.name() == def.name)
+        {
+            return Err(CoreError::DuplicateView { view: def.name });
+        }
+        let view = MaterializedAggView::create(&self.catalog, def)?;
+        self.agg_views.push(view);
+        Ok(self.agg_views.last().expect("just pushed"))
+    }
+
+    /// Drop a view by name.
+    pub fn drop_view(&mut self, name: &str) -> Result<()> {
+        let before = self.views.len() + self.agg_views.len();
+        self.views.retain(|v| v.name() != name);
+        self.agg_views.retain(|v| v.name() != name);
+        if self.views.len() + self.agg_views.len() == before {
+            return Err(CoreError::UnknownView {
+                view: name.to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    pub fn view(&self, name: &str) -> Option<&MaterializedView> {
+        self.views.iter().find(|v| v.name() == name)
+    }
+
+    pub fn agg_view(&self, name: &str) -> Option<&MaterializedAggView> {
+        self.agg_views.iter().find(|v| v.name() == name)
+    }
+
+    pub fn views(&self) -> impl Iterator<Item = &MaterializedView> {
+        self.views.iter()
+    }
+
+    /// Insert rows into a base table (constraints enforced) and maintain
+    /// every registered view. Returns one report per non-noop view.
+    pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<Vec<MaintenanceReport>> {
+        let update = self.catalog.insert(table, rows)?;
+        self.maintain_all(&update)
+    }
+
+    /// Delete rows by unique key and maintain every registered view.
+    pub fn delete(&mut self, table: &str, keys: &[Vec<Datum>]) -> Result<Vec<MaintenanceReport>> {
+        let update = self.catalog.delete(table, keys)?;
+        self.maintain_all(&update)
+    }
+
+    /// SQL-style `UPDATE`, modeled as a delete followed by an insert (paper
+    /// §3). The §6 foreign-key fast paths are disabled for the pair, per the
+    /// paper's caveat list.
+    pub fn update(
+        &mut self,
+        table: &str,
+        keys: &[Vec<Datum>],
+        new_rows: Vec<Row>,
+    ) -> Result<Vec<MaintenanceReport>> {
+        let saved = self.policy;
+        self.policy.update_decomposition = true;
+        let result = (|| {
+            let mut reports = self.delete(table, keys)?;
+            reports.extend(self.insert(table, new_rows)?);
+            Ok(reports)
+        })();
+        self.policy = saved;
+        result
+    }
+
+    fn maintain_all(&mut self, update: &Update) -> Result<Vec<MaintenanceReport>> {
+        if self.parallel_maintenance && self.views.len() + self.agg_views.len() > 1 {
+            return self.maintain_all_parallel(update);
+        }
+        let mut reports = Vec::new();
+        for view in &mut self.views {
+            let r = maintain(view, &self.catalog, update, &self.policy)?;
+            if !r.noop {
+                reports.push(r);
+            }
+        }
+        for view in &mut self.agg_views {
+            let r = view.maintain(&self.catalog, update, &self.policy)?;
+            if !r.noop {
+                reports.push(r);
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Fan maintenance out over one thread per view.
+    fn maintain_all_parallel(&mut self, update: &Update) -> Result<Vec<MaintenanceReport>> {
+        let catalog = &self.catalog;
+        let policy = self.policy;
+        let results: Vec<Result<MaintenanceReport>> = std::thread::scope(|scope| {
+            let mut handles = Vec::new();
+            for view in &mut self.views {
+                handles.push(scope.spawn(move || maintain(view, catalog, update, &policy)));
+            }
+            for view in &mut self.agg_views {
+                handles.push(scope.spawn(move || view.maintain(catalog, update, &policy)));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("maintenance thread panicked"))
+                .collect()
+        });
+        let mut reports = Vec::new();
+        for r in results {
+            let r = r?;
+            if !r.noop {
+                reports.push(r);
+            }
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agg_view::AggSpec;
+    use crate::fixtures::*;
+    use crate::maintain::verify_against_recompute;
+
+    fn db() -> Database {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 8, 9);
+        Database::new(c)
+    }
+
+    #[test]
+    fn create_insert_delete_roundtrip() {
+        let mut db = db();
+        db.create_view(oj_view_def()).unwrap();
+        let reports = db
+            .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(verify_against_recompute(
+            db.view("oj_view").unwrap(),
+            db.catalog()
+        ));
+        let reports = db
+            .delete("lineitem", &[vec![Datum::Int(3), Datum::Int(1)]])
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+        assert!(verify_against_recompute(
+            db.view("oj_view").unwrap(),
+            db.catalog()
+        ));
+    }
+
+    #[test]
+    fn duplicate_view_names_rejected() {
+        let mut db = db();
+        db.create_view(oj_view_def()).unwrap();
+        assert!(matches!(
+            db.create_view(oj_view_def()),
+            Err(CoreError::DuplicateView { .. })
+        ));
+    }
+
+    #[test]
+    fn drop_view() {
+        let mut db = db();
+        db.create_view(oj_view_def()).unwrap();
+        db.drop_view("oj_view").unwrap();
+        assert!(db.view("oj_view").is_none());
+        assert!(db.drop_view("oj_view").is_err());
+    }
+
+    #[test]
+    fn multiple_views_maintained_together() {
+        let mut db = db();
+        db.create_view(oj_view_def()).unwrap();
+        let agg = crate::agg_view::AggViewDef::new("agg", oj_view_def())
+            .group_by("part", "p_partkey")
+            .agg("cnt", AggSpec::CountRows);
+        db.create_agg_view(agg).unwrap();
+        let reports = db
+            .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+    }
+
+    #[test]
+    fn update_decomposition_is_correct_without_fk_fast_path() {
+        let mut db = db();
+        db.create_view(oj_view_def()).unwrap();
+        // Modify lineitem (2,1): change quantity. Update = delete + insert
+        // of the same key, which must not trigger FK shortcuts.
+        let reports = db
+            .update(
+                "lineitem",
+                &[vec![Datum::Int(2), Datum::Int(1)]],
+                vec![lineitem_row(2, 1, 3, 99, 1.0)],
+            )
+            .unwrap();
+        assert_eq!(reports.len(), 2);
+        assert!(verify_against_recompute(
+            db.view("oj_view").unwrap(),
+            db.catalog()
+        ));
+        // Policy restored afterwards.
+        assert!(!db.policy.update_decomposition);
+    }
+
+    #[test]
+    fn create_view_from_sql_and_explain() {
+        let mut db = db();
+        db.create_view_sql(
+            "sql_view",
+            "select * from part \
+             full outer join (orders left outer join lineitem \
+                              on l_orderkey = o_orderkey) \
+             on p_partkey = l_partkey",
+        )
+        .unwrap();
+        db.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        assert!(verify_against_recompute(
+            db.view("sql_view").unwrap(),
+            db.catalog()
+        ));
+        let script = db
+            .explain_maintenance("sql_view", "lineitem", ojv_storage::UpdateOp::Insert)
+            .unwrap();
+        assert!(script.contains("-- Q1: compute primary delta"));
+        let noop = db
+            .explain_maintenance("sql_view", "part", ojv_storage::UpdateOp::Insert)
+            .unwrap();
+        assert!(noop.contains("delta_part"));
+        assert!(db
+            .explain_maintenance("missing", "part", ojv_storage::UpdateOp::Insert)
+            .is_err());
+    }
+
+    #[test]
+    fn parallel_maintenance_matches_sequential() {
+        let mut seq = db();
+        let mut par = db();
+        par.parallel_maintenance = true;
+        for d in [&mut seq, &mut par] {
+            d.create_view(oj_view_def()).unwrap();
+            let agg = crate::agg_view::AggViewDef::new("agg", oj_view_def())
+                .group_by("part", "p_partkey")
+                .agg("cnt", AggSpec::CountRows);
+            d.create_agg_view(agg).unwrap();
+        }
+        for (ok, ln, pk) in [(3i64, 1i64, 2i64), (3, 2, 4), (6, 3, 1)] {
+            let row = lineitem_row(ok, ln, pk, 1, 2.0);
+            let a = seq.insert("lineitem", vec![row.clone()]).unwrap();
+            let b = par.insert("lineitem", vec![row]).unwrap();
+            assert_eq!(a.len(), b.len());
+        }
+        let va = seq.view("oj_view").unwrap().output();
+        let vb = par.view("oj_view").unwrap().output();
+        assert!(va.bag_eq(&vb));
+        assert!(seq
+            .agg_view("agg")
+            .unwrap()
+            .output()
+            .bag_eq(&par.agg_view("agg").unwrap().output()));
+    }
+
+    #[test]
+    fn constraint_violations_propagate() {
+        let mut db = db();
+        db.create_view(oj_view_def()).unwrap();
+        let err = db.insert("lineitem", vec![lineitem_row(999, 1, 1, 1, 1.0)]);
+        assert!(err.is_err()); // order 999 does not exist
+    }
+}

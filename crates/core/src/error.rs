@@ -1,0 +1,53 @@
+//! Errors for view definition and maintenance.
+
+use std::fmt;
+
+use ojv_rel::RelError;
+use ojv_storage::StorageError;
+
+/// Errors raised by view creation, validation, and maintenance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// Underlying storage or catalog error.
+    Storage(StorageError),
+    /// Data-model error.
+    Rel(RelError),
+    /// The view definition violates one of the paper's §2 restrictions or
+    /// references unknown catalog objects.
+    InvalidView { view: String, detail: String },
+    /// A view with this name already exists in the database.
+    DuplicateView { view: String },
+    /// The named view does not exist.
+    UnknownView { view: String },
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Storage(e) => write!(f, "{e}"),
+            CoreError::Rel(e) => write!(f, "{e}"),
+            CoreError::InvalidView { view, detail } => {
+                write!(f, "invalid view {view}: {detail}")
+            }
+            CoreError::DuplicateView { view } => write!(f, "view {view} already exists"),
+            CoreError::UnknownView { view } => write!(f, "unknown view {view}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+impl From<RelError> for CoreError {
+    fn from(e: RelError) -> Self {
+        CoreError::Rel(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

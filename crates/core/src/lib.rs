@@ -1,0 +1,74 @@
+//! Incremental maintenance of materialized outer-join views.
+//!
+//! This crate implements the maintenance procedure of Larson & Zhou,
+//! *Efficient Maintenance of Materialized Outer-Join Views* (ICDE 2007), on
+//! top of the workspace's storage (`ojv-storage`), algebra (`ojv-algebra`),
+//! and execution (`ojv-exec`) substrates:
+//!
+//! * [`view_def`] — name-based SPOJ view definitions,
+//! * [`analyze`] — resolution, normal form, subsumption graph, delta plans,
+//! * [`materialize`] — initial materialization and view storage,
+//! * [`maintain`] — the two-step primary/secondary maintenance procedure,
+//! * [`secondary`] — §5.2 (from-view) and §5.3 (from-base) strategies,
+//! * [`agg_view`] — aggregated outer-join views (§3.3),
+//! * [`baseline`] — Griffin–Kumar-style change propagation and full
+//!   recompute, for the paper's experimental comparison,
+//! * [`database`] — a small façade tying the catalog and views together.
+//!
+//! # Quick start
+//!
+//! ```
+//! use ojv_core::prelude::*;
+//! use ojv_core::fixtures;
+//!
+//! // Build the paper's Example 1 schema and view.
+//! let mut catalog = fixtures::example1_catalog();
+//! fixtures::populate_example1(&mut catalog, 10, 12);
+//! let mut db = Database::new(catalog);
+//! db.create_view(fixtures::oj_view_def()).unwrap();
+//!
+//! // Inserting lineitems incrementally maintains the view.
+//! let reports = db
+//!     .insert("lineitem", vec![fixtures::lineitem_row(3, 1, 2, 4, 42.0)])
+//!     .unwrap();
+//! assert_eq!(reports.len(), 1);
+//! assert!(db.view("oj_view").unwrap().len() > 0);
+//! ```
+
+pub mod agg_view;
+pub mod analyze;
+pub mod baseline;
+pub mod database;
+pub mod deferred;
+pub mod error;
+pub mod explain;
+pub mod fixtures;
+pub mod maintain;
+pub mod parser;
+pub mod materialize;
+pub mod policy;
+pub mod secondary;
+pub mod sql;
+pub mod term_delta;
+pub mod view_def;
+pub mod view_match;
+
+/// The commonly used types, for `use ojv_core::prelude::*`.
+pub mod prelude {
+    pub use crate::agg_view::{AggSpec, AggViewDef, MaterializedAggView};
+    pub use crate::analyze::{analyze, ViewAnalysis};
+    pub use crate::database::Database;
+    pub use crate::deferred::DeferredView;
+    pub use crate::error::{CoreError, Result};
+    pub use crate::maintain::{maintain, MaintenanceReport};
+    pub use crate::materialize::MaterializedView;
+    pub use crate::parser::parse_view;
+    pub use crate::view_match::{execute_match, match_view, ViewMatch};
+    pub use crate::policy::{MaintenancePolicy, SecondaryStrategy};
+    pub use crate::view_def::{
+        col_between, col_cmp, col_eq, NamedAtom, ViewDef, ViewExpr,
+    };
+    pub use ojv_algebra::{CmpOp, JoinKind};
+    pub use ojv_rel::{Datum, Relation, Row};
+    pub use ojv_storage::{Catalog, Update, UpdateOp};
+}

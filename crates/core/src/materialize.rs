@@ -1,0 +1,349 @@
+//! Materialized view storage and initial materialization.
+
+use std::collections::HashMap;
+
+use ojv_rel::{key_of, Datum, Relation, Row};
+use ojv_storage::Catalog;
+
+use crate::analyze::{analyze, ViewAnalysis};
+use crate::error::{CoreError, Result};
+use crate::view_def::ViewDef;
+
+/// A non-unique count index over a subset of the view's key columns.
+///
+/// The secondary-delta anti-joins (§5.2) only need *existence* of a view row
+/// with a given term key, so the index stores multiplicities rather than row
+/// positions — the analogue of the paper's secondary index `V4_idx` on the
+/// view. Rows with a null in the indexed columns are not indexed (the
+/// equijoin `eq(T_i)` is null-rejecting).
+#[derive(Debug, Clone)]
+struct KeyCountIndex {
+    cols: Vec<usize>,
+    counts: HashMap<Vec<Datum>, usize>,
+}
+
+impl KeyCountIndex {
+    fn key_of(&self, row: &[Datum]) -> Option<Vec<Datum>> {
+        let key = key_of(row, &self.cols);
+        if key.iter().any(Datum::is_null) {
+            None
+        } else {
+            Some(key)
+        }
+    }
+
+    fn add(&mut self, row: &[Datum]) {
+        if let Some(key) = self.key_of(row) {
+            *self.counts.entry(key).or_insert(0) += 1;
+        }
+    }
+
+    fn remove(&mut self, row: &[Datum]) {
+        if let Some(key) = self.key_of(row) {
+            match self.counts.get_mut(&key) {
+                Some(1) => {
+                    self.counts.remove(&key);
+                }
+                Some(n) => *n -= 1,
+                None => debug_assert!(false, "count index out of sync"),
+            }
+        }
+    }
+}
+
+/// Row storage for a materialized view: wide rows indexed by the view's
+/// unique key (the concatenated, null-padded keys of all referenced tables —
+/// the same shape as the paper's clustered index on V3), plus optional
+/// term-key count indexes (the paper's `V4_idx`).
+///
+/// Unlike base tables, the view key *contains nulls* (a `{part}`-term row is
+/// null on every other table's key), so this store treats null as an
+/// ordinary key value.
+#[derive(Debug, Clone)]
+pub struct ViewStore {
+    key_cols: Vec<usize>,
+    rows: Vec<Row>,
+    index: HashMap<Vec<Datum>, usize>,
+    secondary: Vec<KeyCountIndex>,
+}
+
+impl ViewStore {
+    pub fn new(key_cols: Vec<usize>) -> Self {
+        ViewStore {
+            key_cols,
+            rows: Vec::new(),
+            index: HashMap::new(),
+            secondary: Vec::new(),
+        }
+    }
+
+    /// Add a count index over `cols` (deduplicated; adding the view key
+    /// itself or an existing column set is a no-op). Existing rows are
+    /// indexed immediately.
+    pub fn add_count_index(&mut self, cols: Vec<usize>) {
+        if cols == self.key_cols || self.secondary.iter().any(|i| i.cols == cols) {
+            return;
+        }
+        let mut idx = KeyCountIndex {
+            cols,
+            counts: HashMap::new(),
+        };
+        for row in &self.rows {
+            idx.add(row);
+        }
+        self.secondary.push(idx);
+    }
+
+    /// Number of stored rows whose (non-null) projection onto `cols` equals
+    /// `key`, using a count index if one exists. Returns `None` when no
+    /// index covers `cols` (callers fall back to a scan).
+    pub fn count_by_key(&self, cols: &[usize], key: &[Datum]) -> Option<usize> {
+        if cols == self.key_cols.as_slice() {
+            return Some(usize::from(self.index.contains_key(key)));
+        }
+        self.secondary
+            .iter()
+            .find(|i| i.cols == cols)
+            .map(|i| i.counts.get(key).copied().unwrap_or(0))
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    pub fn key_of_row(&self, row: &[Datum]) -> Vec<Datum> {
+        key_of(row, &self.key_cols)
+    }
+
+    pub fn contains(&self, key: &[Datum]) -> bool {
+        self.index.contains_key(key)
+    }
+
+    /// Insert a wide row. A duplicate view key indicates a maintenance bug
+    /// and is reported as an error.
+    pub fn insert(&mut self, row: Row, view: &str) -> Result<()> {
+        let key = key_of(&row, &self.key_cols);
+        if self.index.contains_key(&key) {
+            return Err(CoreError::InvalidView {
+                view: view.to_string(),
+                detail: format!(
+                    "maintenance produced duplicate view key {}",
+                    ojv_rel::row_display(&key)
+                ),
+            });
+        }
+        for idx in &mut self.secondary {
+            idx.add(&row);
+        }
+        self.index.insert(key, self.rows.len());
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Delete by view key, returning the removed row. Missing keys indicate
+    /// a maintenance bug.
+    pub fn delete(&mut self, key: &[Datum], view: &str) -> Result<Row> {
+        let pos = self
+            .index
+            .remove(key)
+            .ok_or_else(|| CoreError::InvalidView {
+                view: view.to_string(),
+                detail: format!(
+                    "maintenance tried to delete missing view key {}",
+                    ojv_rel::row_display(key)
+                ),
+            })?;
+        let row = self.rows.swap_remove(pos);
+        for idx in &mut self.secondary {
+            idx.remove(&row);
+        }
+        if pos < self.rows.len() {
+            let moved_key = key_of(&self.rows[pos], &self.key_cols);
+            self.index.insert(moved_key, pos);
+        }
+        Ok(row)
+    }
+}
+
+/// A materialized outer-join view: definition, analysis, and stored rows.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    def: ViewDef,
+    pub analysis: ViewAnalysis,
+    store: ViewStore,
+}
+
+impl MaterializedView {
+    /// Analyze the definition and materialize the initial contents by
+    /// directly evaluating the view's operator tree.
+    pub fn create(catalog: &Catalog, def: ViewDef) -> Result<Self> {
+        let analysis = analyze(catalog, &def)?;
+        let ctx = ojv_exec::ExecCtx::new(catalog, &analysis.layout);
+        let rows = ojv_exec::eval_expr(&ctx, &analysis.expr);
+        let mut store = ViewStore::new(analysis.view_key.clone());
+        // One count index per term that can ever be indirectly affected
+        // (i.e. has a parent in the subsumption graph) — the §5.2 anti-joins
+        // probe these instead of scanning the view (the paper's `V4_idx`).
+        for (i, term) in analysis.terms.iter().enumerate() {
+            if !analysis.graph.parents(i).is_empty() {
+                store.add_count_index(analysis.layout.term_key_cols(term.tables));
+            }
+        }
+        for row in rows {
+            store.insert(row, def.name())?;
+        }
+        Ok(MaterializedView {
+            def,
+            analysis,
+            store,
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        self.def.name()
+    }
+
+    pub fn def(&self) -> &ViewDef {
+        &self.def
+    }
+
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The stored wide rows (internal representation).
+    pub fn wide_rows(&self) -> &[Row] {
+        self.store.rows()
+    }
+
+    pub(crate) fn store_mut(&mut self) -> &mut ViewStore {
+        &mut self.store
+    }
+
+    pub(crate) fn store(&self) -> &ViewStore {
+        &self.store
+    }
+
+    /// The view's *output*: the projected relation a reader sees.
+    pub fn output(&self) -> Relation {
+        let cols: Vec<ojv_rel::Column> = self
+            .analysis
+            .projection
+            .iter()
+            .map(|&g| self.analysis.layout.wide_schema().column(g).clone())
+            .collect();
+        let schema = ojv_rel::Schema::shared(cols).expect("projection columns are distinct");
+        let rows = self
+            .store
+            .rows()
+            .iter()
+            .map(|r| key_of(r, &self.analysis.projection))
+            .collect();
+        Relation::new(schema, rows)
+    }
+
+    /// Count stored rows per term (source-set pattern) — the paper's
+    /// Table 1 "Cardinality" column.
+    pub fn term_cardinalities(&self) -> Vec<(ojv_algebra::TableSet, usize)> {
+        let mut counts: Vec<(ojv_algebra::TableSet, usize)> = self
+            .analysis
+            .terms
+            .iter()
+            .map(|t| (t.tables, 0))
+            .collect();
+        for row in self.store.rows() {
+            let sources = self.analysis.layout.sources_of_row(row);
+            if let Some(e) = counts.iter_mut().find(|(s, _)| *s == sources) {
+                e.1 += 1;
+            }
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::*;
+    use ojv_algebra::TableSet;
+
+    #[test]
+    fn materialize_example_1() {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 6, 9);
+        let view = MaterializedView::create(&c, oj_view_def()).unwrap();
+        // Sanity: every lineitem appears exactly once in a full tuple.
+        let full = view
+            .term_cardinalities()
+            .into_iter()
+            .find(|(s, _)| s.len() == 3)
+            .unwrap();
+        assert_eq!(full.1, c.table("lineitem").unwrap().len());
+        // Orphaned orders: multiples of 3 (9/3 = 3 of them).
+        let orders_only = view
+            .term_cardinalities()
+            .into_iter()
+            .find(|(s, _)| {
+                s.only() == view.analysis.layout.table_id("orders")
+            })
+            .unwrap();
+        assert_eq!(orders_only.1, 3);
+        assert_eq!(
+            view.len(),
+            view.term_cardinalities().iter().map(|(_, n)| n).sum::<usize>()
+        );
+    }
+
+    #[test]
+    fn view_store_insert_delete_roundtrip() {
+        let mut s = ViewStore::new(vec![0, 1]);
+        s.insert(vec![Datum::Int(1), Datum::Null, Datum::Int(5)], "v")
+            .unwrap();
+        s.insert(vec![Datum::Int(1), Datum::Int(2), Datum::Int(6)], "v")
+            .unwrap();
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(&[Datum::Int(1), Datum::Null]));
+        let dup = s.insert(vec![Datum::Int(1), Datum::Null, Datum::Int(9)], "v");
+        assert!(dup.is_err());
+        let row = s.delete(&[Datum::Int(1), Datum::Null], "v").unwrap();
+        assert_eq!(row[2], Datum::Int(5));
+        assert!(!s.contains(&[Datum::Int(1), Datum::Null]));
+        assert!(s.delete(&[Datum::Int(9), Datum::Null], "v").is_err());
+        // The swap-removed survivor is still findable.
+        assert!(s.contains(&[Datum::Int(1), Datum::Int(2)]));
+    }
+
+    #[test]
+    fn output_projects_columns() {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 4, 4);
+        let def = oj_view_def().with_projection(vec![
+            ("part", "p_partkey"),
+            ("orders", "o_orderkey"),
+        ]);
+        let view = MaterializedView::create(&c, def).unwrap();
+        let out = view.output();
+        assert_eq!(out.schema().len(), 2);
+        assert_eq!(out.len(), view.len());
+    }
+
+    #[test]
+    fn empty_tables_give_empty_view() {
+        let c = example1_catalog();
+        let view = MaterializedView::create(&c, oj_view_def()).unwrap();
+        assert!(view.is_empty());
+        let _ = TableSet::EMPTY;
+    }
+}

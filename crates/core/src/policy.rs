@@ -1,0 +1,100 @@
+//! Maintenance policy knobs — the paper's optimizations, individually
+//! switchable (used by the ablation benchmarks).
+
+/// How the secondary delta `ΔV^I` is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SecondaryStrategy {
+    /// Pick per term, cost-based: the view when it is usable and the
+    /// estimated orphan-scan cost is lower, otherwise base tables. The paper
+    /// notes "the optimizer should choose in a cost-based manner" (§5).
+    #[default]
+    Auto,
+    /// Always compute from the view and the primary delta (§5.2).
+    FromView,
+    /// Always compute from base tables, `ΔT`, and the primary delta (§5.3).
+    FromBase,
+}
+
+/// Policy for one maintenance run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenancePolicy {
+    /// Exploit foreign keys (§6): `SimplifyTree` on the primary delta and
+    /// the Theorem 3 reduced maintenance graph.
+    pub use_fk: bool,
+    /// Convert the primary delta to a left-deep tree (§4.1).
+    pub left_deep: bool,
+    /// Secondary delta computation strategy (§5.2 vs §5.3).
+    pub secondary: SecondaryStrategy,
+    /// True when this insert/delete pair is the decomposition of an SQL
+    /// `UPDATE` — the §6 caveat list forbids the FK optimizations then
+    /// (the "deleted" keys may be re-inserted by the paired statement).
+    pub update_decomposition: bool,
+    /// §9 (future work): combine the secondary-delta computations of all
+    /// indirect terms into one pass over the primary delta. Only applies to
+    /// the view-based strategy; results are identical either way.
+    pub combine_secondary: bool,
+}
+
+impl Default for MaintenancePolicy {
+    fn default() -> Self {
+        MaintenancePolicy {
+            use_fk: true,
+            left_deep: true,
+            secondary: SecondaryStrategy::Auto,
+            update_decomposition: false,
+            combine_secondary: false,
+        }
+    }
+}
+
+impl MaintenancePolicy {
+    /// The full paper configuration (all optimizations on).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// All optimizations off — the naive two-step procedure.
+    pub fn naive() -> Self {
+        MaintenancePolicy {
+            use_fk: false,
+            left_deep: false,
+            secondary: SecondaryStrategy::FromBase,
+            update_decomposition: false,
+            combine_secondary: false,
+        }
+    }
+
+    /// Whether FK optimizations apply to this run (§6 caveats).
+    pub fn fk_enabled(&self) -> bool {
+        self.use_fk && !self.update_decomposition
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_enable_everything() {
+        let p = MaintenancePolicy::default();
+        assert!(p.use_fk && p.left_deep);
+        assert_eq!(p.secondary, SecondaryStrategy::Auto);
+        assert!(p.fk_enabled());
+    }
+
+    #[test]
+    fn update_decomposition_disables_fk() {
+        let p = MaintenancePolicy {
+            update_decomposition: true,
+            ..Default::default()
+        };
+        assert!(!p.fk_enabled());
+    }
+
+    #[test]
+    fn naive_policy() {
+        let p = MaintenancePolicy::naive();
+        assert!(!p.use_fk && !p.left_deep);
+        assert_eq!(p.secondary, SecondaryStrategy::FromBase);
+    }
+}

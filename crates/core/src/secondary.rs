@@ -1,0 +1,551 @@
+//! Computation of the secondary delta `ΔV^I` (paper §5).
+//!
+//! The secondary delta fixes up *indirectly affected* terms: orphaned tuples
+//! that stop being orphans after an insertion (and must be deleted from the
+//! view), or tuples that become orphans after a deletion (and must be
+//! inserted). Two strategies are implemented:
+//!
+//! * **from the view** (§5.2) — the orphan test probes the maintained view
+//!   itself, exploiting its unique key (an orphan of term `T_i` has a view
+//!   key that is null everywhere outside `T_i`, so the probe is an index
+//!   lookup — this is what the paper's Q3/Q4 statements do with V3's
+//!   clustered index);
+//! * **from base tables** (§5.3) — the orphan test anti-joins candidate
+//!   tuples against each directly affected parent's "rest expression"
+//!   `E'_{ip}`, built from base tables and the pre/post state of the updated
+//!   table.
+
+use std::collections::HashSet;
+
+use ojv_algebra::{Expr, JoinKind, Pred, TableId, TableSet, Term};
+use ojv_exec::{join_rows_expr, ExecCtx, ViewLayout};
+use ojv_rel::{key_of, Datum, Row};
+
+use crate::maintain::IndirectTermView;
+use crate::materialize::ViewStore;
+
+/// Static context shared by the secondary-delta computations of one
+/// maintenance run.
+pub struct SecondaryCtx<'a> {
+    pub layout: &'a ViewLayout,
+    pub terms: &'a [Term],
+    /// The updated table.
+    pub updated: TableId,
+}
+
+impl SecondaryCtx<'_> {
+    fn parent_sources(&self, parents: &[usize]) -> Vec<TableSet> {
+        parents.iter().map(|&k| self.terms[k].tables).collect()
+    }
+
+    /// `σ_{P_i}` — delta rows added to (or removed from) some directly
+    /// affected parent: rows non-null on all of a parent's source tables.
+    fn rows_matching_parents<'r>(
+        &self,
+        primary: &'r [Row],
+        pard_sources: &[TableSet],
+    ) -> impl Iterator<Item = &'r Row> + use<'r, '_> {
+        let layout = self.layout;
+        let pard: Vec<TableSet> = pard_sources.to_vec();
+        primary.iter().filter(move |r| {
+            let sources = layout.sources_of_row(r);
+            pard.iter().any(|tk| tk.is_subset_of(sources))
+        })
+    }
+
+    /// Project a wide row onto the term's tables (null out the rest).
+    fn project_to(&self, tables: TableSet, row: &Row) -> Row {
+        let mut out = row.clone();
+        self.layout
+            .null_out(self.layout.all_tables().difference(tables), &mut out);
+        out
+    }
+}
+
+/// §5.2, insertion case:
+/// `∆D_i = σ_{nn(T_i)∧n(S_i)}(V + ∆V^D) ⋉_{eq(T_i)} σ_{P_i} ∆V^D`.
+///
+/// Returns the **view keys** of the orphan rows to delete. The orphan scan
+/// is implemented as index probes: an orphan of term `T_i` has the unique
+/// view key "`T_i` keys ++ nulls", which each qualifying delta row
+/// determines completely.
+pub fn from_view_insert(
+    ctx: &SecondaryCtx<'_>,
+    store: &ViewStore,
+    ind: &IndirectTermView<'_>,
+    primary: &[Row],
+) -> Vec<Vec<Datum>> {
+    let ti = ctx.terms[ind.term].tables;
+    let pard_sources = ctx.parent_sources(ind.pard);
+    let mut probes: HashSet<Vec<Datum>> = HashSet::new();
+    let mut out = Vec::new();
+    for row in ctx.rows_matching_parents(primary, &pard_sources) {
+        let orphan_pattern = ctx.project_to(ti, row);
+        let key = store.key_of_row(&orphan_pattern);
+        if probes.insert(key.clone()) && store.contains(&key) {
+            out.push(key);
+        }
+    }
+    out
+}
+
+/// §5.2, deletion case:
+/// `∆D_i = (δ π_{T_i.*} σ_{P_i} ∆V^D) ▷_{eq(T_i)} (V − ∆V^D)`.
+///
+/// Returns the new orphan rows (wide, `T_i` slots only) to insert into the
+/// view. The anti join is one pass over the view.
+pub fn from_view_delete(
+    ctx: &SecondaryCtx<'_>,
+    store: &ViewStore,
+    ind: &IndirectTermView<'_>,
+    primary: &[Row],
+) -> Vec<Row> {
+    let ti = ctx.terms[ind.term].tables;
+    let ti_keys = ctx.layout.term_key_cols(ti);
+    let pard_sources = ctx.parent_sources(ind.pard);
+
+    // Candidate orphans: distinct T_i projections of delta rows that were
+    // deleted from some directly affected parent.
+    let mut candidates: Vec<Row> = Vec::new();
+    let mut seen: HashSet<Vec<Datum>> = HashSet::new();
+    for row in ctx.rows_matching_parents(primary, &pard_sources) {
+        let key = key_of(row, &ti_keys);
+        if seen.insert(key) {
+            candidates.push(ctx.project_to(ti, row));
+        }
+    }
+    if candidates.is_empty() {
+        return candidates;
+    }
+    // Anti join against the view: a candidate still covered by any remaining
+    // view row (necessarily of a superset term) is not an orphan. With a
+    // term-key count index on the view (the paper's `V4_idx`), this is one
+    // lookup per candidate; otherwise one pass over the view.
+    if candidates
+        .iter()
+        .all(|r| store.count_by_key(&ti_keys, &key_of(r, &ti_keys)).is_some())
+    {
+        return candidates
+            .into_iter()
+            .filter(|r| {
+                store
+                    .count_by_key(&ti_keys, &key_of(r, &ti_keys))
+                    .expect("index checked above")
+                    == 0
+            })
+            .collect();
+    }
+    let candidate_keys: HashSet<Vec<Datum>> =
+        candidates.iter().map(|r| key_of(r, &ti_keys)).collect();
+    let mut covered: HashSet<Vec<Datum>> = HashSet::new();
+    for row in store.rows() {
+        let key = key_of(row, &ti_keys);
+        if !key.iter().any(Datum::is_null) && candidate_keys.contains(&key) {
+            covered.insert(key);
+        }
+    }
+    candidates
+        .into_iter()
+        .filter(|r| !covered.contains(&key_of(r, &ti_keys)))
+        .collect()
+}
+
+/// The paper's §9 future-work direction: "combine (parts of) the
+/// computations for the different terms … by saving and reusing partial
+/// results". This combined form of the §5.2 strategy classifies every
+/// primary-delta row against *all* indirect terms in a single pass (instead
+/// of one pass per term) and then resolves each term's orphan probes against
+/// the view indexes as usual.
+///
+/// For insertions it returns, per term, the view keys of orphans to delete;
+/// for deletions, the orphan rows to insert. Results are identical to
+/// calling [`from_view_insert`]/[`from_view_delete`] per term.
+pub fn from_view_combined(
+    ctx: &SecondaryCtx<'_>,
+    store: &ViewStore,
+    inds: &[IndirectTermView<'_>],
+    primary: &[Row],
+    insert: bool,
+) -> Vec<CombinedTermDelta> {
+    struct TermState {
+        ti: TableSet,
+        ti_keys: Vec<usize>,
+        pard_sources: Vec<TableSet>,
+        seen: HashSet<Vec<Datum>>,
+        candidates: Vec<Row>,
+    }
+    let mut states: Vec<TermState> = inds
+        .iter()
+        .map(|ind| {
+            let ti = ctx.terms[ind.term].tables;
+            TermState {
+                ti,
+                ti_keys: ctx.layout.term_key_cols(ti),
+                pard_sources: ctx.parent_sources(ind.pard),
+                seen: HashSet::new(),
+                candidates: Vec::new(),
+            }
+        })
+        .collect();
+
+    // One shared pass over the primary delta.
+    for row in primary {
+        let sources = ctx.layout.sources_of_row(row);
+        for st in states.iter_mut() {
+            if !st.pard_sources.iter().any(|tk| tk.is_subset_of(sources)) {
+                continue;
+            }
+            let key = key_of(row, &st.ti_keys);
+            if st.seen.insert(key) {
+                st.candidates.push(ctx.project_to(st.ti, row));
+            }
+        }
+    }
+
+    // Per-term orphan resolution against the view store. Terms arrive
+    // supersets-first (see `MaintenanceGraph::build`); in the deletion case
+    // a term's coverage check must also consult the orphans the *earlier*
+    // (superset) terms are about to insert, since those keep covering their
+    // sub-tuples.
+    let mut pending_inserts: Vec<Row> = Vec::new();
+    let mut out = Vec::with_capacity(states.len());
+    for (st, ind) in states.into_iter().zip(inds) {
+        if insert {
+            let keys = st
+                .candidates
+                .iter()
+                .map(|c| store.key_of_row(c))
+                .filter(|k| store.contains(k))
+                .collect();
+            out.push(CombinedTermDelta {
+                term: ind.term,
+                delete_keys: keys,
+                insert_rows: Vec::new(),
+            });
+        } else {
+            let covered_by_pending: HashSet<Vec<Datum>> = pending_inserts
+                .iter()
+                .map(|r| key_of(r, &st.ti_keys))
+                .filter(|k| !k.iter().any(Datum::is_null))
+                .collect();
+            let rows: Vec<Row> = st
+                .candidates
+                .into_iter()
+                .filter(|c| {
+                    let key = key_of(c, &st.ti_keys);
+                    if covered_by_pending.contains(&key) {
+                        return false;
+                    }
+                    match store.count_by_key(&st.ti_keys, &key) {
+                        Some(n) => n == 0,
+                        // No index: fall back to a scan.
+                        None => !store.rows().iter().any(|r| key_of(r, &st.ti_keys) == key),
+                    }
+                })
+                .collect();
+            pending_inserts.extend(rows.iter().cloned());
+            out.push(CombinedTermDelta {
+                term: ind.term,
+                delete_keys: Vec::new(),
+                insert_rows: rows,
+            });
+        }
+    }
+    out
+}
+
+/// One indirect term's share of a combined secondary delta.
+pub struct CombinedTermDelta {
+    pub term: usize,
+    /// Orphans to delete (insertion case) — view keys.
+    pub delete_keys: Vec<Vec<Datum>>,
+    /// Orphans to insert (deletion case) — wide rows.
+    pub insert_rows: Vec<Row>,
+}
+
+/// §5.3: compute `∆D_i` from base tables, `ΔT`, and the primary delta.
+///
+/// `insert` selects between the insertion formula (anti joins against the
+/// *old* state `T± ▷ ΔT`, returning prior orphans to delete) and the
+/// deletion formula (anti joins against the *new* state `T±`, returning new
+/// orphans to insert). Both share the candidate extraction
+/// `δ π_{T_i.*} σ_{Q_i} ∆V^D`.
+pub fn from_base(
+    ctx: &SecondaryCtx<'_>,
+    exec: &ExecCtx<'_>,
+    ind: &IndirectTermView<'_>,
+    primary: &[Row],
+    insert: bool,
+) -> Vec<Row> {
+    let ti = ctx.terms[ind.term].tables;
+    let ti_keys = ctx.layout.term_key_cols(ti);
+
+    // Q_i = nn(T_i) ∧ n(tables added by parents that are NOT directly
+    // affected): a candidate covered by an unchanged parent term was not,
+    // and does not become, an orphan.
+    let unchanged_parent_tables: TableSet = ind
+        .all_parents
+        .iter()
+        .filter(|p| !ind.pard.contains(p))
+        .map(|&k| ctx.terms[k].tables.difference(ti))
+        .fold(TableSet::empty(), TableSet::union);
+
+    let mut candidates: Vec<Row> = Vec::new();
+    let mut seen: HashSet<Vec<Datum>> = HashSet::new();
+    for row in primary {
+        let sources = ctx.layout.sources_of_row(row);
+        if !ti.is_subset_of(sources) || !sources.intersect(unchanged_parent_tables).is_empty() {
+            continue;
+        }
+        let key = key_of(row, &ti_keys);
+        if seen.insert(key) {
+            candidates.push(ctx.project_to(ti, row));
+        }
+    }
+
+    // Anti join against every directly affected parent's rest expression,
+    // evaluated as a candidate-driven semijoin chain (see
+    // `anti_join_rest_expression`).
+    for &k in ind.pard {
+        if candidates.is_empty() {
+            break;
+        }
+        candidates = anti_join_rest_expression(ctx, exec, ti, &ctx.terms[k], candidates, insert);
+    }
+    candidates
+}
+
+/// Compute `candidates ▷_{q_ip} E'_{ip}` (§5.3) without materializing the
+/// rest expression.
+///
+/// Evaluating `E'_{ip}` standalone joins base tables in full — exactly the
+/// cost the paper criticizes GK for. A cost-aware optimizer instead drives
+/// the probe from the (small) candidate set: we join the candidates through
+/// the parent's tables along connecting conjuncts (index-nested-loop where
+/// an index covers the equijoin columns, e.g. the FK secondary indexes),
+/// then anti-filter the candidates by which term keys survived the chain.
+/// The updated table's leaf is its *old* state for the insertion formula
+/// (`T ▷ ΔT`, probed with delta-key exclusion) and its new state for the
+/// deletion formula.
+fn anti_join_rest_expression(
+    ctx: &SecondaryCtx<'_>,
+    exec: &ExecCtx<'_>,
+    ti: TableSet,
+    parent: &Term,
+    candidates: Vec<Row>,
+    insert: bool,
+) -> Vec<Row> {
+    let t = ctx.updated;
+    let ti_keys = ctx.layout.term_key_cols(ti);
+    // Atoms of the parent's predicate not already satisfied within T_i.
+    let mut atoms: Vec<ojv_algebra::Atom> = parent
+        .pred
+        .atoms()
+        .iter()
+        .filter(|a| !a.tables().is_subset_of(ti))
+        .cloned()
+        .collect();
+
+    let mut rows = candidates.clone();
+    let mut joined = ti;
+    let mut remaining: Vec<TableId> = parent.tables.difference(ti).iter().collect();
+    while !remaining.is_empty() && !rows.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|&x| {
+                atoms
+                    .iter()
+                    .any(|a| a.tables().contains(x) && a.tables().is_subset_of(joined.insert(x)))
+            })
+            .unwrap_or(0);
+        let x = remaining.swap_remove(pick);
+        let next = joined.insert(x);
+        let (applicable, rest): (Vec<_>, Vec<_>) = atoms
+            .into_iter()
+            .partition(|a| a.tables().is_subset_of(next) && a.tables().contains(x));
+        atoms = rest;
+        let single_table: Vec<_>;
+        let (leaf, join_pred) = if x == t && insert {
+            // q(T)-only atoms filter the leaf; the rest drive the join.
+            let (on_t, cross): (Vec<_>, Vec<_>) = applicable
+                .into_iter()
+                .partition(|a| a.tables().is_subset_of(TableSet::singleton(t)));
+            single_table = on_t;
+            let leaf = if single_table.is_empty() {
+                Expr::OldState(t)
+            } else {
+                Expr::select(Pred::new(single_table.clone()), Expr::OldState(t))
+            };
+            (leaf, Pred::new(cross))
+        } else {
+            let (on_x, cross): (Vec<_>, Vec<_>) = applicable
+                .into_iter()
+                .partition(|a| a.tables().is_subset_of(TableSet::singleton(x)));
+            single_table = on_x;
+            let leaf = if single_table.is_empty() {
+                Expr::Table(x)
+            } else {
+                Expr::select(Pred::new(single_table.clone()), Expr::Table(x))
+            };
+            (leaf, Pred::new(cross))
+        };
+        rows = join_rows_expr(exec, JoinKind::Inner, &join_pred, rows, joined, &leaf);
+        joined = next;
+    }
+    debug_assert!(
+        atoms.is_empty() || rows.is_empty(),
+        "unplaced parent-term atoms"
+    );
+    let matched: HashSet<Vec<Datum>> = rows.iter().map(|r| key_of(r, &ti_keys)).collect();
+    candidates
+        .into_iter()
+        .filter(|c| !matched.contains(&key_of(c, &ti_keys)))
+        .collect()
+}
+
+/// Build the parent's rest expression `E'_{ip}` and the anti-join predicate
+/// `q_{ip} = q(S_i, R_{ip}, T)` — the literal §5.3 formula.
+///
+/// [`from_base`] evaluates the same anti-semijoin through the candidate-
+/// driven chain of `anti_join_rest_expression`; this builder is exposed
+/// for inspection (plan printing, tests) and as the reference form.
+///
+/// The parent term is `σ_{p_k}(T_i × R_{ip} × T)`; its predicate conjuncts
+/// are split by reference set: atoms within `T_i` are already satisfied by
+/// the candidates; atoms touching `T_i` and the rest become the anti-join
+/// predicate; everything else goes into the rest expression, which joins the
+/// updated table's old (insert) or new (delete) state with the `R_{ip}`
+/// tables.
+pub fn rest_expression(
+    ctx: &SecondaryCtx<'_>,
+    ti: TableSet,
+    parent: &Term,
+    insert: bool,
+) -> (Expr, Pred) {
+    let t = ctx.updated;
+    let rip = parent.tables.difference(ti).remove(t);
+    let rip_t = rip.insert(t);
+
+    let mut q_t: Vec<ojv_algebra::Atom> = Vec::new();
+    let mut qip: Vec<ojv_algebra::Atom> = Vec::new();
+    let mut rest: Vec<ojv_algebra::Atom> = Vec::new();
+    for atom in parent.pred.atoms() {
+        let tabs = atom.tables();
+        if tabs.is_subset_of(ti) {
+            // Within the candidate tuple — already satisfied.
+        } else if !tabs.intersect(ti).is_empty() {
+            // Connects T_i with the rest: the anti-join predicate.
+            qip.push(atom.clone());
+        } else if tabs.is_subset_of(TableSet::singleton(t)) {
+            q_t.push(atom.clone());
+        } else {
+            debug_assert!(tabs.is_subset_of(rip_t));
+            rest.push(atom.clone());
+        }
+    }
+
+    // Leaf for the updated table: old state for the insertion formula, new
+    // state for the deletion formula.
+    let mut expr = if insert {
+        Expr::OldState(t)
+    } else {
+        Expr::Table(t)
+    };
+    if !q_t.is_empty() {
+        expr = Expr::select(Pred::new(q_t), expr);
+    }
+
+    // Greedily join in the R_{ip} tables along connecting predicates.
+    let mut joined = TableSet::singleton(t);
+    let mut remaining: Vec<TableId> = rip.iter().collect();
+    while !remaining.is_empty() {
+        let pick = remaining
+            .iter()
+            .position(|&x| {
+                rest.iter()
+                    .any(|a| a.tables().contains(x) && a.tables().is_subset_of(joined.insert(x)))
+            })
+            .unwrap_or(0);
+        let x = remaining.swap_remove(pick);
+        let next = joined.insert(x);
+        let (applicable, leftover): (Vec<_>, Vec<_>) = rest
+            .into_iter()
+            .partition(|a| a.tables().is_subset_of(next) && a.tables().contains(x));
+        rest = leftover;
+        expr = Expr::inner(Pred::new(applicable), expr, Expr::Table(x));
+        joined = next;
+    }
+    debug_assert!(rest.is_empty(), "unplaced rest-expression atoms");
+    (expr, Pred::new(qip))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ojv_algebra::Atom;
+
+    // End-to-end behaviour of the secondary strategies is covered by the
+    // maintenance tests (crate::maintain) and the integration suite; here we
+    // unit-test the rest-expression builder.
+
+    #[test]
+    fn rest_expression_for_v1_insert() {
+        // V1, update T(=2), indirect term R(=0) with direct parent TR.
+        // Parent pred = p(r,t). R_{ip} is empty, so E' is just old(T) and
+        // q_ip = p(r,t).
+        let mut c = crate::fixtures::v1_catalog();
+        let _ = &mut c;
+        let a = crate::analyze::analyze(&c, &crate::fixtures::v1_view_def()).unwrap();
+        let t = a.layout.table_id("t").unwrap();
+        let r = a.layout.table_id("r").unwrap();
+        let ti = TableSet::singleton(r);
+        let parent = a
+            .terms
+            .iter()
+            .find(|x| x.tables == TableSet::from_iter([r, t]))
+            .unwrap();
+        let ctx = SecondaryCtx {
+            layout: &a.layout,
+            terms: &a.terms,
+            updated: t,
+        };
+        let (eprime, qip) = rest_expression(&ctx, ti, parent, true);
+        assert_eq!(eprime, Expr::OldState(t));
+        assert_eq!(qip.atoms().len(), 1);
+        assert!(matches!(qip.atoms()[0], Atom::Cols(..)));
+
+        let (eprime_del, _) = rest_expression(&ctx, ti, parent, false);
+        assert_eq!(eprime_del, Expr::Table(t));
+    }
+
+    #[test]
+    fn rest_expression_with_extra_tables() {
+        // Indirect term {R} with direct parent {T,U,R}: R_{ip} = {U}, the
+        // rest expression joins old(T) with U on p(t,u).
+        let c = crate::fixtures::v1_catalog();
+        let a = crate::analyze::analyze(&c, &crate::fixtures::v1_view_def()).unwrap();
+        let t = a.layout.table_id("t").unwrap();
+        let u = a.layout.table_id("u").unwrap();
+        let r = a.layout.table_id("r").unwrap();
+        let parent = a
+            .terms
+            .iter()
+            .find(|x| x.tables == TableSet::from_iter([r, t, u]))
+            .unwrap();
+        let ctx = SecondaryCtx {
+            layout: &a.layout,
+            terms: &a.terms,
+            updated: t,
+        };
+        let (eprime, qip) = rest_expression(&ctx, TableSet::singleton(r), parent, true);
+        match &eprime {
+            Expr::Join { kind, left, right, .. } => {
+                assert_eq!(*kind, JoinKind::Inner);
+                assert_eq!(**left, Expr::OldState(t));
+                assert_eq!(**right, Expr::Table(u));
+            }
+            other => panic!("expected join, got {other:?}"),
+        }
+        assert_eq!(qip.atoms().len(), 1);
+    }
+}

@@ -1,0 +1,101 @@
+//! Extraction of per-term deltas from `ΔV^D` (paper §5.1, Theorem 2).
+
+use ojv_algebra::TableSet;
+use ojv_exec::{ops, ViewLayout};
+use ojv_rel::Row;
+
+/// `∆D_i = π_{T_i.*} σ_{nn(T_i) ∧ n(U−T_i)} ∆V^D` — the net-contribution
+/// delta of the term with source set `tables`: delta rows whose source set
+/// is *exactly* `tables`.
+pub fn term_net_delta(layout: &ViewLayout, tables: TableSet, delta: &[Row]) -> Vec<Row> {
+    delta
+        .iter()
+        .filter(|r| layout.row_matches_term(tables, r))
+        .cloned()
+        .collect()
+}
+
+/// `∆E_i = δ π_{T_i.*} σ_{nn(T_i)} ∆V^D` — the complete delta of the term:
+/// projections (onto `tables`) of all delta rows non-null on `tables`,
+/// duplicates removed (a `T_i` tuple may have joined several tuples of other
+/// tables).
+pub fn term_full_delta(layout: &ViewLayout, tables: TableSet, delta: &[Row]) -> Vec<Row> {
+    let projected: Vec<Row> = delta
+        .iter()
+        .filter(|r| tables.iter().all(|t| !layout.is_null_on(t, r)))
+        .map(|r| {
+            let mut out = r.clone();
+            layout.null_out(layout.all_tables().difference(tables), &mut out);
+            out
+        })
+        .collect();
+    ops::distinct(projected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ojv_algebra::TableId;
+    use ojv_rel::{Column, DataType, Datum};
+    use ojv_storage::Catalog;
+
+    fn layout() -> ViewLayout {
+        let mut c = Catalog::new();
+        for name in ["x", "y", "z"] {
+            c.create_table(
+                name,
+                vec![Column::new(name, "id", DataType::Int, false)],
+                &["id"],
+            )
+            .unwrap();
+        }
+        ViewLayout::new(&c, &["x", "y", "z"]).unwrap()
+    }
+
+    fn row(x: Option<i64>, y: Option<i64>, z: Option<i64>) -> Row {
+        [x, y, z]
+            .iter()
+            .map(|v| v.map(Datum::Int).unwrap_or(Datum::Null))
+            .collect()
+    }
+
+    fn ts(ids: &[u8]) -> TableSet {
+        TableSet::from_iter(ids.iter().map(|&i| TableId(i)))
+    }
+
+    #[test]
+    fn net_delta_matches_exact_pattern() {
+        let l = layout();
+        let delta = vec![
+            row(Some(1), Some(2), None),
+            row(Some(1), Some(2), Some(3)),
+            row(Some(9), None, None),
+        ];
+        let net = term_net_delta(&l, ts(&[0, 1]), &delta);
+        assert_eq!(net.len(), 1);
+        assert_eq!(net[0], row(Some(1), Some(2), None));
+    }
+
+    #[test]
+    fn full_delta_projects_and_dedups() {
+        let l = layout();
+        // Two xyz rows sharing the same xy part (x=1,y=2 joined two z's),
+        // plus one xy-only row with the same xy part.
+        let delta = vec![
+            row(Some(1), Some(2), Some(3)),
+            row(Some(1), Some(2), Some(4)),
+            row(Some(1), Some(2), None),
+        ];
+        let full = term_full_delta(&l, ts(&[0, 1]), &delta);
+        assert_eq!(full.len(), 1);
+        assert_eq!(full[0], row(Some(1), Some(2), None));
+    }
+
+    #[test]
+    fn full_delta_requires_non_null_sources() {
+        let l = layout();
+        let delta = vec![row(Some(1), None, None)];
+        assert!(term_full_delta(&l, ts(&[0, 1]), &delta).is_empty());
+        assert_eq!(term_full_delta(&l, ts(&[0]), &delta).len(), 1);
+    }
+}

@@ -1,0 +1,294 @@
+//! View definitions: a name-based SPOJ AST, resolved against the catalog at
+//! creation time.
+//!
+//! Users express views with table and column *names* (mirroring the paper's
+//! SQL examples); [`crate::analyze::analyze`] resolves them into the
+//! positional vocabulary of `ojv-algebra`.
+//!
+//! ```
+//! use ojv_core::view_def::{ViewDef, ViewExpr, col_eq};
+//!
+//! // The paper's Example 1: part FULL OUTER JOIN
+//! //   (orders LEFT OUTER JOIN lineitem ON l_orderkey = o_orderkey)
+//! //   ON p_partkey = l_partkey
+//! let def = ViewDef::new(
+//!     "oj_view",
+//!     ViewExpr::full_outer(
+//!         vec![col_eq("part", "p_partkey", "lineitem", "l_partkey")],
+//!         ViewExpr::table("part"),
+//!         ViewExpr::left_outer(
+//!             vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
+//!             ViewExpr::table("orders"),
+//!             ViewExpr::table("lineitem"),
+//!         ),
+//!     ),
+//! );
+//! assert_eq!(def.name(), "oj_view");
+//! ```
+
+use ojv_algebra::{CmpOp, JoinKind};
+use ojv_rel::Datum;
+
+/// A predicate atom in name-based form.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NamedAtom {
+    /// `left_table.left_col ⋈ right_table.right_col`.
+    Cols {
+        left: (String, String),
+        op: CmpOp,
+        right: (String, String),
+    },
+    /// `table.col ⋈ literal`.
+    Const {
+        col: (String, String),
+        op: CmpOp,
+        value: Datum,
+    },
+    /// `table.col BETWEEN lo AND hi`.
+    Between {
+        col: (String, String),
+        lo: Datum,
+        hi: Datum,
+    },
+}
+
+impl NamedAtom {
+    /// Render as SQL (dates as `DATE 'YYYY-MM-DD'`, strings quoted).
+    pub fn to_sql(&self) -> String {
+        fn lit(d: &Datum) -> String {
+            match d {
+                Datum::Date(_) => format!("DATE '{d}'"),
+                other => other.to_string(),
+            }
+        }
+        match self {
+            NamedAtom::Cols { left, op, right } => {
+                format!("{}.{} {op} {}.{}", left.0, left.1, right.0, right.1)
+            }
+            NamedAtom::Const { col, op, value } => {
+                format!("{}.{} {op} {}", col.0, col.1, lit(value))
+            }
+            NamedAtom::Between { col, lo, hi } => {
+                format!("{}.{} BETWEEN {} AND {}", col.0, col.1, lit(lo), lit(hi))
+            }
+        }
+    }
+}
+
+/// Equijoin atom `lt.lc = rt.rc`.
+pub fn col_eq(lt: &str, lc: &str, rt: &str, rc: &str) -> NamedAtom {
+    NamedAtom::Cols {
+        left: (lt.to_string(), lc.to_string()),
+        op: CmpOp::Eq,
+        right: (rt.to_string(), rc.to_string()),
+    }
+}
+
+/// Column-vs-constant comparison atom.
+pub fn col_cmp(t: &str, c: &str, op: CmpOp, value: impl Into<Datum>) -> NamedAtom {
+    NamedAtom::Const {
+        col: (t.to_string(), c.to_string()),
+        op,
+        value: value.into(),
+    }
+}
+
+/// `BETWEEN` atom (inclusive bounds).
+pub fn col_between(t: &str, c: &str, lo: impl Into<Datum>, hi: impl Into<Datum>) -> NamedAtom {
+    NamedAtom::Between {
+        col: (t.to_string(), c.to_string()),
+        lo: lo.into(),
+        hi: hi.into(),
+    }
+}
+
+/// The name-based SPOJ operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewExpr {
+    Table(String),
+    Select(Vec<NamedAtom>, Box<ViewExpr>),
+    Join(JoinKind, Vec<NamedAtom>, Box<ViewExpr>, Box<ViewExpr>),
+}
+
+impl ViewExpr {
+    pub fn table(name: &str) -> ViewExpr {
+        ViewExpr::Table(name.to_string())
+    }
+
+    pub fn select(atoms: Vec<NamedAtom>, input: ViewExpr) -> ViewExpr {
+        ViewExpr::Select(atoms, Box::new(input))
+    }
+
+    pub fn join(kind: JoinKind, on: Vec<NamedAtom>, left: ViewExpr, right: ViewExpr) -> ViewExpr {
+        ViewExpr::Join(kind, on, Box::new(left), Box::new(right))
+    }
+
+    pub fn inner(on: Vec<NamedAtom>, left: ViewExpr, right: ViewExpr) -> ViewExpr {
+        ViewExpr::join(JoinKind::Inner, on, left, right)
+    }
+
+    pub fn left_outer(on: Vec<NamedAtom>, left: ViewExpr, right: ViewExpr) -> ViewExpr {
+        ViewExpr::join(JoinKind::LeftOuter, on, left, right)
+    }
+
+    pub fn right_outer(on: Vec<NamedAtom>, left: ViewExpr, right: ViewExpr) -> ViewExpr {
+        ViewExpr::join(JoinKind::RightOuter, on, left, right)
+    }
+
+    pub fn full_outer(on: Vec<NamedAtom>, left: ViewExpr, right: ViewExpr) -> ViewExpr {
+        ViewExpr::join(JoinKind::FullOuter, on, left, right)
+    }
+
+    /// Render as a SQL `FROM`-clause fragment (joins parenthesized on the
+    /// right, selections as derived-table `WHERE`s).
+    pub fn to_sql(&self) -> String {
+        fn atoms_sql(atoms: &[NamedAtom]) -> String {
+            atoms
+                .iter()
+                .map(NamedAtom::to_sql)
+                .collect::<Vec<_>>()
+                .join(" AND ")
+        }
+        match self {
+            ViewExpr::Table(n) => n.clone(),
+            ViewExpr::Select(atoms, input) => {
+                // A derived table; the parser accepts the same shape back.
+                format!(
+                    "(SELECT * FROM {} WHERE {})",
+                    input.to_sql(),
+                    atoms_sql(atoms)
+                )
+            }
+            ViewExpr::Join(kind, on, l, r) => {
+                let kw = match kind {
+                    JoinKind::Inner => "JOIN",
+                    JoinKind::LeftOuter => "LEFT OUTER JOIN",
+                    JoinKind::RightOuter => "RIGHT OUTER JOIN",
+                    JoinKind::FullOuter => "FULL OUTER JOIN",
+                    other => panic!("join kind {other} not renderable as SQL"),
+                };
+                format!("({} {kw} {} ON {})", l.to_sql(), r.to_sql(), atoms_sql(on))
+            }
+        }
+    }
+
+    /// Table names in left-to-right leaf order — this order defines the
+    /// view's [`ojv_algebra::TableId`] assignment.
+    pub fn tables(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        self.collect_tables(&mut out);
+        out
+    }
+
+    fn collect_tables(&self, out: &mut Vec<String>) {
+        match self {
+            ViewExpr::Table(n) => out.push(n.clone()),
+            ViewExpr::Select(_, e) => e.collect_tables(out),
+            ViewExpr::Join(_, _, l, r) => {
+                l.collect_tables(out);
+                r.collect_tables(out);
+            }
+        }
+    }
+}
+
+/// A named view definition: the SPOJ tree plus an optional output projection
+/// (`None` means all columns of all tables).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    name: String,
+    expr: ViewExpr,
+    projection: Option<Vec<(String, String)>>,
+}
+
+impl ViewDef {
+    pub fn new(name: &str, expr: ViewExpr) -> Self {
+        ViewDef {
+            name: name.to_string(),
+            expr,
+            projection: None,
+        }
+    }
+
+    /// Restrict the view's output columns (the paper's `π`). Key columns of
+    /// every table should normally be kept — §5.2's *column availability*
+    /// analysis reports whether view-based secondary maintenance remains
+    /// possible.
+    pub fn with_projection(mut self, cols: Vec<(&str, &str)>) -> Self {
+        self.projection = Some(
+            cols.into_iter()
+                .map(|(t, c)| (t.to_string(), c.to_string()))
+                .collect(),
+        );
+        self
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn expr(&self) -> &ViewExpr {
+        &self.expr
+    }
+
+    pub fn projection(&self) -> Option<&[(String, String)]> {
+        self.projection.as_deref()
+    }
+
+    /// Render the whole definition as a `SELECT` statement, the inverse of
+    /// [`crate::parser::parse_view`] (selections above the top join become
+    /// the `WHERE` clause; deeper selections are not renderable and panic —
+    /// the paper's views only select over scans or at the top).
+    pub fn to_sql(&self) -> String {
+        let select = match &self.projection {
+            None => "*".to_string(),
+            Some(cols) => cols
+                .iter()
+                .map(|(t, c)| format!("{t}.{c}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        };
+        // Peel top-level selections into WHERE.
+        let mut wheres: Vec<String> = Vec::new();
+        let mut expr = &self.expr;
+        while let ViewExpr::Select(atoms, input) = expr {
+            wheres.extend(atoms.iter().map(NamedAtom::to_sql));
+            expr = input;
+        }
+        let mut sql = format!("SELECT {select} FROM {}", expr.to_sql());
+        if !wheres.is_empty() {
+            sql.push_str(&format!(" WHERE {}", wheres.join(" AND ")));
+        }
+        sql
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_in_leaf_order() {
+        let v = ViewExpr::full_outer(
+            vec![col_eq("a", "x", "c", "y")],
+            ViewExpr::table("a"),
+            ViewExpr::left_outer(
+                vec![col_eq("b", "x", "c", "y")],
+                ViewExpr::table("b"),
+                ViewExpr::table("c"),
+            ),
+        );
+        assert_eq!(v.tables(), vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let a = col_cmp("t", "v", CmpOp::Lt, 5i64);
+        assert!(matches!(a, NamedAtom::Const { .. }));
+        let b = col_between("t", "d", 1i64, 2i64);
+        assert!(matches!(b, NamedAtom::Between { .. }));
+        let def = ViewDef::new("v", ViewExpr::table("t")).with_projection(vec![("t", "v")]);
+        assert_eq!(def.projection().unwrap().len(), 1);
+        assert_eq!(def.name(), "v");
+    }
+}

@@ -1,0 +1,505 @@
+//! View matching for outer-join views — a sound subset of the companion
+//! algorithm the paper builds on (Larson & Zhou, "View matching for
+//! outer-join views", VLDB 2005, reference \[6\]).
+//!
+//! The paper's introduction frames materialized-view support as two
+//! subproblems: *view matching* ("whether and how part or all of a query can
+//! be computed from a view") and *incremental maintenance*. This module
+//! implements the matching side for the class both papers share: the query
+//! and the view are SPOJ expressions, compared through their
+//! join-disjunctive normal forms.
+//!
+//! A query `Q` matches a view `V` when the rows of every `Q`-term can be
+//! carved out of `V`'s stored rows with a *compensation filter* — a
+//! null-pattern predicate (`nn(T_i) ∧ n(U−T_i)`) selecting the term's rows
+//! plus any extra conjuncts of `Q` not enforced by `V`. The implementation
+//! accepts a match only under conditions that make this provably exact:
+//!
+//! 1. `Q` and `V` reference the same set of tables;
+//! 2. every `Q`-term's source set appears among `V`'s terms, and `V`'s term
+//!    predicate is a sub-conjunction of `Q`'s (so compensation only *adds*
+//!    conjuncts);
+//! 3. every `V`-parent of a matched term is itself matched (otherwise `Q`
+//!    expects tuples that `V` keeps embedded in rows of a term `Q` lacks);
+//! 4. extra conjuncts on a term that has matched children only reference
+//!    the child's tables (stricter parent predicates would otherwise change
+//!    which child tuples count as orphans);
+//! 5. the view's output exposes the query's output columns and a
+//!    non-nullable column per table (for the pattern predicates).
+//!
+//! Queries outside this subset are rejected (`Ok(None)`), never answered
+//! incorrectly — the property the test-suite enforces against direct
+//! evaluation.
+
+use std::collections::HashMap;
+
+use ojv_algebra::{Atom, CmpOp, ColRef, Pred, TableId, TableSet};
+use ojv_rel::{key_of, Relation};
+use ojv_storage::Catalog;
+
+use crate::analyze::{analyze, ViewAnalysis};
+use crate::error::Result;
+use crate::materialize::MaterializedView;
+use crate::view_def::ViewDef;
+
+/// A successful match: per-term compensation and the output projection.
+#[derive(Debug, Clone)]
+pub struct ViewMatch {
+    /// For each matched query term: the term's source set (in the *view's*
+    /// table numbering) and the extra conjuncts to apply.
+    pub compensation: Vec<(TableSet, Pred)>,
+    /// Wide-row output columns (view numbering) implementing the query's
+    /// projection.
+    pub projection: Vec<usize>,
+}
+
+/// Try to match `query` against the materialized view. Returns `Ok(None)`
+/// when the query cannot (or cannot be proven to) be answered from the view.
+pub fn match_view(
+    catalog: &Catalog,
+    query: &ViewDef,
+    view: &MaterializedView,
+) -> Result<Option<ViewMatch>> {
+    let q = analyze(catalog, query)?;
+    let v = &view.analysis;
+
+    // Condition 1: same table set; build the Q→V table renumbering.
+    if q.layout.table_count() != v.layout.table_count() {
+        return Ok(None);
+    }
+    let mut remap: HashMap<TableId, TableId> = HashMap::new();
+    for (i, slot) in q.layout.slots().iter().enumerate() {
+        match v.layout.table_id(&slot.name) {
+            Some(vt) => {
+                remap.insert(TableId(i as u8), vt);
+            }
+            None => return Ok(None),
+        }
+    }
+
+    // Condition 5a: the view must expose a non-nullable column per table so
+    // the null-pattern predicates are evaluable on its output.
+    for (i, slot) in v.layout.slots().iter().enumerate() {
+        let _ = i;
+        let has_non_nullable = slot.schema.columns().iter().enumerate().any(|(ci, c)| {
+            !c.nullable && v.projection.contains(&(slot.offset + ci))
+        });
+        if !has_non_nullable {
+            return Ok(None);
+        }
+    }
+
+    // Match every query term to a view term by (renumbered) source set.
+    let mut matched: Vec<(usize, TableSet, Pred)> = Vec::new(); // (v term idx, sources, extra)
+    for qt in &q.terms {
+        let sources: TableSet = qt.tables.iter().map(|t| remap[&t]).collect();
+        let Some(vi) = v.terms.iter().position(|vt| vt.tables == sources) else {
+            return Ok(None);
+        };
+        let q_atoms: Vec<Atom> = qt.pred.atoms().iter().map(|a| remap_atom(a, &remap)).collect();
+        // Condition 2: V's predicate must be a sub-multiset of Q's.
+        let Some(extra) = atom_multiset_diff(&q_atoms, v.terms[vi].pred.atoms()) else {
+            return Ok(None);
+        };
+        matched.push((vi, sources, Pred::new(extra)));
+    }
+
+    // Condition 3: every V-parent of a matched term is matched.
+    let matched_idx: Vec<usize> = matched.iter().map(|(i, _, _)| *i).collect();
+    for (vi, _, _) in &matched {
+        for p in v.graph.parents(*vi) {
+            if !matched_idx.contains(p) {
+                return Ok(None);
+            }
+        }
+    }
+
+    // Condition 4: extra conjuncts on a term with matched children must
+    // reference only the child's tables (for every matched child).
+    for (vi, _, extra) in &matched {
+        if extra.is_true() {
+            continue;
+        }
+        for child in v.graph.children(*vi) {
+            if let Some((_, child_sources, _)) =
+                matched.iter().find(|(i, _, _)| i == child)
+            {
+                let ok = extra
+                    .atoms()
+                    .iter()
+                    .all(|a| a.tables().is_subset_of(*child_sources));
+                if !ok {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    // Condition 5b: the query's output columns must be available in the
+    // view's output, and the extra conjuncts evaluable there.
+    let mut projection = Vec::with_capacity(q.projection.len());
+    for &qg in &q.projection {
+        let vg = remap_global(&q, v, &remap, qg);
+        if !v.projection.contains(&vg) {
+            return Ok(None);
+        }
+        projection.push(vg);
+    }
+    for (_, _, extra) in &matched {
+        for a in extra.atoms() {
+            for cr in a.col_refs() {
+                if !v.projection.contains(&v.layout.global(cr)) {
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    Ok(Some(ViewMatch {
+        compensation: matched
+            .into_iter()
+            .map(|(_, sources, extra)| (sources, extra))
+            .collect(),
+        projection,
+    }))
+}
+
+/// Execute a match: filter the view's rows with the per-term compensation
+/// and project to the query's output.
+pub fn execute_match(view: &MaterializedView, m: &ViewMatch) -> Relation {
+    let layout = &view.analysis.layout;
+    let mut rows = Vec::new();
+    for row in view.wide_rows() {
+        for (sources, extra) in &m.compensation {
+            if layout.row_matches_term(*sources, row)
+                && extra
+                    .atoms()
+                    .iter()
+                    .all(|a| ojv_exec::eval::eval_atom(layout, a, row))
+            {
+                rows.push(key_of(row, &m.projection));
+                break; // patterns are disjoint; at most one can match
+            }
+        }
+    }
+    let cols: Vec<ojv_rel::Column> = m
+        .projection
+        .iter()
+        .map(|&g| layout.wide_schema().column(g).clone())
+        .collect();
+    let schema = ojv_rel::Schema::shared(cols).expect("projection columns are distinct");
+    Relation::new(schema, rows)
+}
+
+fn remap_atom(a: &Atom, remap: &HashMap<TableId, TableId>) -> Atom {
+    let rc = |c: ColRef| ColRef::new(remap[&c.table], c.col);
+    match a {
+        Atom::Cols(x, op, y) => Atom::Cols(rc(*x), *op, rc(*y)),
+        Atom::Const(c, op, v) => Atom::Const(rc(*c), *op, v.clone()),
+        Atom::Between(c, lo, hi) => Atom::Between(rc(*c), lo.clone(), hi.clone()),
+    }
+}
+
+fn remap_global(
+    q: &ViewAnalysis,
+    v: &ViewAnalysis,
+    remap: &HashMap<TableId, TableId>,
+    qg: usize,
+) -> usize {
+    // Find the Q table slot containing the global column, translate.
+    for (i, slot) in q.layout.slots().iter().enumerate() {
+        if qg >= slot.offset && qg < slot.offset + slot.len {
+            let vt = remap[&TableId(i as u8)];
+            return v.layout.slot(vt).offset + (qg - slot.offset);
+        }
+    }
+    unreachable!("global column within layout bounds")
+}
+
+/// `a \ b` as a multiset of atoms (orientation-insensitive for equijoins);
+/// `None` if some atom of `b` is missing from `a`.
+fn atom_multiset_diff(a: &[Atom], b: &[Atom]) -> Option<Vec<Atom>> {
+    let mut rest: Vec<Option<&Atom>> = a.iter().map(Some).collect();
+    for want in b {
+        let pos = rest.iter().position(|x| match x {
+            Some(have) => atom_eq_sym(have, want),
+            None => false,
+        })?;
+        rest[pos] = None;
+    }
+    Some(rest.into_iter().flatten().cloned().collect())
+}
+
+fn atom_eq_sym(a: &Atom, b: &Atom) -> bool {
+    match (a, b) {
+        (Atom::Cols(a1, CmpOp::Eq, a2), Atom::Cols(b1, CmpOp::Eq, b2)) => {
+            (a1 == b1 && a2 == b2) || (a1 == b2 && a2 == b1)
+        }
+        _ => a == b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::*;
+    use crate::view_def::{col_cmp, col_eq, ViewExpr};
+    use ojv_exec::{eval_expr, ExecCtx};
+
+    fn setup() -> (Catalog, MaterializedView) {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 10, 12);
+        let view = MaterializedView::create(&c, oj_view_def()).unwrap();
+        (c, view)
+    }
+
+    /// Oracle: evaluate the query directly and compare with the match
+    /// execution.
+    fn assert_match_correct(catalog: &Catalog, query: &ViewDef, view: &MaterializedView) {
+        let m = match_view(catalog, query, view)
+            .unwrap()
+            .expect("query should match");
+        let via_view = execute_match(view, &m);
+        let q = analyze(catalog, query).unwrap();
+        let ctx = ExecCtx::new(catalog, &q.layout);
+        let direct_rows: Vec<ojv_rel::Row> = eval_expr(&ctx, &q.expr)
+            .iter()
+            .map(|r| key_of(r, &q.projection))
+            .collect();
+        let direct = Relation::new(via_view.schema().clone(), direct_rows);
+        assert!(
+            via_view.bag_eq(&direct),
+            "match execution diverged from direct evaluation\nvia view:\n{via_view}\ndirect:\n{direct}"
+        );
+    }
+
+    #[test]
+    fn identical_query_matches() {
+        let (c, view) = setup();
+        assert_match_correct(&c, &oj_view_def(), &view);
+    }
+
+    /// The core-view query (all inner joins) is answerable from the
+    /// outer-join view by selecting the full-pattern rows.
+    #[test]
+    fn inner_join_core_query_matches_outer_join_view() {
+        let (c, view) = setup();
+        let query = ViewDef::new(
+            "q",
+            ViewExpr::inner(
+                vec![col_eq("part", "p_partkey", "lineitem", "l_partkey")],
+                ViewExpr::table("part"),
+                ViewExpr::inner(
+                    vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
+                    ViewExpr::table("orders"),
+                    ViewExpr::table("lineitem"),
+                ),
+            ),
+        );
+        let m = match_view(&c, &query, &view).unwrap().expect("matches");
+        assert_eq!(m.compensation.len(), 1);
+        assert_match_correct(&c, &query, &view);
+    }
+
+    /// A query with an extra child-side selection matches with a
+    /// compensation conjunct.
+    #[test]
+    fn extra_selection_on_child_tables_matches() {
+        let (c, view) = setup();
+        let query = ViewDef::new(
+            "q",
+            ViewExpr::select(
+                vec![col_cmp("part", "p_retailprice", CmpOp::Lt, 106.0)],
+                ViewExpr::full_outer(
+                    vec![col_eq("part", "p_partkey", "lineitem", "l_partkey")],
+                    ViewExpr::table("part"),
+                    ViewExpr::left_outer(
+                        vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
+                        ViewExpr::table("orders"),
+                        ViewExpr::table("lineitem"),
+                    ),
+                ),
+            ),
+        );
+        // σ_{p(part)} kills the {orders} term of the query; the remaining
+        // terms all carry the part filter, whose atoms reference only the
+        // part table — fine for the {P} child of {P,O,L}.
+        let m = match_view(&c, &query, &view).unwrap().expect("matches");
+        assert!(m.compensation.len() >= 2);
+        assert_match_correct(&c, &query, &view);
+    }
+
+    /// A narrower projection is answerable when the view outputs the
+    /// columns.
+    #[test]
+    fn projected_query_matches() {
+        let (c, view) = setup();
+        let query = oj_view_def().with_projection(vec![
+            ("part", "p_partkey"),
+            ("orders", "o_orderkey"),
+            ("lineitem", "l_quantity"),
+        ]);
+        let m = match_view(&c, &query, &view).unwrap().expect("matches");
+        assert_eq!(m.projection.len(), 3);
+        assert_match_correct(&c, &query, &view);
+    }
+
+    /// Rejections: different table sets, terms the view lacks, weaker query
+    /// predicates, and output columns the view hides.
+    #[test]
+    fn rejects_different_table_set() {
+        let (c, view) = setup();
+        let query = ViewDef::new(
+            "q",
+            ViewExpr::inner(
+                vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
+                ViewExpr::table("orders"),
+                ViewExpr::table("lineitem"),
+            ),
+        );
+        assert!(match_view(&c, &query, &view).unwrap().is_none());
+    }
+
+    /// With the Example 1 foreign keys, even a lineitem-preserving query
+    /// matches: FK term pruning shows its extra terms are empty, leaving
+    /// exactly the view's terms. (This is the FK-exploitation the companion
+    /// paper [6] describes for matching.)
+    #[test]
+    fn fk_pruning_enables_lineitem_preserving_match() {
+        let (c, view) = setup();
+        let query = ViewDef::new(
+            "q",
+            ViewExpr::full_outer(
+                vec![col_eq("part", "p_partkey", "lineitem", "l_partkey")],
+                ViewExpr::table("part"),
+                ViewExpr::right_outer(
+                    vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
+                    ViewExpr::table("orders"),
+                    ViewExpr::table("lineitem"),
+                ),
+            ),
+        );
+        let m = match_view(&c, &query, &view).unwrap().expect("matches via FK pruning");
+        assert_eq!(m.compensation.len(), 2); // {P,O,L} and {P}
+        assert_match_correct(&c, &query, &view);
+    }
+
+    /// Without foreign keys, a query term the view lacks forces rejection:
+    /// `R fo S` needs `{S}`-orphans that a `R lo S` view never stores.
+    #[test]
+    fn rejects_terms_absent_from_view() {
+        let mut c = v1_catalog();
+        for (name, n) in [("r", 5i64), ("s", 6)] {
+            let rows: Vec<ojv_rel::Row> = (1..=n).map(|i| v1_row(i, i % 3, i)).collect();
+            c.insert(name, rows).unwrap();
+        }
+        let view = MaterializedView::create(
+            &c,
+            ViewDef::new(
+                "r_lo_s",
+                ViewExpr::left_outer(
+                    vec![col_eq("r", "jc", "s", "jc")],
+                    ViewExpr::table("r"),
+                    ViewExpr::table("s"),
+                ),
+            ),
+        )
+        .unwrap();
+        let query = ViewDef::new(
+            "q",
+            ViewExpr::full_outer(
+                vec![col_eq("r", "jc", "s", "jc")],
+                ViewExpr::table("r"),
+                ViewExpr::table("s"),
+            ),
+        );
+        assert!(match_view(&c, &query, &view).unwrap().is_none());
+        // The converse direction matches: R lo S from the R fo S view.
+        let fo_view = MaterializedView::create(&c, query).unwrap();
+        let lo_query = ViewDef::new(
+            "q2",
+            ViewExpr::left_outer(
+                vec![col_eq("r", "jc", "s", "jc")],
+                ViewExpr::table("r"),
+                ViewExpr::table("s"),
+            ),
+        );
+        let m = match_view(&c, &lo_query, &fo_view).unwrap().expect("lo ⊆ fo");
+        assert_eq!(m.compensation.len(), 2);
+        assert_match_correct(&c, &lo_query, &fo_view);
+    }
+
+    #[test]
+    fn rejects_weaker_query_predicates() {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 10, 12);
+        // View with a part filter baked into the join; query without it
+        // needs rows the view dropped.
+        let view_def = ViewDef::new(
+            "filtered_view",
+            ViewExpr::full_outer(
+                vec![
+                    col_eq("part", "p_partkey", "lineitem", "l_partkey"),
+                    col_cmp("part", "p_retailprice", CmpOp::Lt, 105.0),
+                ],
+                ViewExpr::table("part"),
+                ViewExpr::left_outer(
+                    vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
+                    ViewExpr::table("orders"),
+                    ViewExpr::table("lineitem"),
+                ),
+            ),
+        );
+        let view = MaterializedView::create(&c, view_def).unwrap();
+        assert!(match_view(&c, &oj_view_def(), &view).unwrap().is_none());
+    }
+
+    #[test]
+    fn rejects_hidden_output_columns() {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 10, 12);
+        let view = MaterializedView::create(
+            &c,
+            oj_view_def().with_projection(vec![
+                ("part", "p_partkey"),
+                ("orders", "o_orderkey"),
+                ("lineitem", "l_orderkey"),
+                ("lineitem", "l_linenumber"),
+            ]),
+        )
+        .unwrap();
+        // The query wants l_quantity, which the view hides.
+        let query = oj_view_def().with_projection(vec![("lineitem", "l_quantity")]);
+        assert!(match_view(&c, &query, &view).unwrap().is_none());
+    }
+
+    /// Matching keeps working against a *maintained* view: update the base
+    /// tables, maintain, re-execute the match.
+    #[test]
+    fn match_execution_tracks_maintenance() {
+        let (mut c, mut view) = setup();
+        let query = ViewDef::new(
+            "q",
+            ViewExpr::inner(
+                vec![col_eq("part", "p_partkey", "lineitem", "l_partkey")],
+                ViewExpr::table("part"),
+                ViewExpr::inner(
+                    vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
+                    ViewExpr::table("orders"),
+                    ViewExpr::table("lineitem"),
+                ),
+            ),
+        );
+        let up = c
+            .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        crate::maintain::maintain(
+            &mut view,
+            &c,
+            &up,
+            &crate::policy::MaintenancePolicy::paper(),
+        )
+        .unwrap();
+        assert_match_correct(&c, &query, &view);
+    }
+}

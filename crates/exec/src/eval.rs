@@ -1,0 +1,121 @@
+//! Scalar predicate evaluation over wide rows.
+
+use ojv_algebra::{Atom, Pred};
+use ojv_rel::Datum;
+
+use crate::layout::ViewLayout;
+
+/// Evaluate one atom on a wide row under SQL three-valued logic collapsed to
+/// boolean: unknown (any null operand) is false — which is exactly the
+/// *null-rejecting* behaviour the paper requires of all view predicates.
+pub fn eval_atom(layout: &ViewLayout, atom: &Atom, row: &[Datum]) -> bool {
+    match atom {
+        Atom::Cols(a, op, b) => {
+            let x = &row[layout.global(*a)];
+            let y = &row[layout.global(*b)];
+            x.sql_cmp(y).map(|o| op.eval(o)).unwrap_or(false)
+        }
+        Atom::Const(c, op, lit) => {
+            let x = &row[layout.global(*c)];
+            x.sql_cmp(lit).map(|o| op.eval(o)).unwrap_or(false)
+        }
+        Atom::Between(c, lo, hi) => {
+            let x = &row[layout.global(*c)];
+            match (x.sql_cmp(lo), x.sql_cmp(hi)) {
+                (Some(a), Some(b)) => {
+                    a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater
+                }
+                _ => false,
+            }
+        }
+    }
+}
+
+/// Evaluate a conjunction on a wide row.
+pub fn eval_pred(layout: &ViewLayout, pred: &Pred, row: &[Datum]) -> bool {
+    pred.atoms().iter().all(|a| eval_atom(layout, a, row))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ojv_algebra::{CmpOp, ColRef, TableId};
+    use ojv_rel::{Column, DataType};
+    use ojv_storage::Catalog;
+
+    fn layout() -> ViewLayout {
+        let mut c = Catalog::new();
+        c.create_table(
+            "t",
+            vec![
+                Column::new("t", "id", DataType::Int, false),
+                Column::new("t", "v", DataType::Int, true),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        c.create_table(
+            "u",
+            vec![
+                Column::new("u", "id", DataType::Int, false),
+                Column::new("u", "tid", DataType::Int, false),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        ViewLayout::new(&c, &["t", "u"]).unwrap()
+    }
+
+    fn cr(t: u8, c: usize) -> ColRef {
+        ColRef::new(TableId(t), c)
+    }
+
+    #[test]
+    fn equijoin_atom() {
+        let l = layout();
+        let atom = Atom::eq(cr(0, 0), cr(1, 1));
+        let hit = vec![Datum::Int(1), Datum::Null, Datum::Int(9), Datum::Int(1)];
+        let miss = vec![Datum::Int(1), Datum::Null, Datum::Int(9), Datum::Int(2)];
+        assert!(eval_atom(&l, &atom, &hit));
+        assert!(!eval_atom(&l, &atom, &miss));
+    }
+
+    #[test]
+    fn null_operands_reject() {
+        let l = layout();
+        let atom = Atom::eq(cr(0, 0), cr(1, 1));
+        let null_left = vec![Datum::Null, Datum::Null, Datum::Int(9), Datum::Int(1)];
+        assert!(!eval_atom(&l, &atom, &null_left));
+        let cmp = Atom::Const(cr(0, 1), CmpOp::Lt, Datum::Int(5));
+        let null_col = vec![Datum::Int(1), Datum::Null, Datum::Null, Datum::Null];
+        assert!(!eval_atom(&l, &cmp, &null_col));
+    }
+
+    #[test]
+    fn between_atom_inclusive() {
+        let l = layout();
+        let atom = Atom::Between(cr(0, 1), Datum::Int(2), Datum::Int(4));
+        let mk = |v: i64| vec![Datum::Int(1), Datum::Int(v), Datum::Null, Datum::Null];
+        assert!(eval_atom(&l, &atom, &mk(2)));
+        assert!(eval_atom(&l, &atom, &mk(3)));
+        assert!(eval_atom(&l, &atom, &mk(4)));
+        assert!(!eval_atom(&l, &atom, &mk(1)));
+        assert!(!eval_atom(&l, &atom, &mk(5)));
+        let null_row = vec![Datum::Int(1), Datum::Null, Datum::Null, Datum::Null];
+        assert!(!eval_atom(&l, &atom, &null_row));
+    }
+
+    #[test]
+    fn conjunction_semantics() {
+        let l = layout();
+        let p = Pred::new(vec![
+            Atom::eq(cr(0, 0), cr(1, 1)),
+            Atom::Const(cr(0, 1), CmpOp::Ge, Datum::Int(0)),
+        ]);
+        let good = vec![Datum::Int(1), Datum::Int(0), Datum::Int(9), Datum::Int(1)];
+        let bad = vec![Datum::Int(1), Datum::Int(-1), Datum::Int(9), Datum::Int(1)];
+        assert!(eval_pred(&l, &p, &good));
+        assert!(!eval_pred(&l, &p, &bad));
+        assert!(eval_pred(&l, &Pred::true_(), &bad));
+    }
+}

@@ -1,0 +1,23 @@
+//! Execution substrate: physical operators over *wide rows*.
+//!
+//! Every expression over a view's tables is evaluated in the view-wide row
+//! layout: one slot per column of every base table the view references, in
+//! table order. A tuple that is null-extended on table `T` simply holds
+//! nulls in `T`'s slots — exactly the representation the paper's `null(T)`
+//! predicate assumes (`T.c IS NULL` for a non-nullable column `c` of `T`,
+//! §2.1). This makes the delta-expression operators compositional: joins
+//! merge disjoint slot ranges, the null-if operator clears slot ranges, and
+//! term extraction (§5.1) is a null-pattern filter.
+//!
+//! Operators are materialize-at-each-node: relation in, relation out. Joins
+//! pick between a hash join and an index-nested-loop join (when the right
+//! operand is a base-table scan with a covering index), mirroring the plans
+//! a production optimizer would choose for small deltas.
+
+pub mod eval;
+pub mod layout;
+pub mod ops;
+pub mod run;
+
+pub use layout::{TableSlot, ViewLayout};
+pub use run::{eval_expr, join_rows_expr, DeltaInput, ExecCtx};

@@ -1,0 +1,226 @@
+//! Hash aggregation.
+//!
+//! Used for (a) the initial materialization of aggregated outer-join views
+//! and (b) aggregating primary/secondary deltas before applying them
+//! (paper §3.3). Incrementally maintainable functions are `CountRows`,
+//! `CountNonNull`, and `Sum` (the SQL Server indexed-view set); `Min`/`Max`
+//! are provided for full computation only.
+
+use std::collections::HashMap;
+
+use ojv_rel::{key_of, Datum, Row};
+
+/// An aggregate function over a wide-row column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    /// `COUNT(*)` — always maintainable; drives row deletion (§3.3).
+    CountRows,
+    /// `COUNT(col)` — the paper's per-table not-null count when `col` is a
+    /// key column of a null-extendable table.
+    CountNonNull(usize),
+    /// `SUM(col)`; null over an all-null group.
+    Sum(usize),
+    /// `MIN(col)` — full computation only (not incrementally maintainable
+    /// under deletes).
+    Min(usize),
+    /// `MAX(col)` — full computation only.
+    Max(usize),
+}
+
+impl AggFunc {
+    /// True iff the function can be maintained incrementally under both
+    /// inserts and deletes.
+    pub fn incrementally_maintainable(self) -> bool {
+        !matches!(self, AggFunc::Min(_) | AggFunc::Max(_))
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Acc {
+    Count(i64),
+    SumInt { sum: i64, non_null: i64 },
+    SumFloat { sum: f64, non_null: i64 },
+    MinMax(Option<Datum>),
+}
+
+/// Group `rows` by `group_cols` and compute `aggs` for each group.
+///
+/// Output rows are `group key columns ++ aggregate values`, in first-seen
+/// group order. `SUM` over integers yields `Int`, over floats `Float`; an
+/// empty (all-null) sum yields `Null`.
+pub fn hash_aggregate(rows: &[Row], group_cols: &[usize], aggs: &[AggFunc]) -> Vec<Row> {
+    let mut groups: HashMap<Vec<Datum>, usize> = HashMap::new();
+    let mut order: Vec<Vec<Datum>> = Vec::new();
+    let mut accs: Vec<Vec<Acc>> = Vec::new();
+
+    for row in rows {
+        let key = key_of(row, group_cols);
+        let gi = *groups.entry(key.clone()).or_insert_with(|| {
+            order.push(key);
+            accs.push(aggs.iter().map(|a| init_acc(*a)).collect());
+            accs.len() - 1
+        });
+        for (acc, agg) in accs[gi].iter_mut().zip(aggs) {
+            update_acc(acc, *agg, row);
+        }
+    }
+
+    order
+        .into_iter()
+        .zip(accs)
+        .map(|(key, accs)| {
+            let mut out = key;
+            out.extend(accs.into_iter().map(finish_acc));
+            out
+        })
+        .collect()
+}
+
+fn init_acc(agg: AggFunc) -> Acc {
+    match agg {
+        AggFunc::CountRows | AggFunc::CountNonNull(_) => Acc::Count(0),
+        AggFunc::Sum(_) => Acc::SumInt { sum: 0, non_null: 0 },
+        AggFunc::Min(_) | AggFunc::Max(_) => Acc::MinMax(None),
+    }
+}
+
+fn update_acc(acc: &mut Acc, agg: AggFunc, row: &Row) {
+    match agg {
+        AggFunc::CountRows => {
+            if let Acc::Count(c) = acc {
+                *c += 1;
+            }
+        }
+        AggFunc::CountNonNull(col) => {
+            if let Acc::Count(c) = acc {
+                if !row[col].is_null() {
+                    *c += 1;
+                }
+            }
+        }
+        AggFunc::Sum(col) => match &row[col] {
+            Datum::Null => {}
+            Datum::Int(v) => {
+                // Widen to float accumulation on first float input.
+                match acc {
+                    Acc::SumInt { sum, non_null } => {
+                        *sum += v;
+                        *non_null += 1;
+                    }
+                    Acc::SumFloat { sum, non_null } => {
+                        *sum += *v as f64;
+                        *non_null += 1;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Datum::Float(v) => {
+                let (prev_sum, prev_nn) = match acc {
+                    Acc::SumInt { sum, non_null } => (*sum as f64, *non_null),
+                    Acc::SumFloat { sum, non_null } => (*sum, *non_null),
+                    _ => unreachable!(),
+                };
+                *acc = Acc::SumFloat {
+                    sum: prev_sum + v,
+                    non_null: prev_nn + 1,
+                };
+            }
+            other => panic!("SUM over non-numeric datum {other:?}"),
+        },
+        AggFunc::Min(col) | AggFunc::Max(col) => {
+            let v = &row[col];
+            if v.is_null() {
+                return;
+            }
+            if let Acc::MinMax(cur) = acc {
+                let take = match cur {
+                    None => true,
+                    Some(c) => {
+                        let ord = v.sql_cmp(c).expect("comparable aggregate inputs");
+                        if matches!(agg, AggFunc::Min(_)) {
+                            ord == std::cmp::Ordering::Less
+                        } else {
+                            ord == std::cmp::Ordering::Greater
+                        }
+                    }
+                };
+                if take {
+                    *cur = Some(v.clone());
+                }
+            }
+        }
+    }
+}
+
+fn finish_acc(acc: Acc) -> Datum {
+    match acc {
+        Acc::Count(c) => Datum::Int(c),
+        Acc::SumInt { non_null: 0, .. } | Acc::SumFloat { non_null: 0, .. } => Datum::Null,
+        Acc::SumInt { sum, .. } => Datum::Int(sum),
+        Acc::SumFloat { sum, .. } => Datum::Float(sum),
+        Acc::MinMax(v) => v.unwrap_or(Datum::Null),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Row> {
+        vec![
+            vec![Datum::Int(1), Datum::Int(10), Datum::Float(1.5)],
+            vec![Datum::Int(1), Datum::Int(20), Datum::Null],
+            vec![Datum::Int(2), Datum::Null, Datum::Float(3.0)],
+        ]
+    }
+
+    #[test]
+    fn count_and_sum() {
+        let out = hash_aggregate(
+            &rows(),
+            &[0],
+            &[AggFunc::CountRows, AggFunc::CountNonNull(1), AggFunc::Sum(1)],
+        );
+        assert_eq!(out.len(), 2);
+        let g1 = out.iter().find(|r| r[0] == Datum::Int(1)).unwrap();
+        assert_eq!(g1[1], Datum::Int(2)); // count(*)
+        assert_eq!(g1[2], Datum::Int(2)); // count(col)
+        assert_eq!(g1[3], Datum::Int(30)); // sum
+        let g2 = out.iter().find(|r| r[0] == Datum::Int(2)).unwrap();
+        assert_eq!(g2[1], Datum::Int(1));
+        assert_eq!(g2[2], Datum::Int(0));
+        assert_eq!(g2[3], Datum::Null); // all-null sum
+    }
+
+    #[test]
+    fn float_sum_widens() {
+        let out = hash_aggregate(&rows(), &[0], &[AggFunc::Sum(2)]);
+        let g1 = out.iter().find(|r| r[0] == Datum::Int(1)).unwrap();
+        assert_eq!(g1[1], Datum::Float(1.5));
+    }
+
+    #[test]
+    fn min_max() {
+        let out = hash_aggregate(&rows(), &[0], &[AggFunc::Min(1), AggFunc::Max(1)]);
+        let g1 = out.iter().find(|r| r[0] == Datum::Int(1)).unwrap();
+        assert_eq!(g1[1], Datum::Int(10));
+        assert_eq!(g1[2], Datum::Int(20));
+        let g2 = out.iter().find(|r| r[0] == Datum::Int(2)).unwrap();
+        assert_eq!(g2[1], Datum::Null);
+    }
+
+    #[test]
+    fn empty_group_cols_single_group() {
+        let out = hash_aggregate(&rows(), &[], &[AggFunc::CountRows]);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Datum::Int(3));
+    }
+
+    #[test]
+    fn maintainability_classification() {
+        assert!(AggFunc::CountRows.incrementally_maintainable());
+        assert!(AggFunc::Sum(0).incrementally_maintainable());
+        assert!(!AggFunc::Min(0).incrementally_maintainable());
+        assert!(!AggFunc::Max(0).incrementally_maintainable());
+    }
+}

@@ -1,0 +1,65 @@
+//! Selection.
+
+use ojv_algebra::Pred;
+use ojv_rel::Row;
+
+use crate::eval::eval_pred;
+use crate::layout::ViewLayout;
+
+/// Keep the rows satisfying `pred` (null-rejecting conjunction).
+pub fn filter(layout: &ViewLayout, pred: &Pred, rows: Vec<Row>) -> Vec<Row> {
+    if pred.is_true() {
+        return rows;
+    }
+    rows.into_iter()
+        .filter(|r| eval_pred(layout, pred, r))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ojv_algebra::{Atom, CmpOp, ColRef, TableId};
+    use ojv_rel::{Column, DataType, Datum};
+    use ojv_storage::Catalog;
+
+    fn layout() -> ViewLayout {
+        let mut c = Catalog::new();
+        c.create_table(
+            "t",
+            vec![
+                Column::new("t", "id", DataType::Int, false),
+                Column::new("t", "v", DataType::Int, true),
+            ],
+            &["id"],
+        )
+        .unwrap();
+        ViewLayout::new(&c, &["t"]).unwrap()
+    }
+
+    #[test]
+    fn filters_by_predicate() {
+        let l = layout();
+        let p = Pred::atom(Atom::Const(
+            ColRef::new(TableId(0), 1),
+            CmpOp::Gt,
+            Datum::Int(5),
+        ));
+        let rows = vec![
+            vec![Datum::Int(1), Datum::Int(10)],
+            vec![Datum::Int(2), Datum::Int(3)],
+            vec![Datum::Int(3), Datum::Null],
+        ];
+        let out = filter(&l, &p, rows);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0][0], Datum::Int(1));
+    }
+
+    #[test]
+    fn true_predicate_is_identity() {
+        let l = layout();
+        let rows = vec![vec![Datum::Int(1), Datum::Null]];
+        let out = filter(&l, &Pred::true_(), rows.clone());
+        assert_eq!(out, rows);
+    }
+}

@@ -1,0 +1,11 @@
+//! Physical operators over wide rows.
+
+pub mod agg;
+pub mod dedup;
+pub mod filter;
+pub mod join;
+
+pub use agg::{hash_aggregate, AggFunc};
+pub use dedup::{clean_dup, distinct};
+pub use filter::filter;
+pub use join::{hash_join, index_join, index_join_excluding, merge_rows, semi_anti_by_key};

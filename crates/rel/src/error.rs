@@ -1,0 +1,30 @@
+//! Error type for the data-model layer.
+
+use std::fmt;
+
+/// Errors raised by schema construction and row validation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A column name was referenced that the schema does not contain.
+    UnknownColumn { qualifier: String, name: String },
+    /// Two columns with the same qualified name were added to one schema.
+    DuplicateColumn { qualifier: String, name: String },
+    /// A row's arity or a datum's type does not match the schema.
+    TypeMismatch { detail: String },
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::UnknownColumn { qualifier, name } => {
+                write!(f, "unknown column {qualifier}.{name}")
+            }
+            RelError::DuplicateColumn { qualifier, name } => {
+                write!(f, "duplicate column {qualifier}.{name}")
+            }
+            RelError::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {}

@@ -1,0 +1,31 @@
+//! Relational data-model substrate for the outer-join view maintenance
+//! library.
+//!
+//! This crate defines the value, schema, row, and relation types shared by
+//! every other crate in the workspace, together with the row-level operators
+//! from Section 2.1 of Larson & Zhou, ICDE 2007:
+//!
+//! * [`Datum`] — a dynamically typed SQL-style value with a distinguished
+//!   `NULL`,
+//! * [`Schema`] / [`Column`] — ordered, named, typed column lists,
+//! * [`Relation`] — a materialized bag of rows over a schema,
+//! * tuple *subsumption* and *removal of subsumed tuples* (the `↓` operator),
+//! * *outer union* (`⊎`) and *minimum union* (`⊕`).
+//!
+//! Everything here is deliberately engine-agnostic: no indexes, no
+//! constraints, no operators beyond the algebraic primitives the paper's
+//! definitions need. Those live in `ojv-storage` and `ojv-exec`.
+
+pub mod datum;
+pub mod error;
+pub mod relation;
+pub mod row;
+pub mod schema;
+pub mod subsume;
+
+pub use datum::{date, date_from_days, days_from_date, DataType, Datum};
+pub use error::RelError;
+pub use relation::Relation;
+pub use row::{all_non_null, all_null, key_of, row_display, Row};
+pub use schema::{Column, Schema, SchemaRef};
+pub use subsume::{minimum_union, outer_union, outer_union_schema, remove_subsumed, subsumes};

@@ -1,0 +1,71 @@
+//! Rows and key extraction.
+
+use crate::datum::Datum;
+
+/// A row is a dense vector of datums, positionally aligned with a
+/// [`crate::Schema`].
+///
+/// View-wide rows carry one slot per column of every base table the view
+/// references; slots of tables a tuple is null-extended on hold
+/// [`Datum::Null`].
+pub type Row = Vec<Datum>;
+
+/// Extract the sub-tuple at `cols` — used for join keys, unique keys, and the
+/// paper's `eq(T_i)` equijoin predicates over term keys.
+pub fn key_of(row: &[Datum], cols: &[usize]) -> Vec<Datum> {
+    cols.iter().map(|&c| row[c].clone()).collect()
+}
+
+/// True iff every column in `cols` is null — the paper's `null(T)` predicate
+/// evaluated over a table's key columns.
+pub fn all_null(row: &[Datum], cols: &[usize]) -> bool {
+    cols.iter().all(|&c| row[c].is_null())
+}
+
+/// True iff every column in `cols` is non-null — the paper's `¬null(T)`.
+pub fn all_non_null(row: &[Datum], cols: &[usize]) -> bool {
+    cols.iter().all(|&c| !row[c].is_null())
+}
+
+/// Render a row for debugging and the `repro` binary's table output.
+pub fn row_display(row: &[Datum]) -> String {
+    let mut s = String::from("[");
+    for (i, d) in row.iter().enumerate() {
+        if i > 0 {
+            s.push_str(", ");
+        }
+        s.push_str(&d.to_string());
+    }
+    s.push(']');
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_extraction() {
+        let row = vec![Datum::Int(1), Datum::str("x"), Datum::Int(3)];
+        assert_eq!(key_of(&row, &[2, 0]), vec![Datum::Int(3), Datum::Int(1)]);
+        assert_eq!(key_of(&row, &[]), Vec::<Datum>::new());
+    }
+
+    #[test]
+    fn null_tests() {
+        let row = vec![Datum::Null, Datum::Int(2), Datum::Null];
+        assert!(all_null(&row, &[0, 2]));
+        assert!(!all_null(&row, &[0, 1]));
+        assert!(all_non_null(&row, &[1]));
+        assert!(!all_non_null(&row, &[1, 2]));
+        // Vacuous truth on the empty column set.
+        assert!(all_null(&row, &[]));
+        assert!(all_non_null(&row, &[]));
+    }
+
+    #[test]
+    fn display() {
+        let row = vec![Datum::Int(1), Datum::Null];
+        assert_eq!(row_display(&row), "[1, NULL]");
+    }
+}

@@ -1,0 +1,284 @@
+//! The paper's Section 2.1 tuple-level operators: subsumption, removal of
+//! subsumed tuples (`↓`), outer union (`⊎`), and minimum union (`⊕`).
+
+use std::collections::HashMap;
+
+use crate::datum::Datum;
+use crate::error::RelError;
+use crate::relation::Relation;
+use crate::row::Row;
+use crate::schema::{Column, Schema, SchemaRef};
+
+/// Tuple subsumption (paper §2.1): `t1` subsumes `t2` iff they are defined on
+/// the same schema, they agree on every column where **both** are non-null,
+/// `t1` has strictly fewer nulls, and `t2` is null wherever `t1` is null...
+///
+/// More precisely, per the paper: `t1` agrees with `t2` on all columns where
+/// both are non-null and `t1` contains fewer null values than `t2`. Note that
+/// this alone would let `(1, NULL)` and `(NULL, 2)` interact; the standard
+/// reading (Galindo-Legaria) additionally requires `t2`'s non-null columns to
+/// be a subset of `t1`'s, which is what we implement: `t1` subsumes `t2` iff
+/// every non-null column of `t2` is non-null in `t1` with the same value, and
+/// `t1` is non-null on at least one column where `t2` is null.
+pub fn subsumes(t1: &[Datum], t2: &[Datum]) -> bool {
+    debug_assert_eq!(t1.len(), t2.len());
+    let mut strictly_more = false;
+    for (a, b) in t1.iter().zip(t2.iter()) {
+        match (a.is_null(), b.is_null()) {
+            (true, false) => return false, // t2 has a value where t1 is null
+            (false, false) => {
+                if a != b {
+                    return false;
+                }
+            }
+            (false, true) => strictly_more = true,
+            (true, true) => {}
+        }
+    }
+    strictly_more
+}
+
+/// Removal of subsumed tuples — the paper's `T↓`.
+///
+/// Returns the tuples of `rel` not subsumed by any other tuple in `rel`.
+/// Duplicates are preserved (`↓` is not duplicate elimination).
+///
+/// The implementation groups rows by their non-null "signature" pattern and
+/// only compares rows against rows with strictly larger signatures, but the
+/// worst case remains quadratic, which is fine for the term-sized inputs this
+/// is used on (tests and reference computations; the maintenance fast paths
+/// never call it on full views).
+pub fn remove_subsumed(rel: &Relation) -> Relation {
+    let rows = rel.rows();
+    let mut keep = vec![true; rows.len()];
+    // Group rows by null-pattern bitmask (usable when width <= 64).
+    let width = rel.schema().len();
+    if width <= 64 {
+        let mask_of = |r: &Row| -> u64 {
+            let mut m = 0u64;
+            for (i, d) in r.iter().enumerate() {
+                if !d.is_null() {
+                    m |= 1 << i;
+                }
+            }
+            m
+        };
+        let masks: Vec<u64> = rows.iter().map(&mask_of).collect();
+        let mut by_mask: HashMap<u64, Vec<usize>> = HashMap::new();
+        for (i, &m) in masks.iter().enumerate() {
+            by_mask.entry(m).or_default().push(i);
+        }
+        let distinct_masks: Vec<u64> = by_mask.keys().copied().collect();
+        for (i, row) in rows.iter().enumerate() {
+            let mi = masks[i];
+            'outer: for &mj in &distinct_masks {
+                // A subsumer must be non-null on a strict superset of columns.
+                if mj & mi != mi || mj == mi {
+                    continue;
+                }
+                for &j in &by_mask[&mj] {
+                    if subsumes(&rows[j], row) {
+                        keep[i] = false;
+                        break 'outer;
+                    }
+                }
+            }
+        }
+    } else {
+        for i in 0..rows.len() {
+            for j in 0..rows.len() {
+                if i != j && subsumes(&rows[j], &rows[i]) {
+                    keep[i] = false;
+                    break;
+                }
+            }
+        }
+    }
+    let kept = rows
+        .iter()
+        .zip(keep)
+        .filter_map(|(r, k)| if k { Some(r.clone()) } else { None })
+        .collect();
+    Relation::new(rel.schema().clone(), kept)
+}
+
+/// Compute the outer-union schema `S1 ∪ S2` (by qualified column name).
+///
+/// Columns present in only one operand become nullable in the result, since
+/// the other operand's tuples are null-extended on them.
+pub fn outer_union_schema(s1: &Schema, s2: &Schema) -> Result<SchemaRef, RelError> {
+    let mut cols: Vec<Column> = s1.columns().to_vec();
+    for c in s2.columns() {
+        match s1.index_of(&c.qualifier, &c.name) {
+            Ok(i) => {
+                if s1.column(i).ty != c.ty {
+                    return Err(RelError::TypeMismatch {
+                        detail: format!(
+                            "outer union column {} has conflicting types",
+                            c.qualified_name()
+                        ),
+                    });
+                }
+            }
+            Err(_) => {
+                let mut c = c.clone();
+                c.nullable = true;
+                cols.push(c);
+            }
+        }
+    }
+    // Columns only in s1 must also become nullable.
+    for c in cols.iter_mut() {
+        if s2.index_of(&c.qualifier, &c.name).is_err() && s1.index_of(&c.qualifier, &c.name).is_ok()
+        {
+            c.nullable = true;
+        }
+    }
+    Schema::shared(cols)
+}
+
+/// Outer union `T1 ⊎ T2` (paper §2.1): null-extend both operands to the union
+/// schema, then take the bag union (no duplicate elimination).
+pub fn outer_union(r1: &Relation, r2: &Relation) -> Result<Relation, RelError> {
+    let schema = outer_union_schema(r1.schema(), r2.schema())?;
+    let mut rows = Vec::with_capacity(r1.len() + r2.len());
+    let map1 = column_mapping(r1.schema(), &schema);
+    let map2 = column_mapping(r2.schema(), &schema);
+    for r in r1.rows() {
+        rows.push(extend_row(r, &map1, schema.len()));
+    }
+    for r in r2.rows() {
+        rows.push(extend_row(r, &map2, schema.len()));
+    }
+    Ok(Relation::new(schema, rows))
+}
+
+/// Minimum union `T1 ⊕ T2 = (T1 ⊎ T2)↓` (paper §2.1).
+pub fn minimum_union(r1: &Relation, r2: &Relation) -> Result<Relation, RelError> {
+    Ok(remove_subsumed(&outer_union(r1, r2)?))
+}
+
+/// For each column of `from`, its index in `to`.
+fn column_mapping(from: &Schema, to: &Schema) -> Vec<usize> {
+    from.columns()
+        .iter()
+        .map(|c| {
+            to.index_of(&c.qualifier, &c.name)
+                .expect("outer-union schema contains all operand columns")
+        })
+        .collect()
+}
+
+fn extend_row(row: &Row, mapping: &[usize], width: usize) -> Row {
+    let mut out = vec![Datum::Null; width];
+    for (src, &dst) in mapping.iter().enumerate() {
+        out[dst] = row[src].clone();
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datum::DataType;
+
+    fn n() -> Datum {
+        Datum::Null
+    }
+    fn i(v: i64) -> Datum {
+        Datum::Int(v)
+    }
+
+    #[test]
+    fn subsumption_basics() {
+        assert!(subsumes(&[i(1), i(2)], &[i(1), n()]));
+        assert!(!subsumes(&[i(1), n()], &[i(1), i(2)]));
+        assert!(!subsumes(&[i(1), i(2)], &[i(1), i(2)])); // equal: not fewer nulls
+        assert!(subsumes(&[i(1), i(3)], &[i(1), n()]));
+        assert!(!subsumes(&[i(2), i(3)], &[i(1), n()])); // disagrees on non-null col
+    }
+
+    #[test]
+    fn incomparable_null_patterns_do_not_subsume() {
+        assert!(!subsumes(&[i(1), n()], &[n(), i(2)]));
+        assert!(!subsumes(&[n(), i(2)], &[i(1), n()]));
+    }
+
+    #[test]
+    fn remove_subsumed_keeps_maximal_rows() {
+        let s = Schema::shared(vec![
+            Column::new("t", "a", DataType::Int, true),
+            Column::new("t", "b", DataType::Int, true),
+        ])
+        .unwrap();
+        let r = Relation::new(
+            s,
+            vec![
+                vec![i(1), i(2)],
+                vec![i(1), n()],  // subsumed by [1,2]
+                vec![i(3), n()],  // kept
+                vec![n(), i(2)],  // kept (incomparable with [1,2]? no: [1,2] subsumes it!)
+            ],
+        );
+        let out = remove_subsumed(&r);
+        // [NULL,2] IS subsumed by [1,2]: non-null cols of t2 = {b}, t1 agrees (2),
+        // and t1 has fewer nulls.
+        let rows: Vec<_> = out.rows().to_vec();
+        assert!(rows.contains(&vec![i(1), i(2)]));
+        assert!(rows.contains(&vec![i(3), n()]));
+        assert!(!rows.contains(&vec![i(1), n()]));
+        assert!(!rows.contains(&vec![n(), i(2)]));
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn remove_subsumed_preserves_duplicates() {
+        let s = Schema::shared(vec![Column::new("t", "a", DataType::Int, true)]).unwrap();
+        let r = Relation::new(s, vec![vec![i(1)], vec![i(1)]]);
+        assert_eq!(remove_subsumed(&r).len(), 2);
+    }
+
+    #[test]
+    fn outer_union_null_extends() {
+        let s1 = Schema::shared(vec![Column::new("t", "a", DataType::Int, false)]).unwrap();
+        let s2 = Schema::shared(vec![Column::new("u", "b", DataType::Int, false)]).unwrap();
+        let r1 = Relation::new(s1, vec![vec![i(1)]]);
+        let r2 = Relation::new(s2, vec![vec![i(2)]]);
+        let u = outer_union(&r1, &r2).unwrap();
+        assert_eq!(u.schema().len(), 2);
+        assert!(u.rows().contains(&vec![i(1), n()]));
+        assert!(u.rows().contains(&vec![n(), i(2)]));
+        // Every column of an outer union is nullable.
+        assert!(u.schema().columns().iter().all(|c| c.nullable));
+    }
+
+    #[test]
+    fn minimum_union_is_commutative_and_associative_on_samples() {
+        let s1 = Schema::shared(vec![
+            Column::new("t", "a", DataType::Int, true),
+            Column::new("t", "b", DataType::Int, true),
+        ])
+        .unwrap();
+        let r1 = Relation::new(s1.clone(), vec![vec![i(1), i(2)]]);
+        let r2 = Relation::new(s1.clone(), vec![vec![i(1), n()], vec![i(5), n()]]);
+        let ab = minimum_union(&r1, &r2).unwrap();
+        let ba = minimum_union(&r2, &r1).unwrap();
+        assert!(ab.bag_eq(&ba));
+        // (1,NULL) is subsumed by (1,2); (5,NULL) survives.
+        assert_eq!(ab.len(), 2);
+
+        let r3 = Relation::new(s1, vec![vec![i(5), i(6)]]);
+        let left = minimum_union(&minimum_union(&r1, &r2).unwrap(), &r3).unwrap();
+        let right = minimum_union(&r1, &minimum_union(&r2, &r3).unwrap()).unwrap();
+        assert!(left.bag_eq(&right));
+    }
+
+    #[test]
+    fn outer_union_rejects_type_conflicts() {
+        let s1 = Schema::shared(vec![Column::new("t", "a", DataType::Int, false)]).unwrap();
+        let s2 = Schema::shared(vec![Column::new("t", "a", DataType::Str, false)]).unwrap();
+        let r1 = Relation::empty(s1);
+        let r2 = Relation::empty(s2);
+        assert!(outer_union(&r1, &r2).is_err());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for the algebraic laws of §2.1: subsumption is a
+//! strict partial order, `↓` is idempotent, and minimum union is commutative
+//! and associative (the paper states the latter explicitly).
+
+use proptest::prelude::*;
+
+use ojv_rel::{
+    minimum_union, outer_union, remove_subsumed, subsumes, Column, DataType, Datum, Relation,
+    Schema, SchemaRef,
+};
+
+fn schema(width: usize) -> SchemaRef {
+    Schema::shared(
+        (0..width)
+            .map(|i| Column::new("t", &format!("c{i}"), DataType::Int, true))
+            .collect(),
+    )
+    .expect("distinct columns")
+}
+
+/// Rows over a tiny domain with plenty of nulls, to make subsumption likely.
+fn row_strategy(width: usize) -> impl Strategy<Value = Vec<Datum>> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just(Datum::Null),
+            (0i64..3).prop_map(Datum::Int),
+        ],
+        width..=width,
+    )
+}
+
+fn rel_strategy(width: usize) -> impl Strategy<Value = Vec<Vec<Datum>>> {
+    proptest::collection::vec(row_strategy(width), 0..8)
+}
+
+proptest! {
+    #[test]
+    fn subsumption_is_irreflexive_and_asymmetric(a in row_strategy(4), b in row_strategy(4)) {
+        prop_assert!(!subsumes(&a, &a));
+        if subsumes(&a, &b) {
+            prop_assert!(!subsumes(&b, &a));
+        }
+    }
+
+    #[test]
+    fn subsumption_is_transitive(a in row_strategy(3), b in row_strategy(3), c in row_strategy(3)) {
+        if subsumes(&a, &b) && subsumes(&b, &c) {
+            prop_assert!(subsumes(&a, &c));
+        }
+    }
+
+    #[test]
+    fn removal_of_subsumed_is_idempotent(rows in rel_strategy(4)) {
+        let r = Relation::new(schema(4), rows);
+        let once = remove_subsumed(&r);
+        let twice = remove_subsumed(&once);
+        prop_assert!(once.bag_eq(&twice));
+    }
+
+    #[test]
+    fn removal_output_has_no_subsumed_rows(rows in rel_strategy(4)) {
+        let r = Relation::new(schema(4), rows);
+        let out = remove_subsumed(&r);
+        for (i, a) in out.rows().iter().enumerate() {
+            for (j, b) in out.rows().iter().enumerate() {
+                if i != j {
+                    prop_assert!(!subsumes(a, b), "row {j} still subsumed by {i}");
+                }
+            }
+        }
+    }
+
+    /// `⊕` is commutative (paper §2.1: "minimum union is both commutative
+    /// and associative").
+    #[test]
+    fn minimum_union_commutative(a in rel_strategy(4), b in rel_strategy(4)) {
+        let s = schema(4);
+        let ra = Relation::new(s.clone(), a);
+        let rb = Relation::new(s, b);
+        let ab = minimum_union(&ra, &rb).unwrap();
+        let ba = minimum_union(&rb, &ra).unwrap();
+        prop_assert!(ab.bag_eq(&ba));
+    }
+
+    /// `⊕` is associative.
+    #[test]
+    fn minimum_union_associative(
+        a in rel_strategy(3),
+        b in rel_strategy(3),
+        c in rel_strategy(3),
+    ) {
+        let s = schema(3);
+        let ra = Relation::new(s.clone(), a);
+        let rb = Relation::new(s.clone(), b);
+        let rc = Relation::new(s, c);
+        let left = minimum_union(&minimum_union(&ra, &rb).unwrap(), &rc).unwrap();
+        let right = minimum_union(&ra, &minimum_union(&rb, &rc).unwrap()).unwrap();
+        prop_assert!(left.bag_eq(&right));
+    }
+
+    /// `T1 ⊕ T2 = (T1 ⊎ T2)↓` — the definition, checked against the
+    /// composed implementation.
+    #[test]
+    fn minimum_union_is_outer_union_then_removal(a in rel_strategy(4), b in rel_strategy(4)) {
+        let s = schema(4);
+        let ra = Relation::new(s.clone(), a);
+        let rb = Relation::new(s, b);
+        let direct = minimum_union(&ra, &rb).unwrap();
+        let composed = remove_subsumed(&outer_union(&ra, &rb).unwrap());
+        prop_assert!(direct.bag_eq(&composed));
+    }
+
+    /// The grouped (bitmask) implementation of `↓` agrees with the naive
+    /// quadratic definition.
+    #[test]
+    fn removal_matches_naive_definition(rows in rel_strategy(5)) {
+        let r = Relation::new(schema(5), rows.clone());
+        let fast = remove_subsumed(&r);
+        let naive: Vec<Vec<Datum>> = rows
+            .iter()
+            .filter(|a| !rows.iter().any(|b| subsumes(b, a)))
+            .cloned()
+            .collect();
+        let naive_rel = Relation::new(schema(5), naive);
+        prop_assert!(fast.bag_eq(&naive_rel));
+    }
+
+    /// Datum total order: antisymmetric and transitive over a mixed domain,
+    /// and hashing agrees with equality.
+    #[test]
+    fn datum_order_and_hash_consistent(a in row_strategy(1), b in row_strategy(1)) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let (x, y) = (&a[0], &b[0]);
+        if x == y {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            x.hash(&mut ha);
+            y.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+            prop_assert_eq!(x.cmp(y), std::cmp::Ordering::Equal);
+        }
+        prop_assert_eq!(x.cmp(y), y.cmp(x).reverse());
+    }
+}

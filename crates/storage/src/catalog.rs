@@ -1,0 +1,393 @@
+//! The catalog: tables plus declared constraints.
+
+use std::collections::HashMap;
+
+use ojv_rel::{key_of, Column, Datum, Relation, Row, Schema};
+
+use crate::delta::{Update, UpdateOp};
+use crate::error::StorageError;
+use crate::table::Table;
+
+/// A foreign-key constraint from `child` columns to the `parent` table's
+/// unique key (paper §6 assumes FKs reference a non-null unique key).
+#[derive(Debug, Clone)]
+pub struct ForeignKey {
+    pub name: String,
+    pub child: String,
+    /// Column indexes in the child table, aligned with the parent key.
+    pub child_cols: Vec<usize>,
+    pub parent: String,
+    /// Column indexes of the parent's unique key.
+    pub parent_key: Vec<usize>,
+    /// Secondary index id on the child table used for restrict checks.
+    child_index: usize,
+    /// Whether the constraint is declared with cascading deletes. The FK
+    /// maintenance optimizations of §6 must be disabled in that case.
+    pub cascade_delete: bool,
+    /// Whether the constraint is deferrable; also disables §6 optimizations
+    /// inside multi-statement transactions.
+    pub deferrable: bool,
+}
+
+/// The set of base tables and constraints.
+///
+/// All updates flow through [`Catalog::insert`]/[`Catalog::delete`], which enforce constraints
+/// and returns the applied delta (`ΔT`) for view maintenance.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<Table>,
+    by_name: HashMap<String, usize>,
+    fks: Vec<ForeignKey>,
+    /// When false, constraint checks are skipped (bulk load fast path).
+    pub enforce_constraints: bool,
+}
+
+impl Catalog {
+    pub fn new() -> Self {
+        Catalog {
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            fks: Vec::new(),
+            enforce_constraints: true,
+        }
+    }
+
+    /// Create a table. `key` lists the unique-key column names.
+    pub fn create_table(
+        &mut self,
+        name: &str,
+        columns: Vec<Column>,
+        key: &[&str],
+    ) -> Result<(), StorageError> {
+        if self.by_name.contains_key(name) {
+            return Err(StorageError::InvalidConstraint {
+                detail: format!("table {name} already exists"),
+            });
+        }
+        let schema = Schema::shared(columns)?;
+        let mut key_cols = Vec::with_capacity(key.len());
+        for k in key {
+            key_cols.push(
+                schema
+                    .index_of(name, k)
+                    .map_err(|_| StorageError::UnknownColumn {
+                        table: name.to_string(),
+                        column: k.to_string(),
+                    })?,
+            );
+        }
+        let table = Table::new(name, schema, key_cols)?;
+        self.by_name.insert(name.to_string(), self.tables.len());
+        self.tables.push(table);
+        Ok(())
+    }
+
+    /// Declare a foreign key from `child.(child_cols)` to `parent`'s unique
+    /// key. A secondary index on the child columns is created to make
+    /// restrict checks cheap.
+    pub fn add_foreign_key(
+        &mut self,
+        name: &str,
+        child: &str,
+        child_cols: &[&str],
+        parent: &str,
+    ) -> Result<(), StorageError> {
+        let parent_key = self.table(parent)?.key_cols().to_vec();
+        if parent_key.len() != child_cols.len() {
+            return Err(StorageError::InvalidConstraint {
+                detail: format!(
+                    "foreign key {name}: {} child columns vs {}-column parent key",
+                    child_cols.len(),
+                    parent_key.len()
+                ),
+            });
+        }
+        let child_idx = self.index_of(child)?;
+        let child_schema = self.tables[child_idx].schema().clone();
+        let mut cols = Vec::with_capacity(child_cols.len());
+        for c in child_cols {
+            cols.push(child_schema.index_of(child, c).map_err(|_| {
+                StorageError::UnknownColumn {
+                    table: child.to_string(),
+                    column: c.to_string(),
+                }
+            })?);
+        }
+        let child_index = self.tables[child_idx].add_secondary_index(cols.clone());
+        self.fks.push(ForeignKey {
+            name: name.to_string(),
+            child: child.to_string(),
+            child_cols: cols,
+            parent: parent.to_string(),
+            parent_key,
+            child_index,
+            cascade_delete: false,
+            deferrable: false,
+        });
+        Ok(())
+    }
+
+    pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.by_name
+            .get(name)
+            .map(|&i| &self.tables[i])
+            .ok_or_else(|| StorageError::UnknownTable {
+                name: name.to_string(),
+            })
+    }
+
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table, StorageError> {
+        match self.by_name.get(name) {
+            Some(&i) => Ok(&mut self.tables[i]),
+            None => Err(StorageError::UnknownTable {
+                name: name.to_string(),
+            }),
+        }
+    }
+
+    fn index_of(&self, name: &str) -> Result<usize, StorageError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| StorageError::UnknownTable {
+                name: name.to_string(),
+            })
+    }
+
+    pub fn tables(&self) -> impl Iterator<Item = &Table> {
+        self.tables.iter()
+    }
+
+    pub fn foreign_keys(&self) -> &[ForeignKey] {
+        &self.fks
+    }
+
+    /// Foreign keys whose child table is `child`.
+    pub fn fks_from<'a>(&'a self, child: &'a str) -> impl Iterator<Item = &'a ForeignKey> + 'a {
+        self.fks.iter().filter(move |fk| fk.child == child)
+    }
+
+    /// Foreign keys whose parent table is `parent`.
+    pub fn fks_to<'a>(&'a self, parent: &'a str) -> impl Iterator<Item = &'a ForeignKey> + 'a {
+        self.fks.iter().filter(move |fk| fk.parent == parent)
+    }
+
+    /// Insert a batch of rows, enforcing unique keys and FK parent existence.
+    ///
+    /// All-or-nothing: validation runs before any row is applied. Returns the
+    /// applied delta.
+    pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<Update, StorageError> {
+        let tidx = self.index_of(table)?;
+        if self.enforce_constraints {
+            // FK parent check: the parent may be satisfied by existing rows
+            // or by rows earlier in this same batch (self-referencing batches
+            // to the parent table are handled by batch-local key sets).
+            for fk in self.fks.iter().filter(|fk| fk.child == table) {
+                let parent = self.table(&fk.parent)?;
+                for row in &rows {
+                    let fkv = key_of(row, &fk.child_cols);
+                    if fkv.iter().any(|d| d.is_null()) {
+                        // SQL semantics: null FK values are not checked.
+                        continue;
+                    }
+                    if !parent.contains_key(&fkv) {
+                        return Err(StorageError::ForeignKeyViolation {
+                            constraint: fk.name.clone(),
+                            detail: format!(
+                                "no {} row with key {}",
+                                fk.parent,
+                                ojv_rel::row_display(&fkv)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let t = &mut self.tables[tidx];
+        let schema = t.schema().clone();
+        let mut applied: Vec<Row> = Vec::with_capacity(rows.len());
+        for row in rows {
+            match t.insert(row.clone()) {
+                Ok(()) => applied.push(row),
+                Err(e) => {
+                    // Roll back rows applied so far to keep all-or-nothing.
+                    for r in &applied {
+                        let key = key_of(r, t.key_cols());
+                        t.delete(&key).expect("rollback of just-inserted row");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Update {
+            table: table.to_string(),
+            op: UpdateOp::Insert,
+            rows: Relation::new(schema, applied),
+        })
+    }
+
+    /// Delete a batch of rows by unique key, enforcing FK restrict (no
+    /// children may reference a deleted parent). Returns the applied delta.
+    pub fn delete(&mut self, table: &str, keys: &[Vec<Datum>]) -> Result<Update, StorageError> {
+        let tidx = self.index_of(table)?;
+        if self.enforce_constraints {
+            for fk in self.fks.iter().filter(|fk| fk.parent == table) {
+                let child = self.table(&fk.child)?;
+                for key in keys {
+                    if child.count_secondary(fk.child_index, key) > 0 {
+                        return Err(StorageError::ForeignKeyViolation {
+                            constraint: fk.name.clone(),
+                            detail: format!(
+                                "rows in {} still reference {} key {}",
+                                fk.child,
+                                table,
+                                ojv_rel::row_display(key)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        let t = &mut self.tables[tidx];
+        let schema = t.schema().clone();
+        let mut deleted = Vec::with_capacity(keys.len());
+        for key in keys {
+            match t.delete(key) {
+                Ok(row) => deleted.push(row),
+                Err(e) => {
+                    for r in &deleted {
+                        t.insert(r.clone()).expect("rollback of just-deleted row");
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Update {
+            table: table.to_string(),
+            op: UpdateOp::Delete,
+            rows: Relation::new(schema, deleted),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ojv_rel::DataType;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        c.create_table(
+            "parent",
+            vec![
+                Column::new("parent", "pk", DataType::Int, false),
+                Column::new("parent", "v", DataType::Int, true),
+            ],
+            &["pk"],
+        )
+        .unwrap();
+        c.create_table(
+            "child",
+            vec![
+                Column::new("child", "ck", DataType::Int, false),
+                Column::new("child", "fk", DataType::Int, false),
+            ],
+            &["ck"],
+        )
+        .unwrap();
+        c.add_foreign_key("fk_child_parent", "child", &["fk"], "parent")
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn insert_checks_fk_parent() {
+        let mut c = catalog();
+        c.insert("parent", vec![vec![Datum::Int(1), Datum::Int(0)]])
+            .unwrap();
+        assert!(c
+            .insert("child", vec![vec![Datum::Int(10), Datum::Int(1)]])
+            .is_ok());
+        let err = c
+            .insert("child", vec![vec![Datum::Int(11), Datum::Int(99)]])
+            .unwrap_err();
+        assert!(matches!(err, StorageError::ForeignKeyViolation { .. }));
+    }
+
+    #[test]
+    fn delete_restricts_on_children() {
+        let mut c = catalog();
+        c.insert("parent", vec![vec![Datum::Int(1), Datum::Int(0)]])
+            .unwrap();
+        c.insert("child", vec![vec![Datum::Int(10), Datum::Int(1)]])
+            .unwrap();
+        let err = c.delete("parent", &[vec![Datum::Int(1)]]).unwrap_err();
+        assert!(matches!(err, StorageError::ForeignKeyViolation { .. }));
+        c.delete("child", &[vec![Datum::Int(10)]]).unwrap();
+        assert!(c.delete("parent", &[vec![Datum::Int(1)]]).is_ok());
+    }
+
+    #[test]
+    fn insert_rollback_on_duplicate_is_all_or_nothing() {
+        let mut c = catalog();
+        c.insert("parent", vec![vec![Datum::Int(1), Datum::Int(0)]])
+            .unwrap();
+        let err = c.insert(
+            "parent",
+            vec![
+                vec![Datum::Int(2), Datum::Int(0)],
+                vec![Datum::Int(1), Datum::Int(0)], // duplicate
+            ],
+        );
+        assert!(err.is_err());
+        assert_eq!(c.table("parent").unwrap().len(), 1);
+        assert!(c.table("parent").unwrap().get(&[Datum::Int(2)]).is_none());
+    }
+
+    #[test]
+    fn delta_reports_applied_rows() {
+        let mut c = catalog();
+        let up = c
+            .insert(
+                "parent",
+                vec![
+                    vec![Datum::Int(1), Datum::Int(0)],
+                    vec![Datum::Int(2), Datum::Null],
+                ],
+            )
+            .unwrap();
+        assert_eq!(up.op, UpdateOp::Insert);
+        assert_eq!(up.rows.len(), 2);
+        let down = c
+            .delete("parent", &[vec![Datum::Int(1)], vec![Datum::Int(2)]])
+            .unwrap();
+        assert_eq!(down.op, UpdateOp::Delete);
+        assert_eq!(down.rows.len(), 2);
+        assert!(c.table("parent").unwrap().is_empty());
+    }
+
+    #[test]
+    fn enforcement_can_be_disabled_for_bulk_load() {
+        let mut c = catalog();
+        c.enforce_constraints = false;
+        // Child with a dangling FK loads fine in bulk mode.
+        assert!(c
+            .insert("child", vec![vec![Datum::Int(10), Datum::Int(42)]])
+            .is_ok());
+    }
+
+    #[test]
+    fn fk_declaration_validates_arity() {
+        let mut c = catalog();
+        let err = c.add_foreign_key("bad", "child", &["ck", "fk"], "parent");
+        assert!(matches!(err, Err(StorageError::InvalidConstraint { .. })));
+    }
+
+    #[test]
+    fn fks_from_and_to() {
+        let c = catalog();
+        assert_eq!(c.fks_from("child").count(), 1);
+        assert_eq!(c.fks_to("parent").count(), 1);
+        assert_eq!(c.fks_from("parent").count(), 0);
+    }
+}

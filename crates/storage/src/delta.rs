@@ -1,0 +1,46 @@
+//! Applied update batches (`ΔT`).
+
+use ojv_rel::Relation;
+
+/// Whether an update batch inserted or deleted rows.
+///
+/// Following the paper (§3), an SQL `UPDATE` is modeled as a delete followed
+/// by an insert; when a maintenance client does that decomposition it must
+/// mark the pair as an update-decomposition so the §6 foreign-key fast paths
+/// are not applied (see `ojv_core::MaintenancePolicy`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UpdateOp {
+    Insert,
+    Delete,
+}
+
+impl UpdateOp {
+    /// The opposite operation — applying a secondary delta uses the inverse
+    /// of the primary operation (paper §3.2).
+    pub fn inverse(self) -> UpdateOp {
+        match self {
+            UpdateOp::Insert => UpdateOp::Delete,
+            UpdateOp::Delete => UpdateOp::Insert,
+        }
+    }
+}
+
+/// An applied batch change to one base table: the table name, the operation,
+/// and the affected rows (full rows in the table's schema).
+#[derive(Debug, Clone)]
+pub struct Update {
+    pub table: String,
+    pub op: UpdateOp,
+    pub rows: Relation,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverse_flips() {
+        assert_eq!(UpdateOp::Insert.inverse(), UpdateOp::Delete);
+        assert_eq!(UpdateOp::Delete.inverse(), UpdateOp::Insert);
+    }
+}

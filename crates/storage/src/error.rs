@@ -1,0 +1,62 @@
+//! Storage-layer errors.
+
+use std::fmt;
+
+use ojv_rel::RelError;
+
+/// Errors raised by table and catalog operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// Inserting a row whose unique key already exists.
+    DuplicateKey { table: String, key: String },
+    /// A referenced table does not exist in the catalog.
+    UnknownTable { name: String },
+    /// A referenced column does not exist in the table.
+    UnknownColumn { table: String, column: String },
+    /// Deleting a row that does not exist.
+    KeyNotFound { table: String, key: String },
+    /// Inserting a child row whose parent is missing, or deleting a parent
+    /// row that still has children.
+    ForeignKeyViolation { constraint: String, detail: String },
+    /// A key column was declared nullable, or a key value contained nulls.
+    NullInKey { table: String },
+    /// Schema/row mismatch from the data-model layer.
+    Rel(RelError),
+    /// Invalid constraint declaration (e.g. FK not targeting the parent key).
+    InvalidConstraint { detail: String },
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::DuplicateKey { table, key } => {
+                write!(f, "duplicate key {key} in table {table}")
+            }
+            StorageError::UnknownTable { name } => write!(f, "unknown table {name}"),
+            StorageError::UnknownColumn { table, column } => {
+                write!(f, "unknown column {table}.{column}")
+            }
+            StorageError::KeyNotFound { table, key } => {
+                write!(f, "key {key} not found in table {table}")
+            }
+            StorageError::ForeignKeyViolation { constraint, detail } => {
+                write!(f, "foreign key violation ({constraint}): {detail}")
+            }
+            StorageError::NullInKey { table } => {
+                write!(f, "null in unique key of table {table}")
+            }
+            StorageError::Rel(e) => write!(f, "{e}"),
+            StorageError::InvalidConstraint { detail } => {
+                write!(f, "invalid constraint: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+impl From<RelError> for StorageError {
+    fn from(e: RelError) -> Self {
+        StorageError::Rel(e)
+    }
+}

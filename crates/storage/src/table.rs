@@ -1,0 +1,414 @@
+//! Heap tables with a unique-key hash index and secondary indexes.
+
+use std::collections::HashMap;
+
+use ojv_rel::{key_of, Datum, Relation, Row, SchemaRef};
+
+use crate::error::StorageError;
+
+/// A secondary (non-unique) hash index over a column subset.
+#[derive(Debug, Clone, Default)]
+struct SecondaryIndex {
+    cols: Vec<usize>,
+    map: HashMap<Vec<Datum>, Vec<usize>>,
+}
+
+impl SecondaryIndex {
+    fn insert(&mut self, row: &Row, pos: usize) {
+        self.map.entry(key_of(row, &self.cols)).or_default().push(pos);
+    }
+
+    fn remove(&mut self, row: &Row, pos: usize) {
+        let key = key_of(row, &self.cols);
+        if let Some(v) = self.map.get_mut(&key) {
+            if let Some(i) = v.iter().position(|&p| p == pos) {
+                v.swap_remove(i);
+            }
+            if v.is_empty() {
+                self.map.remove(&key);
+            }
+        }
+    }
+
+    fn reposition(&mut self, row: &Row, from: usize, to: usize) {
+        let key = key_of(row, &self.cols);
+        if let Some(v) = self.map.get_mut(&key) {
+            if let Some(i) = v.iter().position(|&p| p == from) {
+                v[i] = to;
+            }
+        }
+    }
+}
+
+/// A handle to one of a table's indexes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexRef {
+    /// The unique-key hash index.
+    Unique,
+    /// A secondary index by id.
+    Secondary(usize),
+}
+
+/// An in-memory table: a row heap plus a hash index on the unique key.
+///
+/// Rows are stored densely; deletion uses swap-remove and fixes up index
+/// entries for the moved row, so both insert and delete are O(1) expected
+/// per row.
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    schema: SchemaRef,
+    key_cols: Vec<usize>,
+    rows: Vec<Row>,
+    /// unique key -> position in `rows`.
+    unique: HashMap<Vec<Datum>, usize>,
+    secondary: Vec<SecondaryIndex>,
+}
+
+impl Table {
+    /// Create an empty table. Every key column must be non-nullable
+    /// (paper §2: "every base table has a unique key that does not contain
+    /// nulls").
+    pub fn new(name: &str, schema: SchemaRef, key_cols: Vec<usize>) -> Result<Self, StorageError> {
+        if key_cols.is_empty() {
+            return Err(StorageError::InvalidConstraint {
+                detail: format!("table {name} must declare a unique key"),
+            });
+        }
+        for &c in &key_cols {
+            if c >= schema.len() {
+                return Err(StorageError::UnknownColumn {
+                    table: name.to_string(),
+                    column: format!("#{c}"),
+                });
+            }
+            if schema.column(c).nullable {
+                return Err(StorageError::NullInKey {
+                    table: name.to_string(),
+                });
+            }
+        }
+        Ok(Table {
+            name: name.to_string(),
+            schema,
+            key_cols,
+            rows: Vec::new(),
+            unique: HashMap::new(),
+            secondary: Vec::new(),
+        })
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Column indexes of the unique key.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Materialize the table contents as a relation.
+    pub fn to_relation(&self) -> Relation {
+        Relation::new(self.schema.clone(), self.rows.clone())
+    }
+
+    /// Add a secondary index over `cols`; returns its id. Existing rows are
+    /// indexed immediately.
+    pub fn add_secondary_index(&mut self, cols: Vec<usize>) -> usize {
+        let mut idx = SecondaryIndex {
+            cols,
+            map: HashMap::new(),
+        };
+        for (pos, row) in self.rows.iter().enumerate() {
+            idx.insert(row, pos);
+        }
+        self.secondary.push(idx);
+        self.secondary.len() - 1
+    }
+
+    /// Look up a row by unique key.
+    pub fn get(&self, key: &[Datum]) -> Option<&Row> {
+        self.unique.get(key).map(|&pos| &self.rows[pos])
+    }
+
+    /// Find an index (unique or secondary) covering exactly the column set
+    /// `cols`. Returns the index handle and, for each index column, its
+    /// position within `cols`, so callers can permute probe keys into index
+    /// order.
+    pub fn index_on(&self, cols: &[usize]) -> Option<(IndexRef, Vec<usize>)> {
+        let permutation = |index_cols: &[usize]| -> Option<Vec<usize>> {
+            if index_cols.len() != cols.len() {
+                return None;
+            }
+            index_cols
+                .iter()
+                .map(|ic| cols.iter().position(|c| c == ic))
+                .collect()
+        };
+        if let Some(perm) = permutation(&self.key_cols) {
+            return Some((IndexRef::Unique, perm));
+        }
+        for (i, idx) in self.secondary.iter().enumerate() {
+            if let Some(perm) = permutation(&idx.cols) {
+                return Some((IndexRef::Secondary(i), perm));
+            }
+        }
+        None
+    }
+
+    /// Rows matching `key` (already in index column order) on `index`.
+    pub fn index_lookup<'a>(
+        &'a self,
+        index: IndexRef,
+        key: &[Datum],
+    ) -> Box<dyn Iterator<Item = &'a Row> + 'a> {
+        match index {
+            IndexRef::Unique => Box::new(self.get(key).into_iter()),
+            IndexRef::Secondary(i) => Box::new(self.lookup_secondary(i, key)),
+        }
+    }
+
+    /// True iff a row with this unique key exists.
+    pub fn contains_key(&self, key: &[Datum]) -> bool {
+        self.unique.contains_key(key)
+    }
+
+    /// Rows matching `key` on secondary index `idx`.
+    pub fn lookup_secondary(&self, idx: usize, key: &[Datum]) -> impl Iterator<Item = &Row> {
+        self.secondary[idx]
+            .map
+            .get(key)
+            .into_iter()
+            .flatten()
+            .map(move |&pos| &self.rows[pos])
+    }
+
+    /// Number of rows matching `key` on secondary index `idx`.
+    pub fn count_secondary(&self, idx: usize, key: &[Datum]) -> usize {
+        self.secondary[idx].map.get(key).map_or(0, |v| v.len())
+    }
+
+    /// Number of distinct keys in secondary index `idx` — the basis for
+    /// fan-out estimates (`rows / distinct`).
+    pub fn secondary_distinct(&self, idx: usize) -> usize {
+        self.secondary[idx].map.len()
+    }
+
+    /// Estimated rows per probe of an index: 1 for the unique index, the
+    /// average bucket size for a secondary index (at least 1).
+    pub fn index_fanout(&self, index: IndexRef) -> f64 {
+        match index {
+            IndexRef::Unique => 1.0,
+            IndexRef::Secondary(i) => {
+                let distinct = self.secondary_distinct(i).max(1);
+                (self.rows.len() as f64 / distinct as f64).max(1.0)
+            }
+        }
+    }
+
+    /// Insert one row, enforcing schema and key uniqueness.
+    pub fn insert(&mut self, row: Row) -> Result<(), StorageError> {
+        self.schema.check_row(&row)?;
+        let key = key_of(&row, &self.key_cols);
+        if key.iter().any(|d| d.is_null()) {
+            return Err(StorageError::NullInKey {
+                table: self.name.clone(),
+            });
+        }
+        if self.unique.contains_key(&key) {
+            return Err(StorageError::DuplicateKey {
+                table: self.name.clone(),
+                key: ojv_rel::row_display(&key),
+            });
+        }
+        let pos = self.rows.len();
+        for idx in &mut self.secondary {
+            idx.insert(&row, pos);
+        }
+        self.unique.insert(key, pos);
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Delete the row with the given unique key, returning it.
+    pub fn delete(&mut self, key: &[Datum]) -> Result<Row, StorageError> {
+        let pos = self
+            .unique
+            .remove(key)
+            .ok_or_else(|| StorageError::KeyNotFound {
+                table: self.name.clone(),
+                key: ojv_rel::row_display(key),
+            })?;
+        let row = self.rows.swap_remove(pos);
+        for idx in &mut self.secondary {
+            idx.remove(&row, pos);
+        }
+        // Fix up indexes for the row that moved into `pos` (if any).
+        if pos < self.rows.len() {
+            let moved_from = self.rows.len();
+            let moved_key = key_of(&self.rows[pos], &self.key_cols);
+            self.unique.insert(moved_key, pos);
+            // Clone to appease the borrow checker; rows are cheap to clone
+            // relative to the delete path's other work.
+            let moved = self.rows[pos].clone();
+            for idx in &mut self.secondary {
+                idx.reposition(&moved, moved_from, pos);
+            }
+        }
+        Ok(row)
+    }
+
+    /// Delete all rows matching `pred`, returning them.
+    pub fn delete_where(&mut self, pred: impl Fn(&Row) -> bool) -> Vec<Row> {
+        let keys: Vec<Vec<Datum>> = self
+            .rows
+            .iter()
+            .filter(|r| pred(r))
+            .map(|r| key_of(r, &self.key_cols))
+            .collect();
+        keys.iter()
+            .map(|k| self.delete(k).expect("key collected from live rows"))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ojv_rel::{Column, DataType, Schema};
+
+    fn table() -> Table {
+        let schema = Schema::shared(vec![
+            Column::new("t", "id", DataType::Int, false),
+            Column::new("t", "grp", DataType::Int, false),
+            Column::new("t", "val", DataType::Str, true),
+        ])
+        .unwrap();
+        Table::new("t", schema, vec![0]).unwrap()
+    }
+
+    fn row(id: i64, grp: i64, val: &str) -> Row {
+        vec![Datum::Int(id), Datum::Int(grp), Datum::str(val)]
+    }
+
+    #[test]
+    fn insert_get_delete_roundtrip() {
+        let mut t = table();
+        t.insert(row(1, 10, "a")).unwrap();
+        t.insert(row(2, 10, "b")).unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get(&[Datum::Int(1)]).unwrap()[2], Datum::str("a"));
+        let deleted = t.delete(&[Datum::Int(1)]).unwrap();
+        assert_eq!(deleted[0], Datum::Int(1));
+        assert!(t.get(&[Datum::Int(1)]).is_none());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = table();
+        t.insert(row(1, 10, "a")).unwrap();
+        assert!(matches!(
+            t.insert(row(1, 11, "b")),
+            Err(StorageError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_missing_key_errors() {
+        let mut t = table();
+        assert!(matches!(
+            t.delete(&[Datum::Int(99)]),
+            Err(StorageError::KeyNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn nullable_key_column_rejected_at_create() {
+        let schema = Schema::shared(vec![Column::new("t", "id", DataType::Int, true)]).unwrap();
+        assert!(matches!(
+            Table::new("t", schema, vec![0]),
+            Err(StorageError::NullInKey { .. })
+        ));
+    }
+
+    #[test]
+    fn swap_remove_keeps_unique_index_consistent() {
+        let mut t = table();
+        for i in 0..10 {
+            t.insert(row(i, i % 3, "x")).unwrap();
+        }
+        // Delete from the middle repeatedly; lookups must stay correct.
+        t.delete(&[Datum::Int(0)]).unwrap();
+        t.delete(&[Datum::Int(5)]).unwrap();
+        t.delete(&[Datum::Int(9)]).unwrap();
+        for i in [1i64, 2, 3, 4, 6, 7, 8] {
+            assert_eq!(t.get(&[Datum::Int(i)]).unwrap()[0], Datum::Int(i));
+        }
+        assert_eq!(t.len(), 7);
+    }
+
+    #[test]
+    fn secondary_index_tracks_mutations() {
+        let mut t = table();
+        let idx = t.add_secondary_index(vec![1]);
+        for i in 0..9 {
+            t.insert(row(i, i % 3, "x")).unwrap();
+        }
+        assert_eq!(t.count_secondary(idx, &[Datum::Int(0)]), 3);
+        t.delete(&[Datum::Int(0)]).unwrap();
+        t.delete(&[Datum::Int(3)]).unwrap();
+        assert_eq!(t.count_secondary(idx, &[Datum::Int(0)]), 1);
+        let hits: Vec<_> = t.lookup_secondary(idx, &[Datum::Int(0)]).collect();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0][0], Datum::Int(6));
+    }
+
+    #[test]
+    fn secondary_index_built_over_existing_rows() {
+        let mut t = table();
+        for i in 0..6 {
+            t.insert(row(i, i % 2, "x")).unwrap();
+        }
+        let idx = t.add_secondary_index(vec![1]);
+        assert_eq!(t.count_secondary(idx, &[Datum::Int(1)]), 3);
+    }
+
+    #[test]
+    fn delete_where_returns_deleted_rows() {
+        let mut t = table();
+        for i in 0..6 {
+            t.insert(row(i, i % 2, "x")).unwrap();
+        }
+        let deleted = t.delete_where(|r| r[1] == Datum::Int(0));
+        assert_eq!(deleted.len(), 3);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn null_in_key_value_rejected() {
+        // A nullable column sneaking a null into the key is impossible by
+        // construction (key cols must be non-nullable), but check_row also
+        // rejects nulls in non-nullable columns.
+        let mut t = table();
+        assert!(t
+            .insert(vec![Datum::Null, Datum::Int(0), Datum::Null])
+            .is_err());
+    }
+}

@@ -1,0 +1,28 @@
+//! TPC-H substrate: schema, deterministic data generator, and refresh
+//! streams.
+//!
+//! The paper's experiments (§7) run against a TPC-H database, creating view
+//! V3 over `customer`, `orders`, `lineitem`, and `part`, and measuring
+//! maintenance cost for batches of lineitem insertions and deletions. This
+//! crate provides:
+//!
+//! * [`schema::create_tpch_catalog`] — all eight TPC-H tables with their
+//!   primary keys and the spec's foreign keys,
+//! * [`gen::TpchGen`] — a scale-factor-parameterized, fully deterministic
+//!   generator with the distributions the experiments depend on (key
+//!   ranges, 1–7 lineitems per order, the `o_orderdate` range, the spec's
+//!   `p_retailprice` formula),
+//! * [`refresh`] — FK-respecting update streams: new-order batches (RF1),
+//!   order deletions (RF2), and the lineitem-only insert/delete batches the
+//!   paper's Figure 5 uses.
+//!
+//! Everything is seeded: the same `(scale factor, seed)` pair regenerates
+//! bit-identical data, so experiments are reproducible.
+
+pub mod gen;
+pub mod refresh;
+pub mod schema;
+pub mod text;
+
+pub use gen::TpchGen;
+pub use schema::create_tpch_catalog;

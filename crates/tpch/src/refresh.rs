@@ -1,0 +1,168 @@
+//! Refresh streams: the update batches the experiments replay.
+//!
+//! All batches are FK-consistent against data produced by the same
+//! [`TpchGen`] and deterministic in `(sf, seed, batch)`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use ojv_rel::{Datum, Row};
+
+use crate::gen::{mix, TpchGen};
+
+impl TpchGen {
+    /// A batch of `n` **new lineitems for existing orders** — the update
+    /// stream of the paper's Figure 5 experiments ("inserting 60,000 rows
+    /// into lineitem").
+    ///
+    /// Orders are drawn round-robin from a seeded random start; line numbers
+    /// continue above the base data's per-order counts and are namespaced by
+    /// `batch` so distinct batches never collide.
+    pub fn lineitem_insert_batch(&self, n: usize, batch: u64) -> Vec<Row> {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, 0xAAB0 ^ batch));
+        let orders = self.order_count();
+        let start = rng.gen_range(1..=orders);
+        let per_order = n as i64 / orders + 2;
+        let mut rows = Vec::with_capacity(n);
+        let mut occurrence = std::collections::HashMap::new();
+        let start_date =
+            ojv_rel::datum::days_from_date(crate::gen::START_DATE.0, 6, 1);
+        for i in 0..n as i64 {
+            let order = (start + i - 1) % orders + 1;
+            let occ = occurrence.entry(order).or_insert(0i64);
+            *occ += 1;
+            let linenumber = self.line_count(order) + (batch as i64) * per_order * 8 + *occ;
+            // Ship dates follow a plausible date; the view predicates of the
+            // experiments filter on o_orderdate, not lineitem dates.
+            rows.push(self.gen_lineitem_row(order, linenumber, start_date, &mut rng));
+        }
+        rows
+    }
+
+    /// Keys of `n` **existing lineitems** to delete (Figure 5(b)).
+    ///
+    /// Walks orders from a batch-dependent start, taking whole orders' lines
+    /// until `n` keys are collected. Keys are distinct within a batch.
+    pub fn lineitem_delete_keys(&self, n: usize, batch: u64) -> Vec<Vec<Datum>> {
+        let orders = self.order_count();
+        let start = (mix(self.seed, 0xDD10 ^ batch) % orders as u64) as i64 + 1;
+        let mut keys = Vec::with_capacity(n);
+        let mut o = start;
+        while keys.len() < n {
+            for ln in 1..=self.line_count(o) {
+                keys.push(vec![Datum::Int(o), Datum::Int(ln)]);
+                if keys.len() == n {
+                    break;
+                }
+            }
+            o = o % orders + 1;
+            assert_ne!(o, start, "delete batch larger than the lineitem table");
+        }
+        keys
+    }
+
+    /// RF1-style batch: `n` new orders (keys above the base range) with
+    /// their lineitems. Insert the orders first, then the lineitems.
+    pub fn order_insert_batch(&self, n: usize, batch: u64) -> (Vec<Row>, Vec<Row>) {
+        let mut rng = StdRng::seed_from_u64(mix(self.seed, 0x0F1 ^ batch));
+        let base = self.order_count() + (batch as i64) * n as i64 * 4;
+        let mut orders = Vec::with_capacity(n);
+        let mut lines = Vec::new();
+        for i in 0..n as i64 {
+            let orderkey = base + i + 1;
+            let row = self.gen_order_row(orderkey, &mut rng);
+            let orderdate = row[4].as_date().expect("generated date");
+            for ln in 1..=self.line_count(orderkey) {
+                lines.push(self.gen_lineitem_row(orderkey, ln, orderdate, &mut rng));
+            }
+            orders.push(row);
+        }
+        (orders, lines)
+    }
+
+    /// RF2-style batch: keys of `n` existing orders and of all their
+    /// lineitems. Delete the lineitems first, then the orders.
+    pub fn order_delete_batch(&self, n: usize, batch: u64) -> (Vec<Vec<Datum>>, Vec<Vec<Datum>>) {
+        let orders = self.order_count();
+        let start = (mix(self.seed, 0xDE2 ^ batch) % orders as u64) as i64 + 1;
+        let mut order_keys = Vec::with_capacity(n);
+        let mut line_keys = Vec::new();
+        for i in 0..n as i64 {
+            let o = (start + i - 1) % orders + 1;
+            order_keys.push(vec![Datum::Int(o)]);
+            for ln in 1..=self.line_count(o) {
+                line_keys.push(vec![Datum::Int(o), Datum::Int(ln)]);
+            }
+        }
+        (order_keys, line_keys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::create_tpch_catalog;
+    use std::collections::HashSet;
+
+    fn gen() -> TpchGen {
+        TpchGen::new(0.001, 42)
+    }
+
+    #[test]
+    fn insert_batches_apply_cleanly_with_constraints() {
+        let mut c = create_tpch_catalog().unwrap();
+        let g = gen();
+        g.populate(&mut c).unwrap();
+        for batch in 0..3u64 {
+            let rows = g.lineitem_insert_batch(200, batch);
+            assert_eq!(rows.len(), 200);
+            c.insert("lineitem", rows).expect("batch {batch} applies");
+        }
+    }
+
+    #[test]
+    fn insert_batch_keys_are_unique_within_and_across_batches() {
+        let g = gen();
+        let mut seen: HashSet<(i64, i64)> = HashSet::new();
+        for batch in 0..4u64 {
+            for row in g.lineitem_insert_batch(300, batch) {
+                let key = (row[0].as_int().unwrap(), row[1].as_int().unwrap());
+                assert!(seen.insert(key), "duplicate key {key:?} in batch {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn delete_batches_apply_cleanly() {
+        let mut c = create_tpch_catalog().unwrap();
+        let g = gen();
+        g.populate(&mut c).unwrap();
+        let keys = g.lineitem_delete_keys(500, 0);
+        assert_eq!(keys.len(), 500);
+        let before = c.table("lineitem").unwrap().len();
+        c.delete("lineitem", &keys).unwrap();
+        assert_eq!(c.table("lineitem").unwrap().len(), before - 500);
+    }
+
+    #[test]
+    fn order_refresh_batches_apply() {
+        let mut c = create_tpch_catalog().unwrap();
+        let g = gen();
+        g.populate(&mut c).unwrap();
+        let (orders, lines) = g.order_insert_batch(50, 0);
+        assert_eq!(orders.len(), 50);
+        c.insert("orders", orders).unwrap();
+        c.insert("lineitem", lines).unwrap();
+
+        let (okeys, lkeys) = g.order_delete_batch(30, 0);
+        c.delete("lineitem", &lkeys).unwrap();
+        c.delete("orders", &okeys).unwrap();
+    }
+
+    #[test]
+    fn batches_are_deterministic() {
+        let a = gen().lineitem_insert_batch(100, 1);
+        let b = gen().lineitem_insert_batch(100, 1);
+        assert_eq!(a, b);
+    }
+}

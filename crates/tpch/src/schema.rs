@@ -1,0 +1,170 @@
+//! The TPC-H schema (TPC Benchmark H, revision 2.3.0) with primary keys and
+//! foreign-key constraints.
+
+use ojv_rel::{Column, DataType};
+use ojv_storage::{Catalog, StorageError};
+
+fn col(table: &str, name: &str, ty: DataType, nullable: bool) -> Column {
+    Column::new(table, name, ty, nullable)
+}
+
+/// Create all eight TPC-H tables and the spec's foreign keys.
+pub fn create_tpch_catalog() -> Result<Catalog, StorageError> {
+    use DataType::*;
+    let mut c = Catalog::new();
+
+    c.create_table(
+        "region",
+        vec![
+            col("region", "r_regionkey", Int, false),
+            col("region", "r_name", Str, false),
+            col("region", "r_comment", Str, true),
+        ],
+        &["r_regionkey"],
+    )?;
+
+    c.create_table(
+        "nation",
+        vec![
+            col("nation", "n_nationkey", Int, false),
+            col("nation", "n_name", Str, false),
+            col("nation", "n_regionkey", Int, false),
+            col("nation", "n_comment", Str, true),
+        ],
+        &["n_nationkey"],
+    )?;
+
+    c.create_table(
+        "supplier",
+        vec![
+            col("supplier", "s_suppkey", Int, false),
+            col("supplier", "s_name", Str, false),
+            col("supplier", "s_address", Str, true),
+            col("supplier", "s_nationkey", Int, false),
+            col("supplier", "s_phone", Str, true),
+            col("supplier", "s_acctbal", Float, true),
+            col("supplier", "s_comment", Str, true),
+        ],
+        &["s_suppkey"],
+    )?;
+
+    c.create_table(
+        "part",
+        vec![
+            col("part", "p_partkey", Int, false),
+            col("part", "p_name", Str, false),
+            col("part", "p_mfgr", Str, true),
+            col("part", "p_brand", Str, true),
+            col("part", "p_type", Str, true),
+            col("part", "p_size", Int, true),
+            col("part", "p_container", Str, true),
+            col("part", "p_retailprice", Float, false),
+            col("part", "p_comment", Str, true),
+        ],
+        &["p_partkey"],
+    )?;
+
+    c.create_table(
+        "partsupp",
+        vec![
+            col("partsupp", "ps_partkey", Int, false),
+            col("partsupp", "ps_suppkey", Int, false),
+            col("partsupp", "ps_availqty", Int, true),
+            col("partsupp", "ps_supplycost", Float, true),
+            col("partsupp", "ps_comment", Str, true),
+        ],
+        &["ps_partkey", "ps_suppkey"],
+    )?;
+
+    c.create_table(
+        "customer",
+        vec![
+            col("customer", "c_custkey", Int, false),
+            col("customer", "c_name", Str, false),
+            col("customer", "c_address", Str, true),
+            col("customer", "c_nationkey", Int, false),
+            col("customer", "c_phone", Str, true),
+            col("customer", "c_acctbal", Float, true),
+            col("customer", "c_mktsegment", Str, true),
+            col("customer", "c_comment", Str, true),
+        ],
+        &["c_custkey"],
+    )?;
+
+    c.create_table(
+        "orders",
+        vec![
+            col("orders", "o_orderkey", Int, false),
+            col("orders", "o_custkey", Int, false),
+            col("orders", "o_orderstatus", Str, true),
+            col("orders", "o_totalprice", Float, true),
+            col("orders", "o_orderdate", Date, false),
+            col("orders", "o_orderpriority", Str, true),
+            col("orders", "o_clerk", Str, true),
+            col("orders", "o_shippriority", Int, true),
+            col("orders", "o_comment", Str, true),
+        ],
+        &["o_orderkey"],
+    )?;
+
+    c.create_table(
+        "lineitem",
+        vec![
+            col("lineitem", "l_orderkey", Int, false),
+            col("lineitem", "l_linenumber", Int, false),
+            col("lineitem", "l_partkey", Int, false),
+            col("lineitem", "l_suppkey", Int, false),
+            col("lineitem", "l_quantity", Int, false),
+            col("lineitem", "l_extendedprice", Float, false),
+            col("lineitem", "l_discount", Float, true),
+            col("lineitem", "l_tax", Float, true),
+            col("lineitem", "l_returnflag", Str, true),
+            col("lineitem", "l_linestatus", Str, true),
+            col("lineitem", "l_shipdate", Date, false),
+            col("lineitem", "l_commitdate", Date, true),
+            col("lineitem", "l_receiptdate", Date, true),
+            col("lineitem", "l_shipmode", Str, true),
+            col("lineitem", "l_comment", Str, true),
+        ],
+        &["l_orderkey", "l_linenumber"],
+    )?;
+
+    c.add_foreign_key("fk_nation_region", "nation", &["n_regionkey"], "region")?;
+    c.add_foreign_key("fk_supplier_nation", "supplier", &["s_nationkey"], "nation")?;
+    c.add_foreign_key("fk_customer_nation", "customer", &["c_nationkey"], "nation")?;
+    c.add_foreign_key("fk_partsupp_part", "partsupp", &["ps_partkey"], "part")?;
+    c.add_foreign_key(
+        "fk_partsupp_supplier",
+        "partsupp",
+        &["ps_suppkey"],
+        "supplier",
+    )?;
+    c.add_foreign_key("fk_orders_customer", "orders", &["o_custkey"], "customer")?;
+    c.add_foreign_key("fk_lineitem_orders", "lineitem", &["l_orderkey"], "orders")?;
+    c.add_foreign_key("fk_lineitem_part", "lineitem", &["l_partkey"], "part")?;
+    c.add_foreign_key(
+        "fk_lineitem_supplier",
+        "lineitem",
+        &["l_suppkey"],
+        "supplier",
+    )?;
+    Ok(c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_all_tables_and_fks() {
+        let c = create_tpch_catalog().unwrap();
+        for t in [
+            "region", "nation", "supplier", "part", "partsupp", "customer", "orders", "lineitem",
+        ] {
+            assert!(c.table(t).is_ok(), "missing table {t}");
+        }
+        assert_eq!(c.foreign_keys().len(), 9);
+        assert_eq!(c.fks_from("lineitem").count(), 3);
+        assert_eq!(c.table("lineitem").unwrap().key_cols().len(), 2);
+    }
+}

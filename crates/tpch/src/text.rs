@@ -1,0 +1,118 @@
+//! Text pools for the generator — compact stand-ins for dbgen's grammar.
+
+use rand::Rng;
+
+pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
+
+pub const NATIONS: [(&str, i64); 25] = [
+    ("ALGERIA", 0),
+    ("ARGENTINA", 1),
+    ("BRAZIL", 1),
+    ("CANADA", 1),
+    ("EGYPT", 4),
+    ("ETHIOPIA", 0),
+    ("FRANCE", 3),
+    ("GERMANY", 3),
+    ("INDIA", 2),
+    ("INDONESIA", 2),
+    ("IRAN", 4),
+    ("IRAQ", 4),
+    ("JAPAN", 2),
+    ("JORDAN", 4),
+    ("KENYA", 0),
+    ("MOROCCO", 0),
+    ("MOZAMBIQUE", 0),
+    ("PERU", 1),
+    ("CHINA", 2),
+    ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4),
+    ("VIETNAM", 2),
+    ("RUSSIA", 3),
+    ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+];
+
+pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
+
+pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
+
+pub const CONTAINERS: [&str; 8] = [
+    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP CASE",
+];
+
+pub const TYPE_SYLLABLE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
+pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"];
+pub const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
+
+pub const PART_NAME_WORDS: [&str; 16] = [
+    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
+    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+];
+
+/// Pick a random element from a slice.
+pub fn pick<'a, T>(rng: &mut impl Rng, items: &'a [T]) -> &'a T {
+    &items[rng.gen_range(0..items.len())]
+}
+
+/// A short pseudo-comment (dbgen generates long text; the experiments only
+/// need the column to exist and carry per-row entropy).
+pub fn comment(rng: &mut impl Rng, tag: &str) -> String {
+    format!("{tag}#{:06x}", rng.gen_range(0u32..0xff_ffff))
+}
+
+/// A TPC-H part type, e.g. "STANDARD ANODIZED TIN".
+pub fn part_type(rng: &mut impl Rng) -> String {
+    format!(
+        "{} {} {}",
+        pick(rng, &TYPE_SYLLABLE_1),
+        pick(rng, &TYPE_SYLLABLE_2),
+        pick(rng, &TYPE_SYLLABLE_3)
+    )
+}
+
+/// A part name: two words from the colour pool.
+pub fn part_name(rng: &mut impl Rng) -> String {
+    format!(
+        "{} {}",
+        pick(rng, &PART_NAME_WORDS),
+        pick(rng, &PART_NAME_WORDS)
+    )
+}
+
+/// A phone number shaped like dbgen's `NN-NNN-NNN-NNNN`.
+pub fn phone(rng: &mut impl Rng, nationkey: i64) -> String {
+    format!(
+        "{}-{:03}-{:03}-{:04}",
+        10 + nationkey,
+        rng.gen_range(100..1000),
+        rng.gen_range(100..1000),
+        rng.gen_range(1000..10000)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn deterministic_with_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        assert_eq!(part_type(&mut a), part_type(&mut b));
+        assert_eq!(comment(&mut a, "x"), comment(&mut b, "x"));
+        assert_eq!(phone(&mut a, 3), phone(&mut b, 3));
+    }
+
+    #[test]
+    fn pools_are_well_formed() {
+        assert_eq!(NATIONS.len(), 25);
+        assert!(NATIONS.iter().all(|(_, r)| *r < REGIONS.len() as i64));
+        let mut rng = StdRng::seed_from_u64(1);
+        let name = part_name(&mut rng);
+        assert!(name.contains(' '));
+    }
+}

@@ -1,0 +1,68 @@
+//! A guided tour of the paper's machinery on the running example V1:
+//! normal form (§2.2), subsumption graph (§2.3), maintenance graphs (§3.1),
+//! primary-delta derivation (§4), left-deep conversion (§4.1), and
+//! `SimplifyTree` (§6.1).
+//!
+//! Run with: `cargo run --example algorithm_tour`
+
+use ojv::algebra::{FkEdge, TableId};
+use ojv::core::analyze::analyze;
+use ojv::core::fixtures;
+use ojv::prelude::*;
+
+fn main() -> Result<()> {
+    let catalog = fixtures::v1_catalog();
+    let a = analyze(&catalog, &fixtures::v1_view_def())?;
+    let names = |t: TableId| a.layout.slot(t).name.to_uppercase();
+
+    println!("V1 = (R fo S) lo (T fo U)\n");
+    println!("== join-disjunctive normal form (paper Example 2):");
+    for term in &a.terms {
+        let labels: Vec<String> = term.tables.iter().map(names).collect();
+        println!("  σ[{}]({})", term.pred, labels.join(" × "));
+    }
+
+    println!("\n== subsumption graph (Figure 1(a)):");
+    print!("{}", a.graph);
+
+    println!("\n== maintenance graphs per updated table:");
+    for name in ["r", "s", "t", "u"] {
+        let t = a.layout.table_id(name).expect("V1 table");
+        let m = a.maintenance_graph(t, false);
+        println!("  {m}");
+    }
+
+    let t = a.layout.table_id("t").expect("table t");
+    println!("\n== ΔV1^D derivation for an update of T (Example 3):");
+    let bushy = a.primary_delta_plan(t, false, false);
+    print!("{}", bushy.tree_string(&|id| names(id)));
+
+    println!("== after left-deep conversion (Example 4 / Figure 3(b)):");
+    let left_deep = a.primary_delta_plan(t, false, true);
+    print!("{}", left_deep.tree_string(&|id| names(id)));
+
+    println!("== Example 10: add FK U.jc → T.jc?");
+    println!("   (the paper uses U.fk → T.pk; here we show SimplifyTree's effect");
+    println!("    with a synthetic FK matching the T–U join predicate)");
+    let u = a.layout.table_id("u").expect("table u");
+    let fk = FkEdge {
+        child: u,
+        child_cols: vec![1], // u.jc
+        parent: t,
+        parent_cols: vec![1], // t.jc — pretend it is a unique key for the demo
+        child_cols_non_null: true,
+        cascade_delete: false,
+        deferrable: false,
+    };
+    let simplified = ojv::algebra::simplify_tree(
+        ojv::algebra::derive_primary_delta(&a.expr, t),
+        t,
+        &[fk],
+    );
+    print!(
+        "{}",
+        ojv::algebra::to_left_deep(simplified).tree_string(&|id| names(id))
+    );
+    println!("   — the ΔT lo U join is gone: no ΔT row can have U children.");
+    Ok(())
+}

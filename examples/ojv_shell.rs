@@ -1,0 +1,205 @@
+//! A minimal interactive shell over the engine, showcasing the SQL parser
+//! and live incremental maintenance.
+//!
+//! ```text
+//! cargo run --release --example ojv_shell
+//! ojv> create view v as select * from part full outer join (orders left outer join lineitem on l_orderkey = o_orderkey) on p_partkey = l_partkey
+//! ojv> insert lineitem 3 1 2 9 42.5
+//! maintained v: ΔV^D=1 ΔV^I=2 in 38µs
+//! ojv> show v
+//! ojv> explain v lineitem insert
+//! ojv> quit
+//! ```
+//!
+//! Commands:
+//! * `create view <name> as <select-statement>` — parse + materialize,
+//! * `insert <table> <values…>` / `delete <table> <key values…>`,
+//! * `show <view>` (first 20 rows), `tables`, `views`,
+//! * `explain <view> <table> insert|delete` — the Q1–Q4 maintenance SQL,
+//! * `quit`.
+//!
+//! Pipe a script in for non-interactive use:
+//! `printf 'tables\nquit\n' | cargo run --example ojv_shell`.
+
+use std::io::{BufRead, Write};
+
+use ojv::core::fixtures;
+use ojv::prelude::*;
+use ojv::rel::{DataType, Datum};
+use ojv::storage::UpdateOp;
+
+fn parse_values(catalog: &Catalog, table: &str, parts: &[&str]) -> Result<Vec<Datum>> {
+    let t = catalog.table(table).map_err(CoreError::Storage)?;
+    let schema = t.schema().clone();
+    if parts.len() != schema.len() {
+        return Err(CoreError::InvalidView {
+            view: table.into(),
+            detail: format!("{} values expected, got {}", schema.len(), parts.len()),
+        });
+    }
+    parts
+        .iter()
+        .zip(schema.columns())
+        .map(|(raw, col)| {
+            if raw.eq_ignore_ascii_case("null") {
+                return Ok(Datum::Null);
+            }
+            Ok(match col.ty {
+                DataType::Int => Datum::Int(raw.parse().map_err(|_| CoreError::InvalidView {
+                    view: table.into(),
+                    detail: format!("bad int {raw}"),
+                })?),
+                DataType::Float => {
+                    Datum::Float(raw.parse().map_err(|_| CoreError::InvalidView {
+                        view: table.into(),
+                        detail: format!("bad float {raw}"),
+                    })?)
+                }
+                DataType::Str => Datum::str(*raw),
+                DataType::Date => ojv::rel::datum::date(raw),
+                DataType::Bool => Datum::Bool(raw.eq_ignore_ascii_case("true")),
+            })
+        })
+        .collect()
+}
+
+fn key_values(catalog: &Catalog, table: &str, parts: &[&str]) -> Result<Vec<Datum>> {
+    let t = catalog.table(table).map_err(CoreError::Storage)?;
+    let key_cols = t.key_cols().to_vec();
+    if parts.len() != key_cols.len() {
+        return Err(CoreError::InvalidView {
+            view: table.into(),
+            detail: format!("{} key values expected, got {}", key_cols.len(), parts.len()),
+        });
+    }
+    let schema = t.schema().clone();
+    parts
+        .iter()
+        .zip(&key_cols)
+        .map(|(raw, &c)| {
+            Ok(match schema.column(c).ty {
+                DataType::Int => Datum::Int(raw.parse().map_err(|_| CoreError::InvalidView {
+                    view: table.into(),
+                    detail: format!("bad int {raw}"),
+                })?),
+                _ => Datum::str(*raw),
+            })
+        })
+        .collect()
+}
+
+fn run_line(db: &mut Database, line: &str) -> Result<bool> {
+    let trimmed = line.trim();
+    if trimmed.is_empty() {
+        return Ok(true);
+    }
+    let lower = trimmed.to_ascii_lowercase();
+    if lower == "quit" || lower == "exit" {
+        return Ok(false);
+    }
+    if lower == "tables" {
+        for t in db.catalog().tables() {
+            println!("  {} ({} rows)", t.name(), t.len());
+        }
+    } else if lower == "views" {
+        for v in db.views() {
+            println!("  {} ({} rows, {} terms)", v.name(), v.len(), v.analysis.terms.len());
+        }
+    } else if let Some(rest) = strip_prefix_ci(trimmed, "create view ") {
+        let Some((name, sql)) = rest.split_once(" as ") else {
+            println!("usage: create view <name> as <select…>");
+            return Ok(true);
+        };
+        db.create_view_sql(name.trim(), sql.trim())?;
+        let v = db.view(name.trim()).expect("just created");
+        println!("created {} with {} rows", v.name(), v.len());
+    } else if let Some(rest) = strip_prefix_ci(trimmed, "insert ") {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let (table, vals) = parts.split_first().expect("non-empty insert");
+        let row = parse_values(db.catalog(), table, vals)?;
+        let reports = db.insert(table, vec![row])?;
+        for r in &reports {
+            println!(
+                "maintained {}: ΔV^D={} ΔV^I={} in {:?}",
+                r.view,
+                r.primary_rows,
+                r.secondary_rows,
+                r.total_time()
+            );
+        }
+    } else if let Some(rest) = strip_prefix_ci(trimmed, "delete ") {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        let (table, vals) = parts.split_first().expect("non-empty delete");
+        let key = key_values(db.catalog(), table, vals)?;
+        let reports = db.delete(table, &[key])?;
+        for r in &reports {
+            println!(
+                "maintained {}: ΔV^D={} ΔV^I={} in {:?}",
+                r.view,
+                r.primary_rows,
+                r.secondary_rows,
+                r.total_time()
+            );
+        }
+    } else if let Some(rest) = strip_prefix_ci(trimmed, "show ") {
+        match db.view(rest.trim()) {
+            Some(v) => {
+                let out = v.output();
+                println!("{} ({} rows, first 20):", v.name(), out.len());
+                for row in out.rows().iter().take(20) {
+                    println!("  {}", ojv::rel::row_display(row));
+                }
+            }
+            None => println!("no view named {rest}"),
+        }
+    } else if let Some(rest) = strip_prefix_ci(trimmed, "explain ") {
+        let parts: Vec<&str> = rest.split_whitespace().collect();
+        if parts.len() != 3 {
+            println!("usage: explain <view> <table> insert|delete");
+            return Ok(true);
+        }
+        let op = if parts[2].eq_ignore_ascii_case("delete") {
+            UpdateOp::Delete
+        } else {
+            UpdateOp::Insert
+        };
+        println!("{}", db.explain_maintenance(parts[0], parts[1], op)?);
+    } else {
+        println!("commands: create view … as …, insert, delete, show, tables, views, explain, quit");
+    }
+    Ok(true)
+}
+
+fn strip_prefix_ci<'a>(s: &'a str, prefix: &str) -> Option<&'a str> {
+    if s.len() >= prefix.len() && s[..prefix.len()].eq_ignore_ascii_case(prefix) {
+        Some(&s[prefix.len()..])
+    } else {
+        None
+    }
+}
+
+fn main() {
+    let mut catalog = fixtures::example1_catalog();
+    fixtures::populate_example1(&mut catalog, 8, 9);
+    let mut db = Database::new(catalog);
+    println!("ojv shell — Example 1 schema loaded (part, orders, lineitem). Type a command.");
+
+    let stdin = std::io::stdin();
+    loop {
+        print!("ojv> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => match run_line(&mut db, &line) {
+                Ok(true) => {}
+                Ok(false) => break,
+                Err(e) => println!("error: {e}"),
+            },
+            Err(e) => {
+                eprintln!("read error: {e}");
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Facade crate for the outer-join view maintenance workspace.
+//!
+//! Re-exports the public API of every workspace crate so applications (and
+//! the `examples/` binaries) can depend on a single crate:
+//!
+//! ```
+//! use ojv::rel::Datum;
+//! use ojv::storage::Catalog;
+//!
+//! let _ = (Datum::Int(1), Catalog::new());
+//! ```
+
+pub use ojv_algebra as algebra;
+pub use ojv_core as core;
+pub use ojv_exec as exec;
+pub use ojv_rel as rel;
+pub use ojv_storage as storage;
+pub use ojv_tpch as tpch;
+
+pub use ojv_core::prelude;
+pub use ojv_core::prelude::*;
