@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Full offline CI gate: formatting, lints, release build, tests.
+#
+# The workspace has zero external dependencies (the test/bench substrate is
+# in-repo: crates/testkit, crates/criterion-lite), so every step below must
+# succeed with no network access. --offline makes cargo enforce that.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (workspace, all targets, deny warnings)"
+cargo clippy --offline --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --offline --release --workspace
+
+echo "==> cargo test"
+cargo test --offline --workspace -q
+
+echo "==> bench targets compile (criterion-lite shim)"
+cargo check --offline -p ojv-bench --benches --features criterion
+
+echo "All checks passed."

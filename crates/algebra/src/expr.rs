@@ -261,7 +261,10 @@ mod tests {
 
     #[test]
     fn user_spoj_validation() {
-        let ok = Expr::select(p(0, 1), Expr::inner(p(0, 1), Expr::table(t(0)), Expr::table(t(1))));
+        let ok = Expr::select(
+            p(0, 1),
+            Expr::inner(p(0, 1), Expr::table(t(0)), Expr::table(t(1))),
+        );
         assert!(ok.is_user_spoj());
         let bad = Expr::Delta(t(0));
         assert!(!bad.is_user_spoj());

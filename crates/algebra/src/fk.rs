@@ -31,12 +31,7 @@ impl FkEdge {
         self.child_cols
             .iter()
             .zip(&self.parent_cols)
-            .map(|(&c, &p)| {
-                Atom::eq(
-                    ColRef::new(self.child, c),
-                    ColRef::new(self.parent, p),
-                )
-            })
+            .map(|(&c, &p)| Atom::eq(ColRef::new(self.child, c), ColRef::new(self.parent, p)))
             .collect()
     }
 
@@ -44,11 +39,9 @@ impl FkEdge {
     /// (in either column orientation), i.e. the two tables are joined *on*
     /// the foreign key.
     pub fn matched_by(&self, pred: &Pred) -> bool {
-        self.join_atoms().iter().all(|want| {
-            pred.atoms().iter().any(|have| {
-                atom_eq_sym(have, want)
-            })
-        })
+        self.join_atoms()
+            .iter()
+            .all(|want| pred.atoms().iter().any(|have| atom_eq_sym(have, want)))
     }
 
     /// True iff the §6 optimizations may use this edge at all.

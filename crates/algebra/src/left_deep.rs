@@ -90,9 +90,7 @@ fn rewrite_join(kind: JoinKind, pred: Pred, left: Expr, right: Expr) -> Expr {
             let (a, b) = (*a, *b);
             // Orient so that the spine predicate's right-side tables live in
             // `a` (commute the right operand if they live in `b`).
-            let pr: TableSet = pred
-                .tables()
-                .intersect(a.sources().union(b.sources()));
+            let pr: TableSet = pred.tables().intersect(a.sources().union(b.sources()));
             let (a, b, rkind) = if pr.is_subset_of(a.sources()) {
                 (a, b, rkind)
             } else if pr.is_subset_of(b.sources()) {
@@ -100,12 +98,7 @@ fn rewrite_join(kind: JoinKind, pred: Pred, left: Expr, right: Expr) -> Expr {
             } else {
                 // Non-binary spine predicate: leave this join bushy but
                 // normalize both subtrees.
-                return Expr::join(
-                    kind,
-                    pred,
-                    left,
-                    to_left_deep(Expr::join(rkind, q, a, b)),
-                );
+                return Expr::join(kind, pred, left, to_left_deep(Expr::join(rkind, q, a, b)));
             };
             let a_sources = a.sources();
             let b_sources = b.sources();

@@ -150,10 +150,7 @@ fn debug_assert_distinct_sources(terms: &[Term]) {
 /// `p_retailprice < 2000` join conjunct of the paper's V3) blocks the
 /// pruning, because parents failing it leave the child tuples unsubsumed.
 pub fn prune_fk_terms(terms: Vec<Term>, fks: &[FkEdge]) -> Vec<Term> {
-    let keep: Vec<bool> = terms
-        .iter()
-        .map(|t| !fk_prunable(t, &terms, fks))
-        .collect();
+    let keep: Vec<bool> = terms.iter().map(|t| !fk_prunable(t, &terms, fks)).collect();
     terms
         .into_iter()
         .zip(keep)
@@ -163,10 +160,7 @@ pub fn prune_fk_terms(terms: Vec<Term>, fks: &[FkEdge]) -> Vec<Term> {
 
 fn fk_prunable(term: &Term, all: &[Term], fks: &[FkEdge]) -> bool {
     for fk in fks {
-        if !fk.usable()
-            || !term.tables.contains(fk.child)
-            || term.tables.contains(fk.parent)
-        {
+        if !fk.usable() || !term.tables.contains(fk.child) || term.tables.contains(fk.parent) {
             continue;
         }
         let parent_set = term.tables.insert(fk.parent);
@@ -266,7 +260,10 @@ mod tests {
         let tr = terms.iter().find(|x| x.tables == ts(&[0, 2])).unwrap();
         assert_eq!(tr.pred.atoms().len(), 1);
         // The full term carries all three predicates.
-        let all = terms.iter().find(|x| x.tables == ts(&[0, 1, 2, 3])).unwrap();
+        let all = terms
+            .iter()
+            .find(|x| x.tables == ts(&[0, 1, 2, 3]))
+            .unwrap();
         assert_eq!(all.pred.atoms().len(), 3);
     }
 

@@ -23,7 +23,10 @@ use crate::table_set::TableId;
 /// Panics if `view` does not reference `updated` (the caller classifies such
 /// updates as no-ops before getting here) or is not a user SPOJ tree.
 pub fn derive_primary_delta(view: &Expr, updated: TableId) -> Expr {
-    assert!(view.is_user_spoj(), "ΔV^D derivation needs a user SPOJ tree");
+    assert!(
+        view.is_user_spoj(),
+        "ΔV^D derivation needs a user SPOJ tree"
+    );
     assert!(
         view.references(updated),
         "view does not reference {updated}"

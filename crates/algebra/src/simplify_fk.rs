@@ -222,7 +222,11 @@ mod tests {
     fn select_on_discarded_table_empties_delta() {
         // (ΔC lo_{fk} O) then σ on O: the σ can never pass.
         let delta = Expr::select(
-            Pred::atom(Atom::Const(ColRef::new(t(1), 2), CmpOp::Gt, ojv_rel::Datum::Int(0))),
+            Pred::atom(Atom::Const(
+                ColRef::new(t(1), 2),
+                CmpOp::Gt,
+                ojv_rel::Datum::Int(0),
+            )),
             Expr::left_outer(eq(0, 0, 1, 1), Expr::Delta(t(0)), Expr::table(t(1))),
         );
         let simplified = simplify_tree(delta, t(0), &[fk(1, 1, 0, 0)]);

@@ -63,8 +63,7 @@ fn bench(c: &mut Criterion) {
                 (catalog, view, update)
             },
             |(catalog, mut view, update)| {
-                let report =
-                    maintain(&mut view, &catalog, &update, &policy).expect("maintenance");
+                let report = maintain(&mut view, &catalog, &update, &policy).expect("maintenance");
                 (report, catalog, view, update)
             },
             criterion::BatchSize::PerIteration,
@@ -74,14 +73,15 @@ fn bench(c: &mut Criterion) {
         b.iter_batched(
             || {
                 let mut catalog = env.catalog.clone();
-                let view =
-                    MaterializedAggView::create(&catalog, agg_def()).expect("materializes");
+                let view = MaterializedAggView::create(&catalog, agg_def()).expect("materializes");
                 let rows = env.gen.lineitem_insert_batch(batch, 0);
                 let update = catalog.insert("lineitem", rows).expect("batch applies");
                 (catalog, view, update)
             },
             |(catalog, mut view, update)| {
-                let report = view.maintain(&catalog, &update, &policy).expect("maintenance");
+                let report = view
+                    .maintain(&catalog, &update, &policy)
+                    .expect("maintenance");
                 (report, catalog, view, update)
             },
             criterion::BatchSize::PerIteration,

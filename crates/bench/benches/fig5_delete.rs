@@ -30,8 +30,7 @@ fn bench(c: &mut Criterion) {
                         || {
                             let (mut catalog, view) = env.fresh_view(system);
                             let keys = env.gen.lineitem_delete_keys(batch, 0);
-                            let update =
-                                catalog.delete("lineitem", &keys).expect("batch applies");
+                            let update = catalog.delete("lineitem", &keys).expect("batch applies");
                             (catalog, view, update)
                         },
                         |(catalog, mut view, update)| {

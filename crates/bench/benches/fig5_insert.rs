@@ -33,8 +33,7 @@ fn bench(c: &mut Criterion) {
                         || {
                             let (mut catalog, view) = env.fresh_view(system);
                             let rows = env.gen.lineitem_insert_batch(batch, 0);
-                            let update =
-                                catalog.insert("lineitem", rows).expect("batch applies");
+                            let update = catalog.insert("lineitem", rows).expect("batch applies");
                             (catalog, view, update)
                         },
                         |(catalog, mut view, update)| {

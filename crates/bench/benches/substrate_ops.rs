@@ -24,7 +24,10 @@ fn bench(c: &mut Criterion) {
 
     let delta_rows = {
         let rows = env.gen.lineitem_insert_batch(600, 0);
-        ojv_rel::Relation::new(env.catalog.table("lineitem").expect("t").schema().clone(), rows)
+        ojv_rel::Relation::new(
+            env.catalog.table("lineitem").expect("t").schema().clone(),
+            rows,
+        )
     };
     // ΔL ⋈ O on l_orderkey = o_orderkey.
     let pred = Pred::atom(Atom::eq(ColRef::new(l, 0), ColRef::new(o, 0)));
@@ -45,7 +48,7 @@ fn bench(c: &mut Criterion) {
                 },
             );
             ctx.prefer_index_joins = prefer_index;
-            b.iter(|| eval_expr(&ctx, &join));
+            b.iter(|| eval_expr(&ctx, &join).unwrap());
         });
     }
     group.finish();
@@ -65,7 +68,7 @@ fn bench(c: &mut Criterion) {
         Expr::Delta(l),
         Expr::Table(o),
     );
-    let rows = eval_expr(&ctx, &lo);
+    let rows = eval_expr(&ctx, &lo).unwrap();
     c.bench_function("substrate_clean_dup", |b| {
         b.iter(|| ops::clean_dup(&layout, rows.clone()))
     });

@@ -1,0 +1,102 @@
+//! Thread-scaling ablation for the morsel-parallel delta executor.
+//!
+//! ```text
+//! ablation_threads [--sf 0.05] [--seed 42] [--reps 3] [--batch N]...
+//!                  [--threads 1,2,4,8]
+//! ```
+//!
+//! Maintains V3 after lineitem insert batches with the executor pinned to
+//! each thread count, verifying the first run of every setting against
+//! recompute. Results are bit-identical at any thread count by construction;
+//! this sweep measures only wall-clock.
+
+use std::str::FromStr;
+
+use ojv_bench::harness::{run_thread_scaling, Config, Env};
+
+fn usage_error(msg: &str) -> ! {
+    eprintln!("{msg}");
+    eprintln!(
+        "usage: ablation_threads [--sf 0.05] [--seed 42] [--reps 3] \
+         [--batch N]... [--threads 1,2,4,8]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_value<T: FromStr>(args: &[String], i: usize, flag: &str, what: &str) -> T {
+    let Some(raw) = args.get(i) else {
+        usage_error(&format!("{flag} requires a value ({what})"));
+    };
+    raw.parse()
+        .unwrap_or_else(|_| usage_error(&format!("{flag}: `{raw}` is not {what}")))
+}
+
+fn main() {
+    let mut cfg = Config::default();
+    let mut threads: Vec<usize> = vec![1, 2, 4, 8];
+    let mut batches: Vec<usize> = Vec::new();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--sf" => {
+                i += 1;
+                cfg.sf = parse_value(&args, i, "--sf", "a number");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = parse_value(&args, i, "--seed", "an integer");
+            }
+            "--reps" => {
+                i += 1;
+                cfg.repetitions = parse_value(&args, i, "--reps", "an integer");
+            }
+            "--batch" => {
+                i += 1;
+                batches.push(parse_value(&args, i, "--batch", "an integer"));
+            }
+            "--threads" => {
+                i += 1;
+                let Some(raw) = args.get(i) else {
+                    usage_error("--threads requires a comma list, e.g. 1,2,4,8");
+                };
+                threads = raw
+                    .split(',')
+                    .map(|s| match s.parse() {
+                        Ok(n) if n >= 1 => n,
+                        _ => usage_error(&format!("--threads: `{s}` is not a thread count >= 1")),
+                    })
+                    .collect();
+            }
+            other => {
+                usage_error(&format!("unknown argument {other}"));
+            }
+        }
+        i += 1;
+    }
+    if batches.is_empty() {
+        batches = vec![1_000, 10_000];
+    }
+
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!(
+        "# Thread-scaling ablation — SF={}, seed={}, reps={}, {cores} core(s) available\n",
+        cfg.sf, cfg.seed, cfg.repetitions
+    );
+    let env = Env::new(&cfg);
+    println!(
+        "{:>8} {:>8} {:>12} {:>10} {:>12}",
+        "batch", "threads", "median", "speedup", "ΔV^D rows"
+    );
+    for &batch in &batches {
+        for p in run_thread_scaling(&env, batch, cfg.repetitions, &threads) {
+            println!(
+                "{:>8} {:>8} {:>12.3?} {:>9.2}x {:>12}",
+                p.batch, p.threads, p.time, p.speedup, p.primary_rows
+            );
+        }
+        println!();
+    }
+}

@@ -91,9 +91,15 @@ fn table1(env: &Env, cfg: &Config) {
 
 fn fig5(env: &Env, cfg: &Config, deletes: bool) {
     let (panel, verb) = if deletes {
-        ("Figure 5(b). Maintenance costs for V3 — deletion", "Deleted")
+        (
+            "Figure 5(b). Maintenance costs for V3 — deletion",
+            "Deleted",
+        )
     } else {
-        ("Figure 5(a). Maintenance costs for V3 — insertion", "Inserted")
+        (
+            "Figure 5(a). Maintenance costs for V3 — insertion",
+            "Inserted",
+        )
     };
     let ms = run_fig5(env, cfg, deletes);
     println!("{}", render_fig5(panel, &ms));
@@ -142,8 +148,11 @@ fn graphs(env: &Env) {
     println!("V2 maintenance graph, update orders (Figure 4(a)):");
     println!("  {}", v2.maintenance_graph(o, false));
     println!("V2 reduced maintenance graph (Figure 4(b)):");
-    println!("  {}
-", v2.maintenance_graph(o, true));
+    println!(
+        "  {}
+",
+        v2.maintenance_graph(o, true)
+    );
 
     let a = analyze(&env.catalog, &v3_def()).expect("V3 analyzes");
     println!("V3 subsumption graph (cf. Figure 1(a) for V1):");
@@ -158,9 +167,6 @@ fn graphs(env: &Env) {
     let l = a.layout.table_id("lineitem").expect("lineitem in V3");
     println!("ΔV3^D plan for a lineitem update (left-deep, FK-simplified):");
     let plan = a.primary_delta_plan(l, true, true);
-    print!(
-        "{}",
-        plan.tree_string(&|t| a.layout.slot(t).name.clone())
-    );
+    print!("{}", plan.tree_string(&|t| a.layout.slot(t).name.clone()));
     println!();
 }

@@ -28,7 +28,12 @@ fn v3_expr(customer_join: JoinKind, part_join: JoinKind) -> ViewExpr {
     let lineitem_orders = ViewExpr::inner(
         vec![
             col_eq("lineitem", "l_orderkey", "orders", "o_orderkey"),
-            col_between("orders", "o_orderdate", date("1994-06-01"), date("1994-12-31")),
+            col_between(
+                "orders",
+                "o_orderdate",
+                date("1994-06-01"),
+                date("1994-12-31"),
+            ),
         ],
         ViewExpr::table("lineitem"),
         ViewExpr::table("orders"),

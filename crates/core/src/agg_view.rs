@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use ojv_algebra::TableId;
 use ojv_exec::{eval_expr, DeltaInput, ExecCtx};
-use ojv_rel::{key_of, Column, DataType, Datum, Relation, Row, Schema};
+use ojv_rel::{key_of, Column, DataType, Datum, ExactFloatSum, Relation, Row, Schema};
 use ojv_storage::{Catalog, Update, UpdateOp};
 
 use crate::analyze::{analyze, ViewAnalysis};
@@ -71,8 +71,17 @@ impl AggViewDef {
 #[derive(Debug, Clone)]
 enum AggAcc {
     Count(i64),
-    SumInt { sum: i64, non_null: i64 },
-    SumFloat { sum: f64, non_null: i64 },
+    SumInt {
+        sum: i64,
+        non_null: i64,
+    },
+    /// Float sums use an exact accumulator so that adding and removing
+    /// contributions in maintenance order yields bit-identical results to a
+    /// from-scratch recompute (plain `f64` addition is order-dependent).
+    SumFloat {
+        sum: Box<ExactFloatSum>,
+        non_null: i64,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -130,21 +139,25 @@ impl MaterializedAggView {
             agg_cols.push(match spec {
                 AggSpec::CountRows => AggCol::CountRows,
                 AggSpec::CountNonNull { table, column } => {
-                    let cr = analysis.layout.col(table, column).map_err(|_| {
-                        CoreError::InvalidView {
-                            view: def.name.clone(),
-                            detail: format!("aggregate {out}: column not found"),
-                        }
-                    })?;
+                    let cr =
+                        analysis
+                            .layout
+                            .col(table, column)
+                            .map_err(|_| CoreError::InvalidView {
+                                view: def.name.clone(),
+                                detail: format!("aggregate {out}: column not found"),
+                            })?;
                     AggCol::CountNonNull(analysis.layout.global(cr))
                 }
                 AggSpec::Sum { table, column } => {
-                    let cr = analysis.layout.col(table, column).map_err(|_| {
-                        CoreError::InvalidView {
-                            view: def.name.clone(),
-                            detail: format!("aggregate {out}: column not found"),
-                        }
-                    })?;
+                    let cr =
+                        analysis
+                            .layout
+                            .col(table, column)
+                            .map_err(|_| CoreError::InvalidView {
+                                view: def.name.clone(),
+                                detail: format!("aggregate {out}: column not found"),
+                            })?;
                     let g = analysis.layout.global(cr);
                     match analysis.layout.wide_schema().column(g).ty {
                         DataType::Int => AggCol::SumInt(g),
@@ -174,7 +187,7 @@ impl MaterializedAggView {
             groups: HashMap::new(),
         };
         let ctx = ExecCtx::new(catalog, &view.analysis.layout);
-        let rows = eval_expr(&ctx, &view.analysis.expr);
+        let rows = eval_expr(&ctx, &view.analysis.expr)?;
         view.apply_rows(&rows, 1);
         Ok(view)
     }
@@ -191,22 +204,28 @@ impl MaterializedAggView {
     fn apply_rows(&mut self, rows: &[Row], sign: i64) {
         for row in rows {
             let key = key_of(row, &self.group_cols);
-            let state = self.groups.entry(key.clone()).or_insert_with(|| GroupState {
-                count: 0,
-                notnull: vec![0; self.notnull_tables.len()],
-                aggs: self
-                    .agg_cols
-                    .iter()
-                    .map(|a| match a {
-                        AggCol::CountRows | AggCol::CountNonNull(_) => AggAcc::Count(0),
-                        AggCol::SumInt(_) => AggAcc::SumInt { sum: 0, non_null: 0 },
-                        AggCol::SumFloat(_) => AggAcc::SumFloat {
-                            sum: 0.0,
-                            non_null: 0,
-                        },
-                    })
-                    .collect(),
-            });
+            let state = self
+                .groups
+                .entry(key.clone())
+                .or_insert_with(|| GroupState {
+                    count: 0,
+                    notnull: vec![0; self.notnull_tables.len()],
+                    aggs: self
+                        .agg_cols
+                        .iter()
+                        .map(|a| match a {
+                            AggCol::CountRows | AggCol::CountNonNull(_) => AggAcc::Count(0),
+                            AggCol::SumInt(_) => AggAcc::SumInt {
+                                sum: 0,
+                                non_null: 0,
+                            },
+                            AggCol::SumFloat(_) => AggAcc::SumFloat {
+                                sum: Box::new(ExactFloatSum::new()),
+                                non_null: 0,
+                            },
+                        })
+                        .collect(),
+                });
             state.count += sign;
             for (slot, t) in self.notnull_tables.iter().enumerate() {
                 if !self.analysis.layout.is_null_on(*t, row) {
@@ -229,7 +248,11 @@ impl MaterializedAggView {
                     }
                     (AggAcc::SumFloat { sum, non_null }, AggCol::SumFloat(g)) => {
                         if let Some(v) = row[*g].as_float() {
-                            *sum += sign as f64 * v;
+                            if sign > 0 {
+                                sum.add(v);
+                            } else {
+                                sum.sub(v);
+                            }
                             *non_null += sign;
                         }
                     }
@@ -279,14 +302,15 @@ impl MaterializedAggView {
         // (the secondary delta always comes from base tables, §3.3), so
         // compute both deltas first, then merge.
         let analysis = self.analysis.clone();
-        let exec = ExecCtx::with_delta(catalog, &analysis.layout, delta_input);
+        let exec = ExecCtx::with_delta(catalog, &analysis.layout, delta_input)
+            .with_parallel(policy.parallel);
 
         let start = std::time::Instant::now();
         let primary: Vec<Row> = if mgraph.direct.is_empty() {
             Vec::new()
         } else {
             let plan = analysis.primary_delta_plan(t, use_fk, policy.left_deep);
-            eval_expr(&exec, &plan)
+            eval_expr(&exec, &plan)?
         };
         report.primary_rows = primary.len();
         report.primary_compute = start.elapsed();
@@ -308,7 +332,7 @@ impl MaterializedAggView {
                 let insert = update.op == UpdateOp::Insert;
                 secondary_rows.extend(secondary::from_base(
                     &sctx, &exec, &ind_view, &primary, insert,
-                ));
+                )?);
             }
         }
         report.secondary_rows = secondary_rows.len();
@@ -332,12 +356,10 @@ impl MaterializedAggView {
         for (name, spec) in &self.def.aggs {
             let ty = match spec {
                 AggSpec::CountRows | AggSpec::CountNonNull { .. } => DataType::Int,
-                AggSpec::Sum { .. } => {
-                    match self.agg_cols[cols.len() - self.group_cols.len()] {
-                        AggCol::SumInt(_) => DataType::Int,
-                        _ => DataType::Float,
-                    }
-                }
+                AggSpec::Sum { .. } => match self.agg_cols[cols.len() - self.group_cols.len()] {
+                    AggCol::SumInt(_) => DataType::Int,
+                    _ => DataType::Float,
+                },
             };
             cols.push(Column::new("agg", name, ty, true));
         }
@@ -353,7 +375,7 @@ impl MaterializedAggView {
                         AggAcc::SumInt { non_null: 0, .. }
                         | AggAcc::SumFloat { non_null: 0, .. } => Datum::Null,
                         AggAcc::SumInt { sum, .. } => Datum::Int(*sum),
-                        AggAcc::SumFloat { sum, .. } => Datum::Float(*sum),
+                        AggAcc::SumFloat { sum, .. } => Datum::Float(sum.to_f64()),
                     });
                 }
                 row
@@ -426,16 +448,15 @@ mod tests {
         let up = c
             .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
             .unwrap();
-        let report = view
-            .maintain(&c, &up, &MaintenancePolicy::paper())
-            .unwrap();
+        let report = view.maintain(&c, &up, &MaintenancePolicy::paper()).unwrap();
         assert!(report.primary_rows > 0);
         assert_matches_recompute(&view, &c);
 
         let down = c
             .delete("lineitem", &[vec![Datum::Int(3), Datum::Int(1)]])
             .unwrap();
-        view.maintain(&c, &down, &MaintenancePolicy::paper()).unwrap();
+        view.maintain(&c, &down, &MaintenancePolicy::paper())
+            .unwrap();
         assert_matches_recompute(&view, &c);
     }
 
@@ -458,7 +479,8 @@ mod tests {
         let mut view = MaterializedAggView::create(&c, agg_def()).unwrap();
         assert_eq!(view.group_count(), 1);
         let down = c.delete("part", &[vec![Datum::Int(1)]]).unwrap();
-        view.maintain(&c, &down, &MaintenancePolicy::paper()).unwrap();
+        view.maintain(&c, &down, &MaintenancePolicy::paper())
+            .unwrap();
         assert_eq!(view.group_count(), 0);
         assert_matches_recompute(&view, &c);
     }
@@ -482,7 +504,8 @@ mod tests {
             return; // fixture produced no such lines; nothing to test
         }
         let down = c.delete("lineitem", &keys).unwrap();
-        view.maintain(&c, &down, &MaintenancePolicy::paper()).unwrap();
+        view.maintain(&c, &down, &MaintenancePolicy::paper())
+            .unwrap();
         assert_matches_recompute(&view, &c);
         let group = vec![Datum::Int(2)];
         assert_eq!(view.notnull_count(&group, "lineitem"), Some(0));

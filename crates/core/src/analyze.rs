@@ -48,7 +48,10 @@ pub fn analyze(catalog: &Catalog, def: &ViewDef) -> Result<ViewAnalysis> {
     if tables.len() > ojv_algebra::TableSet::MAX_TABLES {
         return Err(CoreError::InvalidView {
             view: def.name().to_string(),
-            detail: format!("view references more than {} tables", ojv_algebra::TableSet::MAX_TABLES),
+            detail: format!(
+                "view references more than {} tables",
+                ojv_algebra::TableSet::MAX_TABLES
+            ),
         });
     }
     let table_refs: Vec<&str> = tables.iter().map(String::as_str).collect();
@@ -126,10 +129,7 @@ impl ViewAnalysis {
                 return false;
             }
             if term.tables.contains(t) {
-                let keys_out = slot
-                    .key_cols
-                    .iter()
-                    .all(|k| self.projection.contains(k));
+                let keys_out = slot.key_cols.iter().all(|k| self.projection.contains(k));
                 if !keys_out {
                     return false;
                 }
@@ -150,9 +150,7 @@ fn resolve_atom(def: &ViewDef, layout: &ViewLayout, atom: &NamedAtom) -> Result<
         NamedAtom::Cols { left, op, right } => {
             Atom::Cols(col(&left.0, &left.1)?, *op, col(&right.0, &right.1)?)
         }
-        NamedAtom::Const { col: c, op, value } => {
-            Atom::Const(col(&c.0, &c.1)?, *op, value.clone())
-        }
+        NamedAtom::Const { col: c, op, value } => Atom::Const(col(&c.0, &c.1)?, *op, value.clone()),
         NamedAtom::Between { col: c, lo, hi } => {
             Atom::Between(col(&c.0, &c.1)?, lo.clone(), hi.clone())
         }
@@ -170,10 +168,12 @@ fn resolve_pred(def: &ViewDef, layout: &ViewLayout, atoms: &[NamedAtom]) -> Resu
 fn resolve_expr(def: &ViewDef, layout: &ViewLayout, e: &ViewExpr) -> Result<Expr> {
     Ok(match e {
         ViewExpr::Table(name) => {
-            let t = layout.table_id(name).ok_or_else(|| CoreError::InvalidView {
-                view: def.name().to_string(),
-                detail: format!("table {name} not in layout"),
-            })?;
+            let t = layout
+                .table_id(name)
+                .ok_or_else(|| CoreError::InvalidView {
+                    view: def.name().to_string(),
+                    detail: format!("table {name} not in layout"),
+                })?;
             Expr::Table(t)
         }
         ViewExpr::Select(atoms, input) => Expr::select(
@@ -254,7 +254,12 @@ mod tests {
         let def = crate::view_def::ViewDef::new(
             "dup",
             ViewExpr::inner(
-                vec![crate::view_def::col_eq("part", "p_partkey", "part", "p_partkey")],
+                vec![crate::view_def::col_eq(
+                    "part",
+                    "p_partkey",
+                    "part",
+                    "p_partkey",
+                )],
                 ViewExpr::table("part"),
                 ViewExpr::table("part"),
             ),
@@ -271,7 +276,12 @@ mod tests {
         let def = crate::view_def::ViewDef::new(
             "bad",
             ViewExpr::inner(
-                vec![crate::view_def::col_eq("part", "nope", "orders", "o_orderkey")],
+                vec![crate::view_def::col_eq(
+                    "part",
+                    "nope",
+                    "orders",
+                    "o_orderkey",
+                )],
                 ViewExpr::table("part"),
                 ViewExpr::table("orders"),
             ),

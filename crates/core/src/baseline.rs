@@ -25,6 +25,7 @@ use ojv_storage::{Catalog, Update, UpdateOp};
 use crate::error::Result;
 use crate::maintain::MaintenanceReport;
 use crate::materialize::MaterializedView;
+use crate::policy::MaintenancePolicy;
 
 /// Recompute the view from scratch, diff against the stored contents by
 /// view key, and apply the difference.
@@ -32,6 +33,7 @@ pub fn maintain_recompute(
     view: &mut MaterializedView,
     catalog: &Catalog,
     update: &Update,
+    policy: &MaintenancePolicy,
 ) -> Result<MaintenanceReport> {
     let mut report = MaintenanceReport {
         view: view.name().to_string(),
@@ -40,16 +42,14 @@ pub fn maintain_recompute(
         ..Default::default()
     };
     let start = Instant::now();
-    let ctx = ExecCtx::new(catalog, &view.analysis.layout);
-    let fresh = eval_expr(&ctx, &view.analysis.expr);
+    let ctx = ExecCtx::new(catalog, &view.analysis.layout).with_parallel(policy.parallel);
+    let fresh = eval_expr(&ctx, &view.analysis.expr)?;
     report.primary_compute = start.elapsed();
 
     let start = Instant::now();
     let name = view.name().to_string();
-    let fresh_keys: HashSet<Vec<Datum>> = fresh
-        .iter()
-        .map(|r| view.store().key_of_row(r))
-        .collect();
+    let fresh_keys: HashSet<Vec<Datum>> =
+        fresh.iter().map(|r| view.store().key_of_row(r)).collect();
     let stale: Vec<Vec<Datum>> = view
         .wide_rows()
         .iter()
@@ -77,6 +77,7 @@ pub fn maintain_gk(
     view: &mut MaterializedView,
     catalog: &Catalog,
     update: &Update,
+    policy: &MaintenancePolicy,
 ) -> Result<MaintenanceReport> {
     let mut report = MaintenanceReport {
         view: view.name().to_string(),
@@ -99,7 +100,8 @@ pub fn maintain_gk(
         table: t,
         rows: &update.rows,
     };
-    let mut exec = ExecCtx::with_delta(catalog, &layout, delta_input);
+    let mut exec =
+        ExecCtx::with_delta(catalog, &layout, delta_input).with_parallel(policy.parallel);
     // Cost characteristic (a): no index-aware plans.
     exec.prefer_index_joins = false;
 
@@ -114,7 +116,7 @@ pub fn maintain_gk(
     let mut term_deltas: Vec<Option<Vec<Row>>> = vec![None; terms.len()];
     for &i in &direct {
         let expr = term_expr(&terms[i], t, TermLeaf::Delta);
-        let rows = eval_expr(&exec, &expr);
+        let rows = eval_expr(&exec, &expr)?;
         term_deltas[i] = Some(rows);
     }
     // Net deltas: a direct term's delta row is net unless a parent's delta
@@ -207,7 +209,7 @@ pub fn maintain_gk(
                 TermLeaf::Table
             };
             let expr = term_expr(&terms[p], t, leaf);
-            for row in eval_expr(&exec, &expr) {
+            for row in eval_expr(&exec, &expr)? {
                 covered.insert(key_of(&row, &ti_keys));
             }
         }
@@ -314,7 +316,7 @@ mod tests {
         let up = c
             .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
             .unwrap();
-        maintain_recompute(&mut view, &c, &up).unwrap();
+        maintain_recompute(&mut view, &c, &up, &MaintenancePolicy::paper()).unwrap();
         assert!(verify_against_recompute(&view, &c));
         let down = c
             .delete(
@@ -322,7 +324,7 @@ mod tests {
                 &[vec![ojv_rel::Datum::Int(3), ojv_rel::Datum::Int(1)]],
             )
             .unwrap();
-        maintain_recompute(&mut view, &c, &down).unwrap();
+        maintain_recompute(&mut view, &c, &down, &MaintenancePolicy::paper()).unwrap();
         assert!(verify_against_recompute(&view, &c));
     }
 
@@ -336,7 +338,7 @@ mod tests {
             .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
             .unwrap();
         maintain(&mut ours, &c, &up, &MaintenancePolicy::paper()).unwrap();
-        maintain_gk(&mut gk, &c, &up).unwrap();
+        maintain_gk(&mut gk, &c, &up, &MaintenancePolicy::paper()).unwrap();
         assert!(verify_against_recompute(&gk, &c));
         let mut a: Vec<Row> = ours.wide_rows().to_vec();
         let mut b: Vec<Row> = gk.wide_rows().to_vec();
@@ -357,7 +359,7 @@ mod tests {
                     &[vec![ojv_rel::Datum::Int(2), ojv_rel::Datum::Int(ln)]],
                 )
                 .unwrap();
-            maintain_gk(&mut view, &c, &up).unwrap();
+            maintain_gk(&mut view, &c, &up, &MaintenancePolicy::paper()).unwrap();
             assert!(verify_against_recompute(&view, &c));
         }
     }
@@ -368,13 +370,15 @@ mod tests {
         populate_example1(&mut c, 8, 9);
         let mut view = MaterializedView::create(&c, oj_view_def()).unwrap();
         let up = c.insert("part", vec![part_row(100, "p", 1.0)]).unwrap();
-        maintain_gk(&mut view, &c, &up).unwrap();
+        maintain_gk(&mut view, &c, &up, &MaintenancePolicy::paper()).unwrap();
         assert!(verify_against_recompute(&view, &c));
         let up = c.insert("orders", vec![order_row(100, 5)]).unwrap();
-        maintain_gk(&mut view, &c, &up).unwrap();
+        maintain_gk(&mut view, &c, &up, &MaintenancePolicy::paper()).unwrap();
         assert!(verify_against_recompute(&view, &c));
-        let down = c.delete("orders", &[vec![ojv_rel::Datum::Int(100)]]).unwrap();
-        maintain_gk(&mut view, &c, &down).unwrap();
+        let down = c
+            .delete("orders", &[vec![ojv_rel::Datum::Int(100)]])
+            .unwrap();
+        maintain_gk(&mut view, &c, &down, &MaintenancePolicy::paper()).unwrap();
         assert!(verify_against_recompute(&view, &c));
     }
 
@@ -386,9 +390,14 @@ mod tests {
             c.insert(name, rows).unwrap();
         }
         let mut view = MaterializedView::create(&c, v1_view_def()).unwrap();
-        for (name, id, jc) in [("t", 100i64, 1i64), ("r", 101, 2), ("s", 102, 3), ("u", 103, 0)] {
+        for (name, id, jc) in [
+            ("t", 100i64, 1i64),
+            ("r", 101, 2),
+            ("s", 102, 3),
+            ("u", 103, 0),
+        ] {
             let up = c.insert(name, vec![v1_row(id, jc, 0)]).unwrap();
-            maintain_gk(&mut view, &c, &up).unwrap();
+            maintain_gk(&mut view, &c, &up, &MaintenancePolicy::paper()).unwrap();
             assert!(
                 verify_against_recompute(&view, &c),
                 "GK diverged after insert into {name}"
@@ -396,7 +405,7 @@ mod tests {
         }
         for (name, id) in [("t", 100i64), ("u", 2), ("s", 1), ("r", 3)] {
             let up = c.delete(name, &[vec![ojv_rel::Datum::Int(id)]]).unwrap();
-            maintain_gk(&mut view, &c, &up).unwrap();
+            maintain_gk(&mut view, &c, &up, &MaintenancePolicy::paper()).unwrap();
             assert!(
                 verify_against_recompute(&view, &c),
                 "GK diverged after delete from {name}"

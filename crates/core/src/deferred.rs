@@ -89,12 +89,13 @@ impl DeferredView {
         // the per-term fallback would consult the *final* base-table state
         // for every replayed step — unsound for multi-batch windows. Use the
         // recompute path instead.
-        let from_view_ok = (0..self.view.analysis.terms.len())
-            .all(|i| self.view.analysis.from_view_available(i));
+        let from_view_ok =
+            (0..self.view.analysis.terms.len()).all(|i| self.view.analysis.from_view_available(i));
         if !single_table || (!from_view_ok && self.pending.len() > 1) {
             let last = self.pending.last().expect("non-empty queue").clone();
             self.pending.clear();
-            let report = crate::baseline::maintain_recompute(&mut self.view, catalog, &last)?;
+            let report =
+                crate::baseline::maintain_recompute(&mut self.view, catalog, &last, policy)?;
             return Ok(vec![report]);
         }
 

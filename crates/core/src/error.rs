@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use ojv_exec::ExecError;
 use ojv_rel::RelError;
 use ojv_storage::StorageError;
 
@@ -12,6 +13,9 @@ pub enum CoreError {
     Storage(StorageError),
     /// Data-model error.
     Rel(RelError),
+    /// Delta-expression execution error (e.g. a view layout referencing a
+    /// table the catalog no longer has).
+    Exec(ExecError),
     /// The view definition violates one of the paper's §2 restrictions or
     /// references unknown catalog objects.
     InvalidView { view: String, detail: String },
@@ -26,6 +30,7 @@ impl fmt::Display for CoreError {
         match self {
             CoreError::Storage(e) => write!(f, "{e}"),
             CoreError::Rel(e) => write!(f, "{e}"),
+            CoreError::Exec(e) => write!(f, "{e}"),
             CoreError::InvalidView { view, detail } => {
                 write!(f, "invalid view {view}: {detail}")
             }
@@ -46,6 +51,12 @@ impl From<StorageError> for CoreError {
 impl From<RelError> for CoreError {
     fn from(e: RelError) -> Self {
         CoreError::Rel(e)
+    }
+}
+
+impl From<ExecError> for CoreError {
+    fn from(e: ExecError) -> Self {
+        CoreError::Exec(e)
     }
 }
 

@@ -10,6 +10,7 @@
 //! paper's Example 4.
 
 use ojv_algebra::{Expr, JoinKind, TableId};
+use ojv_exec::ExecStatsSnapshot;
 use ojv_storage::Catalog;
 
 use crate::analyze::ViewAnalysis;
@@ -174,6 +175,40 @@ fn walk(
     }
 }
 
+/// Render the per-operator executor counters a maintenance run collected
+/// (see [`crate::maintain::MaintenanceReport::exec`]) — actual rows in/out,
+/// morsel counts, and wall-clock per operator, the measured counterpart to
+/// [`explain_plan`]'s estimates. Operators that never ran are omitted.
+pub fn render_exec_stats(stats: &ExecStatsSnapshot) -> String {
+    let ops = [
+        ("filter", &stats.filter),
+        ("join build", &stats.join_build),
+        ("join probe", &stats.join_probe),
+        ("index join", &stats.index_join),
+        ("dedup", &stats.dedup),
+        ("subsume", &stats.subsume),
+    ];
+    let mut out = String::from("operator counters:\n");
+    let mut any = false;
+    for (name, op) in ops {
+        if op.morsels == 0 {
+            continue;
+        }
+        any = true;
+        out.push_str(&format!(
+            "  {name:<11} {:>8} rows in  {:>8} rows out  {:>5} morsels  {:>9.3} ms\n",
+            op.rows_in,
+            op.rows_out,
+            op.morsels,
+            op.time_ns as f64 / 1e6,
+        ));
+    }
+    if !any {
+        out.push_str("  (no operators ran)\n");
+    }
+    out
+}
+
 /// Estimate the right operand: `(base cardinality, access-path label,
 /// rows per probe)`.
 fn describe_right(
@@ -257,11 +292,33 @@ mod tests {
     }
 
     #[test]
+    fn exec_stats_render_actual_counters() {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 8, 9);
+        let mut view = crate::materialize::MaterializedView::create(&c, oj_view_def()).unwrap();
+        let up = c
+            .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        let report = crate::maintain::maintain(
+            &mut view,
+            &c,
+            &up,
+            &crate::policy::MaintenancePolicy::paper(),
+        )
+        .unwrap();
+        let text = render_exec_stats(&report.exec);
+        // The lineitem insert probes part and orders through their indexes.
+        assert!(text.contains("index join"), "got:\n{text}");
+        assert!(!text.contains("no operators ran"));
+        let empty = render_exec_stats(&ExecStatsSnapshot::default());
+        assert!(empty.contains("no operators ran"));
+    }
+
+    #[test]
     fn explain_contrasts_bushy_and_left_deep() {
         let mut c = v1_catalog();
         for (name, n) in [("r", 50i64), ("s", 60), ("t", 70), ("u", 80)] {
-            let rows: Vec<ojv_rel::Row> =
-                (1..=n).map(|i| v1_row(i, i % 10, i)).collect();
+            let rows: Vec<ojv_rel::Row> = (1..=n).map(|i| v1_row(i, i % 10, i)).collect();
             c.insert(name, rows).unwrap();
         }
         let a = analyze(&c, &v1_view_def()).unwrap();

@@ -87,7 +87,13 @@ pub fn populate_example1(c: &mut Catalog, n_parts: i64, n_orders: i64) {
         }
         lines.push(lineitem_row(o, 1, 1 + (o % n_parts), 5, 10.0 * o as f64));
         if o % 2 == 0 {
-            lines.push(lineitem_row(o, 2, 1 + ((o + 1) % n_parts), 7, 5.0 * o as f64));
+            lines.push(lineitem_row(
+                o,
+                2,
+                1 + ((o + 1) % n_parts),
+                7,
+                5.0 * o as f64,
+            ));
         }
     }
     c.insert("lineitem", lines).expect("fixture lineitems");

@@ -44,8 +44,8 @@ pub mod error;
 pub mod explain;
 pub mod fixtures;
 pub mod maintain;
-pub mod parser;
 pub mod materialize;
+pub mod parser;
 pub mod policy;
 pub mod secondary;
 pub mod sql;
@@ -60,15 +60,15 @@ pub mod prelude {
     pub use crate::database::Database;
     pub use crate::deferred::DeferredView;
     pub use crate::error::{CoreError, Result};
-    pub use crate::maintain::{maintain, MaintenanceReport};
+    pub use crate::explain::{explain_plan, render_exec_stats};
+    pub use crate::maintain::{maintain, verify_against_recompute, MaintenanceReport};
     pub use crate::materialize::MaterializedView;
     pub use crate::parser::parse_view;
-    pub use crate::view_match::{execute_match, match_view, ViewMatch};
     pub use crate::policy::{MaintenancePolicy, SecondaryStrategy};
-    pub use crate::view_def::{
-        col_between, col_cmp, col_eq, NamedAtom, ViewDef, ViewExpr,
-    };
+    pub use crate::view_def::{col_between, col_cmp, col_eq, NamedAtom, ViewDef, ViewExpr};
+    pub use crate::view_match::{execute_match, match_view, ViewMatch};
     pub use ojv_algebra::{CmpOp, JoinKind};
+    pub use ojv_exec::{ExecStatsSnapshot, ParallelSpec};
     pub use ojv_rel::{Datum, Relation, Row};
     pub use ojv_storage::{Catalog, Update, UpdateOp};
 }

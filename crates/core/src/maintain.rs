@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use ojv_exec::{eval_expr, DeltaInput, ExecCtx};
+use ojv_exec::{eval_expr, DeltaInput, ExecCtx, ExecStats, ExecStatsSnapshot};
 use ojv_rel::Row;
 use ojv_storage::{Catalog, Update, UpdateOp};
 
@@ -46,6 +46,9 @@ pub struct MaintenanceReport {
     pub primary_apply: Duration,
     /// Time to compute and apply `ΔV^I`.
     pub secondary_time: Duration,
+    /// Per-operator executor counters (rows in/out, morsels, time) for the
+    /// whole run — filter, join build/probe, index join, dedup, subsumption.
+    pub exec: ExecStatsSnapshot,
 }
 
 impl MaintenanceReport {
@@ -93,7 +96,10 @@ pub fn maintain(
         table: t,
         rows: &update.rows,
     };
-    let exec = ExecCtx::with_delta(catalog, &analysis.layout, delta_input);
+    let stats = ExecStats::default();
+    let exec = ExecCtx::with_delta(catalog, &analysis.layout, delta_input)
+        .with_parallel(policy.parallel)
+        .with_stats(&stats);
 
     // Step 1: primary delta (§4).
     let start = Instant::now();
@@ -101,7 +107,7 @@ pub fn maintain(
         Vec::new()
     } else {
         let plan = analysis.primary_delta_plan(t, use_fk, policy.left_deep);
-        eval_expr(&exec, &plan)
+        eval_expr(&exec, &plan)?
     };
     report.primary_rows = primary.len();
     report.primary_compute = start.elapsed();
@@ -145,6 +151,7 @@ pub fn maintain(
                 }
             }
             report.secondary_time = start.elapsed();
+            report.exec = stats.snapshot();
             return Ok(report);
         }
         for ind in &mgraph.indirect {
@@ -160,9 +167,7 @@ pub fn maintain(
             // (The engine's internal store is wide, but we honour the
             // paper's condition against the declared output so projected
             // views behave as they would in a production system.)
-            if strategy == SecondaryStrategy::FromView
-                && !analysis.from_view_available(ind.term)
-            {
+            if strategy == SecondaryStrategy::FromView && !analysis.from_view_available(ind.term) {
                 strategy = SecondaryStrategy::FromBase;
             }
             report.secondary_rows += match (strategy, update.op) {
@@ -188,7 +193,7 @@ pub fn maintain(
                 }
                 (SecondaryStrategy::FromBase, op) => {
                     let insert = op == UpdateOp::Insert;
-                    let rows = secondary::from_base(&sctx, &exec, &ind_view, &primary, insert);
+                    let rows = secondary::from_base(&sctx, &exec, &ind_view, &primary, insert)?;
                     let name = view.name().to_string();
                     let n = rows.len();
                     for row in rows {
@@ -208,6 +213,7 @@ pub fn maintain(
         }
     }
     report.secondary_time = start.elapsed();
+    report.exec = stats.snapshot();
     Ok(report)
 }
 
@@ -246,7 +252,8 @@ fn apply_primary(view: &mut MaterializedView, primary: &[Row], op: UpdateOp) -> 
 /// match — the correctness oracle used by tests.
 pub fn verify_against_recompute(view: &MaterializedView, catalog: &Catalog) -> bool {
     let ctx = ExecCtx::new(catalog, &view.analysis.layout);
-    let mut fresh = eval_expr(&ctx, &view.analysis.expr);
+    let mut fresh = eval_expr(&ctx, &view.analysis.expr)
+        .expect("recompute oracle: every view table is in the catalog");
     let mut have: Vec<Row> = view.wide_rows().to_vec();
     fresh.sort();
     have.sort();
@@ -478,7 +485,12 @@ mod tests {
         let mut c = example1_catalog();
         c.create_table(
             "other",
-            vec![ojv_rel::Column::new("other", "id", ojv_rel::DataType::Int, false)],
+            vec![ojv_rel::Column::new(
+                "other",
+                "id",
+                ojv_rel::DataType::Int,
+                false,
+            )],
             &["id"],
         )
         .unwrap();
@@ -501,8 +513,12 @@ mod tests {
             }
             let mut view = MaterializedView::create(&c, v1_view_def()).unwrap();
             // Inserts into every table.
-            for (name, id, jc) in [("t", 100i64, 1i64), ("r", 101, 2), ("s", 102, 3), ("u", 103, 0)]
-            {
+            for (name, id, jc) in [
+                ("t", 100i64, 1i64),
+                ("r", 101, 2),
+                ("s", 102, 3),
+                ("u", 103, 0),
+            ] {
                 let up = c.insert(name, vec![v1_row(id, jc, 0)]).unwrap();
                 maintain(&mut view, &c, &up, &policy).unwrap();
                 assert!(

@@ -187,7 +187,7 @@ impl MaterializedView {
     pub fn create(catalog: &Catalog, def: ViewDef) -> Result<Self> {
         let analysis = analyze(catalog, &def)?;
         let ctx = ojv_exec::ExecCtx::new(catalog, &analysis.layout);
-        let rows = ojv_exec::eval_expr(&ctx, &analysis.expr);
+        let rows = ojv_exec::eval_expr(&ctx, &analysis.expr)?;
         let mut store = ViewStore::new(analysis.view_key.clone());
         // One count index per term that can ever be indirectly affected
         // (i.e. has a parent in the subsumption graph) — the §5.2 anti-joins
@@ -257,12 +257,8 @@ impl MaterializedView {
     /// Count stored rows per term (source-set pattern) — the paper's
     /// Table 1 "Cardinality" column.
     pub fn term_cardinalities(&self) -> Vec<(ojv_algebra::TableSet, usize)> {
-        let mut counts: Vec<(ojv_algebra::TableSet, usize)> = self
-            .analysis
-            .terms
-            .iter()
-            .map(|t| (t.tables, 0))
-            .collect();
+        let mut counts: Vec<(ojv_algebra::TableSet, usize)> =
+            self.analysis.terms.iter().map(|t| (t.tables, 0)).collect();
         for row in self.store.rows() {
             let sources = self.analysis.layout.sources_of_row(row);
             if let Some(e) = counts.iter_mut().find(|(s, _)| *s == sources) {
@@ -295,14 +291,15 @@ mod tests {
         let orders_only = view
             .term_cardinalities()
             .into_iter()
-            .find(|(s, _)| {
-                s.only() == view.analysis.layout.table_id("orders")
-            })
+            .find(|(s, _)| s.only() == view.analysis.layout.table_id("orders"))
             .unwrap();
         assert_eq!(orders_only.1, 3);
         assert_eq!(
             view.len(),
-            view.term_cardinalities().iter().map(|(_, n)| n).sum::<usize>()
+            view.term_cardinalities()
+                .iter()
+                .map(|(_, n)| n)
+                .sum::<usize>()
         );
     }
 
@@ -329,10 +326,8 @@ mod tests {
     fn output_projects_columns() {
         let mut c = example1_catalog();
         populate_example1(&mut c, 4, 4);
-        let def = oj_view_def().with_projection(vec![
-            ("part", "p_partkey"),
-            ("orders", "o_orderkey"),
-        ]);
+        let def =
+            oj_view_def().with_projection(vec![("part", "p_partkey"), ("orders", "o_orderkey")]);
         let view = MaterializedView::create(&c, def).unwrap();
         let out = view.output();
         assert_eq!(out.schema().len(), 2);

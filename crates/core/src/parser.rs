@@ -118,7 +118,8 @@ fn tokenize(sql: &str) -> std::result::Result<Vec<Tok>, String> {
                 }
                 out.push(Tok::Str(s));
             }
-            c if c.is_ascii_digit() || (c == '-' && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit())) =>
+            c if c.is_ascii_digit()
+                || (c == '-' && matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit())) =>
             {
                 let start = i;
                 i += 1;
@@ -232,9 +233,7 @@ impl Parser<'_> {
     /// first token that cannot extend the statement (so it can be nested in
     /// parentheses as a derived table).
     #[allow(clippy::type_complexity)]
-    fn statement_body(
-        &mut self,
-    ) -> Result<(ViewExpr, Option<Vec<(Option<String>, String)>>)> {
+    fn statement_body(&mut self) -> Result<(ViewExpr, Option<Vec<(Option<String>, String)>>)> {
         self.expect_keyword("SELECT")?;
         let projection = self.select_list()?;
         self.expect_keyword("FROM")?;
@@ -263,7 +262,9 @@ impl Parser<'_> {
                 self.pos += 1;
                 let col = match self.next() {
                     Some(Tok::Ident(s)) => s,
-                    other => return Err(self.err(format!("expected column after '.', got {other:?}"))),
+                    other => {
+                        return Err(self.err(format!("expected column after '.', got {other:?}")))
+                    }
                 };
                 cols.push((Some(first), col));
             } else {
@@ -343,16 +344,14 @@ impl Parser<'_> {
                         if self.eat_keyword("AS") {
                             match self.next() {
                                 Some(Tok::Ident(alias)) => {
-                                    if !inner.tables().iter().any(|t| *t == alias) {
+                                    if !inner.tables().contains(&alias) {
                                         return Err(self.err(format!(
                                             "alias {alias} must name a referenced table"
                                         )));
                                     }
                                 }
                                 other => {
-                                    return Err(
-                                        self.err(format!("expected alias, got {other:?}"))
-                                    )
+                                    return Err(self.err(format!("expected alias, got {other:?}")))
                                 }
                             }
                         }
@@ -400,11 +399,7 @@ impl Parser<'_> {
         match self.peek() {
             Some(Tok::Ident(s)) if !s.eq_ignore_ascii_case("DATE") => {
                 let right = self.column_ref(tables)?;
-                Ok(NamedAtom::Cols {
-                    left,
-                    op,
-                    right,
-                })
+                Ok(NamedAtom::Cols { left, op, right })
             }
             _ => {
                 let value = self.literal()?;
@@ -577,11 +572,7 @@ mod tests {
     #[test]
     fn ambiguous_bare_column_rejected() {
         let catalog = ojv_tpch_like_catalog();
-        let err = parse_view(
-            &catalog,
-            "v",
-            "select * from li join ord on ok = ok",
-        );
+        let err = parse_view(&catalog, "v", "select * from li join ord on ok = ok");
         assert!(matches!(err, Err(CoreError::InvalidView { .. })));
     }
 

@@ -1,6 +1,8 @@
 //! Maintenance policy knobs — the paper's optimizations, individually
 //! switchable (used by the ablation benchmarks).
 
+use ojv_exec::ParallelSpec;
+
 /// How the secondary delta `ΔV^I` is computed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum SecondaryStrategy {
@@ -33,6 +35,10 @@ pub struct MaintenancePolicy {
     /// indirect terms into one pass over the primary delta. Only applies to
     /// the view-based strategy; results are identical either way.
     pub combine_secondary: bool,
+    /// Degree of parallelism for the delta executor (threads, morsel size,
+    /// serial/parallel cutover). Results are bit-identical at any setting;
+    /// this only trades wall-clock for cores.
+    pub parallel: ParallelSpec,
 }
 
 impl Default for MaintenancePolicy {
@@ -43,6 +49,7 @@ impl Default for MaintenancePolicy {
             secondary: SecondaryStrategy::Auto,
             update_decomposition: false,
             combine_secondary: false,
+            parallel: ParallelSpec::serial(),
         }
     }
 }
@@ -59,8 +66,15 @@ impl MaintenancePolicy {
             use_fk: false,
             left_deep: false,
             secondary: SecondaryStrategy::FromBase,
-            update_decomposition: false,
-            combine_secondary: false,
+            ..Default::default()
+        }
+    }
+
+    /// The paper configuration with `n` executor threads.
+    pub fn with_threads(n: usize) -> Self {
+        MaintenancePolicy {
+            parallel: ParallelSpec::threads(n),
+            ..Default::default()
         }
     }
 

@@ -18,7 +18,7 @@
 use std::collections::HashSet;
 
 use ojv_algebra::{Expr, JoinKind, Pred, TableId, TableSet, Term};
-use ojv_exec::{join_rows_expr, ExecCtx, ViewLayout};
+use ojv_exec::{join_rows_expr, ExecCtx, ExecResult, ViewLayout};
 use ojv_rel::{key_of, Datum, Row};
 
 use crate::maintain::IndirectTermView;
@@ -276,7 +276,7 @@ pub fn from_base(
     ind: &IndirectTermView<'_>,
     primary: &[Row],
     insert: bool,
-) -> Vec<Row> {
+) -> ExecResult<Vec<Row>> {
     let ti = ctx.terms[ind.term].tables;
     let ti_keys = ctx.layout.term_key_cols(ti);
 
@@ -310,9 +310,9 @@ pub fn from_base(
         if candidates.is_empty() {
             break;
         }
-        candidates = anti_join_rest_expression(ctx, exec, ti, &ctx.terms[k], candidates, insert);
+        candidates = anti_join_rest_expression(ctx, exec, ti, &ctx.terms[k], candidates, insert)?;
     }
-    candidates
+    Ok(candidates)
 }
 
 /// Compute `candidates ▷_{q_ip} E'_{ip}` (§5.3) without materializing the
@@ -334,7 +334,7 @@ fn anti_join_rest_expression(
     parent: &Term,
     candidates: Vec<Row>,
     insert: bool,
-) -> Vec<Row> {
+) -> ExecResult<Vec<Row>> {
     let t = ctx.updated;
     let ti_keys = ctx.layout.term_key_cols(ti);
     // Atoms of the parent's predicate not already satisfied within T_i.
@@ -389,7 +389,7 @@ fn anti_join_rest_expression(
             };
             (leaf, Pred::new(cross))
         };
-        rows = join_rows_expr(exec, JoinKind::Inner, &join_pred, rows, joined, &leaf);
+        rows = join_rows_expr(exec, JoinKind::Inner, &join_pred, rows, joined, &leaf)?;
         joined = next;
     }
     debug_assert!(
@@ -397,10 +397,10 @@ fn anti_join_rest_expression(
         "unplaced parent-term atoms"
     );
     let matched: HashSet<Vec<Datum>> = rows.iter().map(|r| key_of(r, &ti_keys)).collect();
-    candidates
+    Ok(candidates
         .into_iter()
         .filter(|c| !matched.contains(&key_of(c, &ti_keys)))
-        .collect()
+        .collect())
 }
 
 /// Build the parent's rest expression `E'_{ip}` and the anti-join predicate
@@ -539,7 +539,9 @@ mod tests {
         };
         let (eprime, qip) = rest_expression(&ctx, TableSet::singleton(r), parent, true);
         match &eprime {
-            Expr::Join { kind, left, right, .. } => {
+            Expr::Join {
+                kind, left, right, ..
+            } => {
                 assert_eq!(*kind, JoinKind::Inner);
                 assert_eq!(**left, Expr::OldState(t));
                 assert_eq!(**right, Expr::Table(u));

@@ -166,9 +166,9 @@ pub fn maintenance_script(
 
     out.push_str("-- Q2: apply primary delta\n");
     match op {
-        UpdateOp::Insert => {
-            out.push_str(&format!("INSERT INTO {view_name} SELECT * FROM #delta1;\n\n"))
-        }
+        UpdateOp::Insert => out.push_str(&format!(
+            "INSERT INTO {view_name} SELECT * FROM #delta1;\n\n"
+        )),
         UpdateOp::Delete => out.push_str(&format!(
             "DELETE FROM {view_name} WHERE view_key IN (SELECT view_key FROM #delta1);\n\n"
         )),
@@ -180,7 +180,9 @@ pub fn maintenance_script(
             .tables
             .iter()
             .map(|x| {
-                layout.slot(x).name
+                layout
+                    .slot(x)
+                    .name
                     .chars()
                     .next()
                     .unwrap_or('?')
@@ -194,9 +196,9 @@ pub fn maintenance_script(
             .iter()
             .flat_map(|x| {
                 let slot = layout.slot(x);
-                slot.key_cols
-                    .iter()
-                    .map(move |k| format!("{}.{}", slot.name, slot.schema.column(k - slot.offset).name))
+                slot.key_cols.iter().map(move |k| {
+                    format!("{}.{}", slot.name, slot.schema.column(k - slot.offset).name)
+                })
             })
             .collect();
         match op {

@@ -81,9 +81,12 @@ pub fn match_view(
     // the null-pattern predicates are evaluable on its output.
     for (i, slot) in v.layout.slots().iter().enumerate() {
         let _ = i;
-        let has_non_nullable = slot.schema.columns().iter().enumerate().any(|(ci, c)| {
-            !c.nullable && v.projection.contains(&(slot.offset + ci))
-        });
+        let has_non_nullable = slot
+            .schema
+            .columns()
+            .iter()
+            .enumerate()
+            .any(|(ci, c)| !c.nullable && v.projection.contains(&(slot.offset + ci)));
         if !has_non_nullable {
             return Ok(None);
         }
@@ -96,7 +99,12 @@ pub fn match_view(
         let Some(vi) = v.terms.iter().position(|vt| vt.tables == sources) else {
             return Ok(None);
         };
-        let q_atoms: Vec<Atom> = qt.pred.atoms().iter().map(|a| remap_atom(a, &remap)).collect();
+        let q_atoms: Vec<Atom> = qt
+            .pred
+            .atoms()
+            .iter()
+            .map(|a| remap_atom(a, &remap))
+            .collect();
         // Condition 2: V's predicate must be a sub-multiset of Q's.
         let Some(extra) = atom_multiset_diff(&q_atoms, v.terms[vi].pred.atoms()) else {
             return Ok(None);
@@ -121,9 +129,7 @@ pub fn match_view(
             continue;
         }
         for child in v.graph.children(*vi) {
-            if let Some((_, child_sources, _)) =
-                matched.iter().find(|(i, _, _)| i == child)
-            {
+            if let Some((_, child_sources, _)) = matched.iter().find(|(i, _, _)| i == child) {
                 let ok = extra
                     .atoms()
                     .iter()
@@ -263,6 +269,7 @@ mod tests {
         let q = analyze(catalog, query).unwrap();
         let ctx = ExecCtx::new(catalog, &q.layout);
         let direct_rows: Vec<ojv_rel::Row> = eval_expr(&ctx, &q.expr)
+            .unwrap()
             .iter()
             .map(|r| key_of(r, &q.projection))
             .collect();
@@ -379,7 +386,9 @@ mod tests {
                 ),
             ),
         );
-        let m = match_view(&c, &query, &view).unwrap().expect("matches via FK pruning");
+        let m = match_view(&c, &query, &view)
+            .unwrap()
+            .expect("matches via FK pruning");
         assert_eq!(m.compensation.len(), 2); // {P,O,L} and {P}
         assert_match_correct(&c, &query, &view);
     }
@@ -424,7 +433,9 @@ mod tests {
                 ViewExpr::table("s"),
             ),
         );
-        let m = match_view(&c, &lo_query, &fo_view).unwrap().expect("lo ⊆ fo");
+        let m = match_view(&c, &lo_query, &fo_view)
+            .unwrap()
+            .expect("lo ⊆ fo");
         assert_eq!(m.compensation.len(), 2);
         assert_match_correct(&c, &lo_query, &fo_view);
     }

@@ -1,0 +1,321 @@
+//! A minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness, so the workspace builds and benches run fully offline.
+//!
+//! It implements the subset of the criterion 0.5 API that the `ojv-bench`
+//! benches use — `criterion_group!`/`criterion_main!`, `Criterion`,
+//! benchmark groups with `sample_size`/`warm_up_time`/`measurement_time`,
+//! `bench_function`/`bench_with_input`, and `Bencher::{iter, iter_batched}`
+//! — with plain wall-clock sampling and a one-line median/mean report per
+//! benchmark. It does not do statistical outlier analysis, HTML reports, or
+//! baseline comparison; for those, wire the real criterion back in.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Identifies a benchmark within a group, e.g. `BenchmarkId::new("probe", 4096)`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// How `iter_batched` amortises setup; retained for API compatibility only —
+/// this shim always runs one setup per timed batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    PerIteration,
+    SmallInput,
+    LargeInput,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+        }
+    }
+}
+
+/// Collects per-sample iteration timings for one benchmark.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    samples: Vec<Duration>,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, called in batches sized so each sample is long enough
+    /// to measure reliably.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up doubles as calibration: find how many calls fill ~1/10th
+        // of a sample budget, so per-call timer overhead is amortised.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        let mut calls_per_sample = 1u64;
+        let mut elapsed = Duration::ZERO;
+        let mut calls = 0u64;
+        while Instant::now() < warm_deadline || calls == 0 {
+            let start = Instant::now();
+            black_box(routine());
+            elapsed += start.elapsed();
+            calls += 1;
+        }
+        let per_call = elapsed / calls as u32;
+        let sample_budget = self.config.measurement_time / self.config.sample_size as u32;
+        if per_call > Duration::ZERO {
+            calls_per_sample =
+                (sample_budget.as_nanos() / per_call.as_nanos().max(1)).clamp(1, 1_000_000) as u64;
+        }
+
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..calls_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / calls_per_sample as u32);
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup runs untimed.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Untimed warm-up pass.
+        let warm_deadline = Instant::now() + self.config.warm_up_time;
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+
+        for _ in 0..self.config.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+fn report(name: &str, samples: &mut [Duration]) {
+    if samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    samples.sort_unstable();
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+    println!(
+        "{name:<50} median {:>12} mean {:>12} ({} samples)",
+        fmt_duration(median),
+        fmt_duration(mean),
+        samples.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1_000.0)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns as f64 / 1_000_000_000.0)
+    }
+}
+
+fn run_bench(config: &Config, name: &str, f: impl FnOnce(&mut Bencher)) {
+    let mut bencher = Bencher {
+        config,
+        samples: Vec::new(),
+    };
+    f(&mut bencher);
+    report(name, &mut bencher.samples);
+}
+
+/// A named group of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(1);
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let name = format!("{}/{}", self.name, id.id);
+        let mut f = f;
+        run_bench(&self.config, &name, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        let mut f = f;
+        run_bench(&self.config, &name, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("--- {name} ---");
+        BenchmarkGroup {
+            name,
+            config: Config::default(),
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut f = f;
+        run_bench(&Config::default(), name, |b| f(b));
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_iter_collects_samples() {
+        let config = Config {
+            sample_size: 5,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher {
+            config: &config,
+            samples: Vec::new(),
+        };
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            count
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(count >= 5, "routine ran at least once per sample");
+    }
+
+    #[test]
+    fn bencher_iter_batched_runs_setup_per_sample() {
+        let config = Config {
+            sample_size: 4,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+        };
+        let mut b = Bencher {
+            config: &config,
+            samples: Vec::new(),
+        };
+        b.iter_batched(|| vec![1u8, 2, 3], |v| v.len(), BatchSize::PerIteration);
+        assert_eq!(b.samples.len(), 4);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("probe", 4096);
+        assert_eq!(id.id, "probe/4096");
+        let id: BenchmarkId = "plain".into();
+        assert_eq!(id.id, "plain");
+    }
+
+    #[test]
+    fn fmt_duration_picks_unit() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(12)), "12.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(12)), "12.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(12)), "12.000 s");
+    }
+}

@@ -115,13 +115,13 @@ impl ViewLayout {
                 name: table.to_string(),
             })?;
         let slot = self.slot(t);
-        let idx =
-            slot.schema
-                .index_of(table, column)
-                .map_err(|_| StorageError::UnknownColumn {
-                    table: table.to_string(),
-                    column: column.to_string(),
-                })?;
+        let idx = slot
+            .schema
+            .index_of(table, column)
+            .map_err(|_| StorageError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
         Ok(ColRef::new(t, idx))
     }
 
@@ -243,10 +243,7 @@ mod tests {
         assert_eq!(l.narrow(TableId(1), &wide), b_row);
         assert!(l.is_null_on(TableId(0), &wide));
         assert!(!l.is_null_on(TableId(1), &wide));
-        assert_eq!(
-            l.sources_of_row(&wide),
-            TableSet::singleton(TableId(1))
-        );
+        assert_eq!(l.sources_of_row(&wide), TableSet::singleton(TableId(1)));
     }
 
     #[test]

@@ -14,10 +14,16 @@
 //! operand is a base-table scan with a covering index), mirroring the plans
 //! a production optimizer would choose for small deltas.
 
+pub mod error;
 pub mod eval;
 pub mod layout;
+pub mod morsel;
 pub mod ops;
+pub mod parallel;
 pub mod run;
 
+pub use error::{ExecError, ExecResult};
 pub use layout::{TableSlot, ViewLayout};
+pub use morsel::{morsel_ranges, ParallelSpec};
+pub use parallel::{map_morsels, map_parts, ExecEnv, ExecStats, ExecStatsSnapshot};
 pub use run::{eval_expr, join_rows_expr, DeltaInput, ExecCtx};

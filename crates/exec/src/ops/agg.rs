@@ -79,7 +79,10 @@ pub fn hash_aggregate(rows: &[Row], group_cols: &[usize], aggs: &[AggFunc]) -> V
 fn init_acc(agg: AggFunc) -> Acc {
     match agg {
         AggFunc::CountRows | AggFunc::CountNonNull(_) => Acc::Count(0),
-        AggFunc::Sum(_) => Acc::SumInt { sum: 0, non_null: 0 },
+        AggFunc::Sum(_) => Acc::SumInt {
+            sum: 0,
+            non_null: 0,
+        },
         AggFunc::Min(_) | AggFunc::Max(_) => Acc::MinMax(None),
     }
 }
@@ -179,7 +182,11 @@ mod tests {
         let out = hash_aggregate(
             &rows(),
             &[0],
-            &[AggFunc::CountRows, AggFunc::CountNonNull(1), AggFunc::Sum(1)],
+            &[
+                AggFunc::CountRows,
+                AggFunc::CountNonNull(1),
+                AggFunc::Sum(1),
+            ],
         );
         assert_eq!(out.len(), 2);
         let g1 = out.iter().find(|r| r[0] == Datum::Int(1)).unwrap();

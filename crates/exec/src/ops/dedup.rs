@@ -1,10 +1,14 @@
 //! Duplicate elimination and the null-if cleanup operator.
 
 use std::collections::{HashMap, HashSet};
+use std::hash::{Hash, Hasher};
+use std::time::Instant;
 
 use ojv_rel::{key_of, Datum, Row};
 
 use crate::layout::ViewLayout;
+use crate::morsel::ParallelSpec;
+use crate::parallel::{map_morsels, map_parts, ExecEnv};
 
 /// Plain duplicate elimination (`δ`), preserving first occurrence order.
 pub fn distinct(rows: Vec<Row>) -> Vec<Row> {
@@ -16,6 +20,69 @@ pub fn distinct(rows: Vec<Row>) -> Vec<Row> {
         }
     }
     out
+}
+
+/// [`distinct`] with a parallelism spec and counters.
+///
+/// The parallel path hash-partitions rows (`hash % threads`); each partition
+/// worker scans *all* row indices in increasing order, keeping only its
+/// partition's first occurrences. Equal rows hash alike and so land in the
+/// same partition, where first-occurrence-by-index exactly reproduces the
+/// serial scan — the kept index set is independent of the partition count.
+/// Kept rows are then emitted in input order.
+pub fn distinct_in(env: &ExecEnv<'_>, rows: Vec<Row>) -> Vec<Row> {
+    let started = Instant::now();
+    let n_in = rows.len();
+    if !env.spec.is_parallel_for(rows.len()) {
+        let out = distinct(rows);
+        env.record(|s| &s.dedup, n_in, out.len(), 1, started);
+        return out;
+    }
+
+    let hashes = row_hashes(env.spec, &rows);
+    let nparts = env.spec.threads as u64;
+    let kept_per_part = map_parts(env.spec, nparts as usize, |p| {
+        let mut seen: HashSet<&Row> = HashSet::new();
+        let mut kept = Vec::new();
+        for (i, row) in rows.iter().enumerate() {
+            if hashes[i] % nparts == p as u64 && seen.insert(row) {
+                kept.push(i);
+            }
+        }
+        kept
+    });
+    let mut keep = vec![false; rows.len()];
+    for kept in kept_per_part {
+        for i in kept {
+            keep[i] = true;
+        }
+    }
+    let out: Vec<Row> = rows
+        .into_iter()
+        .zip(&keep)
+        .filter_map(|(r, &k)| if k { Some(r) } else { None })
+        .collect();
+    env.record(|s| &s.dedup, n_in, out.len(), nparts as usize, started);
+    out
+}
+
+/// Deterministic per-row hashes, computed morsel-parallel. `DefaultHasher`
+/// with `new()` has fixed keys, so partition assignment is stable across
+/// runs and thread counts.
+fn row_hashes(spec: ParallelSpec, rows: &[Row]) -> Vec<u64> {
+    map_morsels(spec, rows.len(), |range| {
+        rows[range]
+            .iter()
+            .map(|r| {
+                let mut h = std::collections::hash_map::DefaultHasher::new();
+                r.hash(&mut h);
+                h.finish()
+            })
+            .collect::<Vec<u64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// The cleanup paired with a null-if operator (§4.1): remove exact
@@ -30,8 +97,21 @@ pub fn distinct(rows: Vec<Row>) -> Vec<Row> {
 /// masks), and it is exact for the well-formed rows the maintenance
 /// expressions produce.
 pub fn clean_dup(layout: &ViewLayout, rows: Vec<Row>) -> Vec<Row> {
-    let rows = distinct(rows);
+    clean_dup_in(&ExecEnv::serial(layout), rows)
+}
+
+/// [`clean_dup`] with a parallelism spec and counters.
+///
+/// Source-mask computation is morsel-parallel; the subsumption check then
+/// runs one work unit per distinct mask (each mask's verdicts depend only on
+/// the grouped input, so partition order cannot change the result). Kept
+/// rows are emitted in input order — identical to the serial path.
+pub fn clean_dup_in(env: &ExecEnv<'_>, rows: Vec<Row>) -> Vec<Row> {
+    let rows = distinct_in(env, rows);
+    let layout = env.layout;
     let n_tables = layout.table_count();
+    let started = Instant::now();
+    let n_in = rows.len();
     let mask_of = |r: &Row| -> u32 {
         let mut m = 0u32;
         for i in 0..n_tables {
@@ -53,15 +133,21 @@ pub fn clean_dup(layout: &ViewLayout, rows: Vec<Row>) -> Vec<Row> {
         cols
     };
 
-    let masks: Vec<u32> = rows.iter().map(&mask_of).collect();
+    let masks: Vec<u32> = map_morsels(env.spec, rows.len(), |range| {
+        rows[range].iter().map(mask_of).collect::<Vec<u32>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     let mut by_mask: HashMap<u32, Vec<usize>> = HashMap::new();
     for (i, &m) in masks.iter().enumerate() {
         by_mask.entry(m).or_default().push(i);
     }
-    let distinct_masks: Vec<u32> = by_mask.keys().copied().collect();
+    let mut distinct_masks: Vec<u32> = by_mask.keys().copied().collect();
+    distinct_masks.sort_unstable();
 
-    let mut keep = vec![true; rows.len()];
-    for &m in &distinct_masks {
+    let dropped_per_mask = map_parts(env.spec, distinct_masks.len(), |mi| {
+        let m = distinct_masks[mi];
         let cols = cols_of_mask(m);
         // Projections of every superset-mask row onto m's columns.
         let mut super_proj: HashSet<Vec<Datum>> = HashSet::new();
@@ -72,19 +158,36 @@ pub fn clean_dup(layout: &ViewLayout, rows: Vec<Row>) -> Vec<Row> {
                 }
             }
         }
-        if super_proj.is_empty() {
-            continue;
-        }
-        for &i in &by_mask[&m] {
-            if super_proj.contains(&key_of(&rows[i], &cols)) {
-                keep[i] = false;
+        let mut dropped = Vec::new();
+        if !super_proj.is_empty() {
+            for &i in &by_mask[&m] {
+                if super_proj.contains(&key_of(&rows[i], &cols)) {
+                    dropped.push(i);
+                }
             }
         }
+        dropped
+    });
+
+    let mut keep = vec![true; rows.len()];
+    for dropped in dropped_per_mask {
+        for i in dropped {
+            keep[i] = false;
+        }
     }
-    rows.into_iter()
+    let out: Vec<Row> = rows
+        .into_iter()
         .zip(keep)
         .filter_map(|(r, k)| if k { Some(r) } else { None })
-        .collect()
+        .collect();
+    env.record(
+        |s| &s.subsume,
+        n_in,
+        out.len(),
+        distinct_masks.len().max(1),
+        started,
+    );
+    out
 }
 
 #[cfg(test)]

@@ -1,19 +1,43 @@
 //! Selection.
 
+use std::time::Instant;
+
 use ojv_algebra::Pred;
 use ojv_rel::Row;
 
 use crate::eval::eval_pred;
 use crate::layout::ViewLayout;
+use crate::parallel::{map_morsels, ExecEnv};
 
 /// Keep the rows satisfying `pred` (null-rejecting conjunction).
 pub fn filter(layout: &ViewLayout, pred: &Pred, rows: Vec<Row>) -> Vec<Row> {
+    filter_in(&ExecEnv::serial(layout), pred, rows)
+}
+
+/// [`filter`] with a parallelism spec and counters. Predicate evaluation is
+/// morsel-parallel over read-only rows; the kept rows are then collected in
+/// input order, identical to the serial path.
+pub fn filter_in(env: &ExecEnv<'_>, pred: &Pred, rows: Vec<Row>) -> Vec<Row> {
     if pred.is_true() {
         return rows;
     }
-    rows.into_iter()
-        .filter(|r| eval_pred(layout, pred, r))
-        .collect()
+    let layout = env.layout;
+    let started = Instant::now();
+    let n_in = rows.len();
+    let keep_morsels = map_morsels(env.spec, rows.len(), |range| {
+        rows[range]
+            .iter()
+            .map(|r| eval_pred(layout, pred, r))
+            .collect::<Vec<bool>>()
+    });
+    let n_morsels = keep_morsels.len();
+    let mut keep = keep_morsels.into_iter().flatten();
+    let out: Vec<Row> = rows
+        .into_iter()
+        .filter(|_| keep.next().expect("one keep flag per row"))
+        .collect();
+    env.record(|s| &s.filter, n_in, out.len(), n_morsels, started);
+    out
 }
 
 #[cfg(test)]

@@ -1,7 +1,14 @@
 //! Join operators: hash joins over wide rows, index-nested-loop joins
 //! against base tables, and key-based semi/anti joins.
+//!
+//! Probe phases are morsel-parallel: the outer (left) input is split into
+//! fixed-size morsels, workers probe independently, and per-morsel outputs
+//! are concatenated in morsel order — so the parallel result is bit-identical
+//! to the serial one. Hash-table builds stay serial (the build side of a
+//! delta join is small by construction).
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use ojv_algebra::{JoinKind, Pred, TableId, TableSet};
 use ojv_rel::{key_of, Datum, Row};
@@ -9,6 +16,7 @@ use ojv_storage::Table;
 
 use crate::eval::eval_pred;
 use crate::layout::ViewLayout;
+use crate::parallel::{map_morsels, ExecEnv};
 
 /// Merge a right wide row into a left wide row: copy the slots of all
 /// tables in `right_sources` (the two source sets are disjoint).
@@ -37,13 +45,39 @@ pub fn hash_join(
     left_sources: TableSet,
     right_sources: TableSet,
 ) -> Vec<Row> {
+    hash_join_in(
+        &ExecEnv::serial(layout),
+        kind,
+        pred,
+        left,
+        right,
+        left_sources,
+        right_sources,
+    )
+}
+
+/// [`hash_join`] with a parallelism spec and counters. The probe runs one
+/// morsel of the left input per work unit; per-morsel `(output, matched
+/// right indices)` pairs merge in morsel order, so output order and content
+/// are identical to the serial path for any thread count or morsel size.
+pub fn hash_join_in(
+    env: &ExecEnv<'_>,
+    kind: JoinKind,
+    pred: &Pred,
+    left: Vec<Row>,
+    right: Vec<Row>,
+    left_sources: TableSet,
+    right_sources: TableSet,
+) -> Vec<Row> {
+    let layout = env.layout;
     let (keys, residual) = pred.equi_split(left_sources, right_sources);
     if keys.is_empty() {
-        return nested_loop_join(layout, kind, pred, left, right, right_sources);
+        return nested_loop_join(env, kind, pred, left, right, right_sources);
     }
     let lcols: Vec<usize> = keys.iter().map(|(l, _)| layout.global(*l)).collect();
     let rcols: Vec<usize> = keys.iter().map(|(_, r)| layout.global(*r)).collect();
 
+    let build_start = Instant::now();
     let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::with_capacity(right.len());
     for (i, r) in right.iter().enumerate() {
         let k = key_of(r, &rcols);
@@ -52,33 +86,49 @@ pub fn hash_join(
         }
         table.entry(k).or_default().push(i);
     }
+    env.record(|s| &s.join_build, right.len(), table.len(), 1, build_start);
 
-    let mut right_matched = vec![false; right.len()];
-    let mut out = Vec::new();
-    for l in &left {
-        let k = key_of(l, &lcols);
-        let mut matched = false;
-        if !k.iter().any(Datum::is_null) {
-            if let Some(cands) = table.get(&k) {
-                for &ri in cands {
-                    let m = merge_rows(layout, l, &right[ri], right_sources);
-                    if eval_pred(layout, &residual, &m) {
-                        matched = true;
-                        right_matched[ri] = true;
-                        match kind {
-                            JoinKind::LeftSemi => break,
-                            JoinKind::LeftAnti => break,
-                            _ => out.push(m),
+    let probe_start = Instant::now();
+    let probe = |range: std::ops::Range<usize>| {
+        let mut out = Vec::new();
+        let mut matched_right = Vec::new();
+        for l in &left[range] {
+            let k = key_of(l, &lcols);
+            let mut matched = false;
+            if !k.iter().any(Datum::is_null) {
+                if let Some(cands) = table.get(&k) {
+                    for &ri in cands {
+                        let m = merge_rows(layout, l, &right[ri], right_sources);
+                        if eval_pred(layout, &residual, &m) {
+                            matched = true;
+                            matched_right.push(ri);
+                            match kind {
+                                JoinKind::LeftSemi => break,
+                                JoinKind::LeftAnti => break,
+                                _ => out.push(m),
+                            }
                         }
                     }
                 }
             }
+            match kind {
+                JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push(l.clone()),
+                JoinKind::LeftSemi if matched => out.push(l.clone()),
+                JoinKind::LeftAnti if !matched => out.push(l.clone()),
+                _ => {}
+            }
         }
-        match kind {
-            JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push(l.clone()),
-            JoinKind::LeftSemi if matched => out.push(l.clone()),
-            JoinKind::LeftAnti if !matched => out.push(l.clone()),
-            _ => {}
+        (out, matched_right)
+    };
+    let morsels = map_morsels(env.spec, left.len(), probe);
+
+    let n_morsels = morsels.len();
+    let mut right_matched = vec![false; right.len()];
+    let mut out = Vec::new();
+    for (rows, matched) in morsels {
+        out.extend(rows);
+        for ri in matched {
+            right_matched[ri] = true;
         }
     }
     if matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter) {
@@ -88,37 +138,60 @@ pub fn hash_join(
             }
         }
     }
+    env.record(
+        |s| &s.join_probe,
+        left.len(),
+        out.len(),
+        n_morsels,
+        probe_start,
+    );
     out
 }
 
 fn nested_loop_join(
-    layout: &ViewLayout,
+    env: &ExecEnv<'_>,
     kind: JoinKind,
     pred: &Pred,
     left: Vec<Row>,
     right: Vec<Row>,
     right_sources: TableSet,
 ) -> Vec<Row> {
-    let mut right_matched = vec![false; right.len()];
-    let mut out = Vec::new();
-    for l in &left {
-        let mut matched = false;
-        for (ri, r) in right.iter().enumerate() {
-            let m = merge_rows(layout, l, r, right_sources);
-            if eval_pred(layout, pred, &m) {
-                matched = true;
-                right_matched[ri] = true;
-                match kind {
-                    JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                    _ => out.push(m),
+    let layout = env.layout;
+    let probe_start = Instant::now();
+    let probe = |range: std::ops::Range<usize>| {
+        let mut out = Vec::new();
+        let mut matched_right = Vec::new();
+        for l in &left[range] {
+            let mut matched = false;
+            for (ri, r) in right.iter().enumerate() {
+                let m = merge_rows(layout, l, r, right_sources);
+                if eval_pred(layout, pred, &m) {
+                    matched = true;
+                    matched_right.push(ri);
+                    match kind {
+                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                        _ => out.push(m),
+                    }
                 }
             }
+            match kind {
+                JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push(l.clone()),
+                JoinKind::LeftSemi if matched => out.push(l.clone()),
+                JoinKind::LeftAnti if !matched => out.push(l.clone()),
+                _ => {}
+            }
         }
-        match kind {
-            JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push(l.clone()),
-            JoinKind::LeftSemi if matched => out.push(l.clone()),
-            JoinKind::LeftAnti if !matched => out.push(l.clone()),
-            _ => {}
+        (out, matched_right)
+    };
+    let morsels = map_morsels(env.spec, left.len(), probe);
+
+    let n_morsels = morsels.len();
+    let mut right_matched = vec![false; right.len()];
+    let mut out = Vec::new();
+    for (rows, matched) in morsels {
+        out.extend(rows);
+        for ri in matched {
+            right_matched[ri] = true;
         }
     }
     if matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter) {
@@ -128,6 +201,13 @@ fn nested_loop_join(
             }
         }
     }
+    env.record(
+        |s| &s.join_probe,
+        left.len(),
+        out.len(),
+        n_morsels,
+        probe_start,
+    );
     out
 }
 
@@ -175,6 +255,36 @@ pub fn index_join_excluding(
     residual: &Pred,
     exclude: Option<&std::collections::HashSet<Vec<Datum>>>,
 ) -> Vec<Row> {
+    index_join_excluding_in(
+        &ExecEnv::serial(layout),
+        kind,
+        left,
+        probe_cols,
+        table,
+        right_id,
+        index,
+        index_perm,
+        residual,
+        exclude,
+    )
+}
+
+/// [`index_join_excluding`] with a parallelism spec and counters: left
+/// morsels probe the index concurrently (the base table is read-only), and
+/// outputs concatenate in morsel order.
+#[allow(clippy::too_many_arguments)]
+pub fn index_join_excluding_in(
+    env: &ExecEnv<'_>,
+    kind: JoinKind,
+    left: Vec<Row>,
+    probe_cols: &[usize],
+    table: &Table,
+    right_id: TableId,
+    index: ojv_storage::IndexRef,
+    index_perm: &[usize],
+    residual: &Pred,
+    exclude: Option<&std::collections::HashSet<Vec<Datum>>>,
+) -> Vec<Row> {
     assert!(
         matches!(
             kind,
@@ -182,41 +292,51 @@ pub fn index_join_excluding(
         ),
         "index join does not support right-preserving kinds"
     );
+    let layout = env.layout;
     let right_sources = TableSet::singleton(right_id);
     let key_cols = table.key_cols();
-    let mut out = Vec::new();
-    let mut probe = vec![Datum::Null; probe_cols.len()];
-    for l in &left {
-        let mut matched = false;
-        let any_null = probe_cols.iter().any(|&c| l[c].is_null());
-        if !any_null {
-            for (slot, &perm) in probe.iter_mut().zip(index_perm) {
-                *slot = l[probe_cols[perm]].clone();
-            }
-            for r in table.index_lookup(index, &probe) {
-                if let Some(ex) = exclude {
-                    if ex.contains(&key_of(r, key_cols)) {
-                        continue;
+    let started = Instant::now();
+    let probe_morsel = |range: std::ops::Range<usize>| {
+        let mut out = Vec::new();
+        let mut probe = vec![Datum::Null; probe_cols.len()];
+        for l in &left[range] {
+            let mut matched = false;
+            let any_null = probe_cols.iter().any(|&c| l[c].is_null());
+            if !any_null {
+                for (slot, &perm) in probe.iter_mut().zip(index_perm) {
+                    *slot = l[probe_cols[perm]].clone();
+                }
+                for r in table.index_lookup(index, &probe) {
+                    if let Some(ex) = exclude {
+                        if ex.contains(&key_of(r, key_cols)) {
+                            continue;
+                        }
+                    }
+                    let wide = layout.widen(right_id, r);
+                    let m = merge_rows(layout, l, &wide, right_sources);
+                    if eval_pred(layout, residual, &m) {
+                        matched = true;
+                        match kind {
+                            JoinKind::LeftSemi | JoinKind::LeftAnti => break,
+                            _ => out.push(m),
+                        }
                     }
                 }
-                let wide = layout.widen(right_id, r);
-                let m = merge_rows(layout, l, &wide, right_sources);
-                if eval_pred(layout, residual, &m) {
-                    matched = true;
-                    match kind {
-                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                        _ => out.push(m),
-                    }
-                }
+            }
+            match kind {
+                JoinKind::LeftOuter if !matched => out.push(l.clone()),
+                JoinKind::LeftSemi if matched => out.push(l.clone()),
+                JoinKind::LeftAnti if !matched => out.push(l.clone()),
+                _ => {}
             }
         }
-        match kind {
-            JoinKind::LeftOuter if !matched => out.push(l.clone()),
-            JoinKind::LeftSemi if matched => out.push(l.clone()),
-            JoinKind::LeftAnti if !matched => out.push(l.clone()),
-            _ => {}
-        }
-    }
+        out
+    };
+    let n_left = left.len();
+    let morsels = map_morsels(env.spec, n_left, probe_morsel);
+    let n_morsels = morsels.len();
+    let out: Vec<Row> = morsels.into_iter().flatten().collect();
+    env.record(|s| &s.index_join, n_left, out.len(), n_morsels, started);
     out
 }
 
@@ -289,7 +409,12 @@ mod tests {
     /// b rows as (id, aid).
     fn b_rows(l: &ViewLayout, rows: &[(i64, i64)]) -> Vec<Row> {
         rows.iter()
-            .map(|&(id, aid)| l.widen(TableId(1), &[Datum::Int(id), Datum::Int(aid), Datum::Int(0)]))
+            .map(|&(id, aid)| {
+                l.widen(
+                    TableId(1),
+                    &[Datum::Int(id), Datum::Int(aid), Datum::Int(0)],
+                )
+            })
             .collect()
     }
 
@@ -338,10 +463,7 @@ mod tests {
             &l,
         );
         assert_eq!(out.len(), 2);
-        let unmatched: Vec<_> = out
-            .iter()
-            .filter(|r| l.is_null_on(TableId(1), r))
-            .collect();
+        let unmatched: Vec<_> = out.iter().filter(|r| l.is_null_on(TableId(1), r)).collect();
         assert_eq!(unmatched.len(), 1);
         assert_eq!(unmatched[0][0], Datum::Int(2));
     }
@@ -356,10 +478,7 @@ mod tests {
             &l,
         );
         assert_eq!(out.len(), 2);
-        let unmatched: Vec<_> = out
-            .iter()
-            .filter(|r| l.is_null_on(TableId(0), r))
-            .collect();
+        let unmatched: Vec<_> = out.iter().filter(|r| l.is_null_on(TableId(0), r)).collect();
         assert_eq!(unmatched.len(), 1);
         assert_eq!(unmatched[0][2], Datum::Int(11));
     }

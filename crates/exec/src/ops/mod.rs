@@ -6,6 +6,9 @@ pub mod filter;
 pub mod join;
 
 pub use agg::{hash_aggregate, AggFunc};
-pub use dedup::{clean_dup, distinct};
-pub use filter::filter;
-pub use join::{hash_join, index_join, index_join_excluding, merge_rows, semi_anti_by_key};
+pub use dedup::{clean_dup, clean_dup_in, distinct, distinct_in};
+pub use filter::{filter, filter_in};
+pub use join::{
+    hash_join, hash_join_in, index_join, index_join_excluding, index_join_excluding_in, merge_rows,
+    semi_anti_by_key,
+};

@@ -1,0 +1,234 @@
+//! Morsel-parallel driver and per-operator counters.
+//!
+//! [`map_morsels`] is the single scheduling primitive every parallel operator
+//! uses: workers claim morsels from an atomic counter, and per-morsel results
+//! are returned **in morsel order**, so concatenating them reproduces the
+//! serial output exactly. [`map_parts`] is the same idea for work that is
+//! naturally indexed by partition (hash-partitioned dedup, per-mask
+//! subsumption) rather than by row range.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use crate::layout::ViewLayout;
+use crate::morsel::{morsel_ranges, ParallelSpec};
+
+/// Run `work` over every morsel of `0..len`, returning results in morsel
+/// order. Serial (caller thread, in-order) when the spec says so or there is
+/// at most one morsel; otherwise `spec.threads` scoped workers claim morsels
+/// from a shared counter.
+pub fn map_morsels<T, F>(spec: ParallelSpec, len: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    let ranges = morsel_ranges(len, spec.morsel_rows);
+    if !spec.is_parallel_for(len) || ranges.len() <= 1 {
+        return ranges.into_iter().map(work).collect();
+    }
+    run_indexed(spec, ranges.len(), |i| work(ranges[i].clone()))
+}
+
+/// Run `work(p)` for every partition index `p in 0..nparts`, returning
+/// results in partition order. Parallel whenever the spec has more than one
+/// thread and there is more than one partition (partition counts are small;
+/// no row-count cutoff applies).
+pub fn map_parts<T, F>(spec: ParallelSpec, nparts: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if spec.threads <= 1 || nparts <= 1 {
+        return (0..nparts).map(work).collect();
+    }
+    run_indexed(spec, nparts, work)
+}
+
+fn run_indexed<T, F>(spec: ParallelSpec, n: usize, work: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let next = AtomicUsize::new(0);
+    let workers = spec.threads.min(n).max(1);
+    let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, work(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            indexed.extend(h.join().expect("morsel worker panicked"));
+        }
+    });
+    indexed.sort_unstable_by_key(|(i, _)| *i);
+    indexed.into_iter().map(|(_, t)| t).collect()
+}
+
+/// Counters for one physical operator, shareable by `&` across workers.
+#[derive(Debug, Default)]
+pub struct OpStats {
+    pub rows_in: AtomicU64,
+    pub rows_out: AtomicU64,
+    pub morsels: AtomicU64,
+    pub time_ns: AtomicU64,
+}
+
+impl OpStats {
+    pub fn record(&self, rows_in: usize, rows_out: usize, morsels: usize, started: Instant) {
+        self.rows_in.fetch_add(rows_in as u64, Ordering::Relaxed);
+        self.rows_out.fetch_add(rows_out as u64, Ordering::Relaxed);
+        self.morsels.fetch_add(morsels as u64, Ordering::Relaxed);
+        self.time_ns
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> OpStatsSnapshot {
+        OpStatsSnapshot {
+            rows_in: self.rows_in.load(Ordering::Relaxed),
+            rows_out: self.rows_out.load(Ordering::Relaxed),
+            morsels: self.morsels.load(Ordering::Relaxed),
+            time_ns: self.time_ns.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value copy of [`OpStats`].
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct OpStatsSnapshot {
+    pub rows_in: u64,
+    pub rows_out: u64,
+    pub morsels: u64,
+    pub time_ns: u64,
+}
+
+/// Per-operator counters for one evaluation (or one maintenance run).
+/// Attach via `ExecCtx::with_stats`; operators accumulate with relaxed
+/// atomics so a single instance can be shared across all workers.
+#[derive(Debug, Default)]
+pub struct ExecStats {
+    pub filter: OpStats,
+    pub join_build: OpStats,
+    pub join_probe: OpStats,
+    pub index_join: OpStats,
+    pub dedup: OpStats,
+    pub subsume: OpStats,
+}
+
+impl ExecStats {
+    pub fn snapshot(&self) -> ExecStatsSnapshot {
+        ExecStatsSnapshot {
+            filter: self.filter.snapshot(),
+            join_build: self.join_build.snapshot(),
+            join_probe: self.join_probe.snapshot(),
+            index_join: self.index_join.snapshot(),
+            dedup: self.dedup.snapshot(),
+            subsume: self.subsume.snapshot(),
+        }
+    }
+}
+
+/// Plain-value copy of [`ExecStats`], carried on maintenance reports.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ExecStatsSnapshot {
+    pub filter: OpStatsSnapshot,
+    pub join_build: OpStatsSnapshot,
+    pub join_probe: OpStatsSnapshot,
+    pub index_join: OpStatsSnapshot,
+    pub dedup: OpStatsSnapshot,
+    pub subsume: OpStatsSnapshot,
+}
+
+/// What a physical operator needs besides its inputs: the wide-row layout,
+/// the parallelism spec, and optional counters.
+#[derive(Clone, Copy)]
+pub struct ExecEnv<'a> {
+    pub layout: &'a ViewLayout,
+    pub spec: ParallelSpec,
+    pub stats: Option<&'a ExecStats>,
+}
+
+impl<'a> ExecEnv<'a> {
+    /// Serial environment with no counters — what the legacy free-function
+    /// operator entry points use.
+    pub fn serial(layout: &'a ViewLayout) -> Self {
+        ExecEnv {
+            layout,
+            spec: ParallelSpec::serial(),
+            stats: None,
+        }
+    }
+
+    pub(crate) fn record(
+        &self,
+        op: impl Fn(&ExecStats) -> &OpStats,
+        rows_in: usize,
+        rows_out: usize,
+        morsels: usize,
+        started: Instant,
+    ) {
+        if let Some(stats) = self.stats {
+            op(stats).record(rows_in, rows_out, morsels, started);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_morsels_preserves_order_serial_and_parallel() {
+        let serial = map_morsels(ParallelSpec::serial().with_morsel_rows(3), 10, |r| {
+            r.collect::<Vec<_>>()
+        });
+        let parallel = map_morsels(
+            ParallelSpec::threads(4).with_morsel_rows(3).with_cutoff(0),
+            10,
+            |r| r.collect::<Vec<_>>(),
+        );
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.into_iter().flatten().collect::<Vec<_>>(),
+            (0..10).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn map_morsels_empty_input() {
+        let out = map_morsels(ParallelSpec::threads(4).with_cutoff(0), 0, |r| r.len());
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_parts_runs_every_partition_once() {
+        for spec in [ParallelSpec::serial(), ParallelSpec::threads(8)] {
+            let out = map_parts(spec, 5, |p| p * 2);
+            assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        }
+    }
+
+    #[test]
+    fn op_stats_accumulate() {
+        let stats = OpStats::default();
+        let t = Instant::now();
+        stats.record(10, 4, 2, t);
+        stats.record(5, 1, 1, t);
+        let snap = stats.snapshot();
+        assert_eq!(snap.rows_in, 15);
+        assert_eq!(snap.rows_out, 5);
+        assert_eq!(snap.morsels, 3);
+    }
+}

@@ -4,9 +4,12 @@ use ojv_algebra::{Expr, JoinKind, TableId, TableSet};
 use ojv_rel::{key_of, Datum, Relation, Row};
 use ojv_storage::Catalog;
 
+use crate::error::{ExecError, ExecResult};
 use crate::eval::eval_pred;
 use crate::layout::ViewLayout;
+use crate::morsel::ParallelSpec;
 use crate::ops;
+use crate::parallel::{map_morsels, ExecEnv, ExecStats};
 
 /// The update batch `ΔT` made available to `Expr::Delta`/`Expr::OldState`
 /// leaves. Rows are in the base table's (narrow) schema.
@@ -26,6 +29,10 @@ pub struct ExecCtx<'a> {
     /// When false, joins never take the index-nested-loop fast path — used
     /// by baselines that model optimizers without index-aware delta plans.
     pub prefer_index_joins: bool,
+    /// Degree of parallelism for the physical operators.
+    pub spec: ParallelSpec,
+    /// Per-operator counters, shared across workers when set.
+    pub stats: Option<&'a ExecStats>,
 }
 
 impl<'a> ExecCtx<'a> {
@@ -35,59 +42,85 @@ impl<'a> ExecCtx<'a> {
             layout,
             delta: None,
             prefer_index_joins: true,
+            spec: ParallelSpec::serial(),
+            stats: None,
         }
     }
 
     pub fn with_delta(catalog: &'a Catalog, layout: &'a ViewLayout, delta: DeltaInput<'a>) -> Self {
         ExecCtx {
-            catalog,
-            layout,
             delta: Some(delta),
-            prefer_index_joins: true,
+            ..Self::new(catalog, layout)
         }
     }
 
-    fn base_table(&self, t: TableId) -> &'a ojv_storage::Table {
+    /// Replace the parallelism spec.
+    pub fn with_parallel(mut self, spec: ParallelSpec) -> Self {
+        self.spec = spec;
+        self
+    }
+
+    /// Attach per-operator counters.
+    pub fn with_stats(mut self, stats: &'a ExecStats) -> Self {
+        self.stats = Some(stats);
+        self
+    }
+
+    /// The operator environment this context implies.
+    pub fn env(&self) -> ExecEnv<'a> {
+        ExecEnv {
+            layout: self.layout,
+            spec: self.spec,
+            stats: self.stats,
+        }
+    }
+
+    fn base_table(&self, t: TableId) -> ExecResult<&'a ojv_storage::Table> {
         let name = &self.layout.slot(t).name;
         self.catalog
             .table(name)
-            .expect("layout tables exist in the catalog")
+            .map_err(|_| ExecError::UnknownTable {
+                table: name.clone(),
+            })
     }
 }
 
 /// Evaluate a delta expression to a set of wide rows.
 ///
+/// Returns [`ExecError::UnknownTable`] when the expression references a
+/// table the catalog no longer has (e.g. dropped after view analysis).
+///
 /// # Panics
 /// Panics on internal invariant violations (e.g. a `Delta` leaf without a
 /// delta input, or a right-preserving spine join) — these indicate planner
 /// bugs, not runtime conditions.
-pub fn eval_expr(ctx: &ExecCtx<'_>, expr: &Expr) -> Vec<Row> {
+pub fn eval_expr(ctx: &ExecCtx<'_>, expr: &Expr) -> ExecResult<Vec<Row>> {
     match expr {
-        Expr::Empty => Vec::new(),
+        Expr::Empty => Ok(Vec::new()),
         Expr::Table(t) => {
-            let table = ctx.base_table(*t);
-            table
+            let table = ctx.base_table(*t)?;
+            Ok(table
                 .rows()
                 .iter()
                 .map(|r| ctx.layout.widen(*t, r))
-                .collect()
+                .collect())
         }
         Expr::Delta(t) => {
             let delta = ctx.delta.expect("Delta leaf requires a delta input");
             assert_eq!(delta.table, *t, "Delta leaf for the wrong table");
-            delta
+            Ok(delta
                 .rows
                 .rows()
                 .iter()
                 .map(|r| ctx.layout.widen(*t, r))
-                .collect()
+                .collect())
         }
         Expr::OldState(t) => {
             // T current minus ΔT by key: the pre-update state after an
             // insert (§5.3's `T± ▷_{eq(T)} ΔT`).
             let delta = ctx.delta.expect("OldState leaf requires a delta input");
             assert_eq!(delta.table, *t, "OldState leaf for the wrong table");
-            let table = ctx.base_table(*t);
+            let table = ctx.base_table(*t)?;
             let key_cols = table.key_cols().to_vec();
             let delta_keys: std::collections::HashSet<Vec<Datum>> = delta
                 .rows
@@ -95,33 +128,45 @@ pub fn eval_expr(ctx: &ExecCtx<'_>, expr: &Expr) -> Vec<Row> {
                 .iter()
                 .map(|r| key_of(r, &key_cols))
                 .collect();
-            table
+            Ok(table
                 .rows()
                 .iter()
                 .filter(|r| !delta_keys.contains(&key_of(r, &key_cols)))
                 .map(|r| ctx.layout.widen(*t, r))
-                .collect()
+                .collect())
         }
         Expr::Select(pred, input) => {
-            let rows = eval_expr(ctx, input);
-            ops::filter(ctx.layout, pred, rows)
+            let rows = eval_expr(ctx, input)?;
+            Ok(ops::filter_in(&ctx.env(), pred, rows))
         }
         Expr::NullIf {
             null_tables,
             pred,
             input,
         } => {
-            let mut rows = eval_expr(ctx, input);
-            for row in &mut rows {
-                if !eval_pred(ctx.layout, pred, row) {
+            let mut rows = eval_expr(ctx, input)?;
+            // Predicate evaluation is the expensive part; run it
+            // morsel-parallel over the read-only rows, then null out the
+            // flagged rows in order.
+            let null_flags: Vec<bool> = map_morsels(ctx.spec, rows.len(), |range| {
+                rows[range]
+                    .iter()
+                    .map(|row| !eval_pred(ctx.layout, pred, row))
+                    .collect::<Vec<bool>>()
+            })
+            .into_iter()
+            .flatten()
+            .collect();
+            for (row, null_it) in rows.iter_mut().zip(null_flags) {
+                if null_it {
                     ctx.layout.null_out(*null_tables, row);
                 }
             }
-            rows
+            Ok(rows)
         }
         Expr::CleanDup(input) => {
-            let rows = eval_expr(ctx, input);
-            ops::clean_dup(ctx.layout, rows)
+            let rows = eval_expr(ctx, input)?;
+            Ok(ops::clean_dup_in(&ctx.env(), rows))
         }
         Expr::Join {
             kind,
@@ -129,7 +174,7 @@ pub fn eval_expr(ctx: &ExecCtx<'_>, expr: &Expr) -> Vec<Row> {
             left,
             right,
         } => {
-            let left_rows = eval_expr(ctx, left);
+            let left_rows = eval_expr(ctx, left)?;
             join_rows_expr(ctx, *kind, pred, left_rows, left.sources(), right)
         }
     }
@@ -150,7 +195,7 @@ pub fn join_rows_expr(
     left_rows: Vec<Row>,
     left_sources: TableSet,
     right: &Expr,
-) -> Vec<Row> {
+) -> ExecResult<Vec<Row>> {
     let right_sources = right.sources();
     // Index-nested-loop fast path: right operand is a base-table scan
     // (possibly under a single-table selection) with an index covering the
@@ -164,7 +209,7 @@ pub fn join_rows_expr(
         if let Some(scan) = base_scan_of(right) {
             let (keys, residual) = pred.equi_split(left_sources, right_sources);
             if !keys.is_empty() {
-                let table = ctx.base_table(scan.table);
+                let table = ctx.base_table(scan.table)?;
                 let slot_offset = ctx.layout.slot(scan.table).offset;
                 let local: Vec<usize> = keys
                     .iter()
@@ -178,9 +223,7 @@ pub fn join_rows_expr(
                         full_residual = full_residual.and(p);
                     }
                     let exclude = if scan.exclude_delta {
-                        let delta = ctx
-                            .delta
-                            .expect("OldState leaf requires a delta input");
+                        let delta = ctx.delta.expect("OldState leaf requires a delta input");
                         assert_eq!(delta.table, scan.table, "OldState leaf for the wrong table");
                         let kc = table.key_cols().to_vec();
                         Some(
@@ -194,8 +237,8 @@ pub fn join_rows_expr(
                     } else {
                         None
                     };
-                    return ops::index_join_excluding(
-                        ctx.layout,
+                    return Ok(ops::index_join_excluding_in(
+                        &ctx.env(),
                         kind,
                         left_rows,
                         &probe,
@@ -205,21 +248,21 @@ pub fn join_rows_expr(
                         &perm,
                         &full_residual,
                         exclude.as_ref(),
-                    );
+                    ));
                 }
             }
         }
     }
-    let right_rows = eval_expr(ctx, right);
-    ops::hash_join(
-        ctx.layout,
+    let right_rows = eval_expr(ctx, right)?;
+    Ok(ops::hash_join_in(
+        &ctx.env(),
         kind,
         pred,
         left_rows,
         right_rows,
         left_sources,
         right_sources,
-    )
+    ))
 }
 
 struct BaseScan<'e> {
@@ -353,7 +396,7 @@ mod tests {
         let (mut c, l) = setup();
         populate(&mut c);
         let ctx = ExecCtx::new(&c, &l);
-        let rows = eval_expr(&ctx, &view_expr());
+        let rows = eval_expr(&ctx, &view_expr()).unwrap();
         // Expected: {P,O,L} for part 1/order 10/line 1000, {O} for order 11,
         // {P} for part 2 → 3 rows.
         assert_eq!(rows.len(), 3);
@@ -367,10 +410,9 @@ mod tests {
             .iter()
             .any(|r| l.row_matches_term(TableSet::singleton(TableId(1)), r)
                 && r[2] == Datum::Int(11)));
-        assert!(rows
-            .iter()
-            .any(|r| l.row_matches_term(TableSet::singleton(TableId(0)), r)
-                && r[0] == Datum::Int(2)));
+        assert!(rows.iter().any(
+            |r| l.row_matches_term(TableSet::singleton(TableId(0)), r) && r[0] == Datum::Int(2)
+        ));
     }
 
     #[test]
@@ -389,7 +431,7 @@ mod tests {
                 rows: &delta_rel,
             },
         );
-        let rows = eval_expr(&ctx, &Expr::Delta(TableId(2)));
+        let rows = eval_expr(&ctx, &Expr::Delta(TableId(2))).unwrap();
         assert_eq!(rows.len(), 1);
         assert!(l.is_null_on(TableId(0), &rows[0]));
         assert_eq!(rows[0][4], Datum::Int(2000));
@@ -412,7 +454,7 @@ mod tests {
                 rows: &delta_rel,
             },
         );
-        let rows = eval_expr(&ctx, &Expr::OldState(TableId(2)));
+        let rows = eval_expr(&ctx, &Expr::OldState(TableId(2))).unwrap();
         assert!(rows.is_empty());
     }
 
@@ -420,7 +462,56 @@ mod tests {
     fn empty_leaf() {
         let (c, l) = setup();
         let ctx = ExecCtx::new(&c, &l);
-        assert!(eval_expr(&ctx, &Expr::Empty).is_empty());
+        assert!(eval_expr(&ctx, &Expr::Empty).unwrap().is_empty());
+    }
+
+    #[test]
+    fn missing_catalog_table_is_an_error_not_a_panic() {
+        let (_c, l) = setup();
+        // A catalog that lacks the layout's tables (e.g. dropped after the
+        // view was analyzed) must surface as an error, not a panic.
+        let empty = Catalog::new();
+        let ctx = ExecCtx::new(&empty, &l);
+        let err = eval_expr(&ctx, &Expr::table(TableId(0))).unwrap_err();
+        assert_eq!(
+            err,
+            ExecError::UnknownTable {
+                table: "part".into()
+            }
+        );
+        assert!(err.to_string().contains("part"));
+        // The join fast path goes through the same lookup.
+        let pred = Pred::atom(Atom::eq(
+            ColRef::new(TableId(1), 0),
+            ColRef::new(TableId(2), 1),
+        ));
+        let join = Expr::inner(pred, Expr::table(TableId(2)), Expr::table(TableId(1)));
+        assert!(eval_expr(&ctx, &join).is_err());
+    }
+
+    #[test]
+    fn parallel_evaluation_is_bit_identical_to_serial() {
+        let (mut c, l) = setup();
+        populate(&mut c);
+        c.insert(
+            "lineitem",
+            vec![
+                vec![Datum::Int(1001), Datum::Int(11), Datum::Int(1)],
+                vec![Datum::Int(1002), Datum::Int(10), Datum::Int(2)],
+            ],
+        )
+        .unwrap();
+        let serial = eval_expr(&ExecCtx::new(&c, &l), &view_expr()).unwrap();
+        for threads in [2, 8] {
+            for morsel in [1, 3, 4096] {
+                let spec = ParallelSpec::threads(threads)
+                    .with_morsel_rows(morsel)
+                    .with_cutoff(0);
+                let ctx = ExecCtx::new(&c, &l).with_parallel(spec);
+                let parallel = eval_expr(&ctx, &view_expr()).unwrap();
+                assert_eq!(serial, parallel, "threads={threads} morsel={morsel}");
+            }
+        }
     }
 
     #[test]
@@ -454,13 +545,13 @@ mod tests {
             Expr::Delta(TableId(2)),
             Expr::table(TableId(1)),
         );
-        let out = eval_expr(&ctx, &join);
+        let out = eval_expr(&ctx, &join).unwrap();
         assert_eq!(out.len(), 1);
         assert_eq!(out[0][2], Datum::Int(11));
 
         // lo variant keeps the dangling delta row.
         let lo = Expr::left_outer(pred, Expr::Delta(TableId(2)), Expr::table(TableId(1)));
-        let out = eval_expr(&ctx, &lo);
+        let out = eval_expr(&ctx, &lo).unwrap();
         assert_eq!(out.len(), 2);
     }
 
@@ -494,7 +585,7 @@ mod tests {
             Expr::table(TableId(1)),
         );
         let lo = Expr::left_outer(pred, Expr::Delta(TableId(2)), scan);
-        let out = eval_expr(&ctx, &lo);
+        let out = eval_expr(&ctx, &lo).unwrap();
         assert_eq!(out.len(), 1);
         // Order 10 fails the scan predicate, so the delta row is preserved
         // null-extended on orders.
@@ -514,7 +605,7 @@ mod tests {
         )
         .unwrap();
         let ctx = ExecCtx::new(&c, &l);
-        let direct = eval_expr(&ctx, &view_expr());
+        let direct = eval_expr(&ctx, &view_expr()).unwrap();
 
         let terms = ojv_algebra::normalize_unpruned(&view_expr());
         // Evaluate each term as a cross join + filter, then minimum-union.
@@ -522,7 +613,7 @@ mod tests {
         for term in &terms {
             let mut rows: Vec<Row> = vec![vec![Datum::Null; l.width()]];
             for t in term.tables.iter() {
-                let table_rows = eval_expr(&ctx, &Expr::Table(t));
+                let table_rows = eval_expr(&ctx, &Expr::Table(t)).unwrap();
                 let mut next = Vec::new();
                 for r in &rows {
                     for tr in &table_rows {

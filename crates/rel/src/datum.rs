@@ -404,10 +404,7 @@ mod tests {
         // `big as f64` would round down to 2^53; exact comparison must not.
         assert_ne!(Datum::Int(big), as_float.clone());
         assert_eq!(Datum::Int(1 << 53), as_float);
-        assert_eq!(
-            Datum::Int(big).cmp(&as_float),
-            std::cmp::Ordering::Greater
-        );
+        assert_eq!(Datum::Int(big).cmp(&as_float), std::cmp::Ordering::Greater);
         // Transitivity probe: a == b and b == c implies a == c.
         let a = Datum::Int(1 << 53);
         let b = Datum::Float((1u64 << 53) as f64);

@@ -1,0 +1,315 @@
+//! An exact accumulator for sums of `f64` values.
+//!
+//! Incremental view maintenance adds and removes contributions to a `SUM`
+//! aggregate in whatever order updates arrive, while a from-scratch
+//! recompute folds the surviving rows in view order. Plain `f64` addition is
+//! not associative, so the two orders can disagree in the last ulp and a
+//! maintained aggregate would slowly drift away from its recomputed value.
+//!
+//! [`ExactFloatSum`] side-steps the problem with a Kulisch-style fixed-point
+//! superaccumulator: a 2176-bit two's-complement integer whose bit `k` has
+//! weight `2^(k-1074)`. Every finite `f64` is an integer multiple of
+//! `2^-1074` with at most 53 significant bits, so adding or subtracting one
+//! is *exact* — the accumulator state depends only on the multiset of values
+//! currently in the sum, never on arrival order or cancellation history.
+//! [`ExactFloatSum::to_f64`] rounds the exact value to nearest-even once, at
+//! read time.
+
+/// 2176 bits: weights 2^-1074 ..= 2^1023 need 2098 bits for any single
+/// finite `f64`; the remaining 78 high bits absorb carries, which supports
+/// ~2^77 accumulated values before overflow — unreachable in practice.
+const LIMBS: usize = 34;
+
+/// Bias between accumulator bit positions and binary weights: bit 0 weighs
+/// `2^-BIAS`.
+const BIAS: i32 = 1074;
+
+/// Exact running sum of finite `f64` values (order-independent).
+#[derive(Clone, PartialEq, Eq)]
+pub struct ExactFloatSum {
+    /// Little-endian two's-complement limbs; bit `64*i + j` of the value is
+    /// bit `j` of `limbs[i]`.
+    limbs: [u64; LIMBS],
+}
+
+impl Default for ExactFloatSum {
+    fn default() -> Self {
+        ExactFloatSum { limbs: [0; LIMBS] }
+    }
+}
+
+impl std::fmt::Debug for ExactFloatSum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ExactFloatSum({})", self.to_f64())
+    }
+}
+
+impl ExactFloatSum {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.limbs.iter().all(|&l| l == 0)
+    }
+
+    /// Add `v` to the sum. Exact for every finite `v`.
+    pub fn add(&mut self, v: f64) {
+        self.accumulate(v, false);
+    }
+
+    /// Subtract `v` from the sum. Exactly undoes a prior `add(v)`.
+    pub fn sub(&mut self, v: f64) {
+        self.accumulate(v, true);
+    }
+
+    fn accumulate(&mut self, v: f64, negate: bool) {
+        assert!(v.is_finite(), "ExactFloatSum over non-finite value {v}");
+        let bits = v.to_bits();
+        let exp = ((bits >> 52) & 0x7ff) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        // value = mantissa * 2^(max(exp,1) - 1075); subnormals reuse the
+        // exp=1 scale without the hidden bit.
+        let (mantissa, eeff) = if exp == 0 {
+            (frac, 1 - 1075)
+        } else {
+            (frac | (1u64 << 52), exp - 1075)
+        };
+        if mantissa == 0 {
+            return;
+        }
+        let negative = ((bits >> 63) == 1) ^ negate;
+        let offset = (eeff + BIAS) as usize;
+        let (limb, shift) = (offset / 64, offset % 64);
+        let wide = (mantissa as u128) << shift;
+        let (lo, hi) = (wide as u64, (wide >> 64) as u64);
+        if negative {
+            self.sub_at(limb, lo, hi);
+        } else {
+            self.add_at(limb, lo, hi);
+        }
+    }
+
+    fn add_at(&mut self, limb: usize, lo: u64, hi: u64) {
+        let (r, mut carry) = self.limbs[limb].overflowing_add(lo);
+        self.limbs[limb] = r;
+        let mut i = limb + 1;
+        let mut pending = hi;
+        while i < LIMBS && (pending != 0 || carry) {
+            let (r, c1) = self.limbs[i].overflowing_add(pending);
+            let (r, c2) = r.overflowing_add(carry as u64);
+            self.limbs[i] = r;
+            carry = c1 || c2;
+            pending = 0;
+            i += 1;
+        }
+        // A carry off the top wraps around — two's complement keeps the
+        // arithmetic consistent as long as the true sum stays in range,
+        // which the 78 headroom bits guarantee.
+    }
+
+    fn sub_at(&mut self, limb: usize, lo: u64, hi: u64) {
+        let (r, mut borrow) = self.limbs[limb].overflowing_sub(lo);
+        self.limbs[limb] = r;
+        let mut i = limb + 1;
+        let mut pending = hi;
+        while i < LIMBS && (pending != 0 || borrow) {
+            let (r, b1) = self.limbs[i].overflowing_sub(pending);
+            let (r, b2) = r.overflowing_sub(borrow as u64);
+            self.limbs[i] = r;
+            borrow = b1 || b2;
+            pending = 0;
+            i += 1;
+        }
+    }
+
+    /// The exact sum rounded to the nearest `f64` (ties to even). Returns
+    /// `±infinity` if the exact value exceeds the finite range.
+    pub fn to_f64(&self) -> f64 {
+        let negative = self.limbs[LIMBS - 1] >> 63 == 1;
+        let mag = if negative { self.negated() } else { self.limbs };
+        // Highest set bit of the magnitude.
+        let Some(top_limb) = (0..LIMBS).rev().find(|&i| mag[i] != 0) else {
+            return 0.0;
+        };
+        let h = top_limb * 64 + 63 - mag[top_limb].leading_zeros() as usize;
+        if h < 53 {
+            // At most 53 significant bits of weight 2^-1074: exactly a
+            // (sub)normal near the bottom of the range; no rounding needed.
+            // `from_bits(1)` is 2^-1074; the product has at most 53
+            // significant bits, so the correctly-rounded multiply is exact.
+            let small = mag[0] as f64 * f64::from_bits(1);
+            return if negative { -small } else { small };
+        }
+        // Extract the top 53 bits [h-52, h] and round to nearest-even on
+        // the rest.
+        let mut top = Self::extract_bits(&mag, h - 52, 53);
+        let round = Self::bit(&mag, h - 53);
+        let sticky = h >= 54 && Self::any_below(&mag, h - 53);
+        if round && (sticky || top & 1 == 1) {
+            top += 1;
+        }
+        let mut e = h as i32 - BIAS; // unbiased exponent of bit h
+        if top == 1u64 << 53 {
+            top >>= 1;
+            e += 1;
+        }
+        if e > 1023 {
+            return if negative {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
+        }
+        // h >= 53 implies e >= -1021, so the result is always normal.
+        let bits = (((e + 1023) as u64) << 52) | (top & ((1u64 << 52) - 1));
+        let v = f64::from_bits(bits);
+        if negative {
+            -v
+        } else {
+            v
+        }
+    }
+
+    fn negated(&self) -> [u64; LIMBS] {
+        let mut out = [0u64; LIMBS];
+        let mut carry = true;
+        for (o, &l) in out.iter_mut().zip(&self.limbs) {
+            let (r, c) = (!l).overflowing_add(carry as u64);
+            *o = r;
+            carry = c;
+        }
+        out
+    }
+
+    fn bit(limbs: &[u64; LIMBS], pos: usize) -> bool {
+        limbs[pos / 64] >> (pos % 64) & 1 == 1
+    }
+
+    /// `count` bits starting at `pos` (little-endian), `count <= 53`.
+    fn extract_bits(limbs: &[u64; LIMBS], pos: usize, count: usize) -> u64 {
+        let (limb, shift) = (pos / 64, pos % 64);
+        let mut v = limbs[limb] >> shift;
+        if shift != 0 && limb + 1 < LIMBS {
+            v |= limbs[limb + 1] << (64 - shift);
+        }
+        v & ((1u64 << count) - 1)
+    }
+
+    /// Any set bit strictly below `pos`?
+    fn any_below(limbs: &[u64; LIMBS], pos: usize) -> bool {
+        let (limb, shift) = (pos / 64, pos % 64);
+        if limbs[..limb].iter().any(|&l| l != 0) {
+            return true;
+        }
+        shift != 0 && limbs[limb] & ((1u64 << shift) - 1) != 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_of(values: &[f64]) -> f64 {
+        let mut acc = ExactFloatSum::new();
+        for &v in values {
+            acc.add(v);
+        }
+        acc.to_f64()
+    }
+
+    #[test]
+    fn single_values_round_trip_exactly() {
+        for v in [
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            -2.5,
+            1e300,
+            -1e300,
+            1e-300,
+            f64::MIN_POSITIVE,
+            f64::from_bits(1),       // smallest subnormal
+            f64::from_bits(0xfffff), // a subnormal
+            f64::MAX,
+            f64::MIN,
+            251818.57,
+        ] {
+            assert_eq!(sum_of(&[v]).to_bits(), (v + 0.0).to_bits(), "value {v}");
+        }
+    }
+
+    #[test]
+    fn order_independent() {
+        let values = [0.1, 0.2, 0.3, 1e16, -1e16, 7.25, -0.30000000000000004];
+        let forward = sum_of(&values);
+        let mut rev = values;
+        rev.reverse();
+        assert_eq!(forward.to_bits(), sum_of(&rev).to_bits());
+    }
+
+    #[test]
+    fn cancellation_returns_to_exact_zero() {
+        let mut acc = ExactFloatSum::new();
+        let values = [0.1, 0.2, 0.3, 12345.678, -9.25e-5, 1e200, 4.0 / 3.0];
+        for &v in &values {
+            acc.add(v);
+        }
+        for &v in &values {
+            acc.sub(v);
+        }
+        assert!(acc.is_zero());
+        assert_eq!(acc.to_f64().to_bits(), 0.0f64.to_bits());
+    }
+
+    #[test]
+    fn classic_non_associative_case_is_exact() {
+        // (1e16 + 1) - 1e16 == 0 in f64 left-to-right; the exact sum is 1.
+        assert_eq!(sum_of(&[1e16, 1.0, -1e16]), 1.0);
+        // 0.1 + 0.2 rounds to the f64 nearest the exact rational sum of the
+        // two representations, which is NOT f64 0.3.
+        assert_eq!(sum_of(&[0.1, 0.2]), 0.1 + 0.2);
+    }
+
+    #[test]
+    fn matches_integer_model_for_cent_values() {
+        // Sums of n/100 prices modelled exactly in i64 cents, compared after
+        // rounding. The accumulator sums the *f64 representations* exactly,
+        // so compare against a correctly-ordered compensated reference:
+        // adding the same multiset in any order must equal left-to-right
+        // exact accumulation.
+        let prices: Vec<f64> = (0..1000)
+            .map(|i| (i * 37 % 100000) as f64 / 100.0)
+            .collect();
+        let forward = sum_of(&prices);
+        let mut shuffled = prices.clone();
+        // Deterministic shuffle.
+        let mut s = 0x9e3779b97f4a7c15u64;
+        for i in (1..shuffled.len()).rev() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            shuffled.swap(i, (s >> 33) as usize % (i + 1));
+        }
+        assert_eq!(forward.to_bits(), sum_of(&shuffled).to_bits());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let mut acc = ExactFloatSum::new();
+        acc.add(f64::MAX);
+        acc.add(f64::MAX);
+        assert_eq!(acc.to_f64(), f64::INFINITY);
+        acc.sub(f64::MAX);
+        assert_eq!(acc.to_f64(), f64::MAX);
+    }
+
+    #[test]
+    fn subnormal_sums_are_exact() {
+        let tiny = f64::from_bits(3); // 3 * 2^-1074
+        assert_eq!(sum_of(&[tiny, tiny]).to_bits(), f64::from_bits(6).to_bits());
+        assert_eq!(sum_of(&[tiny, -tiny]), 0.0);
+    }
+}

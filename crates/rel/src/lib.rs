@@ -18,6 +18,7 @@
 
 pub mod datum;
 pub mod error;
+pub mod floatsum;
 pub mod relation;
 pub mod row;
 pub mod schema;
@@ -25,6 +26,7 @@ pub mod subsume;
 
 pub use datum::{date, date_from_days, days_from_date, DataType, Datum};
 pub use error::RelError;
+pub use floatsum::ExactFloatSum;
 pub use relation::Relation;
 pub use row::{all_non_null, all_null, key_of, row_display, Row};
 pub use schema::{Column, Schema, SchemaRef};

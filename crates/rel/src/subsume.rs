@@ -215,9 +215,9 @@ mod tests {
             s,
             vec![
                 vec![i(1), i(2)],
-                vec![i(1), n()],  // subsumed by [1,2]
-                vec![i(3), n()],  // kept
-                vec![n(), i(2)],  // kept (incomparable with [1,2]? no: [1,2] subsumes it!)
+                vec![i(1), n()], // subsumed by [1,2]
+                vec![i(3), n()], // kept
+                vec![n(), i(2)], // kept (incomparable with [1,2]? no: [1,2] subsumes it!)
             ],
         );
         let out = remove_subsumed(&r);

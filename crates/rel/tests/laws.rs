@@ -2,7 +2,7 @@
 //! strict partial order, `↓` is idempotent, and minimum union is commutative
 //! and associative (the paper states the latter explicitly).
 
-use proptest::prelude::*;
+use ojv_testkit::{property, strategy, vec_of, Rng, Strategy};
 
 use ojv_rel::{
     minimum_union, outer_union, remove_subsumed, subsumes, Column, DataType, Datum, Relation,
@@ -20,51 +20,61 @@ fn schema(width: usize) -> SchemaRef {
 
 /// Rows over a tiny domain with plenty of nulls, to make subsumption likely.
 fn row_strategy(width: usize) -> impl Strategy<Value = Vec<Datum>> {
-    proptest::collection::vec(
-        prop_oneof![
-            Just(Datum::Null),
-            (0i64..3).prop_map(Datum::Int),
-        ],
-        width..=width,
+    vec_of(
+        strategy(
+            |rng: &mut Rng| {
+                if rng.gen_bool(0.5) {
+                    Datum::Null
+                } else {
+                    Datum::Int(rng.gen_range(0i64..3))
+                }
+            },
+            |d: &Datum| match d {
+                Datum::Int(n) if *n > 0 => vec![Datum::Null, Datum::Int(n - 1)],
+                Datum::Int(_) => vec![Datum::Null],
+                _ => Vec::new(),
+            },
+        ),
+        width..width + 1,
     )
 }
 
 fn rel_strategy(width: usize) -> impl Strategy<Value = Vec<Vec<Datum>>> {
-    proptest::collection::vec(row_strategy(width), 0..8)
+    vec_of(row_strategy(width), 0..8)
 }
 
-proptest! {
-    #[test]
+property! {
+    #[cases = 256]
     fn subsumption_is_irreflexive_and_asymmetric(a in row_strategy(4), b in row_strategy(4)) {
-        prop_assert!(!subsumes(&a, &a));
+        assert!(!subsumes(&a, &a));
         if subsumes(&a, &b) {
-            prop_assert!(!subsumes(&b, &a));
+            assert!(!subsumes(&b, &a));
         }
     }
 
-    #[test]
+    #[cases = 256]
     fn subsumption_is_transitive(a in row_strategy(3), b in row_strategy(3), c in row_strategy(3)) {
         if subsumes(&a, &b) && subsumes(&b, &c) {
-            prop_assert!(subsumes(&a, &c));
+            assert!(subsumes(&a, &c));
         }
     }
 
-    #[test]
+    #[cases = 256]
     fn removal_of_subsumed_is_idempotent(rows in rel_strategy(4)) {
         let r = Relation::new(schema(4), rows);
         let once = remove_subsumed(&r);
         let twice = remove_subsumed(&once);
-        prop_assert!(once.bag_eq(&twice));
+        assert!(once.bag_eq(&twice));
     }
 
-    #[test]
+    #[cases = 256]
     fn removal_output_has_no_subsumed_rows(rows in rel_strategy(4)) {
         let r = Relation::new(schema(4), rows);
         let out = remove_subsumed(&r);
         for (i, a) in out.rows().iter().enumerate() {
             for (j, b) in out.rows().iter().enumerate() {
                 if i != j {
-                    prop_assert!(!subsumes(a, b), "row {j} still subsumed by {i}");
+                    assert!(!subsumes(a, b), "row {j} still subsumed by {i}");
                 }
             }
         }
@@ -72,18 +82,18 @@ proptest! {
 
     /// `⊕` is commutative (paper §2.1: "minimum union is both commutative
     /// and associative").
-    #[test]
+    #[cases = 256]
     fn minimum_union_commutative(a in rel_strategy(4), b in rel_strategy(4)) {
         let s = schema(4);
         let ra = Relation::new(s.clone(), a);
         let rb = Relation::new(s, b);
         let ab = minimum_union(&ra, &rb).unwrap();
         let ba = minimum_union(&rb, &ra).unwrap();
-        prop_assert!(ab.bag_eq(&ba));
+        assert!(ab.bag_eq(&ba));
     }
 
     /// `⊕` is associative.
-    #[test]
+    #[cases = 256]
     fn minimum_union_associative(
         a in rel_strategy(3),
         b in rel_strategy(3),
@@ -95,24 +105,24 @@ proptest! {
         let rc = Relation::new(s, c);
         let left = minimum_union(&minimum_union(&ra, &rb).unwrap(), &rc).unwrap();
         let right = minimum_union(&ra, &minimum_union(&rb, &rc).unwrap()).unwrap();
-        prop_assert!(left.bag_eq(&right));
+        assert!(left.bag_eq(&right));
     }
 
     /// `T1 ⊕ T2 = (T1 ⊎ T2)↓` — the definition, checked against the
     /// composed implementation.
-    #[test]
+    #[cases = 256]
     fn minimum_union_is_outer_union_then_removal(a in rel_strategy(4), b in rel_strategy(4)) {
         let s = schema(4);
         let ra = Relation::new(s.clone(), a);
         let rb = Relation::new(s, b);
         let direct = minimum_union(&ra, &rb).unwrap();
         let composed = remove_subsumed(&outer_union(&ra, &rb).unwrap());
-        prop_assert!(direct.bag_eq(&composed));
+        assert!(direct.bag_eq(&composed));
     }
 
     /// The grouped (bitmask) implementation of `↓` agrees with the naive
     /// quadratic definition.
-    #[test]
+    #[cases = 256]
     fn removal_matches_naive_definition(rows in rel_strategy(5)) {
         let r = Relation::new(schema(5), rows.clone());
         let fast = remove_subsumed(&r);
@@ -122,12 +132,12 @@ proptest! {
             .cloned()
             .collect();
         let naive_rel = Relation::new(schema(5), naive);
-        prop_assert!(fast.bag_eq(&naive_rel));
+        assert!(fast.bag_eq(&naive_rel));
     }
 
     /// Datum total order: antisymmetric and transitive over a mixed domain,
     /// and hashing agrees with equality.
-    #[test]
+    #[cases = 256]
     fn datum_order_and_hash_consistent(a in row_strategy(1), b in row_strategy(1)) {
         use std::collections::hash_map::DefaultHasher;
         use std::hash::{Hash, Hasher};
@@ -137,9 +147,9 @@ proptest! {
             let mut hb = DefaultHasher::new();
             x.hash(&mut ha);
             y.hash(&mut hb);
-            prop_assert_eq!(ha.finish(), hb.finish());
-            prop_assert_eq!(x.cmp(y), std::cmp::Ordering::Equal);
+            assert_eq!(ha.finish(), hb.finish());
+            assert_eq!(x.cmp(y), std::cmp::Ordering::Equal);
         }
-        prop_assert_eq!(x.cmp(y), y.cmp(x).reverse());
+        assert_eq!(x.cmp(y), y.cmp(x).reverse());
     }
 }

@@ -15,7 +15,10 @@ struct SecondaryIndex {
 
 impl SecondaryIndex {
     fn insert(&mut self, row: &Row, pos: usize) {
-        self.map.entry(key_of(row, &self.cols)).or_default().push(pos);
+        self.map
+            .entry(key_of(row, &self.cols))
+            .or_default()
+            .push(pos);
     }
 
     fn remove(&mut self, row: &Row, pos: usize) {

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use proptest::prelude::*;
+use ojv_testkit::{property, strategy, vec_of, Rng, Strategy};
 
 use ojv_rel::{Column, DataType, Datum, Row};
 use ojv_storage::{StorageError, Table};
@@ -16,10 +16,40 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0i64..20, 0i64..4).prop_map(|(id, grp)| Op::Insert { id, grp }),
-        (0i64..20).prop_map(|id| Op::Delete { id }),
-    ]
+    strategy(
+        |rng: &mut Rng| {
+            if rng.gen_bool(0.5) {
+                Op::Insert {
+                    id: rng.gen_range(0i64..20),
+                    grp: rng.gen_range(0i64..4),
+                }
+            } else {
+                Op::Delete {
+                    id: rng.gen_range(0i64..20),
+                }
+            }
+        },
+        |op: &Op| match op {
+            Op::Insert { id, grp } => {
+                let mut out = vec![Op::Delete { id: *id }];
+                if *id > 0 {
+                    out.push(Op::Insert {
+                        id: id - 1,
+                        grp: *grp,
+                    });
+                }
+                if *grp > 0 {
+                    out.push(Op::Insert {
+                        id: *id,
+                        grp: grp - 1,
+                    });
+                }
+                out
+            }
+            Op::Delete { id } if *id > 0 => vec![Op::Delete { id: id - 1 }],
+            Op::Delete { .. } => Vec::new(),
+        },
+    )
 }
 
 fn table() -> Table {
@@ -31,9 +61,9 @@ fn table() -> Table {
     Table::new("t", schema, vec![0]).unwrap()
 }
 
-proptest! {
-    #[test]
-    fn table_matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+property! {
+    #[cases = 256]
+    fn table_matches_btreemap_model(ops in vec_of(op_strategy(), 0..60)) {
         let mut t = table();
         let grp_idx = t.add_secondary_index(vec![1]);
         let mut model: BTreeMap<i64, i64> = BTreeMap::new();
@@ -44,11 +74,11 @@ proptest! {
                     let row: Row = vec![Datum::Int(id), Datum::Int(grp)];
                     let result = t.insert(row);
                     if let std::collections::btree_map::Entry::Vacant(e) = model.entry(id) {
-                        prop_assert!(result.is_ok());
+                        assert!(result.is_ok());
                         e.insert(grp);
                     } else {
                         let dup = matches!(result, Err(StorageError::DuplicateKey { .. }));
-                        prop_assert!(dup);
+                        assert!(dup);
                     }
                 }
                 Op::Delete { id } => {
@@ -56,44 +86,44 @@ proptest! {
                     match model.remove(&id) {
                         Some(grp) => {
                             let row = result.expect("model says the key exists");
-                            prop_assert_eq!(row[1].clone(), Datum::Int(grp));
+                            assert_eq!(row[1].clone(), Datum::Int(grp));
                         }
                         None => {
                             let missing = matches!(result, Err(StorageError::KeyNotFound { .. }));
-                            prop_assert!(missing);
+                            assert!(missing);
                         }
                     }
                 }
             }
             // Invariants after every step.
-            prop_assert_eq!(t.len(), model.len());
+            assert_eq!(t.len(), model.len());
             for (&id, &grp) in &model {
                 let row = t.get(&[Datum::Int(id)]).expect("model row present");
-                prop_assert_eq!(row[1].clone(), Datum::Int(grp));
+                assert_eq!(row[1].clone(), Datum::Int(grp));
             }
             // Secondary index agrees with a scan.
             for g in 0..4i64 {
                 let via_index = t.count_secondary(grp_idx, &[Datum::Int(g)]);
                 let via_scan = t.rows().iter().filter(|r| r[1] == Datum::Int(g)).count();
-                prop_assert_eq!(via_index, via_scan, "group {}", g);
+                assert_eq!(via_index, via_scan, "group {}", g);
                 let hits: Vec<i64> = t
                     .lookup_secondary(grp_idx, &[Datum::Int(g)])
                     .map(|r| r[0].as_int().unwrap())
                     .collect();
-                prop_assert_eq!(hits.len(), via_scan);
+                assert_eq!(hits.len(), via_scan);
             }
         }
     }
 
-    #[test]
-    fn index_on_finds_permuted_key(cols in proptest::collection::vec(0usize..2, 1..3)) {
+    #[cases = 256]
+    fn index_on_finds_permuted_key(cols in vec_of(0usize..2, 1..3)) {
         let t = table();
         // The unique key is column 0; index_on must find it only for [0].
         let found = t.index_on(&cols);
         if cols == vec![0] {
-            prop_assert!(found.is_some());
+            assert!(found.is_some());
         } else {
-            prop_assert!(found.is_none());
+            assert!(found.is_none());
         }
     }
 }

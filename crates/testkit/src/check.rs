@@ -1,0 +1,195 @@
+//! Case runner and shrink loop behind the [`property!`](crate::property) macro.
+
+use crate::rng::{mix, Rng};
+use crate::strategy::Strategy;
+use std::panic::{self, AssertUnwindSafe};
+
+/// Cases per property unless overridden with `#[cases = N]`.
+pub const DEFAULT_CASES: u32 = 64;
+
+/// Base seed for case derivation; override with `OJV_TESTKIT_SEED` to
+/// explore a different part of the input space.
+const BASE_SEED: u64 = 0x00D1_CE07_1A25_0007;
+
+fn base_seed() -> u64 {
+    match std::env::var("OJV_TESTKIT_SEED") {
+        Ok(s) => s.parse().unwrap_or(BASE_SEED),
+        Err(_) => BASE_SEED,
+    }
+}
+
+fn run_case<V>(f: &impl Fn(V), value: V) -> Result<(), String> {
+    match panic::catch_unwind(AssertUnwindSafe(|| f(value))) {
+        Ok(()) => Ok(()),
+        Err(payload) => Err(panic_message(payload.as_ref())),
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Run `cases` generated inputs through `f`; on failure, greedily shrink to
+/// a minimal failing input and panic with a repro report.
+///
+/// Each case's RNG is seeded from `mix(base_seed, case_index)`, so failures
+/// reproduce by index regardless of how many cases earlier properties ran.
+pub fn run_property<S: Strategy>(name: &str, cases: u32, strat: S, f: impl Fn(S::Value)) {
+    let seed = base_seed();
+    for case in 0..cases {
+        let mut rng = Rng::seed_from_u64(mix(seed, case as u64));
+        let value = strat.generate(&mut rng);
+        if let Err(original_msg) = run_case(&f, value.clone()) {
+            let minimal = shrink_failure(&strat, &f, value);
+            panic!(
+                "property `{name}` failed (case {case}/{cases}, seed {seed}).\n\
+                 minimal failing input: {minimal:#?}\n\
+                 original failure: {original_msg}\n\
+                 reproduce with OJV_TESTKIT_SEED={seed}"
+            );
+        }
+    }
+}
+
+/// Greedy shrink: re-test candidates from `Strategy::shrink`, recursing on
+/// the first that still fails, within a fixed budget. The default panic hook
+/// is silenced for the duration so shrink attempts don't spam stderr.
+fn shrink_failure<S: Strategy>(strat: &S, f: &impl Fn(S::Value), failing: S::Value) -> S::Value {
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+
+    let mut current = failing;
+    let mut budget = 1000usize;
+    'outer: while budget > 0 {
+        for candidate in strat.shrink(&current) {
+            budget -= 1;
+            if run_case(f, candidate.clone()).is_err() {
+                current = candidate;
+                continue 'outer;
+            }
+            if budget == 0 {
+                break;
+            }
+        }
+        break;
+    }
+
+    panic::set_hook(prev_hook);
+    current
+}
+
+/// Define a property test. Each `arg in strategy` pair binds one generated
+/// value; the body runs once per case and fails the test by panicking
+/// (e.g. through `assert!`).
+///
+/// ```
+/// ojv_testkit::property! {
+///     #[cases = 16]
+///     fn reverse_twice_is_identity(v in ojv_testkit::vec_of(0i64..10, 0..8)) {
+///         let mut w = v.clone();
+///         w.reverse();
+///         w.reverse();
+///         assert_eq!(v, w);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! property {
+    ($(
+        $(#[doc = $doc:expr])*
+        $(#[cases = $cases:expr])?
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )+) => {$(
+        $(#[doc = $doc])*
+        #[test]
+        fn $name() {
+            #[allow(unused_assignments, unused_mut)]
+            let mut cases = $crate::check::DEFAULT_CASES;
+            $(cases = $cases;)?
+            $(let $arg = $strat;)+
+            $crate::check::run_property(
+                stringify!($name),
+                cases,
+                ($(&$arg,)+),
+                |($($arg,)+)| $body,
+            );
+        }
+    )+};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::vec_of;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run_property("count", 10, (&(0i64..5),), |(_v,)| {
+            counter.set(counter.get() + 1);
+        });
+        count += counter.get();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn failing_property_shrinks_to_minimal_input() {
+        // Fails for v >= 3; minimum failing value is 3.
+        let result = panic::catch_unwind(|| {
+            let prev_hook = panic::take_hook();
+            panic::set_hook(Box::new(|_| {}));
+            let r = panic::catch_unwind(|| {
+                run_property("ge3", 64, (&(0i64..100),), |(v,)| {
+                    assert!(v < 3, "too big: {v}");
+                });
+            });
+            panic::set_hook(prev_hook);
+            r
+        })
+        .unwrap();
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        assert!(
+            msg.contains("minimal failing input: (\n    3,\n)")
+                || msg.contains("minimal failing input: (3,)"),
+            "shrink did not reach 3: {msg}"
+        );
+    }
+
+    #[test]
+    fn vec_shrink_finds_short_witness() {
+        // Fails whenever the vector contains a 4; minimal witness is [4].
+        let prev_hook = panic::take_hook();
+        panic::set_hook(Box::new(|_| {}));
+        let result = panic::catch_unwind(|| {
+            run_property("has4", 64, (&vec_of(0i64..5, 0..8),), |(v,)| {
+                assert!(!v.contains(&4), "contains 4: {v:?}");
+            });
+        });
+        panic::set_hook(prev_hook);
+        let msg = match result {
+            Ok(()) => panic!("property should have failed"),
+            Err(payload) => panic_message(payload.as_ref()),
+        };
+        assert!(
+            msg.contains("4,\n    ],") || msg.contains("[4]"),
+            "unexpected minimal witness: {msg}"
+        );
+    }
+
+    property! {
+        #[cases = 32]
+        fn macro_smoke_test(a in 0i64..50, b in 0i64..50) {
+            assert_eq!(a + b, b + a);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! In-repo test substrate: a deterministic PRNG and a minimal
+//! shrink-capable property-testing harness.
+//!
+//! This crate exists so the workspace's tier-1 verify
+//! (`cargo build --release && cargo test -q`) completes **fully offline**:
+//! it replaces the `rand` and `proptest` crates-io dependencies with ~500
+//! lines of plain Rust.
+//!
+//! * [`rng`] — SplitMix64-seeded xorshift128+ generator with a
+//!   rand-compatible surface (`gen_range`, `gen_bool`),
+//! * [`strategy`] — value-based generation + shrinking ([`Strategy`]),
+//! * [`check`] — the [`property!`] macro's case runner and shrink loop.
+//!
+//! ```
+//! use ojv_testkit::property;
+//!
+//! property! {
+//!     #[cases = 32]
+//!     fn addition_commutes(a in 0i64..100, b in 0i64..100) {
+//!         assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+
+pub mod check;
+pub mod rng;
+pub mod strategy;
+
+pub use check::run_property;
+pub use rng::{mix, Rng};
+pub use strategy::{choice, strategy, vec_of, Just, Strategy};

@@ -1,0 +1,294 @@
+//! Value-based generation and shrinking.
+//!
+//! Unlike proptest's `ValueTree`, a [`Strategy`] here generates plain values
+//! and shrinks them after the fact: `shrink(v)` proposes a handful of
+//! strictly "smaller" candidates, and the runner greedily re-tests them. That
+//! is less powerful than integrated shrinking but small enough to live
+//! in-repo with zero dependencies, and it covers what our property tests
+//! need: integer ranges, booleans, choices from a slice, and vectors.
+
+use crate::rng::Rng;
+use std::fmt::Debug;
+use std::ops::{Range, RangeInclusive};
+
+pub trait Strategy {
+    type Value: Clone + Debug;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Value;
+
+    /// Propose smaller candidates for a failing value. The runner re-tests
+    /// them in order and recurses on the first that still fails.
+    fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+        Vec::new()
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int(self.start, *v)
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn shrink(&self, v: &$t) -> Vec<$t> {
+                shrink_int(*self.start(), *v)
+            }
+        }
+
+        impl Shrinkable for $t {
+            fn shrink_toward(lo: $t, v: $t) -> Vec<$t> {
+                if v == lo {
+                    return Vec::new();
+                }
+                let mut out = vec![lo];
+                let mid = lo + (v - lo) / 2;
+                if mid != lo && mid != v {
+                    out.push(mid);
+                }
+                out.push(v - 1);
+                out.dedup();
+                out
+            }
+        }
+    )*};
+}
+
+trait Shrinkable: Sized {
+    fn shrink_toward(lo: Self, v: Self) -> Vec<Self>;
+}
+
+fn shrink_int<T: Shrinkable>(lo: T, v: T) -> Vec<T> {
+    T::shrink_toward(lo, v)
+}
+
+int_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// Always the same value; never shrinks.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform pick from a fixed list; shrinks toward earlier entries.
+#[derive(Debug, Clone)]
+pub struct Choice<T>(Vec<T>);
+
+pub fn choice<T: Clone + Debug + PartialEq>(items: Vec<T>) -> Choice<T> {
+    assert!(!items.is_empty(), "choice of nothing");
+    Choice(items)
+}
+
+impl<T: Clone + Debug + PartialEq> Strategy for Choice<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        self.0[rng.gen_range(0..self.0.len())].clone()
+    }
+
+    fn shrink(&self, v: &T) -> Vec<T> {
+        match self.0.iter().position(|x| x == v) {
+            Some(i) => self.0[..i].to_vec(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Vector of `inner`-generated elements with length drawn from `len`.
+/// Shrinks by removing elements (down to the minimum length) and by
+/// shrinking individual elements.
+pub struct VecOf<S> {
+    inner: S,
+    len: Range<usize>,
+}
+
+pub fn vec_of<S: Strategy>(inner: S, len: Range<usize>) -> VecOf<S> {
+    assert!(len.start < len.end, "vec_of on empty length range");
+    VecOf { inner, len }
+}
+
+impl<S: Strategy> Strategy for VecOf<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut Rng) -> Vec<S::Value> {
+        let n = rng.gen_range(self.len.clone());
+        (0..n).map(|_| self.inner.generate(rng)).collect()
+    }
+
+    fn shrink(&self, v: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+        let mut out = Vec::new();
+        if v.len() > self.len.start {
+            // Drop the back half, then each element individually.
+            let half = self.len.start.max(v.len() / 2);
+            if half < v.len() {
+                out.push(v[..half].to_vec());
+            }
+            for i in (0..v.len()).rev() {
+                let mut shorter = v.clone();
+                shorter.remove(i);
+                out.push(shorter);
+            }
+        }
+        for (i, elem) in v.iter().enumerate() {
+            for smaller in self.inner.shrink(elem) {
+                let mut copy = v.clone();
+                copy[i] = smaller;
+                out.push(copy);
+            }
+        }
+        out
+    }
+}
+
+/// Build a strategy from closures, for one-off generators.
+pub struct FnStrategy<G, S> {
+    generate: G,
+    shrink: S,
+}
+
+pub fn strategy<V, G, S>(generate: G, shrink: S) -> FnStrategy<G, S>
+where
+    V: Clone + Debug,
+    G: Fn(&mut Rng) -> V,
+    S: Fn(&V) -> Vec<V>,
+{
+    FnStrategy { generate, shrink }
+}
+
+impl<V, G, S> Strategy for FnStrategy<G, S>
+where
+    V: Clone + Debug,
+    G: Fn(&mut Rng) -> V,
+    S: Fn(&V) -> Vec<V>,
+{
+    type Value = V;
+
+    fn generate(&self, rng: &mut Rng) -> V {
+        (self.generate)(rng)
+    }
+
+    fn shrink(&self, v: &V) -> Vec<V> {
+        (self.shrink)(v)
+    }
+}
+
+// Tuples of strategy *references*, as produced by the `property!` macro.
+// Each component shrinks independently while the others stay fixed.
+macro_rules! tuple_strategy {
+    ($(($($s:ident / $v:ident / $i:tt),+))+) => {$(
+        impl<'a, $($s: Strategy),+> Strategy for ($(&'a $s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Value {
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                let mut out = Vec::new();
+                $(
+                    for smaller in self.$i.shrink(&value.$i) {
+                        let mut copy = value.clone();
+                        copy.$i = smaller;
+                        out.push(copy);
+                    }
+                )+
+                out
+            }
+        }
+    )+};
+}
+
+tuple_strategy! {
+    (S0/v0/0)
+    (S0/v0/0, S1/v1/1)
+    (S0/v0/0, S1/v1/1, S2/v2/2)
+    (S0/v0/0, S1/v1/1, S2/v2/2, S3/v3/3)
+    (S0/v0/0, S1/v1/1, S2/v2/2, S3/v3/3, S4/v4/4)
+    (S0/v0/0, S1/v1/1, S2/v2/2, S3/v3/3, S4/v4/4, S5/v5/5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn range_generates_in_bounds() {
+        let mut rng = Rng::seed_from_u64(1);
+        let s = 10i64..20;
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((10..20).contains(&v));
+        }
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_lower_bound() {
+        let s = 0i64..100;
+        let candidates = s.shrink(&40);
+        assert!(candidates.contains(&0));
+        assert!(candidates.contains(&39));
+        assert!(candidates.iter().all(|&c| c < 40));
+        assert!(s.shrink(&0).is_empty());
+    }
+
+    #[test]
+    fn choice_shrinks_toward_earlier_entries() {
+        let s = choice(vec!["a", "b", "c"]);
+        assert_eq!(s.shrink(&"c"), vec!["a", "b"]);
+        assert!(s.shrink(&"a").is_empty());
+    }
+
+    #[test]
+    fn vec_of_respects_length_and_shrinks_shorter() {
+        let mut rng = Rng::seed_from_u64(9);
+        let s = vec_of(0i64..5, 2..6);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((2..6).contains(&v.len()));
+        }
+        let shrunk = s.shrink(&vec![4, 4, 4, 4]);
+        assert!(shrunk.iter().any(|c| c.len() < 4));
+        assert!(shrunk.iter().all(|c| c.len() >= 2 || c.len() == 3));
+    }
+
+    #[test]
+    fn tuple_shrinks_one_component_at_a_time() {
+        let a = 0i64..10;
+        let b = 0i64..10;
+        let t = (&a, &b);
+        let candidates = t.shrink(&(5, 7));
+        assert!(candidates.iter().any(|&(x, y)| x < 5 && y == 7));
+        assert!(candidates.iter().any(|&(x, y)| x == 5 && y < 7));
+    }
+
+    #[test]
+    fn fn_strategy_round_trips() {
+        let s = strategy(
+            |rng: &mut Rng| rng.gen_range(0i64..3) * 2,
+            |v: &i64| if *v > 0 { vec![v - 2] } else { vec![] },
+        );
+        let mut rng = Rng::seed_from_u64(2);
+        let v = s.generate(&mut rng);
+        assert!(v % 2 == 0);
+        assert_eq!(s.shrink(&4), vec![2]);
+    }
+}

@@ -1,7 +1,6 @@
 //! Deterministic, scale-factor-parameterized TPC-H data generation.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ojv_testkit::Rng;
 
 use ojv_rel::datum::days_from_date;
 use ojv_rel::{Datum, Row};
@@ -59,8 +58,8 @@ impl TpchGen {
         (1..=self.order_count()).map(|o| self.line_count(o)).sum()
     }
 
-    fn rng(&self, tag: u64) -> StdRng {
-        StdRng::seed_from_u64(mix(self.seed, tag))
+    fn rng(&self, tag: u64) -> Rng {
+        Rng::seed_from_u64(mix(self.seed, tag))
     }
 
     /// Retail price, deterministic in the part key.
@@ -134,7 +133,11 @@ impl TpchGen {
                     Datum::Int(k),
                     Datum::str(text::part_name(&mut rng)),
                     Datum::str(format!("Manufacturer#{}", rng.gen_range(1..=5))),
-                    Datum::str(format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5))),
+                    Datum::str(format!(
+                        "Brand#{}{}",
+                        rng.gen_range(1..=5),
+                        rng.gen_range(1..=5)
+                    )),
                     Datum::str(text::part_type(&mut rng)),
                     Datum::Int(rng.gen_range(1..=50)),
                     Datum::str(*text::pick(&mut rng, &text::CONTAINERS)),
@@ -187,7 +190,7 @@ impl TpchGen {
 
     /// One orders row; `orderkey` may exceed [`Self::order_count`] for
     /// refresh batches.
-    pub fn gen_order_row(&self, orderkey: i64, rng: &mut StdRng) -> Row {
+    pub fn gen_order_row(&self, orderkey: i64, rng: &mut Rng) -> Row {
         let custkey = rng.gen_range(1..=self.customer_count());
         let start = days_from_date(START_DATE.0, START_DATE.1, START_DATE.2);
         let end = days_from_date(END_DATE.0, END_DATE.1, END_DATE.2);
@@ -211,7 +214,7 @@ impl TpchGen {
         orderkey: i64,
         linenumber: i64,
         orderdate: i32,
-        rng: &mut StdRng,
+        rng: &mut Rng,
     ) -> Row {
         let partkey = rng.gen_range(1..=self.part_count());
         let suppkey = rng.gen_range(1..=self.supplier_count());
@@ -278,12 +281,7 @@ impl TpchGen {
 }
 
 /// SplitMix64-style mixer for deriving independent seeds.
-pub(crate) fn mix(seed: u64, tag: u64) -> u64 {
-    let mut z = seed ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+pub(crate) use ojv_testkit::mix;
 
 #[cfg(test)]
 mod tests {

@@ -3,8 +3,7 @@
 //! All batches are FK-consistent against data produced by the same
 //! [`TpchGen`] and deterministic in `(sf, seed, batch)`.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ojv_testkit::Rng;
 
 use ojv_rel::{Datum, Row};
 
@@ -19,14 +18,13 @@ impl TpchGen {
     /// continue above the base data's per-order counts and are namespaced by
     /// `batch` so distinct batches never collide.
     pub fn lineitem_insert_batch(&self, n: usize, batch: u64) -> Vec<Row> {
-        let mut rng = StdRng::seed_from_u64(mix(self.seed, 0xAAB0 ^ batch));
+        let mut rng = Rng::seed_from_u64(mix(self.seed, 0xAAB0 ^ batch));
         let orders = self.order_count();
         let start = rng.gen_range(1..=orders);
         let per_order = n as i64 / orders + 2;
         let mut rows = Vec::with_capacity(n);
         let mut occurrence = std::collections::HashMap::new();
-        let start_date =
-            ojv_rel::datum::days_from_date(crate::gen::START_DATE.0, 6, 1);
+        let start_date = ojv_rel::datum::days_from_date(crate::gen::START_DATE.0, 6, 1);
         for i in 0..n as i64 {
             let order = (start + i - 1) % orders + 1;
             let occ = occurrence.entry(order).or_insert(0i64);
@@ -64,7 +62,7 @@ impl TpchGen {
     /// RF1-style batch: `n` new orders (keys above the base range) with
     /// their lineitems. Insert the orders first, then the lineitems.
     pub fn order_insert_batch(&self, n: usize, batch: u64) -> (Vec<Row>, Vec<Row>) {
-        let mut rng = StdRng::seed_from_u64(mix(self.seed, 0x0F1 ^ batch));
+        let mut rng = Rng::seed_from_u64(mix(self.seed, 0x0F1 ^ batch));
         let base = self.order_count() + (batch as i64) * n as i64 * 4;
         let mut orders = Vec::with_capacity(n);
         let mut lines = Vec::new();

@@ -1,6 +1,6 @@
 //! Text pools for the generator — compact stand-ins for dbgen's grammar.
 
-use rand::Rng;
+use ojv_testkit::Rng;
 
 pub const REGIONS: [&str; 5] = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"];
 
@@ -32,14 +32,27 @@ pub const NATIONS: [(&str, i64); 25] = [
     ("UNITED STATES", 1),
 ];
 
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
+];
 
 pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 
 pub const SHIP_MODES: [&str; 7] = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"];
 
 pub const CONTAINERS: [&str; 8] = [
-    "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG", "WRAP CASE",
+    "SM CASE",
+    "SM BOX",
+    "MED BAG",
+    "MED BOX",
+    "LG CASE",
+    "LG BOX",
+    "JUMBO PKG",
+    "WRAP CASE",
 ];
 
 pub const TYPE_SYLLABLE_1: [&str; 6] = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"];
@@ -47,23 +60,37 @@ pub const TYPE_SYLLABLE_2: [&str; 5] = ["ANODIZED", "BURNISHED", "PLATED", "POLI
 pub const TYPE_SYLLABLE_3: [&str; 5] = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"];
 
 pub const PART_NAME_WORDS: [&str; 16] = [
-    "almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue",
-    "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate",
+    "almond",
+    "antique",
+    "aquamarine",
+    "azure",
+    "beige",
+    "bisque",
+    "black",
+    "blanched",
+    "blue",
+    "blush",
+    "brown",
+    "burlywood",
+    "burnished",
+    "chartreuse",
+    "chiffon",
+    "chocolate",
 ];
 
 /// Pick a random element from a slice.
-pub fn pick<'a, T>(rng: &mut impl Rng, items: &'a [T]) -> &'a T {
+pub fn pick<'a, T>(rng: &mut Rng, items: &'a [T]) -> &'a T {
     &items[rng.gen_range(0..items.len())]
 }
 
 /// A short pseudo-comment (dbgen generates long text; the experiments only
 /// need the column to exist and carry per-row entropy).
-pub fn comment(rng: &mut impl Rng, tag: &str) -> String {
+pub fn comment(rng: &mut Rng, tag: &str) -> String {
     format!("{tag}#{:06x}", rng.gen_range(0u32..0xff_ffff))
 }
 
 /// A TPC-H part type, e.g. "STANDARD ANODIZED TIN".
-pub fn part_type(rng: &mut impl Rng) -> String {
+pub fn part_type(rng: &mut Rng) -> String {
     format!(
         "{} {} {}",
         pick(rng, &TYPE_SYLLABLE_1),
@@ -73,7 +100,7 @@ pub fn part_type(rng: &mut impl Rng) -> String {
 }
 
 /// A part name: two words from the colour pool.
-pub fn part_name(rng: &mut impl Rng) -> String {
+pub fn part_name(rng: &mut Rng) -> String {
     format!(
         "{} {}",
         pick(rng, &PART_NAME_WORDS),
@@ -82,7 +109,7 @@ pub fn part_name(rng: &mut impl Rng) -> String {
 }
 
 /// A phone number shaped like dbgen's `NN-NNN-NNN-NNNN`.
-pub fn phone(rng: &mut impl Rng, nationkey: i64) -> String {
+pub fn phone(rng: &mut Rng, nationkey: i64) -> String {
     format!(
         "{}-{:03}-{:03}-{:04}",
         10 + nationkey,
@@ -95,13 +122,11 @@ pub fn phone(rng: &mut impl Rng, nationkey: i64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn deterministic_with_seed() {
-        let mut a = StdRng::seed_from_u64(7);
-        let mut b = StdRng::seed_from_u64(7);
+        let mut a = Rng::seed_from_u64(7);
+        let mut b = Rng::seed_from_u64(7);
         assert_eq!(part_type(&mut a), part_type(&mut b));
         assert_eq!(comment(&mut a, "x"), comment(&mut b, "x"));
         assert_eq!(phone(&mut a, 3), phone(&mut b, 3));
@@ -111,7 +136,7 @@ mod tests {
     fn pools_are_well_formed() {
         assert_eq!(NATIONS.len(), 25);
         assert!(NATIONS.iter().all(|(_, r)| *r < REGIONS.len() as i64));
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Rng::seed_from_u64(1);
         let name = part_name(&mut rng);
         assert!(name.contains(' '));
     }

@@ -54,11 +54,8 @@ fn main() -> Result<()> {
         cascade_delete: false,
         deferrable: false,
     };
-    let simplified = ojv::algebra::simplify_tree(
-        ojv::algebra::derive_primary_delta(&a.expr, t),
-        t,
-        &[fk],
-    );
+    let simplified =
+        ojv::algebra::simplify_tree(ojv::algebra::derive_primary_delta(&a.expr, t), t, &[fk]);
     print!(
         "{}",
         ojv::algebra::to_left_deep(simplified).tree_string(&|id| names(id))

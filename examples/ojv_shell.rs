@@ -69,7 +69,11 @@ fn key_values(catalog: &Catalog, table: &str, parts: &[&str]) -> Result<Vec<Datu
     if parts.len() != key_cols.len() {
         return Err(CoreError::InvalidView {
             view: table.into(),
-            detail: format!("{} key values expected, got {}", key_cols.len(), parts.len()),
+            detail: format!(
+                "{} key values expected, got {}",
+                key_cols.len(),
+                parts.len()
+            ),
         });
     }
     let schema = t.schema().clone();
@@ -103,7 +107,12 @@ fn run_line(db: &mut Database, line: &str) -> Result<bool> {
         }
     } else if lower == "views" {
         for v in db.views() {
-            println!("  {} ({} rows, {} terms)", v.name(), v.len(), v.analysis.terms.len());
+            println!(
+                "  {} ({} rows, {} terms)",
+                v.name(),
+                v.len(),
+                v.analysis.terms.len()
+            );
         }
     } else if let Some(rest) = strip_prefix_ci(trimmed, "create view ") {
         let Some((name, sql)) = rest.split_once(" as ") else {
@@ -165,7 +174,9 @@ fn run_line(db: &mut Database, line: &str) -> Result<bool> {
         };
         println!("{}", db.explain_maintenance(parts[0], parts[1], op)?);
     } else {
-        println!("commands: create view … as …, insert, delete, show, tables, views, explain, quit");
+        println!(
+            "commands: create view … as …, insert, delete, show, tables, views, explain, quit"
+        );
     }
     Ok(true)
 }

@@ -58,7 +58,10 @@ fn dashboard(db: &Database) {
         let rb = b.last().expect("revenue column");
         rb.cmp(ra)
     });
-    println!("  top-5 customers by in-window revenue ({} groups):", out.len());
+    println!(
+        "  top-5 customers by in-window revenue ({} groups):",
+        out.len()
+    );
     for row in rows.iter().take(5) {
         println!("    {}", ojv::rel::row_display(row));
     }
@@ -112,7 +115,10 @@ fn main() -> Result<()> {
     println!("\n== noon: 60 new orders placed (RF1)");
     let (orders, lines) = gen.order_insert_batch(60, 1);
     let r1 = db.insert("orders", orders)?;
-    println!("  orders insert touched {} views (FK: V3 is unaffected)", r1.len());
+    println!(
+        "  orders insert touched {} views (FK: V3 is unaffected)",
+        r1.len()
+    );
     db.insert("lineitem", lines)?;
     dashboard(&db);
 
@@ -120,7 +126,13 @@ fn main() -> Result<()> {
     let keys = gen.lineitem_delete_keys(300, 7);
     let live: Vec<_> = keys
         .into_iter()
-        .filter(|k| db.catalog().table("lineitem").expect("lineitem").get(k).is_some())
+        .filter(|k| {
+            db.catalog()
+                .table("lineitem")
+                .expect("lineitem")
+                .get(k)
+                .is_some()
+        })
         .collect();
     let reports = db.delete("lineitem", &live)?;
     for r in &reports {
@@ -134,6 +146,9 @@ fn main() -> Result<()> {
     }
     dashboard(&db);
 
-    println!("\nv3 final size: {} rows — all maintained incrementally.", db.view("v3").expect("v3").len());
+    println!(
+        "\nv3 final size: {} rows — all maintained incrementally.",
+        db.view("v3").expect("v3").len()
+    );
     Ok(())
 }

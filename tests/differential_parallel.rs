@@ -1,0 +1,270 @@
+//! Differential tests for the morsel-parallel delta executor.
+//!
+//! The parallel executor must be *bit-identical* to the serial path: for the
+//! same catalog, view, and update stream, the maintained view's stored rows
+//! must match row for row — same rows, same order — at every thread count
+//! and morsel size, and both must equal a from-scratch recompute.
+//!
+//! Each SPOJ join shape gets ≥100 randomized cases (random data, random
+//! insert/delete batches); every case runs the full cross product of
+//! thread counts {1, 2, 8} × morsel sizes {1, 7, 4096} with the parallel
+//! cutover forced to zero so even tiny inputs take the parallel path.
+
+use ojv_testkit::Rng;
+
+use ojv::core::maintain::{maintain, verify_against_recompute};
+use ojv::core::materialize::MaterializedView;
+use ojv::prelude::*;
+use ojv::rel::{Column, DataType};
+
+const TABLES: [&str; 3] = ["ta", "tb", "tc"];
+const THREADS: [usize; 3] = [1, 2, 8];
+const MORSELS: [usize; 3] = [1, 7, 4096];
+const CASES: u64 = 100;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    for name in TABLES {
+        c.create_table(
+            name,
+            vec![
+                Column::new(name, "id", DataType::Int, false),
+                Column::new(name, "jc", DataType::Int, false),
+                Column::new(name, "payload", DataType::Float, true),
+            ],
+            &["id"],
+        )
+        .unwrap();
+    }
+    c
+}
+
+fn populate(c: &mut Catalog, rng: &mut Rng) {
+    for name in TABLES {
+        let n = rng.gen_range(4i64..10);
+        let rows: Vec<Row> = (1..=n)
+            .map(|i| {
+                vec![
+                    Datum::Int(i),
+                    Datum::Int(rng.gen_range(0..4)),
+                    Datum::Float(rng.gen_range(0..10_000) as f64 / 100.0),
+                ]
+            })
+            .collect();
+        c.insert(name, rows).unwrap();
+    }
+}
+
+/// A three-table chain `ta ∘ tb ∘ tc` where every join uses `kind`.
+fn chain_view(kind: JoinKind) -> ViewDef {
+    ViewDef::new(
+        "chain",
+        ViewExpr::join(
+            kind,
+            vec![col_eq("tb", "jc", "tc", "jc")],
+            ViewExpr::join(
+                kind,
+                vec![col_eq("ta", "jc", "tb", "jc")],
+                ViewExpr::table("ta"),
+                ViewExpr::table("tb"),
+            ),
+            ViewExpr::table("tc"),
+        ),
+    )
+}
+
+fn parallel_policies() -> Vec<(String, MaintenancePolicy)> {
+    let mut out = Vec::new();
+    for threads in THREADS {
+        for morsel in MORSELS {
+            out.push((
+                format!("threads={threads} morsel={morsel}"),
+                MaintenancePolicy {
+                    parallel: ParallelSpec::threads(threads)
+                        .with_morsel_rows(morsel)
+                        .with_cutoff(0),
+                    ..Default::default()
+                },
+            ));
+        }
+    }
+    out
+}
+
+fn run_shape(kind: JoinKind) {
+    let def = chain_view(kind);
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(case * 4 + kind as u64);
+        let mut base = catalog();
+        populate(&mut base, &mut rng);
+
+        let serial = MaintenancePolicy::default();
+        assert!(
+            !serial.parallel.is_parallel_for(1 << 20),
+            "default stays serial"
+        );
+        let mut serial_cat = base.clone();
+        let mut serial_view = MaterializedView::create(&serial_cat, def.clone()).unwrap();
+        let mut variants: Vec<(String, Catalog, MaterializedView, MaintenancePolicy)> =
+            parallel_policies()
+                .into_iter()
+                .map(|(label, p)| {
+                    let c = base.clone();
+                    let v = MaterializedView::create(&c, def.clone()).unwrap();
+                    (label, c, v, p)
+                })
+                .collect();
+
+        // One insert batch and one delete batch against a random table each.
+        let mut next_id = 500i64;
+        for op in 0..2 {
+            let table = TABLES[rng.gen_range(0..TABLES.len())];
+            let (is_insert, rows, keys): (bool, Vec<Row>, Vec<Vec<Datum>>) = if op == 0 {
+                let n = rng.gen_range(1usize..5);
+                let rows = (0..n)
+                    .map(|_| {
+                        next_id += 1;
+                        vec![
+                            Datum::Int(next_id),
+                            Datum::Int(rng.gen_range(0..4)),
+                            Datum::Float(rng.gen_range(0..10_000) as f64 / 100.0),
+                        ]
+                    })
+                    .collect();
+                (true, rows, Vec::new())
+            } else {
+                let tbl = serial_cat.table(table).unwrap();
+                let n = rng.gen_range(1usize..3).min(tbl.len());
+                if n == 0 {
+                    continue;
+                }
+                let mut keys = Vec::new();
+                for _ in 0..n {
+                    let tbl = serial_cat.table(table).unwrap();
+                    let victim = tbl.rows()[rng.gen_range(0..tbl.len())][0].clone();
+                    if !keys.contains(&vec![victim.clone()]) {
+                        keys.push(vec![victim]);
+                    }
+                }
+                (false, Vec::new(), keys)
+            };
+
+            let update = if is_insert {
+                serial_cat.insert(table, rows.clone()).unwrap()
+            } else {
+                serial_cat.delete(table, &keys).unwrap()
+            };
+            maintain(&mut serial_view, &serial_cat, &update, &serial).unwrap();
+
+            for (label, c, v, p) in variants.iter_mut() {
+                let update = if is_insert {
+                    c.insert(table, rows.clone()).unwrap()
+                } else {
+                    c.delete(table, &keys).unwrap()
+                };
+                maintain(v, c, &update, p).unwrap();
+                assert_eq!(
+                    v.wide_rows(),
+                    serial_view.wide_rows(),
+                    "{kind:?} case {case} op {op}: {label} diverged from serial \
+                     (not just contents — order must match too)"
+                );
+            }
+        }
+
+        // The serial view and one representative parallel view both agree
+        // with a from-scratch recompute.
+        assert!(
+            verify_against_recompute(&serial_view, &serial_cat),
+            "{kind:?} case {case}: serial maintenance diverged from recompute"
+        );
+        let (label, c, v, _) = &variants[4]; // threads=2, morsel=7
+        assert!(
+            verify_against_recompute(v, c),
+            "{kind:?} case {case}: {label} diverged from recompute"
+        );
+    }
+}
+
+#[test]
+fn inner_chain_parallel_identical() {
+    run_shape(JoinKind::Inner);
+}
+
+#[test]
+fn left_outer_chain_parallel_identical() {
+    run_shape(JoinKind::LeftOuter);
+}
+
+#[test]
+fn right_outer_chain_parallel_identical() {
+    run_shape(JoinKind::RightOuter);
+}
+
+#[test]
+fn full_outer_chain_parallel_identical() {
+    run_shape(JoinKind::FullOuter);
+}
+
+/// Mixed-shape views: a random SPOJ tree per case, same differential check.
+#[test]
+fn mixed_shape_parallel_identical() {
+    for case in 0..CASES {
+        let mut rng = Rng::seed_from_u64(0xD1FF ^ case);
+        let mut base = catalog();
+        populate(&mut base, &mut rng);
+        let kinds = [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::RightOuter,
+            JoinKind::FullOuter,
+        ];
+        let k1 = kinds[rng.gen_range(0..4usize)];
+        let k2 = kinds[rng.gen_range(0..4usize)];
+        let def = ViewDef::new(
+            "mixed",
+            ViewExpr::join(
+                k2,
+                vec![col_eq("tb", "jc", "tc", "jc")],
+                ViewExpr::join(
+                    k1,
+                    vec![col_eq("ta", "jc", "tb", "jc")],
+                    ViewExpr::table("ta"),
+                    ViewExpr::table("tb"),
+                ),
+                ViewExpr::table("tc"),
+            ),
+        );
+
+        let serial = MaintenancePolicy::default();
+        let parallel = MaintenancePolicy {
+            parallel: ParallelSpec::threads(8).with_morsel_rows(1).with_cutoff(0),
+            ..Default::default()
+        };
+        let mut cs = base.clone();
+        let mut vs = MaterializedView::create(&cs, def.clone()).unwrap();
+        let mut cp = base;
+        let mut vp = MaterializedView::create(&cp, def).unwrap();
+
+        let rows: Vec<Row> = (0..3)
+            .map(|i| {
+                vec![
+                    Datum::Int(900 + i),
+                    Datum::Int(rng.gen_range(0..4)),
+                    Datum::Float(rng.gen_range(0..10_000) as f64 / 100.0),
+                ]
+            })
+            .collect();
+        let table = TABLES[rng.gen_range(0..TABLES.len())];
+        let up = cs.insert(table, rows.clone()).unwrap();
+        maintain(&mut vs, &cs, &up, &serial).unwrap();
+        let up = cp.insert(table, rows).unwrap();
+        maintain(&mut vp, &cp, &up, &parallel).unwrap();
+        assert_eq!(
+            vp.wide_rows(),
+            vs.wide_rows(),
+            "{k1:?}/{k2:?} case {case} diverged"
+        );
+        assert!(verify_against_recompute(&vp, &cp));
+    }
+}

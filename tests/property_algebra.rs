@@ -3,13 +3,9 @@
 //! plan-transformation equivalences (derivation, left-deep conversion,
 //! SimplifyTree) on random views and data.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ojv_testkit::{property, Rng};
 
-use ojv::algebra::{
-    derive_primary_delta, normalize_unpruned, to_left_deep, Expr, TableSet,
-};
+use ojv::algebra::{derive_primary_delta, normalize_unpruned, to_left_deep, Expr, TableSet};
 use ojv::core::analyze::analyze;
 use ojv::exec::{eval_expr, ops, DeltaInput, ExecCtx};
 use ojv::prelude::*;
@@ -34,7 +30,7 @@ fn catalog(n: usize) -> Catalog {
 }
 
 fn populate(c: &mut Catalog, n: usize, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for name in TABLES.iter().take(n) {
         let rows: Vec<Row> = (1..=6i64)
             .map(|i| vec![Datum::Int(i), Datum::Int(rng.gen_range(0..3))])
@@ -44,7 +40,7 @@ fn populate(c: &mut Catalog, n: usize, seed: u64) {
 }
 
 fn random_view(seed: u64, n: usize) -> ViewDef {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut forest: Vec<(ViewExpr, Vec<&str>)> = TABLES[..n]
         .iter()
         .map(|t| (ViewExpr::table(t), vec![*t]))
@@ -78,7 +74,7 @@ fn eval_term(
 ) -> Vec<Row> {
     let mut rows: Vec<Row> = vec![vec![Datum::Null; layout.width()]];
     for t in term.tables.iter() {
-        let table_rows = eval_expr(ctx, &Expr::Table(t));
+        let table_rows = eval_expr(ctx, &Expr::Table(t)).unwrap();
         let mut next = Vec::new();
         for r in &rows {
             for tr in &table_rows {
@@ -90,20 +86,22 @@ fn eval_term(
     ops::filter(layout, &term.pred, rows)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 40, ..ProptestConfig::default() })]
-
+property! {
     /// Theorem 1: `E = E_1 ⊕ … ⊕ E_n` — evaluating the normal form's terms
     /// and gluing with subsumption cleanup equals direct evaluation.
-    #[test]
-    fn normal_form_evaluates_to_the_view(view_seed in 0u64..400, data_seed in 0u64..400, n in 2usize..=4) {
+    #[cases = 40]
+    fn normal_form_evaluates_to_the_view(
+        view_seed in 0u64..400,
+        data_seed in 0u64..400,
+        n in 2usize..=4,
+    ) {
         let mut c = catalog(n);
         populate(&mut c, n, data_seed);
         let def = random_view(view_seed, n);
         let a = analyze(&c, &def).unwrap();
         let ctx = ExecCtx::new(&c, &a.layout);
 
-        let direct = eval_expr(&ctx, &a.expr);
+        let direct = eval_expr(&ctx, &a.expr).unwrap();
 
         let terms = normalize_unpruned(&a.expr);
         let mut all: Vec<Row> = Vec::new();
@@ -115,33 +113,40 @@ proptest! {
         let s = a.layout.wide_schema().clone();
         let ra = Relation::new(s.clone(), direct);
         let rb = Relation::new(s, glued);
-        prop_assert!(ra.bag_eq(&rb), "JDNF evaluation diverged from direct evaluation");
+        assert!(ra.bag_eq(&rb), "JDNF evaluation diverged from direct evaluation");
     }
 
     /// Net contributions are disjoint: every view row matches exactly one
     /// term's source-set pattern.
-    #[test]
-    fn each_view_row_matches_exactly_one_term(view_seed in 0u64..300, data_seed in 0u64..300) {
+    #[cases = 40]
+    fn each_view_row_matches_exactly_one_term(
+        view_seed in 0u64..300,
+        data_seed in 0u64..300,
+    ) {
         let mut c = catalog(3);
         populate(&mut c, 3, data_seed);
         let def = random_view(view_seed, 3);
         let a = analyze(&c, &def).unwrap();
         let ctx = ExecCtx::new(&c, &a.layout);
-        let rows = eval_expr(&ctx, &a.expr);
+        let rows = eval_expr(&ctx, &a.expr).unwrap();
         for row in &rows {
             let matching = a
                 .terms
                 .iter()
                 .filter(|t| a.layout.row_matches_term(t.tables, row))
                 .count();
-            prop_assert_eq!(matching, 1);
+            assert_eq!(matching, 1);
         }
     }
 
     /// The ΔV^D plan transformations preserve results: bushy derivation vs
     /// left-deep conversion give identical delta rows for a fresh insert.
-    #[test]
-    fn left_deep_conversion_preserves_delta(view_seed in 0u64..400, data_seed in 0u64..400, t_idx in 0usize..3) {
+    #[cases = 40]
+    fn left_deep_conversion_preserves_delta(
+        view_seed in 0u64..400,
+        data_seed in 0u64..400,
+        t_idx in 0usize..3,
+    ) {
         let mut c = catalog(3);
         populate(&mut c, 3, data_seed);
         let def = random_view(view_seed, 3);
@@ -167,10 +172,10 @@ proptest! {
         );
         let bushy = derive_primary_delta(&a.expr, tid);
         let left_deep = to_left_deep(bushy.clone());
-        let r1 = eval_expr(&ctx, &bushy);
-        let r2 = eval_expr(&ctx, &left_deep);
+        let r1 = eval_expr(&ctx, &bushy).unwrap();
+        let r2 = eval_expr(&ctx, &left_deep).unwrap();
         let s = a.layout.wide_schema().clone();
-        prop_assert!(
+        assert!(
             Relation::new(s.clone(), r1).bag_eq(&Relation::new(s, r2)),
             "left-deep plan diverged from bushy plan\nbushy: {bushy:?}"
         );
@@ -178,8 +183,11 @@ proptest! {
 
     /// The primary delta contains exactly the directly-affected terms' rows:
     /// every ΔV^D row's source set includes the updated table.
-    #[test]
-    fn primary_delta_rows_contain_updated_table(view_seed in 0u64..200, data_seed in 0u64..200) {
+    #[cases = 40]
+    fn primary_delta_rows_contain_updated_table(
+        view_seed in 0u64..200,
+        data_seed in 0u64..200,
+    ) {
         let mut c = catalog(3);
         populate(&mut c, 3, data_seed);
         let def = random_view(view_seed, 3);
@@ -192,10 +200,10 @@ proptest! {
         c.insert("tb", delta_rel.rows().to_vec()).unwrap();
         let ctx = ExecCtx::with_delta(&c, &a.layout, DeltaInput { table: tid, rows: &delta_rel });
         let plan = to_left_deep(derive_primary_delta(&a.expr, tid));
-        for row in eval_expr(&ctx, &plan) {
-            prop_assert!(!a.layout.is_null_on(tid, &row));
+        for row in eval_expr(&ctx, &plan).unwrap() {
+            assert!(!a.layout.is_null_on(tid, &row));
             // And the row really is the delta row, not an existing one.
-            prop_assert_eq!(row[a.layout.slot(tid).offset].clone(), Datum::Int(55));
+            assert_eq!(row[a.layout.slot(tid).offset].clone(), Datum::Int(55));
         }
     }
 }

@@ -2,9 +2,7 @@
 //! maintained through randomized update sequences, must always equal a full
 //! recompute — under every maintenance policy and for the GK baseline.
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ojv_testkit::{property, strategy, vec_of, Rng, Strategy};
 
 use ojv::core::baseline::{maintain_gk, maintain_recompute};
 use ojv::core::maintain::{maintain, verify_against_recompute};
@@ -40,7 +38,7 @@ fn catalog(n_tables: usize) -> Catalog {
 /// conjunct; join kinds are uniformly random SPOJ kinds; a top-level
 /// selection is added sometimes.
 fn random_view(seed: u64, n_tables: usize) -> ViewDef {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut names: Vec<&str> = TABLES[..n_tables].to_vec();
     // Random permutation.
     for i in (1..names.len()).rev() {
@@ -83,7 +81,7 @@ fn random_view(seed: u64, n_tables: usize) -> ViewDef {
 
 /// Populate each table with `rows_per_table` rows (ids 1.., jc in 0..4).
 fn populate(c: &mut Catalog, n_tables: usize, rows_per_table: usize, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0xfeed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0xfeed);
     for name in TABLES.iter().take(n_tables) {
         let rows: Vec<Row> = (1..=rows_per_table as i64)
             .map(|i| {
@@ -106,10 +104,40 @@ enum Op {
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0usize..4, 0i64..4).prop_map(|(table, jc)| Op::Insert { table, jc }),
-        (0usize..4).prop_map(|table| Op::Delete { table }),
-    ]
+    strategy(
+        |rng: &mut Rng| {
+            if rng.gen_bool(0.5) {
+                Op::Insert {
+                    table: rng.gen_range(0usize..4),
+                    jc: rng.gen_range(0i64..4),
+                }
+            } else {
+                Op::Delete {
+                    table: rng.gen_range(0usize..4),
+                }
+            }
+        },
+        |op: &Op| match op {
+            Op::Insert { table, jc } => {
+                let mut out = Vec::new();
+                if *table > 0 {
+                    out.push(Op::Insert {
+                        table: table - 1,
+                        jc: *jc,
+                    });
+                }
+                if *jc > 0 {
+                    out.push(Op::Insert {
+                        table: *table,
+                        jc: jc - 1,
+                    });
+                }
+                out
+            }
+            Op::Delete { table } if *table > 0 => vec![Op::Delete { table: table - 1 }],
+            Op::Delete { .. } => Vec::new(),
+        },
+    )
 }
 
 fn policies() -> Vec<MaintenancePolicy> {
@@ -130,23 +158,24 @@ fn policies() -> Vec<MaintenancePolicy> {
             combine_secondary: true,
             ..Default::default()
         },
+        // Morsel-parallel executor, forced past the cutoff: results must be
+        // bit-identical to the serial policies above.
+        MaintenancePolicy {
+            parallel: ParallelSpec::threads(2).with_morsel_rows(7).with_cutoff(0),
+            ..Default::default()
+        },
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        .. ProptestConfig::default()
-    })]
-
+property! {
     /// Incremental maintenance ≡ recompute for random views, random data,
     /// random update sequences, every policy, and the GK baseline.
-    #[test]
+    #[cases = 48]
     fn maintenance_equals_recompute(
         view_seed in 0u64..500,
         data_seed in 0u64..500,
         n_tables in 2usize..=4,
-        ops in proptest::collection::vec(op_strategy(), 1..8),
+        ops in vec_of(op_strategy(), 1..8),
     ) {
         let mut base = catalog(n_tables);
         populate(&mut base, n_tables, 6, data_seed);
@@ -166,7 +195,7 @@ proptest! {
         }
 
         let mut next_id = 1000i64;
-        let mut rng = StdRng::seed_from_u64(view_seed ^ data_seed);
+        let mut rng = Rng::seed_from_u64(view_seed ^ data_seed);
         for op in &ops {
             // Resolve the op into a concrete update (same for all variants).
             let (table, is_insert, row, key) = match op {
@@ -207,10 +236,10 @@ proptest! {
                         maintain(v, c, &update, p).unwrap();
                     }
                     None => {
-                        maintain_gk(v, c, &update).unwrap();
+                        maintain_gk(v, c, &update, &MaintenancePolicy::paper()).unwrap();
                     }
                 }
-                prop_assert!(
+                assert!(
                     verify_against_recompute(v, c),
                     "{label} diverged on view_seed={view_seed} data_seed={data_seed} op={op:?}"
                 );
@@ -220,7 +249,7 @@ proptest! {
 
     /// The recompute "baseline" maintains correctly too (it is the oracle
     /// used elsewhere, so make sure it converges on random input).
-    #[test]
+    #[cases = 48]
     fn recompute_baseline_self_consistent(
         view_seed in 0u64..200,
         data_seed in 0u64..200,
@@ -232,12 +261,12 @@ proptest! {
         let up = c
             .insert("ta", vec![vec![Datum::Int(999), Datum::Int(1), Datum::Null]])
             .unwrap();
-        maintain_recompute(&mut v, &c, &up).unwrap();
-        prop_assert!(verify_against_recompute(&v, &c));
+        maintain_recompute(&mut v, &c, &up, &MaintenancePolicy::paper()).unwrap();
+        assert!(verify_against_recompute(&v, &c));
     }
 
     /// Term cardinalities always partition the view, for any random view.
-    #[test]
+    #[cases = 48]
     fn terms_partition_random_views(
         view_seed in 0u64..300,
         data_seed in 0u64..300,
@@ -247,6 +276,6 @@ proptest! {
         let def = random_view(view_seed, 4);
         let v = MaterializedView::create(&c, def).unwrap();
         let total: usize = v.term_cardinalities().iter().map(|(_, n)| n).sum();
-        prop_assert_eq!(total, v.len());
+        assert_eq!(total, v.len());
     }
 }

@@ -2,9 +2,7 @@
 //! definition to SQL and parsing it back must produce a semantically
 //! identical view (same normal form, same materialized contents).
 
-use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ojv_testkit::{property, Rng};
 
 use ojv::core::analyze::analyze;
 use ojv::core::parser::parse_view;
@@ -31,7 +29,7 @@ fn catalog(n: usize) -> Catalog {
 }
 
 fn populate(c: &mut Catalog, n: usize, seed: u64) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     for name in TABLES.iter().take(n) {
         let rows: Vec<Row> = (1..=6i64)
             .map(|i| {
@@ -49,7 +47,7 @@ fn populate(c: &mut Catalog, n: usize, seed: u64) {
 /// Random SPOJ tree with a mix of atom shapes (equijoins, constants,
 /// BETWEEN over dates) and occasional selections over scans.
 fn random_view(seed: u64, n: usize) -> ViewDef {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut forest: Vec<(ViewExpr, Vec<&str>)> = TABLES[..n]
         .iter()
         .map(|t| {
@@ -98,10 +96,8 @@ fn random_view(seed: u64, n: usize) -> ViewDef {
     ViewDef::new("rt_view", expr)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 60, ..ProptestConfig::default() })]
-
-    #[test]
+property! {
+    #[cases = 60]
     fn sql_roundtrip_preserves_semantics(
         view_seed in 0u64..1000,
         data_seed in 0u64..1000,
@@ -117,9 +113,9 @@ proptest! {
         // Same normal form.
         let a = analyze(&c, &original).unwrap();
         let b = analyze(&c, &reparsed).unwrap();
-        prop_assert_eq!(a.terms.len(), b.terms.len(), "sql: {}", sql);
+        assert_eq!(a.terms.len(), b.terms.len(), "sql: {}", sql);
         for (x, y) in a.terms.iter().zip(&b.terms) {
-            prop_assert_eq!(x.tables, y.tables);
+            assert_eq!(x.tables, y.tables);
         }
 
         // Same materialized contents.
@@ -129,17 +125,17 @@ proptest! {
         let mut rb: Vec<Row> = vb.wide_rows().to_vec();
         ra.sort();
         rb.sort();
-        prop_assert_eq!(ra, rb, "sql: {}", sql);
+        assert_eq!(ra, rb, "sql: {}", sql);
     }
 
     /// The rendered SQL for a projected view keeps the projection.
-    #[test]
+    #[cases = 60]
     fn projection_roundtrip(view_seed in 0u64..300) {
         let c = catalog(2);
         let def = random_view(view_seed, 2).with_projection(vec![("ta", "id"), ("tb", "jc")]);
         let sql = def.to_sql();
         let reparsed = parse_view(&c, "rt_view", &sql).unwrap();
-        prop_assert_eq!(
+        assert_eq!(
             reparsed.projection().map(<[(String, String)]>::len),
             Some(2),
             "sql: {}",
@@ -154,30 +150,27 @@ fn paper_views_roundtrip() {
     // the join predicate here, but V2 has real scan selections).
     let mut c = ojv::tpch::create_tpch_catalog().unwrap();
     ojv::tpch::TpchGen::new(0.001, 1).populate(&mut c).unwrap();
-    for def in [
-        ViewDef::new(
-            "v2",
+    let def = ViewDef::new(
+        "v2",
+        ViewExpr::full_outer(
+            vec![col_eq("customer", "c_custkey", "orders", "o_custkey")],
+            ViewExpr::select(
+                vec![col_cmp("customer", "c_acctbal", CmpOp::Ge, 0.0)],
+                ViewExpr::table("customer"),
+            ),
             ViewExpr::full_outer(
-                vec![col_eq("customer", "c_custkey", "orders", "o_custkey")],
+                vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
                 ViewExpr::select(
-                    vec![col_cmp("customer", "c_acctbal", CmpOp::Ge, 0.0)],
-                    ViewExpr::table("customer"),
+                    vec![col_cmp("orders", "o_totalprice", CmpOp::Ge, 1000.0)],
+                    ViewExpr::table("orders"),
                 ),
-                ViewExpr::full_outer(
-                    vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
-                    ViewExpr::select(
-                        vec![col_cmp("orders", "o_totalprice", CmpOp::Ge, 1000.0)],
-                        ViewExpr::table("orders"),
-                    ),
-                    ViewExpr::table("lineitem"),
-                ),
+                ViewExpr::table("lineitem"),
             ),
         ),
-    ] {
-        let sql = def.to_sql();
-        let reparsed = parse_view(&c, def.name(), &sql).expect("paper view parses back");
-        let a = analyze(&c, &def).unwrap();
-        let b = analyze(&c, &reparsed).unwrap();
-        assert_eq!(a.terms.len(), b.terms.len(), "sql: {sql}");
-    }
+    );
+    let sql = def.to_sql();
+    let reparsed = parse_view(&c, def.name(), &sql).expect("paper view parses back");
+    let a = analyze(&c, &def).unwrap();
+    let b = analyze(&c, &reparsed).unwrap();
+    assert_eq!(a.terms.len(), b.terms.len(), "sql: {sql}");
 }

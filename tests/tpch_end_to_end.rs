@@ -83,14 +83,20 @@ fn v3_order_refresh_rf1_rf2() {
     // Orders updates never affect V3 (FK between lineitem and orders).
     assert!(reports.is_empty());
     db.insert("lineitem", lines).unwrap();
-    assert!(verify_against_recompute(db.view("v3").unwrap(), db.catalog()));
+    assert!(verify_against_recompute(
+        db.view("v3").unwrap(),
+        db.catalog()
+    ));
 
     // RF2: delete some base orders with their lineitems.
     let (okeys, lkeys) = gen.order_delete_batch(25, 0);
     db.delete("lineitem", &lkeys).unwrap();
     let reports = db.delete("orders", &okeys).unwrap();
     assert!(reports.is_empty());
-    assert!(verify_against_recompute(db.view("v3").unwrap(), db.catalog()));
+    assert!(verify_against_recompute(
+        db.view("v3").unwrap(),
+        db.catalog()
+    ));
 }
 
 #[test]
@@ -114,13 +120,19 @@ fn v3_customer_fast_path() {
     assert_eq!(reports[0].primary_rows, 1);
     assert_eq!(reports[0].secondary_rows, 0);
     assert_eq!(db.view("v3").unwrap().len(), before + 1);
-    assert!(verify_against_recompute(db.view("v3").unwrap(), db.catalog()));
+    assert!(verify_against_recompute(
+        db.view("v3").unwrap(),
+        db.catalog()
+    ));
 
     // Deleting the (childless) customer removes it again.
     let reports = db.delete("customer", &[vec![Datum::Int(new_key)]]).unwrap();
     assert_eq!(reports[0].primary_rows, 1);
     assert_eq!(db.view("v3").unwrap().len(), before);
-    assert!(verify_against_recompute(db.view("v3").unwrap(), db.catalog()));
+    assert!(verify_against_recompute(
+        db.view("v3").unwrap(),
+        db.catalog()
+    ));
 }
 
 #[test]
@@ -146,8 +158,8 @@ fn aggregated_revenue_rollup_over_v3() {
     db.create_agg_view(agg.clone()).unwrap();
 
     let assert_agg_fresh = |db: &Database| {
-        let fresh = ojv::core::agg_view::MaterializedAggView::create(db.catalog(), agg.clone())
-            .unwrap();
+        let fresh =
+            ojv::core::agg_view::MaterializedAggView::create(db.catalog(), agg.clone()).unwrap();
         assert!(db
             .agg_view("rev_by_customer")
             .unwrap()
@@ -179,7 +191,7 @@ fn gk_baseline_agrees_on_tpch() {
     let rows = gen.lineitem_insert_batch(100, 0);
     let up = catalog.insert("lineitem", rows).unwrap();
     ojv::core::maintain::maintain(&mut ours, &catalog, &up, &MaintenancePolicy::paper()).unwrap();
-    ojv::core::baseline::maintain_gk(&mut gk, &catalog, &up).unwrap();
+    ojv::core::baseline::maintain_gk(&mut gk, &catalog, &up, &MaintenancePolicy::paper()).unwrap();
 
     let mut a: Vec<Row> = ours.wide_rows().to_vec();
     let mut b: Vec<Row> = gk.wide_rows().to_vec();
