@@ -22,4 +22,7 @@ cargo test --offline --workspace -q
 echo "==> bench targets compile (criterion-lite shim)"
 cargo check --offline -p ojv-bench --benches --features criterion
 
+echo "==> cargo bench --no-run (bench binaries link)"
+cargo bench --offline --no-run -p ojv-bench --features criterion
+
 echo "All checks passed."

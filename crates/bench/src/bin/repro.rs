@@ -13,11 +13,18 @@
 //! * `graphs` — the subsumption and maintenance graphs of Figures 1 and 4,
 //! * `all` — everything above.
 
+use std::fmt::Write as _;
 use std::time::Instant;
 
-use ojv_bench::harness::{run_fast_paths, run_fig5, run_table1, Config, Env};
+use ojv_bench::harness::{run_fast_paths, run_fig5, run_table1, Config, Env, Measurement};
 use ojv_bench::report::{render_fig5, render_rows, render_table1};
 use ojv_bench::views::{v2_def, v3_def};
+
+// Count heap allocations so the emitted per-operator stats include real
+// allocation numbers, not zeros. Two relaxed atomic adds per allocation —
+// noise next to the allocations themselves.
+#[global_allocator]
+static ALLOC: ojv_rel::CountingAlloc = ojv_rel::CountingAlloc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -61,10 +68,11 @@ fn main() {
         env.gen.lineitem_count()
     );
 
+    let mut json_panels: Vec<(&str, Vec<Measurement>)> = Vec::new();
     match command.as_str() {
         "table1" => table1(&env, &cfg),
-        "fig5a" => fig5(&env, &cfg, false),
-        "fig5b" => fig5(&env, &cfg, true),
+        "fig5a" => json_panels.push(("fig5a_insert", fig5(&env, &cfg, false))),
+        "fig5b" => json_panels.push(("fig5b_delete", fig5(&env, &cfg, true))),
         "example1" => example1(&env),
         "graphs" => graphs(&env),
         "sql" => sql(&env),
@@ -73,14 +81,81 @@ fn main() {
             sql(&env);
             example1(&env);
             table1(&env, &cfg);
-            fig5(&env, &cfg, false);
-            fig5(&env, &cfg, true);
+            json_panels.push(("fig5a_insert", fig5(&env, &cfg, false)));
+            json_panels.push(("fig5b_delete", fig5(&env, &cfg, true)));
         }
         other => {
             eprintln!("unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|all");
             std::process::exit(2);
         }
     }
+    if !json_panels.is_empty() {
+        let path = "BENCH_pr2.json";
+        match std::fs::write(path, render_json(&cfg, &json_panels)) {
+            Ok(()) => println!("machine-readable results written to {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}
+
+/// Hand-rolled JSON (the workspace has no serde): per measured point the
+/// wall-clock, row counts, and per-operator executor counters including
+/// heap allocations from the counting allocator above.
+fn render_json(cfg: &Config, panels: &[(&str, Vec<Measurement>)]) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{ \"sf\": {}, \"seed\": {}, \"repetitions\": {} }},",
+        cfg.sf, cfg.seed, cfg.repetitions
+    );
+    let _ = writeln!(s, "  \"panels\": [");
+    for (pi, (panel, ms)) in panels.iter().enumerate() {
+        let _ = writeln!(s, "    {{ \"panel\": \"{panel}\", \"measurements\": [");
+        for (mi, m) in ms.iter().enumerate() {
+            let _ = write!(
+                s,
+                "      {{ \"system\": \"{}\", \"batch\": {}, \"time_ns\": {}, \
+                 \"primary_rows\": {}, \"secondary_rows\": {}, \"operators\": {{",
+                m.system.label(),
+                m.batch,
+                m.time.as_nanos(),
+                m.primary_rows,
+                m.secondary_rows,
+            );
+            let ops = [
+                ("filter", &m.exec.filter),
+                ("join_build", &m.exec.join_build),
+                ("join_probe", &m.exec.join_probe),
+                ("index_join", &m.exec.index_join),
+                ("dedup", &m.exec.dedup),
+                ("subsume", &m.exec.subsume),
+            ];
+            for (oi, (name, op)) in ops.iter().enumerate() {
+                let _ = write!(
+                    s,
+                    " \"{name}\": {{ \"rows_in\": {}, \"rows_out\": {}, \"morsels\": {}, \
+                     \"time_ns\": {}, \"allocs\": {}, \"alloc_bytes\": {} }}{}",
+                    op.rows_in,
+                    op.rows_out,
+                    op.morsels,
+                    op.time_ns,
+                    op.allocs,
+                    op.alloc_bytes,
+                    if oi + 1 < ops.len() { "," } else { "" },
+                );
+            }
+            let _ = writeln!(s, " }} }}{}", if mi + 1 < ms.len() { "," } else { "" });
+        }
+        let _ = writeln!(
+            s,
+            "    ] }}{}",
+            if pi + 1 < panels.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
 }
 
 fn table1(env: &Env, cfg: &Config) {
@@ -89,7 +164,7 @@ fn table1(env: &Env, cfg: &Config) {
     println!("{}", render_table1(&t));
 }
 
-fn fig5(env: &Env, cfg: &Config, deletes: bool) {
+fn fig5(env: &Env, cfg: &Config, deletes: bool) -> Vec<Measurement> {
     let (panel, verb) = if deletes {
         (
             "Figure 5(b). Maintenance costs for V3 — deletion",
@@ -105,6 +180,7 @@ fn fig5(env: &Env, cfg: &Config, deletes: bool) {
     println!("{}", render_fig5(panel, &ms));
     println!("{verb} rows touched per system/batch:");
     println!("{}", render_rows(&ms));
+    ms
 }
 
 fn example1(env: &Env) {

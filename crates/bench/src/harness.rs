@@ -116,6 +116,10 @@ pub struct Measurement {
     pub time: Duration,
     pub primary_rows: usize,
     pub secondary_rows: usize,
+    /// Per-operator executor counters for the measured run (rows, morsels,
+    /// wall-clock, heap allocations when the counting allocator is
+    /// installed).
+    pub exec: ojv_exec::ExecStatsSnapshot,
 }
 
 /// Maintain `view` for one update with the given system's algorithm and the
@@ -164,6 +168,7 @@ pub fn run_insert(env: &Env, cfg: &Config, system: System, batch: usize, rep: u6
         time,
         primary_rows: report.primary_rows,
         secondary_rows: report.secondary_rows,
+        exec: report.exec,
     }
 }
 
@@ -184,6 +189,7 @@ pub fn run_delete(env: &Env, cfg: &Config, system: System, batch: usize, rep: u6
         time,
         primary_rows: report.primary_rows,
         secondary_rows: report.secondary_rows,
+        exec: report.exec,
     }
 }
 

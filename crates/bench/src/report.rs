@@ -94,6 +94,7 @@ mod tests {
             time: Duration::from_millis(ms),
             primary_rows: 10,
             secondary_rows: 2,
+            exec: Default::default(),
         }
     }
 

@@ -12,11 +12,9 @@
 //! As in SQL Server's indexed views, the maintainable aggregate set is
 //! `COUNT(*)`, `COUNT(col)`, and `SUM(col)`.
 
-use std::collections::HashMap;
-
 use ojv_algebra::TableId;
 use ojv_exec::{eval_expr, DeltaInput, ExecCtx};
-use ojv_rel::{key_of, Column, DataType, Datum, ExactFloatSum, Relation, Row, Schema};
+use ojv_rel::{key_of, Column, DataType, Datum, ExactFloatSum, FxHashMap, Relation, Row, Schema};
 use ojv_storage::{Catalog, Update, UpdateOp};
 
 use crate::analyze::{analyze, ViewAnalysis};
@@ -110,7 +108,7 @@ pub struct MaterializedAggView {
     agg_cols: Vec<AggCol>,
     /// Tables that are null-extended in at least one term (§3.3).
     notnull_tables: Vec<TableId>,
-    groups: HashMap<Vec<Datum>, GroupState>,
+    groups: FxHashMap<Vec<Datum>, GroupState>,
 }
 
 impl MaterializedAggView {
@@ -184,7 +182,7 @@ impl MaterializedAggView {
             group_cols,
             agg_cols,
             notnull_tables,
-            groups: HashMap::new(),
+            groups: FxHashMap::default(),
         };
         let ctx = ExecCtx::new(catalog, &view.analysis.layout);
         let rows = eval_expr(&ctx, &view.analysis.expr)?;

@@ -12,14 +12,13 @@
 //!   (empty) deltas are computed for every term of the *unpruned* normal
 //!   form.
 
-use std::collections::HashSet;
 use std::time::Instant;
 
 use ojv_algebra::{
     normalize_unpruned, Atom, Expr, Pred, SubsumptionGraph, TableId, TableSet, Term,
 };
 use ojv_exec::{eval_expr, DeltaInput, ExecCtx};
-use ojv_rel::{key_of, Datum, Row};
+use ojv_rel::{key_of, Datum, FxHashSet, Row};
 use ojv_storage::{Catalog, Update, UpdateOp};
 
 use crate::error::Result;
@@ -48,7 +47,7 @@ pub fn maintain_recompute(
 
     let start = Instant::now();
     let name = view.name().to_string();
-    let fresh_keys: HashSet<Vec<Datum>> =
+    let fresh_keys: FxHashSet<Vec<Datum>> =
         fresh.iter().map(|r| view.store().key_of_row(r)).collect();
     let stale: Vec<Vec<Datum>> = view
         .wide_rows()
@@ -125,7 +124,7 @@ pub fn maintain_gk(
     let mut primary_rows = 0usize;
     for &i in &direct {
         let ti_keys = layout.term_key_cols(terms[i].tables);
-        let mut covered: HashSet<Vec<Datum>> = HashSet::new();
+        let mut covered: FxHashSet<Vec<Datum>> = FxHashSet::default();
         for &p in graph.parents(i) {
             if let Some(rows) = &term_deltas[p] {
                 for r in rows {
@@ -180,7 +179,7 @@ pub fn maintain_gk(
 
         // Candidates: key projections of the direct parents' deltas.
         let mut candidates: Vec<Row> = Vec::new();
-        let mut seen: HashSet<Vec<Datum>> = HashSet::new();
+        let mut seen: FxHashSet<Vec<Datum>> = FxHashSet::default();
         for &p in &pard {
             for row in term_deltas[p].as_ref().expect("parents are direct") {
                 let key = key_of(row, &ti_keys);
@@ -198,7 +197,7 @@ pub fn maintain_gk(
         // Coverage check against every parent's extent, computed from base
         // tables: the OLD state for insertions ("was it an orphan?"), the
         // NEW state for deletions ("is it an orphan now?").
-        let mut covered: HashSet<Vec<Datum>> = HashSet::new();
+        let mut covered: FxHashSet<Vec<Datum>> = FxHashSet::default();
         for &p in graph.parents(i) {
             let leaf = if terms[p].tables.contains(t) {
                 match update.op {

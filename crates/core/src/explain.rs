@@ -177,8 +177,10 @@ fn walk(
 
 /// Render the per-operator executor counters a maintenance run collected
 /// (see [`crate::maintain::MaintenanceReport::exec`]) — actual rows in/out,
-/// morsel counts, and wall-clock per operator, the measured counterpart to
-/// [`explain_plan`]'s estimates. Operators that never ran are omitted.
+/// morsel counts, wall-clock, and heap allocations per operator, the
+/// measured counterpart to [`explain_plan`]'s estimates. Operators that
+/// never ran are omitted; the allocation columns read 0 unless the process
+/// installed the counting allocator (`ojv_rel::CountingAlloc`).
 pub fn render_exec_stats(stats: &ExecStatsSnapshot) -> String {
     let ops = [
         ("filter", &stats.filter),
@@ -196,11 +198,13 @@ pub fn render_exec_stats(stats: &ExecStatsSnapshot) -> String {
         }
         any = true;
         out.push_str(&format!(
-            "  {name:<11} {:>8} rows in  {:>8} rows out  {:>5} morsels  {:>9.3} ms\n",
+            "  {name:<11} {:>8} rows in  {:>8} rows out  {:>5} morsels  {:>9.3} ms  {:>7} allocs  {:>10} B\n",
             op.rows_in,
             op.rows_out,
             op.morsels,
             op.time_ns as f64 / 1e6,
+            op.allocs,
+            op.alloc_bytes,
         ));
     }
     if !any {

@@ -1,8 +1,6 @@
 //! Materialized view storage and initial materialization.
 
-use std::collections::HashMap;
-
-use ojv_rel::{key_of, Datum, Relation, Row};
+use ojv_rel::{key_of, Datum, FxHashMap, Relation, Row};
 use ojv_storage::Catalog;
 
 use crate::analyze::{analyze, ViewAnalysis};
@@ -19,7 +17,7 @@ use crate::view_def::ViewDef;
 #[derive(Debug, Clone)]
 struct KeyCountIndex {
     cols: Vec<usize>,
-    counts: HashMap<Vec<Datum>, usize>,
+    counts: FxHashMap<Vec<Datum>, usize>,
 }
 
 impl KeyCountIndex {
@@ -63,7 +61,9 @@ impl KeyCountIndex {
 pub struct ViewStore {
     key_cols: Vec<usize>,
     rows: Vec<Row>,
-    index: HashMap<Vec<Datum>, usize>,
+    /// view key -> position in `rows`. Probes borrow (`&[Datum]`) over the
+    /// deterministic fx hasher — no owned key is built on the lookup path.
+    index: FxHashMap<Vec<Datum>, usize>,
     secondary: Vec<KeyCountIndex>,
 }
 
@@ -72,7 +72,7 @@ impl ViewStore {
         ViewStore {
             key_cols,
             rows: Vec::new(),
-            index: HashMap::new(),
+            index: FxHashMap::default(),
             secondary: Vec::new(),
         }
     }
@@ -86,7 +86,7 @@ impl ViewStore {
         }
         let mut idx = KeyCountIndex {
             cols,
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
         };
         for row in &self.rows {
             idx.add(row);
@@ -125,6 +125,11 @@ impl ViewStore {
 
     pub fn contains(&self, key: &[Datum]) -> bool {
         self.index.contains_key(key)
+    }
+
+    /// Look up a stored row by view key without building an owned key.
+    pub fn get_by_key(&self, key: &[Datum]) -> Option<&Row> {
+        self.index.get(key).map(|&pos| &self.rows[pos])
     }
 
     /// Insert a wide row. A duplicate view key indicates a maintenance bug
@@ -257,15 +262,19 @@ impl MaterializedView {
     /// Count stored rows per term (source-set pattern) — the paper's
     /// Table 1 "Cardinality" column.
     pub fn term_cardinalities(&self) -> Vec<(ojv_algebra::TableSet, usize)> {
-        let mut counts: Vec<(ojv_algebra::TableSet, usize)> =
-            self.analysis.terms.iter().map(|t| (t.tables, 0)).collect();
+        // Count by source-set first — O(rows), not O(rows × terms) — then
+        // read the tally back out in term order.
+        let mut by_set: FxHashMap<ojv_algebra::TableSet, usize> = FxHashMap::default();
         for row in self.store.rows() {
-            let sources = self.analysis.layout.sources_of_row(row);
-            if let Some(e) = counts.iter_mut().find(|(s, _)| *s == sources) {
-                e.1 += 1;
-            }
+            *by_set
+                .entry(self.analysis.layout.sources_of_row(row))
+                .or_insert(0) += 1;
         }
-        counts
+        self.analysis
+            .terms
+            .iter()
+            .map(|t| (t.tables, by_set.get(&t.tables).copied().unwrap_or(0)))
+            .collect()
     }
 }
 

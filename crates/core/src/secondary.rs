@@ -15,11 +15,9 @@
 //!   `E'_{ip}`, built from base tables and the pre/post state of the updated
 //!   table.
 
-use std::collections::HashSet;
-
 use ojv_algebra::{Expr, JoinKind, Pred, TableId, TableSet, Term};
 use ojv_exec::{join_rows_expr, ExecCtx, ExecResult, ViewLayout};
-use ojv_rel::{key_of, Datum, Row};
+use ojv_rel::{key_eq, key_of, Datum, FxHashSet, Row};
 
 use crate::maintain::IndirectTermView;
 use crate::materialize::ViewStore;
@@ -77,7 +75,7 @@ pub fn from_view_insert(
 ) -> Vec<Vec<Datum>> {
     let ti = ctx.terms[ind.term].tables;
     let pard_sources = ctx.parent_sources(ind.pard);
-    let mut probes: HashSet<Vec<Datum>> = HashSet::new();
+    let mut probes: FxHashSet<Vec<Datum>> = FxHashSet::default();
     let mut out = Vec::new();
     for row in ctx.rows_matching_parents(primary, &pard_sources) {
         let orphan_pattern = ctx.project_to(ti, row);
@@ -107,7 +105,7 @@ pub fn from_view_delete(
     // Candidate orphans: distinct T_i projections of delta rows that were
     // deleted from some directly affected parent.
     let mut candidates: Vec<Row> = Vec::new();
-    let mut seen: HashSet<Vec<Datum>> = HashSet::new();
+    let mut seen: FxHashSet<Vec<Datum>> = FxHashSet::default();
     for row in ctx.rows_matching_parents(primary, &pard_sources) {
         let key = key_of(row, &ti_keys);
         if seen.insert(key) {
@@ -135,9 +133,9 @@ pub fn from_view_delete(
             })
             .collect();
     }
-    let candidate_keys: HashSet<Vec<Datum>> =
+    let candidate_keys: FxHashSet<Vec<Datum>> =
         candidates.iter().map(|r| key_of(r, &ti_keys)).collect();
-    let mut covered: HashSet<Vec<Datum>> = HashSet::new();
+    let mut covered: FxHashSet<Vec<Datum>> = FxHashSet::default();
     for row in store.rows() {
         let key = key_of(row, &ti_keys);
         if !key.iter().any(Datum::is_null) && candidate_keys.contains(&key) {
@@ -171,7 +169,7 @@ pub fn from_view_combined(
         ti: TableSet,
         ti_keys: Vec<usize>,
         pard_sources: Vec<TableSet>,
-        seen: HashSet<Vec<Datum>>,
+        seen: FxHashSet<Vec<Datum>>,
         candidates: Vec<Row>,
     }
     let mut states: Vec<TermState> = inds
@@ -182,7 +180,7 @@ pub fn from_view_combined(
                 ti,
                 ti_keys: ctx.layout.term_key_cols(ti),
                 pard_sources: ctx.parent_sources(ind.pard),
-                seen: HashSet::new(),
+                seen: FxHashSet::default(),
                 candidates: Vec::new(),
             }
         })
@@ -223,7 +221,7 @@ pub fn from_view_combined(
                 insert_rows: Vec::new(),
             });
         } else {
-            let covered_by_pending: HashSet<Vec<Datum>> = pending_inserts
+            let covered_by_pending: FxHashSet<Vec<Datum>> = pending_inserts
                 .iter()
                 .map(|r| key_of(r, &st.ti_keys))
                 .filter(|k| !k.iter().any(Datum::is_null))
@@ -239,7 +237,7 @@ pub fn from_view_combined(
                     match store.count_by_key(&st.ti_keys, &key) {
                         Some(n) => n == 0,
                         // No index: fall back to a scan.
-                        None => !store.rows().iter().any(|r| key_of(r, &st.ti_keys) == key),
+                        None => !store.rows().iter().any(|r| key_eq(r, &st.ti_keys, &key)),
                     }
                 })
                 .collect();
@@ -291,7 +289,7 @@ pub fn from_base(
         .fold(TableSet::empty(), TableSet::union);
 
     let mut candidates: Vec<Row> = Vec::new();
-    let mut seen: HashSet<Vec<Datum>> = HashSet::new();
+    let mut seen: FxHashSet<Vec<Datum>> = FxHashSet::default();
     for row in primary {
         let sources = ctx.layout.sources_of_row(row);
         if !ti.is_subset_of(sources) || !sources.intersect(unchanged_parent_tables).is_empty() {
@@ -396,7 +394,7 @@ fn anti_join_rest_expression(
         atoms.is_empty() || rows.is_empty(),
         "unplaced parent-term atoms"
     );
-    let matched: HashSet<Vec<Datum>> = rows.iter().map(|r| key_of(r, &ti_keys)).collect();
+    let matched: FxHashSet<Vec<Datum>> = rows.iter().map(|r| key_of(r, &ti_keys)).collect();
     Ok(candidates
         .into_iter()
         .filter(|c| !matched.contains(&key_of(c, &ti_keys)))

@@ -129,8 +129,15 @@ impl Bencher<'_> {
         for _ in 0..self.config.sample_size {
             let input = setup();
             let start = Instant::now();
-            black_box(routine(input));
+            let output = black_box(routine(input));
+            // Stop the clock *before* dropping the routine's output —
+            // criterion's documented `iter_batched` semantics. Benches
+            // return their fixtures (catalog clones, views) precisely so
+            // teardown stays out of the measurement; timing the drop buries
+            // a millisecond-scale routine under the deallocation of a
+            // hundred-megabyte fixture.
             self.samples.push(start.elapsed());
+            drop(output);
         }
     }
 }

@@ -36,6 +36,104 @@ pub fn eval_pred(layout: &ViewLayout, pred: &Pred, row: &[Datum]) -> bool {
     pred.atoms().iter().all(|a| eval_atom(layout, a, row))
 }
 
+/// Evaluate a conjunction on a *virtual* merged row made of two wide rows:
+/// columns of tables in `right_sources` resolve against `right`, everything
+/// else against `left`. Join probe loops use this to reject a candidate
+/// before materializing the merged row — the merge (a slot copy with
+/// possible string clones) only happens for rows that survive.
+pub fn eval_pred_merged(
+    layout: &ViewLayout,
+    pred: &Pred,
+    left: &[Datum],
+    right: &[Datum],
+    right_sources: ojv_algebra::TableSet,
+) -> bool {
+    let get = |c: &ojv_algebra::ColRef| {
+        let row = if right_sources.contains(c.table) {
+            right
+        } else {
+            left
+        };
+        &row[layout.global(*c)]
+    };
+    pred.atoms().iter().all(|a| eval_atom_with(a, get))
+}
+
+/// [`eval_pred_merged`] where the right side is a *narrow* base-table row
+/// occupying the layout slot `[offset, offset + right.len())` — the shape
+/// index-nested-loop and narrow-build joins probe.
+pub fn eval_pred_split(
+    layout: &ViewLayout,
+    pred: &Pred,
+    left: &[Datum],
+    right: &[Datum],
+    offset: usize,
+) -> bool {
+    let get = |c: &ojv_algebra::ColRef| {
+        let g = layout.global(*c);
+        match g.checked_sub(offset) {
+            Some(local) if local < right.len() => &right[local],
+            _ => &left[g],
+        }
+    };
+    pred.atoms().iter().all(|a| eval_atom_with(a, get))
+}
+
+/// Evaluate a conjunction over two *narrow* rows of distinct tables — the
+/// shape of a delta-driven index join before any widening. Every atom must
+/// reference only `lt` and `rt` (guaranteed for the residual of an
+/// `equi_split` between the two tables' singleton source sets).
+pub fn eval_pred_two_narrow(
+    pred: &Pred,
+    lt: ojv_algebra::TableId,
+    left: &[Datum],
+    rt: ojv_algebra::TableId,
+    right: &[Datum],
+) -> bool {
+    let get = |c: &ojv_algebra::ColRef| {
+        if c.table == lt {
+            &left[c.col]
+        } else {
+            debug_assert_eq!(c.table, rt, "atom references a third table");
+            &right[c.col]
+        }
+    };
+    pred.atoms().iter().all(|a| eval_atom_with(a, get))
+}
+
+/// One atom under SQL three-valued logic, columns resolved by `get`.
+#[inline]
+fn eval_atom_with<'r>(atom: &Atom, get: impl Fn(&ojv_algebra::ColRef) -> &'r Datum) -> bool {
+    match atom {
+        Atom::Cols(a, op, b) => get(a).sql_cmp(get(b)).map(|o| op.eval(o)).unwrap_or(false),
+        Atom::Const(c, op, lit) => get(c).sql_cmp(lit).map(|o| op.eval(o)).unwrap_or(false),
+        Atom::Between(c, lo, hi) => match (get(c).sql_cmp(lo), get(c).sql_cmp(hi)) {
+            (Some(a), Some(b)) => a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater,
+            _ => false,
+        },
+    }
+}
+
+/// Evaluate a **single-table** conjunction on a *narrow* base-table row:
+/// column references index the row directly (`col.col`), no layout needed.
+/// Used to run pushed-down scan predicates before widening — the caller
+/// must guarantee every atom references only the scanned table.
+pub fn eval_pred_narrow(pred: &Pred, row: &[Datum]) -> bool {
+    pred.atoms().iter().all(|a| {
+        let get = |c: &ojv_algebra::ColRef| &row[c.col];
+        match a {
+            Atom::Cols(x, op, y) => get(x).sql_cmp(get(y)).map(|o| op.eval(o)).unwrap_or(false),
+            Atom::Const(c, op, lit) => get(c).sql_cmp(lit).map(|o| op.eval(o)).unwrap_or(false),
+            Atom::Between(c, lo, hi) => match (get(c).sql_cmp(lo), get(c).sql_cmp(hi)) {
+                (Some(a), Some(b)) => {
+                    a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater
+                }
+                _ => false,
+            },
+        }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -135,6 +135,17 @@ impl ViewLayout {
         out
     }
 
+    /// Widen a base-table row of table `t` directly into a [`RowBuf`] batch
+    /// — the batch form of [`Self::widen`]: one amortized bump of the
+    /// batch's backing vector instead of a fresh `Vec<Datum>` per row.
+    pub fn widen_into(&self, t: TableId, row: &[Datum], out: &mut ojv_rel::RowBuf) {
+        let slot = self.slot(t);
+        debug_assert_eq!(row.len(), slot.len);
+        debug_assert_eq!(out.width(), self.width);
+        let dst = out.push_null_row();
+        dst[slot.offset..slot.offset + slot.len].clone_from_slice(row);
+    }
+
     /// Extract table `t`'s portion of a wide row.
     pub fn narrow(&self, t: TableId, row: &[Datum]) -> Row {
         let slot = self.slot(t);
@@ -178,7 +189,7 @@ impl ViewLayout {
 
     /// Null out the slots of `tables` in `row` (the null-if operator's
     /// action).
-    pub fn null_out(&self, tables: TableSet, row: &mut Row) {
+    pub fn null_out(&self, tables: TableSet, row: &mut [Datum]) {
         for t in tables.iter() {
             let slot = self.slot(t);
             for cell in &mut row[slot.offset..slot.offset + slot.len] {

@@ -16,6 +16,7 @@
 
 pub mod error;
 pub mod eval;
+pub mod hashtbl;
 pub mod layout;
 pub mod morsel;
 pub mod ops;
@@ -23,7 +24,8 @@ pub mod parallel;
 pub mod run;
 
 pub use error::{ExecError, ExecResult};
+pub use hashtbl::{KeyHashTable, KeySet};
 pub use layout::{TableSlot, ViewLayout};
 pub use morsel::{morsel_ranges, ParallelSpec};
 pub use parallel::{map_morsels, map_parts, ExecEnv, ExecStats, ExecStatsSnapshot};
-pub use run::{eval_expr, join_rows_expr, DeltaInput, ExecCtx};
+pub use run::{eval_expr, eval_expr_buf, join_buf_expr, join_rows_expr, DeltaInput, ExecCtx};

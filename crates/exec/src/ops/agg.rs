@@ -6,9 +6,7 @@
 //! `CountNonNull`, and `Sum` (the SQL Server indexed-view set); `Min`/`Max`
 //! are provided for full computation only.
 
-use std::collections::HashMap;
-
-use ojv_rel::{key_of, Datum, Row};
+use ojv_rel::{key_of, Datum, FxHashMap, Row};
 
 /// An aggregate function over a wide-row column.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -49,7 +47,7 @@ enum Acc {
 /// group order. `SUM` over integers yields `Int`, over floats `Float`; an
 /// empty (all-null) sum yields `Null`.
 pub fn hash_aggregate(rows: &[Row], group_cols: &[usize], aggs: &[AggFunc]) -> Vec<Row> {
-    let mut groups: HashMap<Vec<Datum>, usize> = HashMap::new();
+    let mut groups: FxHashMap<Vec<Datum>, usize> = FxHashMap::default();
     let mut order: Vec<Vec<Datum>> = Vec::new();
     let mut accs: Vec<Vec<Acc>> = Vec::new();
 

@@ -1,10 +1,15 @@
 //! Duplicate elimination and the null-if cleanup operator.
+//!
+//! Both operators run hash-then-verify over flat [`RowBuf`] batches: rows
+//! are hashed in place with the deterministic fx hasher, equality is
+//! verified on borrowed slices, and survivors are compacted in place — no
+//! owned key vectors, no per-row `HashSet` entries.
 
-use std::collections::{HashMap, HashSet};
-use std::hash::{Hash, Hasher};
 use std::time::Instant;
 
-use ojv_rel::{key_of, Datum, Row};
+use ojv_rel::{
+    alloc_snapshot, fx_map_with_capacity, key_eq_rows, key_hash, Datum, FxHashMap, Row, RowBuf,
+};
 
 use crate::layout::ViewLayout;
 use crate::morsel::ParallelSpec;
@@ -12,72 +17,101 @@ use crate::parallel::{map_morsels, map_parts, ExecEnv};
 
 /// Plain duplicate elimination (`δ`), preserving first occurrence order.
 pub fn distinct(rows: Vec<Row>) -> Vec<Row> {
-    let mut seen: HashSet<Row> = HashSet::with_capacity(rows.len());
-    let mut out = Vec::with_capacity(rows.len());
-    for r in rows {
-        if seen.insert(r.clone()) {
-            out.push(r);
-        }
+    if rows.is_empty() {
+        return rows;
     }
-    out
+    let width = rows[0].len();
+    let mut buf = RowBuf::from_rows(width, &rows);
+    let all_cols: Vec<usize> = (0..width).collect();
+    let hashes = row_hashes(ParallelSpec::serial(), &buf, &all_cols);
+    let mut keep = vec![false; buf.len()];
+    mark_first_occurrences(&buf, &all_cols, &hashes, |_| true, &mut keep);
+    buf.retain_rows(&keep);
+    buf.into_rows()
 }
 
-/// [`distinct`] with a parallelism spec and counters.
+/// [`distinct`] over a batch, with a parallelism spec and counters.
 ///
 /// The parallel path hash-partitions rows (`hash % threads`); each partition
 /// worker scans *all* row indices in increasing order, keeping only its
 /// partition's first occurrences. Equal rows hash alike and so land in the
 /// same partition, where first-occurrence-by-index exactly reproduces the
 /// serial scan — the kept index set is independent of the partition count.
-/// Kept rows are then emitted in input order.
-pub fn distinct_in(env: &ExecEnv<'_>, rows: Vec<Row>) -> Vec<Row> {
+/// Kept rows are then compacted in input order.
+pub fn distinct_in(env: &ExecEnv<'_>, mut rows: RowBuf) -> RowBuf {
     let started = Instant::now();
+    let alloc0 = alloc_snapshot();
     let n_in = rows.len();
-    if !env.spec.is_parallel_for(rows.len()) {
-        let out = distinct(rows);
-        env.record(|s| &s.dedup, n_in, out.len(), 1, started);
-        return out;
-    }
+    let all_cols: Vec<usize> = (0..rows.width()).collect();
+    let hashes = row_hashes(env.spec, &rows, &all_cols);
 
-    let hashes = row_hashes(env.spec, &rows);
-    let nparts = env.spec.threads as u64;
-    let kept_per_part = map_parts(env.spec, nparts as usize, |p| {
-        let mut seen: HashSet<&Row> = HashSet::new();
-        let mut kept = Vec::new();
-        for (i, row) in rows.iter().enumerate() {
-            if hashes[i] % nparts == p as u64 && seen.insert(row) {
-                kept.push(i);
+    let (keep, nparts) = if !env.spec.is_parallel_for(rows.len()) {
+        let mut keep = vec![false; rows.len()];
+        mark_first_occurrences(&rows, &all_cols, &hashes, |_| true, &mut keep);
+        (keep, 1)
+    } else {
+        let nparts = env.spec.threads;
+        let keep_per_part = map_parts(env.spec, nparts, |p| {
+            let mut keep = vec![false; rows.len()];
+            mark_first_occurrences(
+                &rows,
+                &all_cols,
+                &hashes,
+                |i| hashes[i] % nparts as u64 == p as u64,
+                &mut keep,
+            );
+            keep
+        });
+        let mut keep = vec![false; rows.len()];
+        for part in keep_per_part {
+            for (k, p) in keep.iter_mut().zip(part) {
+                *k |= p;
             }
         }
-        kept
-    });
-    let mut keep = vec![false; rows.len()];
-    for kept in kept_per_part {
-        for i in kept {
-            keep[i] = true;
-        }
-    }
-    let out: Vec<Row> = rows
-        .into_iter()
-        .zip(&keep)
-        .filter_map(|(r, &k)| if k { Some(r) } else { None })
-        .collect();
-    env.record(|s| &s.dedup, n_in, out.len(), nparts as usize, started);
-    out
+        (keep, nparts)
+    };
+    rows.retain_rows(&keep);
+    env.record(|s| &s.dedup, n_in, rows.len(), nparts, started, alloc0);
+    rows
 }
 
-/// Deterministic per-row hashes, computed morsel-parallel. `DefaultHasher`
-/// with `new()` has fixed keys, so partition assignment is stable across
-/// runs and thread counts.
-fn row_hashes(spec: ParallelSpec, rows: &[Row]) -> Vec<u64> {
+/// Scan rows in increasing index order and mark the first occurrence of
+/// every distinct row matched by `mine` — chained hash-then-verify, no owned
+/// keys.
+fn mark_first_occurrences(
+    rows: &RowBuf,
+    cols: &[usize],
+    hashes: &[u64],
+    mine: impl Fn(usize) -> bool,
+    keep: &mut [bool],
+) {
+    const NIL: u32 = u32::MAX;
+    let mut head: FxHashMap<u64, u32> = FxHashMap::default();
+    let mut next = vec![NIL; rows.len()];
+    'rows: for i in 0..rows.len() {
+        if !mine(i) {
+            continue;
+        }
+        let slot = head.entry(hashes[i]).or_insert(NIL);
+        let mut cur = *slot;
+        while cur != NIL {
+            if key_eq_rows(rows.row(i), cols, rows.row(cur as usize), cols) {
+                continue 'rows; // duplicate of an earlier row
+            }
+            cur = next[cur as usize];
+        }
+        next[i] = *slot;
+        *slot = i as u32;
+        keep[i] = true;
+    }
+}
+
+/// Deterministic per-row hashes over `cols`, computed morsel-parallel with
+/// the seeded fx hasher — stable across runs and thread counts.
+fn row_hashes(spec: ParallelSpec, rows: &RowBuf, cols: &[usize]) -> Vec<u64> {
     map_morsels(spec, rows.len(), |range| {
-        rows[range]
-            .iter()
-            .map(|r| {
-                let mut h = std::collections::hash_map::DefaultHasher::new();
-                r.hash(&mut h);
-                h.finish()
-            })
+        range
+            .map(|i| key_hash(rows.row(i), cols))
             .collect::<Vec<u64>>()
     })
     .into_iter()
@@ -100,19 +134,26 @@ pub fn clean_dup(layout: &ViewLayout, rows: Vec<Row>) -> Vec<Row> {
     clean_dup_in(&ExecEnv::serial(layout), rows)
 }
 
-/// [`clean_dup`] with a parallelism spec and counters.
+/// [`clean_dup`] with a parallelism spec and counters — legacy `Vec<Row>`
+/// form over [`clean_dup_buf`].
+pub fn clean_dup_in(env: &ExecEnv<'_>, rows: Vec<Row>) -> Vec<Row> {
+    clean_dup_buf(env, RowBuf::from_rows(env.layout.width(), &rows)).into_rows()
+}
+
+/// Batch subsumption removal.
 ///
 /// Source-mask computation is morsel-parallel; the subsumption check then
 /// runs one work unit per distinct mask (each mask's verdicts depend only on
 /// the grouped input, so partition order cannot change the result). Kept
-/// rows are emitted in input order — identical to the serial path.
-pub fn clean_dup_in(env: &ExecEnv<'_>, rows: Vec<Row>) -> Vec<Row> {
-    let rows = distinct_in(env, rows);
+/// rows are compacted in input order — identical to the serial path.
+pub fn clean_dup_buf(env: &ExecEnv<'_>, rows: RowBuf) -> RowBuf {
+    let mut rows = distinct_in(env, rows);
     let layout = env.layout;
     let n_tables = layout.table_count();
     let started = Instant::now();
+    let alloc0 = alloc_snapshot();
     let n_in = rows.len();
-    let mask_of = |r: &Row| -> u32 {
+    let mask_of = |r: &[Datum]| -> u32 {
         let mut m = 0u32;
         for i in 0..n_tables {
             if !layout.is_null_on(ojv_algebra::TableId(i as u8), r) {
@@ -134,12 +175,12 @@ pub fn clean_dup_in(env: &ExecEnv<'_>, rows: Vec<Row>) -> Vec<Row> {
     };
 
     let masks: Vec<u32> = map_morsels(env.spec, rows.len(), |range| {
-        rows[range].iter().map(mask_of).collect::<Vec<u32>>()
+        range.map(|i| mask_of(rows.row(i))).collect::<Vec<u32>>()
     })
     .into_iter()
     .flatten()
     .collect();
-    let mut by_mask: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut by_mask: FxHashMap<u32, Vec<usize>> = FxHashMap::default();
     for (i, &m) in masks.iter().enumerate() {
         by_mask.entry(m).or_default().push(i);
     }
@@ -149,19 +190,26 @@ pub fn clean_dup_in(env: &ExecEnv<'_>, rows: Vec<Row>) -> Vec<Row> {
     let dropped_per_mask = map_parts(env.spec, distinct_masks.len(), |mi| {
         let m = distinct_masks[mi];
         let cols = cols_of_mask(m);
-        // Projections of every superset-mask row onto m's columns.
-        let mut super_proj: HashSet<Vec<Datum>> = HashSet::new();
+        // Hash-then-verify over projections of every superset-mask row onto
+        // m's columns — the projections stay borrowed.
+        let mut super_proj: FxHashMap<u64, Vec<u32>> = fx_map_with_capacity(8);
         for &m2 in &distinct_masks {
             if m2 != m && m2 & m == m {
                 for &j in &by_mask[&m2] {
-                    super_proj.insert(key_of(&rows[j], &cols));
+                    let h = key_hash(rows.row(j), &cols);
+                    super_proj.entry(h).or_default().push(j as u32);
                 }
             }
         }
         let mut dropped = Vec::new();
         if !super_proj.is_empty() {
             for &i in &by_mask[&m] {
-                if super_proj.contains(&key_of(&rows[i], &cols)) {
+                let h = key_hash(rows.row(i), &cols);
+                let subsumed = super_proj.get(&h).is_some_and(|js| {
+                    js.iter()
+                        .any(|&j| key_eq_rows(rows.row(i), &cols, rows.row(j as usize), &cols))
+                });
+                if subsumed {
                     dropped.push(i);
                 }
             }
@@ -175,19 +223,16 @@ pub fn clean_dup_in(env: &ExecEnv<'_>, rows: Vec<Row>) -> Vec<Row> {
             keep[i] = false;
         }
     }
-    let out: Vec<Row> = rows
-        .into_iter()
-        .zip(keep)
-        .filter_map(|(r, k)| if k { Some(r) } else { None })
-        .collect();
+    rows.retain_rows(&keep);
     env.record(
         |s| &s.subsume,
         n_in,
-        out.len(),
+        rows.len(),
         distinct_masks.len().max(1),
         started,
+        alloc0,
     );
-    out
+    rows
 }
 
 #[cfg(test)]
@@ -229,6 +274,21 @@ mod tests {
         let l = layout();
         let rows = vec![a_only(&l, 1), a_only(&l, 1), a_only(&l, 2)];
         assert_eq!(distinct(rows).len(), 2);
+    }
+
+    #[test]
+    fn distinct_parallel_matches_serial() {
+        let l = layout();
+        let rows: Vec<Row> = (0..200).map(|i| a_only(&l, i % 17)).collect();
+        let serial = distinct(rows.clone());
+        let spec = ParallelSpec::threads(4).with_morsel_rows(7).with_cutoff(0);
+        let env = ExecEnv {
+            layout: &l,
+            spec,
+            stats: None,
+        };
+        let parallel = distinct_in(&env, RowBuf::from_rows(l.width(), &rows)).into_rows();
+        assert_eq!(serial, parallel);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::time::Instant;
 
 use ojv_algebra::Pred;
-use ojv_rel::Row;
+use ojv_rel::{alloc_snapshot, Row, RowBuf};
 
 use crate::eval::eval_pred;
 use crate::layout::ViewLayout;
@@ -14,30 +14,36 @@ pub fn filter(layout: &ViewLayout, pred: &Pred, rows: Vec<Row>) -> Vec<Row> {
     filter_in(&ExecEnv::serial(layout), pred, rows)
 }
 
-/// [`filter`] with a parallelism spec and counters. Predicate evaluation is
-/// morsel-parallel over read-only rows; the kept rows are then collected in
-/// input order, identical to the serial path.
+/// [`filter`] with a parallelism spec and counters — legacy `Vec<Row>` form.
 pub fn filter_in(env: &ExecEnv<'_>, pred: &Pred, rows: Vec<Row>) -> Vec<Row> {
+    if pred.is_true() {
+        return rows;
+    }
+    let width = env.layout.width();
+    filter_buf(env, pred, RowBuf::from_rows(width, &rows)).into_rows()
+}
+
+/// Batch selection: predicate evaluation is morsel-parallel over read-only
+/// rows, then the batch is compacted in place — kept rows stay in input
+/// order, identical to the serial path, with no per-row allocation.
+pub fn filter_buf(env: &ExecEnv<'_>, pred: &Pred, mut rows: RowBuf) -> RowBuf {
     if pred.is_true() {
         return rows;
     }
     let layout = env.layout;
     let started = Instant::now();
+    let alloc0 = alloc_snapshot();
     let n_in = rows.len();
     let keep_morsels = map_morsels(env.spec, rows.len(), |range| {
-        rows[range]
-            .iter()
-            .map(|r| eval_pred(layout, pred, r))
+        range
+            .map(|i| eval_pred(layout, pred, rows.row(i)))
             .collect::<Vec<bool>>()
     });
     let n_morsels = keep_morsels.len();
-    let mut keep = keep_morsels.into_iter().flatten();
-    let out: Vec<Row> = rows
-        .into_iter()
-        .filter(|_| keep.next().expect("one keep flag per row"))
-        .collect();
-    env.record(|s| &s.filter, n_in, out.len(), n_morsels, started);
-    out
+    let keep: Vec<bool> = keep_morsels.into_iter().flatten().collect();
+    rows.retain_rows(&keep);
+    env.record(|s| &s.filter, n_in, rows.len(), n_morsels, started, alloc0);
+    rows
 }
 
 #[cfg(test)]

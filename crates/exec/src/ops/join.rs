@@ -1,4 +1,4 @@
-//! Join operators: hash joins over wide rows, index-nested-loop joins
+//! Join operators: hash joins over wide-row batches, index-nested-loop joins
 //! against base tables, and key-based semi/anti joins.
 //!
 //! Probe phases are morsel-parallel: the outer (left) input is split into
@@ -6,17 +6,29 @@
 //! are concatenated in morsel order — so the parallel result is bit-identical
 //! to the serial one. Hash-table builds stay serial (the build side of a
 //! delta join is small by construction).
+//!
+//! The probe loops are allocation-free per row: batches are flat [`RowBuf`]s,
+//! probes hash key columns in place and verify against borrowed slices
+//! ([`crate::hashtbl::KeyHashTable`]), residual predicates run on a virtual
+//! merge of the probe row and the candidate (rejected candidates are never
+//! materialized), and surviving merges write straight into the output
+//! batch. Builds of at most [`TINY_BUILD_MAX`] rows skip the hash table
+//! entirely and probe linearly — at that size the scan beats the hash.
 
-use std::collections::HashMap;
 use std::time::Instant;
 
 use ojv_algebra::{JoinKind, Pred, TableId, TableSet};
-use ojv_rel::{key_of, Datum, Row};
+use ojv_rel::{alloc_snapshot, key_eq_rows, key_hash, Datum, Row, RowBuf};
 use ojv_storage::Table;
 
-use crate::eval::eval_pred;
+use crate::eval::{eval_pred_merged, eval_pred_split};
+use crate::hashtbl::{KeyHashTable, KeySet};
 use crate::layout::ViewLayout;
 use crate::parallel::{map_morsels, ExecEnv};
+
+/// Largest build side for which [`hash_join_buf`] probes linearly instead of
+/// building a hash table.
+pub const TINY_BUILD_MAX: usize = 4;
 
 /// Merge a right wide row into a left wide row: copy the slots of all
 /// tables in `right_sources` (the two source sets are disjoint).
@@ -30,12 +42,38 @@ pub fn merge_rows(layout: &ViewLayout, left: &Row, right: &Row, right_sources: T
     out
 }
 
+/// Evaluate `residual` on the virtual merge of `left` and `right`'s source
+/// slots; on success (and when `keep` is set — semi/anti joins only need the
+/// verdict) append the merged row to `out`. Rejected candidates are never
+/// materialized, so a failing probe costs no slot copies and no allocation.
+#[inline]
+fn try_merge(
+    layout: &ViewLayout,
+    out: &mut RowBuf,
+    left: &[Datum],
+    right: &[Datum],
+    right_sources: TableSet,
+    residual: &Pred,
+    keep: bool,
+) -> bool {
+    if !eval_pred_merged(layout, residual, left, right, right_sources) {
+        return false;
+    }
+    if keep {
+        let n = out.len();
+        out.push_row(left);
+        let row = out.row_mut(n);
+        for t in right_sources.iter() {
+            let slot = layout.slot(t);
+            row[slot.offset..slot.offset + slot.len]
+                .clone_from_slice(&right[slot.offset..slot.offset + slot.len]);
+        }
+    }
+    true
+}
+
 /// Hash (or nested-loop, when there is no equijoin conjunct) join of two
-/// wide-row sets.
-///
-/// `left_sources`/`right_sources` are the table sets of the two inputs; they
-/// determine both the equijoin key extraction and which slots a merge copies.
-/// All [`JoinKind`]s are supported.
+/// wide-row sets — legacy `Vec<Row>` entry point.
 pub fn hash_join(
     layout: &ViewLayout,
     kind: JoinKind,
@@ -56,10 +94,8 @@ pub fn hash_join(
     )
 }
 
-/// [`hash_join`] with a parallelism spec and counters. The probe runs one
-/// morsel of the left input per work unit; per-morsel `(output, matched
-/// right indices)` pairs merge in morsel order, so output order and content
-/// are identical to the serial path for any thread count or morsel size.
+/// [`hash_join`] with a parallelism spec and counters — legacy `Vec<Row>`
+/// entry point over [`hash_join_buf`].
 pub fn hash_join_in(
     env: &ExecEnv<'_>,
     kind: JoinKind,
@@ -69,52 +105,144 @@ pub fn hash_join_in(
     left_sources: TableSet,
     right_sources: TableSet,
 ) -> Vec<Row> {
+    let width = env.layout.width();
+    hash_join_buf(
+        env,
+        kind,
+        pred,
+        RowBuf::from_rows(width, &left),
+        RowBuf::from_rows(width, &right),
+        left_sources,
+        right_sources,
+    )
+    .into_rows()
+}
+
+/// Batch hash join. The probe runs one morsel of the left input per work
+/// unit; per-morsel `(output, matched right indices)` pairs merge in morsel
+/// order, so output order and content are identical to the serial path for
+/// any thread count or morsel size. All [`JoinKind`]s are supported.
+pub fn hash_join_buf(
+    env: &ExecEnv<'_>,
+    kind: JoinKind,
+    pred: &Pred,
+    left: RowBuf,
+    right: RowBuf,
+    left_sources: TableSet,
+    right_sources: TableSet,
+) -> RowBuf {
     let layout = env.layout;
     let (keys, residual) = pred.equi_split(left_sources, right_sources);
     if keys.is_empty() {
-        return nested_loop_join(env, kind, pred, left, right, right_sources);
+        return nested_loop_join_buf(env, kind, pred, left, right, right_sources);
     }
     let lcols: Vec<usize> = keys.iter().map(|(l, _)| layout.global(*l)).collect();
     let rcols: Vec<usize> = keys.iter().map(|(_, r)| layout.global(*r)).collect();
+    hash_join_keyed_buf(
+        env,
+        kind,
+        &residual,
+        left,
+        right,
+        &lcols,
+        &rcols,
+        right_sources,
+        TINY_BUILD_MAX,
+    )
+}
 
-    let build_start = Instant::now();
-    let mut table: HashMap<Vec<Datum>, Vec<usize>> = HashMap::with_capacity(right.len());
-    for (i, r) in right.iter().enumerate() {
-        let k = key_of(r, &rcols);
-        if k.iter().any(Datum::is_null) {
-            continue; // null keys never match (null-rejecting predicates)
-        }
-        table.entry(k).or_default().push(i);
-    }
-    env.record(|s| &s.join_build, right.len(), table.len(), 1, build_start);
+/// The keyed join body, parameterized on the tiny-build threshold so tests
+/// can pin the linear-probe path against the hash path on the same input.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn hash_join_keyed_buf(
+    env: &ExecEnv<'_>,
+    kind: JoinKind,
+    residual: &Pred,
+    left: RowBuf,
+    right: RowBuf,
+    lcols: &[usize],
+    rcols: &[usize],
+    right_sources: TableSet,
+    tiny_max: usize,
+) -> RowBuf {
+    let layout = env.layout;
+    let keep_merged = !matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti);
+
+    let table = if right.len() > tiny_max {
+        let build_start = Instant::now();
+        let build_alloc = alloc_snapshot();
+        let t = KeyHashTable::build(&right, rcols);
+        env.record(
+            |s| &s.join_build,
+            right.len(),
+            t.distinct_hashes(),
+            1,
+            build_start,
+            build_alloc,
+        );
+        Some(t)
+    } else {
+        None
+    };
 
     let probe_start = Instant::now();
+    let probe_alloc = alloc_snapshot();
     let probe = |range: std::ops::Range<usize>| {
-        let mut out = Vec::new();
-        let mut matched_right = Vec::new();
-        for l in &left[range] {
-            let k = key_of(l, &lcols);
+        let mut out = RowBuf::new(layout.width());
+        let mut matched_right: Vec<u32> = Vec::new();
+        for li in range {
+            let l = left.row(li);
             let mut matched = false;
-            if !k.iter().any(Datum::is_null) {
-                if let Some(cands) = table.get(&k) {
-                    for &ri in cands {
-                        let m = merge_rows(layout, l, &right[ri], right_sources);
-                        if eval_pred(layout, &residual, &m) {
+            match &table {
+                Some(t) => {
+                    for ri in t.candidates(l, lcols) {
+                        let r = right.row(ri);
+                        if !t.key_matches(r, l, lcols) {
+                            continue;
+                        }
+                        if try_merge(layout, &mut out, l, r, right_sources, residual, keep_merged) {
                             matched = true;
-                            matched_right.push(ri);
-                            match kind {
-                                JoinKind::LeftSemi => break,
-                                JoinKind::LeftAnti => break,
-                                _ => out.push(m),
+                            matched_right.push(ri as u32);
+                            if !keep_merged {
+                                break;
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Tiny build: linear probe, same null-rejecting
+                    // semantics and same ascending candidate order.
+                    if !lcols.iter().any(|&c| l[c].is_null()) {
+                        for ri in 0..right.len() {
+                            let r = right.row(ri);
+                            if rcols.iter().any(|&c| r[c].is_null())
+                                || !key_eq_rows(l, lcols, r, rcols)
+                            {
+                                continue;
+                            }
+                            if try_merge(
+                                layout,
+                                &mut out,
+                                l,
+                                r,
+                                right_sources,
+                                residual,
+                                keep_merged,
+                            ) {
+                                matched = true;
+                                matched_right.push(ri as u32);
+                                if !keep_merged {
+                                    break;
+                                }
                             }
                         }
                     }
                 }
             }
             match kind {
-                JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push(l.clone()),
-                JoinKind::LeftSemi if matched => out.push(l.clone()),
-                JoinKind::LeftAnti if !matched => out.push(l.clone()),
+                JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push_row(l),
+                JoinKind::LeftSemi if matched => out.push_row(l),
+                JoinKind::LeftAnti if !matched => out.push_row(l),
                 _ => {}
             }
         }
@@ -124,17 +252,17 @@ pub fn hash_join_in(
 
     let n_morsels = morsels.len();
     let mut right_matched = vec![false; right.len()];
-    let mut out = Vec::new();
+    let mut out = RowBuf::new(layout.width());
     for (rows, matched) in morsels {
-        out.extend(rows);
+        out.append(&rows);
         for ri in matched {
-            right_matched[ri] = true;
+            right_matched[ri as usize] = true;
         }
     }
     if matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter) {
         for (i, r) in right.iter().enumerate() {
             if !right_matched[i] {
-                out.push(r.clone());
+                out.push_row(r);
             }
         }
     }
@@ -144,40 +272,43 @@ pub fn hash_join_in(
         out.len(),
         n_morsels,
         probe_start,
+        probe_alloc,
     );
     out
 }
 
-fn nested_loop_join(
+fn nested_loop_join_buf(
     env: &ExecEnv<'_>,
     kind: JoinKind,
     pred: &Pred,
-    left: Vec<Row>,
-    right: Vec<Row>,
+    left: RowBuf,
+    right: RowBuf,
     right_sources: TableSet,
-) -> Vec<Row> {
+) -> RowBuf {
     let layout = env.layout;
+    let keep_merged = !matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti);
     let probe_start = Instant::now();
+    let probe_alloc = alloc_snapshot();
     let probe = |range: std::ops::Range<usize>| {
-        let mut out = Vec::new();
-        let mut matched_right = Vec::new();
-        for l in &left[range] {
+        let mut out = RowBuf::new(layout.width());
+        let mut matched_right: Vec<u32> = Vec::new();
+        for li in range {
+            let l = left.row(li);
             let mut matched = false;
-            for (ri, r) in right.iter().enumerate() {
-                let m = merge_rows(layout, l, r, right_sources);
-                if eval_pred(layout, pred, &m) {
+            for ri in 0..right.len() {
+                let r = right.row(ri);
+                if try_merge(layout, &mut out, l, r, right_sources, pred, keep_merged) {
                     matched = true;
-                    matched_right.push(ri);
-                    match kind {
-                        JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                        _ => out.push(m),
+                    matched_right.push(ri as u32);
+                    if !keep_merged {
+                        break;
                     }
                 }
             }
             match kind {
-                JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push(l.clone()),
-                JoinKind::LeftSemi if matched => out.push(l.clone()),
-                JoinKind::LeftAnti if !matched => out.push(l.clone()),
+                JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push_row(l),
+                JoinKind::LeftSemi if matched => out.push_row(l),
+                JoinKind::LeftAnti if !matched => out.push_row(l),
                 _ => {}
             }
         }
@@ -187,17 +318,17 @@ fn nested_loop_join(
 
     let n_morsels = morsels.len();
     let mut right_matched = vec![false; right.len()];
-    let mut out = Vec::new();
+    let mut out = RowBuf::new(layout.width());
     for (rows, matched) in morsels {
-        out.extend(rows);
+        out.append(&rows);
         for ri in matched {
-            right_matched[ri] = true;
+            right_matched[ri as usize] = true;
         }
     }
     if matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter) {
         for (i, r) in right.iter().enumerate() {
             if !right_matched[i] {
-                out.push(r.clone());
+                out.push_row(r);
             }
         }
     }
@@ -207,6 +338,120 @@ fn nested_loop_join(
         out.len(),
         n_morsels,
         probe_start,
+        probe_alloc,
+    );
+    out
+}
+
+/// Hash join whose right operand is an **un-widened base-table scan**: the
+/// build indexes the table's narrow rows in place (no per-row widening, no
+/// key copies), and only emitted rows are widened into the output batch.
+///
+/// `keep` masks rows surviving a pushed-down scan predicate and/or delta
+/// exclusion; masked-out rows neither match nor surface as unmatched
+/// right-outer rows. `residual` runs on merged wide rows. Output is
+/// bit-identical to widening the whole table and hash-joining it.
+#[allow(clippy::too_many_arguments)]
+pub fn narrow_build_join_buf(
+    env: &ExecEnv<'_>,
+    kind: JoinKind,
+    left: RowBuf,
+    lcols: &[usize],
+    table: &Table,
+    right_id: TableId,
+    rcols_local: &[usize],
+    keep: Option<&[bool]>,
+    residual: &Pred,
+) -> RowBuf {
+    let layout = env.layout;
+    let right_rows = table.rows();
+    let keep_merged = !matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti);
+    let (offset, slot_len) = {
+        let slot = layout.slot(right_id);
+        (slot.offset, slot.len)
+    };
+    let build_start = Instant::now();
+    let build_alloc = alloc_snapshot();
+    let hashes: Vec<Option<u64>> = right_rows
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            if keep.is_some_and(|k| !k[i]) || rcols_local.iter().any(|&c| r[c].is_null()) {
+                None
+            } else {
+                Some(key_hash(r, rcols_local))
+            }
+        })
+        .collect();
+    let hash_table = KeyHashTable::from_hashes(&hashes, rcols_local);
+    env.record(
+        |s| &s.join_build,
+        right_rows.len(),
+        hash_table.distinct_hashes(),
+        1,
+        build_start,
+        build_alloc,
+    );
+
+    let probe_start = Instant::now();
+    let probe_alloc = alloc_snapshot();
+    let probe = |range: std::ops::Range<usize>| {
+        let mut out = RowBuf::new(layout.width());
+        let mut matched_right: Vec<u32> = Vec::new();
+        for li in range {
+            let l = left.row(li);
+            let mut matched = false;
+            for ri in hash_table.candidates(l, lcols) {
+                let r = &right_rows[ri];
+                if !hash_table.key_matches(r, l, lcols)
+                    || !eval_pred_split(layout, residual, l, r, offset)
+                {
+                    continue;
+                }
+                matched = true;
+                matched_right.push(ri as u32);
+                if !keep_merged {
+                    break;
+                }
+                let n = out.len();
+                out.push_row(l);
+                out.row_mut(n)[offset..offset + slot_len].clone_from_slice(r);
+            }
+            match kind {
+                JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push_row(l),
+                JoinKind::LeftSemi if matched => out.push_row(l),
+                JoinKind::LeftAnti if !matched => out.push_row(l),
+                _ => {}
+            }
+        }
+        (out, matched_right)
+    };
+    let morsels = map_morsels(env.spec, left.len(), probe);
+
+    let n_morsels = morsels.len();
+    let mut right_matched = vec![false; right_rows.len()];
+    let mut out = RowBuf::new(layout.width());
+    for (rows, matched) in morsels {
+        out.append(&rows);
+        for ri in matched {
+            right_matched[ri as usize] = true;
+        }
+    }
+    if matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter) {
+        for (i, r) in right_rows.iter().enumerate() {
+            if keep.is_some_and(|k| !k[i]) || right_matched[i] {
+                continue;
+            }
+            layout.widen_into(right_id, r, &mut out);
+        }
+    }
+    env.record(
+        |s| &s.join_probe,
+        left.len(),
+        out.len(),
+        n_morsels,
+        probe_start,
+        probe_alloc,
     );
     out
 }
@@ -253,12 +498,12 @@ pub fn index_join_excluding(
     index: ojv_storage::IndexRef,
     index_perm: &[usize],
     residual: &Pred,
-    exclude: Option<&std::collections::HashSet<Vec<Datum>>>,
+    exclude: Option<&KeySet>,
 ) -> Vec<Row> {
-    index_join_excluding_in(
+    index_join_excluding_buf(
         &ExecEnv::serial(layout),
         kind,
-        left,
+        RowBuf::from_rows(layout.width(), &left),
         probe_cols,
         table,
         right_id,
@@ -267,24 +512,27 @@ pub fn index_join_excluding(
         residual,
         exclude,
     )
+    .into_rows()
 }
 
-/// [`index_join_excluding`] with a parallelism spec and counters: left
+/// Batch index-nested-loop join with a parallelism spec and counters: left
 /// morsels probe the index concurrently (the base table is read-only), and
-/// outputs concatenate in morsel order.
+/// outputs concatenate in morsel order. The per-morsel probe buffer is
+/// reused across rows and exclusion checks borrow the candidate row — the
+/// loop performs no heap allocation per probe.
 #[allow(clippy::too_many_arguments)]
-pub fn index_join_excluding_in(
+pub fn index_join_excluding_buf(
     env: &ExecEnv<'_>,
     kind: JoinKind,
-    left: Vec<Row>,
+    left: RowBuf,
     probe_cols: &[usize],
     table: &Table,
     right_id: TableId,
     index: ojv_storage::IndexRef,
     index_perm: &[usize],
     residual: &Pred,
-    exclude: Option<&std::collections::HashSet<Vec<Datum>>>,
-) -> Vec<Row> {
+    exclude: Option<&KeySet>,
+) -> RowBuf {
     assert!(
         matches!(
             kind,
@@ -293,13 +541,19 @@ pub fn index_join_excluding_in(
         "index join does not support right-preserving kinds"
     );
     let layout = env.layout;
-    let right_sources = TableSet::singleton(right_id);
     let key_cols = table.key_cols();
+    let keep_merged = !matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti);
+    let (offset, slot_len) = {
+        let slot = layout.slot(right_id);
+        (slot.offset, slot.len)
+    };
     let started = Instant::now();
+    let alloc0 = alloc_snapshot();
     let probe_morsel = |range: std::ops::Range<usize>| {
-        let mut out = Vec::new();
+        let mut out = RowBuf::new(layout.width());
         let mut probe = vec![Datum::Null; probe_cols.len()];
-        for l in &left[range] {
+        for li in range {
+            let l = left.row(li);
             let mut matched = false;
             let any_null = probe_cols.iter().any(|&c| l[c].is_null());
             if !any_null {
@@ -308,25 +562,26 @@ pub fn index_join_excluding_in(
                 }
                 for r in table.index_lookup(index, &probe) {
                     if let Some(ex) = exclude {
-                        if ex.contains(&key_of(r, key_cols)) {
+                        if ex.contains(r, key_cols) {
                             continue;
                         }
                     }
-                    let wide = layout.widen(right_id, r);
-                    let m = merge_rows(layout, l, &wide, right_sources);
-                    if eval_pred(layout, residual, &m) {
-                        matched = true;
-                        match kind {
-                            JoinKind::LeftSemi | JoinKind::LeftAnti => break,
-                            _ => out.push(m),
-                        }
+                    if !eval_pred_split(layout, residual, l, r, offset) {
+                        continue;
                     }
+                    matched = true;
+                    if !keep_merged {
+                        break;
+                    }
+                    let n = out.len();
+                    out.push_row(l);
+                    out.row_mut(n)[offset..offset + slot_len].clone_from_slice(r);
                 }
             }
             match kind {
-                JoinKind::LeftOuter if !matched => out.push(l.clone()),
-                JoinKind::LeftSemi if matched => out.push(l.clone()),
-                JoinKind::LeftAnti if !matched => out.push(l.clone()),
+                JoinKind::LeftOuter if !matched => out.push_row(l),
+                JoinKind::LeftSemi if matched => out.push_row(l),
+                JoinKind::LeftAnti if !matched => out.push_row(l),
                 _ => {}
             }
         }
@@ -335,8 +590,121 @@ pub fn index_join_excluding_in(
     let n_left = left.len();
     let morsels = map_morsels(env.spec, n_left, probe_morsel);
     let n_morsels = morsels.len();
-    let out: Vec<Row> = morsels.into_iter().flatten().collect();
-    env.record(|s| &s.index_join, n_left, out.len(), n_morsels, started);
+    let mut out = RowBuf::new(layout.width());
+    for m in morsels {
+        out.append(&m);
+    }
+    env.record(
+        |s| &s.index_join,
+        n_left,
+        out.len(),
+        n_morsels,
+        started,
+        alloc0,
+    );
+    out
+}
+
+/// Index-nested-loop join whose **left side is still narrow** — the shape of
+/// the maintenance spine's first join, `ΔT ⋈ X`: delta rows probe the base
+/// table's index directly, and only rows that survive the residual are
+/// widened into the output batch. Skipping the up-front widening of the
+/// whole delta matters because most delta rows are rejected by the view's
+/// selective predicates (folded into `residual`) — those rows are never
+/// materialized at view width at all.
+///
+/// `probe_local` are *left-local* column indices (the delta rows are base
+/// rows of `left_id`); everything else matches
+/// [`index_join_excluding_buf`]. Output is bit-identical to widening the
+/// delta first and running the wide-probe index join.
+#[allow(clippy::too_many_arguments)]
+pub fn index_join_narrow_left_buf(
+    env: &ExecEnv<'_>,
+    kind: JoinKind,
+    left_rows: &[Row],
+    left_id: TableId,
+    probe_local: &[usize],
+    table: &Table,
+    right_id: TableId,
+    index: ojv_storage::IndexRef,
+    index_perm: &[usize],
+    residual: &Pred,
+    exclude: Option<&KeySet>,
+) -> RowBuf {
+    assert!(
+        matches!(
+            kind,
+            JoinKind::Inner | JoinKind::LeftOuter | JoinKind::LeftSemi | JoinKind::LeftAnti
+        ),
+        "index join does not support right-preserving kinds"
+    );
+    let layout = env.layout;
+    let key_cols = table.key_cols();
+    let keep_merged = !matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti);
+    let (loffset, llen) = {
+        let slot = layout.slot(left_id);
+        (slot.offset, slot.len)
+    };
+    let (roffset, rlen) = {
+        let slot = layout.slot(right_id);
+        (slot.offset, slot.len)
+    };
+    let started = Instant::now();
+    let alloc0 = alloc_snapshot();
+    let probe_morsel = |range: std::ops::Range<usize>| {
+        let mut out = RowBuf::new(layout.width());
+        let mut probe = vec![Datum::Null; probe_local.len()];
+        for l in &left_rows[range] {
+            let mut matched = false;
+            let any_null = probe_local.iter().any(|&c| l[c].is_null());
+            if !any_null {
+                for (slot, &perm) in probe.iter_mut().zip(index_perm) {
+                    *slot = l[probe_local[perm]].clone();
+                }
+                for r in table.index_lookup(index, &probe) {
+                    if let Some(ex) = exclude {
+                        if ex.contains(r, key_cols) {
+                            continue;
+                        }
+                    }
+                    if !crate::eval::eval_pred_two_narrow(residual, left_id, l, right_id, r) {
+                        continue;
+                    }
+                    matched = true;
+                    if !keep_merged {
+                        break;
+                    }
+                    let n = out.len();
+                    let row = out.push_null_row();
+                    row[loffset..loffset + llen].clone_from_slice(l);
+                    row[roffset..roffset + rlen].clone_from_slice(r);
+                    debug_assert_eq!(out.len(), n + 1);
+                }
+            }
+            match kind {
+                JoinKind::LeftOuter if !matched => layout.widen_into(left_id, l, &mut out),
+                JoinKind::LeftSemi if matched => layout.widen_into(left_id, l, &mut out),
+                JoinKind::LeftAnti if !matched => layout.widen_into(left_id, l, &mut out),
+                _ => {}
+            }
+        }
+        out
+    };
+    let n_left = left_rows.len();
+    let morsels = map_morsels(env.spec, n_left, probe_morsel);
+    let n_morsels = morsels.len();
+    let mut out = RowBuf::new(layout.width());
+    for m in morsels {
+        out.append(&m);
+    }
+    env.record(
+        |s| &s.index_join,
+        n_left,
+        out.len(),
+        n_morsels,
+        started,
+        alloc0,
+    );
     out
 }
 
@@ -353,18 +721,37 @@ pub fn semi_anti_by_key(
     right_cols: &[usize],
     anti: bool,
 ) -> Vec<Row> {
-    let keys: std::collections::HashSet<Vec<Datum>> = right
+    if left.is_empty() {
+        return left;
+    }
+    let width = left[0].len();
+    semi_anti_by_key_buf(
+        RowBuf::from_rows(width, &left),
+        left_cols,
+        right.iter().map(|r| r.as_slice()),
+        right_cols,
+        anti,
+    )
+    .into_rows()
+}
+
+/// Batch form of [`semi_anti_by_key`]: builds a borrowed-key [`KeySet`] over
+/// the right keys and filters the left batch in place — no per-row key
+/// vectors on either side.
+pub fn semi_anti_by_key_buf<'r>(
+    mut left: RowBuf,
+    left_cols: &[usize],
+    right: impl Iterator<Item = &'r [Datum]>,
+    right_cols: &[usize],
+    anti: bool,
+) -> RowBuf {
+    let keys = KeySet::build(right, right_cols);
+    let keep: Vec<bool> = left
         .iter()
-        .map(|r| key_of(r, right_cols))
-        .filter(|k| !k.iter().any(Datum::is_null))
+        .map(|l| keys.contains(l, left_cols) != anti)
         .collect();
-    left.into_iter()
-        .filter(|l| {
-            let k = key_of(l, left_cols);
-            let matched = !k.iter().any(Datum::is_null) && keys.contains(&k);
-            matched != anti
-        })
-        .collect()
+    left.retain_rows(&keep);
+    left
 }
 
 #[cfg(test)]
@@ -570,6 +957,114 @@ mod tests {
         // a.id < b.aid: only a(1) < 3.
         assert_eq!(out.len(), 1);
         assert_eq!(out[0][0], Datum::Int(1));
+    }
+
+    /// The tiny-build linear probe must be indistinguishable from the hash
+    /// path — same rows, same order — for every join kind, including inputs
+    /// with duplicate keys, null keys, and a residual predicate.
+    #[test]
+    fn tiny_build_pins_hash_path_output() {
+        let (_c, l) = setup();
+        let mut left = a_rows(&l, &[1, 2, 3, 1]);
+        l.null_out(TableSet::singleton(TableId(0)), &mut left[2]);
+        let right = b_rows(&l, &[(10, 1), (11, 2), (12, 1), (13, 9)]);
+        assert!(right.len() <= TINY_BUILD_MAX);
+        let residual = Pred::atom(Atom::Const(
+            ColRef::new(TableId(1), 0),
+            CmpOp::Gt,
+            Datum::Int(9),
+        ));
+        let (keys, _) = join_pred().equi_split(
+            TableSet::singleton(TableId(0)),
+            TableSet::singleton(TableId(1)),
+        );
+        let lcols: Vec<usize> = keys.iter().map(|(a, _)| l.global(*a)).collect();
+        let rcols: Vec<usize> = keys.iter().map(|(_, b)| l.global(*b)).collect();
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::RightOuter,
+            JoinKind::FullOuter,
+            JoinKind::LeftSemi,
+            JoinKind::LeftAnti,
+        ] {
+            let env = ExecEnv::serial(&l);
+            let tiny = hash_join_keyed_buf(
+                &env,
+                kind,
+                &residual,
+                RowBuf::from_rows(l.width(), &left),
+                RowBuf::from_rows(l.width(), &right),
+                &lcols,
+                &rcols,
+                TableSet::singleton(TableId(1)),
+                TINY_BUILD_MAX, // linear probe fires: right.len() <= 4
+            );
+            let hashed = hash_join_keyed_buf(
+                &env,
+                kind,
+                &residual,
+                RowBuf::from_rows(l.width(), &left),
+                RowBuf::from_rows(l.width(), &right),
+                &lcols,
+                &rcols,
+                TableSet::singleton(TableId(1)),
+                0, // force the hash table
+            );
+            assert_eq!(tiny, hashed, "{kind:?}");
+        }
+    }
+
+    /// The narrow-build path (hash table over un-widened base rows) must
+    /// match widening the table first and hash-joining.
+    #[test]
+    fn narrow_build_matches_widened_hash_join() {
+        let (mut c, l) = setup();
+        let b_data: Vec<Row> = (0..20)
+            .map(|i| vec![Datum::Int(100 + i), Datum::Int(i % 5), Datum::Int(0)])
+            .collect();
+        c.insert("b", b_data.clone()).unwrap();
+        let table = c.table("b").unwrap();
+        let left = a_rows(&l, &[0, 1, 2, 9]);
+        let keep: Vec<bool> = b_data.iter().map(|r| r[0] != Datum::Int(103)).collect();
+        for kind in [
+            JoinKind::Inner,
+            JoinKind::LeftOuter,
+            JoinKind::RightOuter,
+            JoinKind::FullOuter,
+            JoinKind::LeftSemi,
+            JoinKind::LeftAnti,
+        ] {
+            let env = ExecEnv::serial(&l);
+            let narrow = narrow_build_join_buf(
+                &env,
+                kind,
+                RowBuf::from_rows(l.width(), &left),
+                &[0], // a.id (global)
+                table,
+                TableId(1),
+                &[1], // b.aid (local)
+                Some(&keep),
+                &Pred::true_(),
+            );
+            // Reference: widen + filter + hash join.
+            let wide_right: Vec<Row> = b_data
+                .iter()
+                .zip(&keep)
+                .filter(|(_, &k)| k)
+                .map(|(r, _)| l.widen(TableId(1), r))
+                .collect();
+            let reference = hash_join(
+                &l,
+                kind,
+                &join_pred(),
+                left.clone(),
+                wide_right,
+                TableSet::singleton(TableId(0)),
+                TableSet::singleton(TableId(1)),
+            );
+            assert_eq!(narrow.into_rows(), reference, "{kind:?}");
+        }
     }
 
     #[test]

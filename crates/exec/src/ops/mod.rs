@@ -6,9 +6,10 @@ pub mod filter;
 pub mod join;
 
 pub use agg::{hash_aggregate, AggFunc};
-pub use dedup::{clean_dup, clean_dup_in, distinct, distinct_in};
-pub use filter::{filter, filter_in};
+pub use dedup::{clean_dup, clean_dup_buf, clean_dup_in, distinct, distinct_in};
+pub use filter::{filter, filter_buf, filter_in};
 pub use join::{
-    hash_join, hash_join_in, index_join, index_join_excluding, index_join_excluding_in, merge_rows,
-    semi_anti_by_key,
+    hash_join, hash_join_buf, hash_join_in, index_join, index_join_excluding,
+    index_join_excluding_buf, index_join_narrow_left_buf, merge_rows, narrow_build_join_buf,
+    semi_anti_by_key, semi_anti_by_key_buf, TINY_BUILD_MAX,
 };

@@ -84,15 +84,31 @@ pub struct OpStats {
     pub rows_out: AtomicU64,
     pub morsels: AtomicU64,
     pub time_ns: AtomicU64,
+    /// Heap allocations during the operator (process-wide; nonzero only
+    /// when a [`ojv_rel::CountingAlloc`] is installed as the global
+    /// allocator).
+    pub allocs: AtomicU64,
+    /// Bytes requested by those allocations.
+    pub alloc_bytes: AtomicU64,
 }
 
 impl OpStats {
-    pub fn record(&self, rows_in: usize, rows_out: usize, morsels: usize, started: Instant) {
+    pub fn record(
+        &self,
+        rows_in: usize,
+        rows_out: usize,
+        morsels: usize,
+        started: Instant,
+        alloc0: ojv_rel::AllocSnapshot,
+    ) {
         self.rows_in.fetch_add(rows_in as u64, Ordering::Relaxed);
         self.rows_out.fetch_add(rows_out as u64, Ordering::Relaxed);
         self.morsels.fetch_add(morsels as u64, Ordering::Relaxed);
         self.time_ns
             .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+        let da = ojv_rel::alloc_snapshot().since(&alloc0);
+        self.allocs.fetch_add(da.count, Ordering::Relaxed);
+        self.alloc_bytes.fetch_add(da.bytes, Ordering::Relaxed);
     }
 
     pub fn snapshot(&self) -> OpStatsSnapshot {
@@ -101,6 +117,8 @@ impl OpStats {
             rows_out: self.rows_out.load(Ordering::Relaxed),
             morsels: self.morsels.load(Ordering::Relaxed),
             time_ns: self.time_ns.load(Ordering::Relaxed),
+            allocs: self.allocs.load(Ordering::Relaxed),
+            alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
         }
     }
 }
@@ -112,6 +130,8 @@ pub struct OpStatsSnapshot {
     pub rows_out: u64,
     pub morsels: u64,
     pub time_ns: u64,
+    pub allocs: u64,
+    pub alloc_bytes: u64,
 }
 
 /// Per-operator counters for one evaluation (or one maintenance run).
@@ -178,9 +198,10 @@ impl<'a> ExecEnv<'a> {
         rows_out: usize,
         morsels: usize,
         started: Instant,
+        alloc0: ojv_rel::AllocSnapshot,
     ) {
         if let Some(stats) = self.stats {
-            op(stats).record(rows_in, rows_out, morsels, started);
+            op(stats).record(rows_in, rows_out, morsels, started, alloc0);
         }
     }
 }
@@ -224,8 +245,9 @@ mod tests {
     fn op_stats_accumulate() {
         let stats = OpStats::default();
         let t = Instant::now();
-        stats.record(10, 4, 2, t);
-        stats.record(5, 1, 1, t);
+        let a = ojv_rel::alloc_snapshot();
+        stats.record(10, 4, 2, t, a);
+        stats.record(5, 1, 1, t, a);
         let snap = stats.snapshot();
         assert_eq!(snap.rows_in, 15);
         assert_eq!(snap.rows_out, 5);

@@ -1,11 +1,12 @@
 //! Evaluation of delta expressions against the catalog.
 
 use ojv_algebra::{Expr, JoinKind, TableId, TableSet};
-use ojv_rel::{key_of, Datum, Relation, Row};
+use ojv_rel::{Relation, Row, RowBuf};
 use ojv_storage::Catalog;
 
 use crate::error::{ExecError, ExecResult};
-use crate::eval::eval_pred;
+use crate::eval::{eval_pred, eval_pred_narrow};
+use crate::hashtbl::KeySet;
 use crate::layout::ViewLayout;
 use crate::morsel::ParallelSpec;
 use crate::ops;
@@ -85,7 +86,13 @@ impl<'a> ExecCtx<'a> {
     }
 }
 
-/// Evaluate a delta expression to a set of wide rows.
+/// Evaluate a delta expression to a set of wide rows — legacy `Vec<Row>`
+/// form of [`eval_expr_buf`].
+pub fn eval_expr(ctx: &ExecCtx<'_>, expr: &Expr) -> ExecResult<Vec<Row>> {
+    Ok(eval_expr_buf(ctx, expr)?.into_rows())
+}
+
+/// Evaluate a delta expression to a flat wide-row batch.
 ///
 /// Returns [`ExecError::UnknownTable`] when the expression references a
 /// table the catalog no longer has (e.g. dropped after view analysis).
@@ -94,79 +101,76 @@ impl<'a> ExecCtx<'a> {
 /// Panics on internal invariant violations (e.g. a `Delta` leaf without a
 /// delta input, or a right-preserving spine join) — these indicate planner
 /// bugs, not runtime conditions.
-pub fn eval_expr(ctx: &ExecCtx<'_>, expr: &Expr) -> ExecResult<Vec<Row>> {
+pub fn eval_expr_buf(ctx: &ExecCtx<'_>, expr: &Expr) -> ExecResult<RowBuf> {
+    let width = ctx.layout.width();
     match expr {
-        Expr::Empty => Ok(Vec::new()),
+        Expr::Empty => Ok(RowBuf::new(width)),
         Expr::Table(t) => {
             let table = ctx.base_table(*t)?;
-            Ok(table
-                .rows()
-                .iter()
-                .map(|r| ctx.layout.widen(*t, r))
-                .collect())
+            let mut out = RowBuf::with_capacity(width, table.rows().len());
+            for r in table.rows() {
+                ctx.layout.widen_into(*t, r, &mut out);
+            }
+            Ok(out)
         }
         Expr::Delta(t) => {
             let delta = ctx.delta.expect("Delta leaf requires a delta input");
             assert_eq!(delta.table, *t, "Delta leaf for the wrong table");
-            Ok(delta
-                .rows
-                .rows()
-                .iter()
-                .map(|r| ctx.layout.widen(*t, r))
-                .collect())
+            let mut out = RowBuf::with_capacity(width, delta.rows.rows().len());
+            for r in delta.rows.rows() {
+                ctx.layout.widen_into(*t, r, &mut out);
+            }
+            Ok(out)
         }
         Expr::OldState(t) => {
             // T current minus ΔT by key: the pre-update state after an
-            // insert (§5.3's `T± ▷_{eq(T)} ΔT`).
+            // insert (§5.3's `T± ▷_{eq(T)} ΔT`). The delta keys live in a
+            // borrowed-key set, so the scan allocates nothing per row.
             let delta = ctx.delta.expect("OldState leaf requires a delta input");
             assert_eq!(delta.table, *t, "OldState leaf for the wrong table");
             let table = ctx.base_table(*t)?;
-            let key_cols = table.key_cols().to_vec();
-            let delta_keys: std::collections::HashSet<Vec<Datum>> = delta
-                .rows
-                .rows()
-                .iter()
-                .map(|r| key_of(r, &key_cols))
-                .collect();
-            Ok(table
-                .rows()
-                .iter()
-                .filter(|r| !delta_keys.contains(&key_of(r, &key_cols)))
-                .map(|r| ctx.layout.widen(*t, r))
-                .collect())
+            let key_cols = table.key_cols();
+            let delta_keys =
+                KeySet::build(delta.rows.rows().iter().map(|r| r.as_slice()), key_cols);
+            let mut out = RowBuf::with_capacity(width, table.rows().len());
+            for r in table.rows() {
+                if !delta_keys.contains(r, key_cols) {
+                    ctx.layout.widen_into(*t, r, &mut out);
+                }
+            }
+            Ok(out)
         }
         Expr::Select(pred, input) => {
-            let rows = eval_expr(ctx, input)?;
-            Ok(ops::filter_in(&ctx.env(), pred, rows))
+            let rows = eval_expr_buf(ctx, input)?;
+            Ok(ops::filter_buf(&ctx.env(), pred, rows))
         }
         Expr::NullIf {
             null_tables,
             pred,
             input,
         } => {
-            let mut rows = eval_expr(ctx, input)?;
+            let mut rows = eval_expr_buf(ctx, input)?;
             // Predicate evaluation is the expensive part; run it
             // morsel-parallel over the read-only rows, then null out the
             // flagged rows in order.
             let null_flags: Vec<bool> = map_morsels(ctx.spec, rows.len(), |range| {
-                rows[range]
-                    .iter()
-                    .map(|row| !eval_pred(ctx.layout, pred, row))
+                range
+                    .map(|i| !eval_pred(ctx.layout, pred, rows.row(i)))
                     .collect::<Vec<bool>>()
             })
             .into_iter()
             .flatten()
             .collect();
-            for (row, null_it) in rows.iter_mut().zip(null_flags) {
+            for (i, null_it) in null_flags.into_iter().enumerate() {
                 if null_it {
-                    ctx.layout.null_out(*null_tables, row);
+                    ctx.layout.null_out(*null_tables, rows.row_mut(i));
                 }
             }
             Ok(rows)
         }
         Expr::CleanDup(input) => {
-            let rows = eval_expr(ctx, input)?;
-            Ok(ops::clean_dup_in(&ctx.env(), rows))
+            let rows = eval_expr_buf(ctx, input)?;
+            Ok(ops::clean_dup_buf(&ctx.env(), rows))
         }
         Expr::Join {
             kind,
@@ -174,20 +178,23 @@ pub fn eval_expr(ctx: &ExecCtx<'_>, expr: &Expr) -> ExecResult<Vec<Row>> {
             left,
             right,
         } => {
-            let left_rows = eval_expr(ctx, left)?;
-            join_rows_expr(ctx, *kind, pred, left_rows, left.sources(), right)
+            // Delta-driven first join: when the left operand is the raw
+            // delta and the right is an indexed base scan, probe from the
+            // narrow delta rows and widen only survivors — the bulk of a
+            // selective delta batch is never materialized at view width.
+            if let Expr::Delta(dt) = left.as_ref() {
+                if let Some(out) = delta_index_join(ctx, *kind, pred, *dt, right)? {
+                    return Ok(out);
+                }
+            }
+            let left_rows = eval_expr_buf(ctx, left)?;
+            join_buf_expr(ctx, *kind, pred, left_rows, left.sources(), right)
         }
     }
 }
 
-/// Join already-materialized left rows against a right *expression*,
-/// choosing an index-nested-loop plan when the right operand is a base-table
-/// scan (or the pre-update `OldState` of the delta table) with a covering
-/// index, and falling back to a hash join otherwise.
-///
-/// This is the join arm of [`eval_expr`], exposed so the maintenance layer
-/// can run the paper's §5.3 anti-semijoins (`candidates ▷ E'_{ip}`) against
-/// constructed expressions with the same plan choices.
+/// Join already-materialized left rows against a right *expression* —
+/// legacy `Vec<Row>` form of [`join_buf_expr`].
 pub fn join_rows_expr(
     ctx: &ExecCtx<'_>,
     kind: JoinKind,
@@ -196,48 +203,66 @@ pub fn join_rows_expr(
     left_sources: TableSet,
     right: &Expr,
 ) -> ExecResult<Vec<Row>> {
+    let left = RowBuf::from_rows(ctx.layout.width(), &left_rows);
+    Ok(join_buf_expr(ctx, kind, pred, left, left_sources, right)?.into_rows())
+}
+
+/// Join a materialized left batch against a right *expression*, choosing —
+/// in order of preference:
+///
+/// 1. an **index-nested-loop** plan when the right operand is a base-table
+///    scan (or the pre-update `OldState` of the delta table) with a
+///    covering index,
+/// 2. a **narrow-build hash join** when the right operand is a base-table
+///    scan without a covering index: the build indexes the table's narrow
+///    rows in place instead of widening the whole table first,
+/// 3. a hash join against the evaluated right expression otherwise.
+///
+/// This is the join arm of [`eval_expr_buf`], exposed so the maintenance
+/// layer can run the paper's §5.3 anti-semijoins (`candidates ▷ E'_{ip}`)
+/// against constructed expressions with the same plan choices.
+pub fn join_buf_expr(
+    ctx: &ExecCtx<'_>,
+    kind: JoinKind,
+    pred: &ojv_algebra::Pred,
+    left_rows: RowBuf,
+    left_sources: TableSet,
+    right: &Expr,
+) -> ExecResult<RowBuf> {
     let right_sources = right.sources();
-    // Index-nested-loop fast path: right operand is a base-table scan
-    // (possibly under a single-table selection) with an index covering the
-    // equijoin columns.
-    if ctx.prefer_index_joins
-        && matches!(
-            kind,
-            JoinKind::Inner | JoinKind::LeftOuter | JoinKind::LeftSemi | JoinKind::LeftAnti
-        )
-    {
-        if let Some(scan) = base_scan_of(right) {
-            let (keys, residual) = pred.equi_split(left_sources, right_sources);
-            if !keys.is_empty() {
-                let table = ctx.base_table(scan.table)?;
-                let slot_offset = ctx.layout.slot(scan.table).offset;
-                let local: Vec<usize> = keys
-                    .iter()
-                    .map(|(_, r)| ctx.layout.global(*r) - slot_offset)
-                    .collect();
+    if let Some(scan) = base_scan_of(right) {
+        let (keys, residual) = pred.equi_split(left_sources, right_sources);
+        if !keys.is_empty() {
+            let table = ctx.base_table(scan.table)?;
+            let slot_offset = ctx.layout.slot(scan.table).offset;
+            let local: Vec<usize> = keys
+                .iter()
+                .map(|(_, r)| ctx.layout.global(*r) - slot_offset)
+                .collect();
+            let probe: Vec<usize> = keys.iter().map(|(l, _)| ctx.layout.global(*l)).collect();
+            let delta_exclusion = || {
+                let delta = ctx.delta.expect("OldState leaf requires a delta input");
+                assert_eq!(delta.table, scan.table, "OldState leaf for the wrong table");
+                KeySet::build(
+                    delta.rows.rows().iter().map(|r| r.as_slice()),
+                    table.key_cols(),
+                )
+            };
+            // Index-nested-loop fast path: a covering index on the equijoin
+            // columns, for the left-preserving kinds the spine produces.
+            if ctx.prefer_index_joins
+                && matches!(
+                    kind,
+                    JoinKind::Inner | JoinKind::LeftOuter | JoinKind::LeftSemi | JoinKind::LeftAnti
+                )
+            {
                 if let Some((index, perm)) = table.index_on(&local) {
-                    let probe: Vec<usize> =
-                        keys.iter().map(|(l, _)| ctx.layout.global(*l)).collect();
-                    let mut full_residual = residual;
+                    let mut full_residual = residual.clone();
                     if let Some(p) = scan.pred {
                         full_residual = full_residual.and(p);
                     }
-                    let exclude = if scan.exclude_delta {
-                        let delta = ctx.delta.expect("OldState leaf requires a delta input");
-                        assert_eq!(delta.table, scan.table, "OldState leaf for the wrong table");
-                        let kc = table.key_cols().to_vec();
-                        Some(
-                            delta
-                                .rows
-                                .rows()
-                                .iter()
-                                .map(|r| key_of(r, &kc))
-                                .collect::<std::collections::HashSet<_>>(),
-                        )
-                    } else {
-                        None
-                    };
-                    return Ok(ops::index_join_excluding_in(
+                    let exclude = scan.exclude_delta.then(delta_exclusion);
+                    return Ok(ops::index_join_excluding_buf(
                         &ctx.env(),
                         kind,
                         left_rows,
@@ -251,10 +276,42 @@ pub fn join_rows_expr(
                     ));
                 }
             }
+            // Narrow-build fallback: hash-join against the table's narrow
+            // rows in place — the whole base table is never widened. Scan
+            // predicates and delta exclusion fold into the build-side keep
+            // mask (narrow predicate evaluation), so right-preserving kinds
+            // emit exactly the filtered unmatched rows.
+            let keep: Option<Vec<bool>> = if scan.pred.is_some() || scan.exclude_delta {
+                let excluded = scan.exclude_delta.then(delta_exclusion);
+                let key_cols = table.key_cols();
+                Some(
+                    table
+                        .rows()
+                        .iter()
+                        .map(|r| {
+                            scan.pred.is_none_or(|p| eval_pred_narrow(p, r))
+                                && excluded.as_ref().is_none_or(|ex| !ex.contains(r, key_cols))
+                        })
+                        .collect(),
+                )
+            } else {
+                None
+            };
+            return Ok(ops::narrow_build_join_buf(
+                &ctx.env(),
+                kind,
+                left_rows,
+                &probe,
+                table,
+                scan.table,
+                &local,
+                keep.as_deref(),
+                &residual,
+            ));
         }
     }
-    let right_rows = eval_expr(ctx, right)?;
-    Ok(ops::hash_join_in(
+    let right_rows = eval_expr_buf(ctx, right)?;
+    Ok(ops::hash_join_buf(
         &ctx.env(),
         kind,
         pred,
@@ -263,6 +320,75 @@ pub fn join_rows_expr(
         left_sources,
         right_sources,
     ))
+}
+
+/// The narrow-left fast path of [`eval_expr_buf`]'s join arm: `Δt ⋈ scan`
+/// with a covering index on the equijoin columns probes straight from the
+/// narrow delta rows (see [`ops::index_join_narrow_left_buf`]). Returns
+/// `Ok(None)` when the shape doesn't apply and the caller should widen the
+/// delta and take the regular join ladder.
+fn delta_index_join(
+    ctx: &ExecCtx<'_>,
+    kind: JoinKind,
+    pred: &ojv_algebra::Pred,
+    dt: TableId,
+    right: &Expr,
+) -> ExecResult<Option<RowBuf>> {
+    if !ctx.prefer_index_joins
+        || !matches!(
+            kind,
+            JoinKind::Inner | JoinKind::LeftOuter | JoinKind::LeftSemi | JoinKind::LeftAnti
+        )
+    {
+        return Ok(None);
+    }
+    let Some(scan) = base_scan_of(right) else {
+        return Ok(None);
+    };
+    if scan.exclude_delta {
+        // `Δt ⋈ OldState(t)` — a self-join shape the spine never produces;
+        // let the widened path handle it.
+        return Ok(None);
+    }
+    let (keys, residual) = pred.equi_split(TableSet::singleton(dt), right.sources());
+    if keys.is_empty() {
+        return Ok(None);
+    }
+    let table = ctx.base_table(scan.table)?;
+    let slot_offset = ctx.layout.slot(scan.table).offset;
+    let local: Vec<usize> = keys
+        .iter()
+        .map(|(_, r)| ctx.layout.global(*r) - slot_offset)
+        .collect();
+    let Some((index, perm)) = table.index_on(&local) else {
+        return Ok(None);
+    };
+    let probe_local: Vec<usize> = keys
+        .iter()
+        .map(|(l, _)| {
+            debug_assert_eq!(l.table, dt, "left key column outside the delta table");
+            l.col
+        })
+        .collect();
+    let mut full_residual = residual;
+    if let Some(p) = scan.pred {
+        full_residual = full_residual.and(p);
+    }
+    let delta = ctx.delta.expect("Delta leaf requires a delta input");
+    assert_eq!(delta.table, dt, "Delta leaf for the wrong table");
+    Ok(Some(ops::index_join_narrow_left_buf(
+        &ctx.env(),
+        kind,
+        delta.rows.rows(),
+        dt,
+        &probe_local,
+        table,
+        scan.table,
+        index,
+        &perm,
+        &full_residual,
+        None,
+    )))
 }
 
 struct BaseScan<'e> {
@@ -309,7 +435,7 @@ fn base_scan_of(e: &Expr) -> Option<BaseScan<'_>> {
 mod tests {
     use super::*;
     use ojv_algebra::{Atom, CmpOp, ColRef, Pred};
-    use ojv_rel::{Column, DataType};
+    use ojv_rel::{Column, DataType, Datum};
 
     /// part(0) fo (orders(1) lo lineitem(2)) — the paper's Example 1 shape,
     /// tiny data.

@@ -1,0 +1,117 @@
+//! Allocation discipline of the join probe hot path.
+//!
+//! Installs the counting global allocator from the testkit and asserts that
+//! probing a join hash table with non-matching keys performs **zero** heap
+//! allocations per probe: the borrowed-key hash-then-verify design never
+//! builds an owned key, and a probe that finds no candidates writes nothing.
+
+use ojv_algebra::{Atom, ColRef, JoinKind, Pred, TableId, TableSet};
+use ojv_exec::{ops, ExecEnv, KeyHashTable, ViewLayout};
+use ojv_rel::{Column, DataType, Datum, RowBuf};
+use ojv_storage::Catalog;
+use ojv_testkit::{alloc_snapshot, CountingAlloc};
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+fn layout() -> (Catalog, ViewLayout) {
+    let mut c = Catalog::new();
+    c.create_table(
+        "a",
+        vec![
+            Column::new("a", "id", DataType::Int, false),
+            Column::new("a", "v", DataType::Int, true),
+        ],
+        &["id"],
+    )
+    .unwrap();
+    c.create_table(
+        "b",
+        vec![
+            Column::new("b", "id", DataType::Int, false),
+            Column::new("b", "w", DataType::Int, true),
+        ],
+        &["id"],
+    )
+    .unwrap();
+    let l = ViewLayout::new(&c, &["a", "b"]).unwrap();
+    (c, l)
+}
+
+/// Widened `a` rows with ids in `lo..hi` (disjoint from the build side).
+fn probes(l: &ViewLayout, lo: i64, hi: i64) -> RowBuf {
+    let mut buf = RowBuf::new(l.width());
+    for id in lo..hi {
+        let row = buf.push_null_row();
+        row[0] = Datum::Int(id);
+        row[1] = Datum::Int(id * 2);
+    }
+    buf
+}
+
+fn build_side(l: &ViewLayout, n: i64) -> RowBuf {
+    let mut buf = RowBuf::new(l.width());
+    for id in 0..n {
+        let row = buf.push_null_row();
+        row[2] = Datum::Int(id);
+        row[3] = Datum::Int(id + 100);
+    }
+    buf
+}
+
+/// Everything in one test function: the counters are process-global, so
+/// concurrently running tests would pollute each other's deltas.
+#[test]
+fn non_matching_probes_do_not_allocate() {
+    let (_c, l) = layout();
+
+    // 1. The raw probe loop: hash + bucket walk, borrowed keys only.
+    //    Exactly zero allocations across 10k misses.
+    let right = build_side(&l, 128);
+    let table = KeyHashTable::build(&right, &[2]);
+    let misses = probes(&l, 1_000_000, 1_010_000);
+    let before = alloc_snapshot();
+    let mut found = 0usize;
+    for i in 0..misses.len() {
+        found += table.candidates(misses.row(i), &[0]).count();
+    }
+    let delta = alloc_snapshot().since(&before);
+    assert_eq!(found, 0, "probe ids are disjoint from the build side");
+    assert!(
+        alloc_snapshot().count > 0,
+        "counting allocator must be installed for this test to mean anything"
+    );
+    assert_eq!(
+        delta.count, 0,
+        "non-matching probes must not touch the heap (saw {} allocations, {} bytes)",
+        delta.count, delta.bytes
+    );
+
+    // 2. The full hash-join operator: per-probe cost must be zero, so the
+    //    operator's allocation count is independent of the number of
+    //    non-matching probe rows (fixed setup cost only).
+    let env = ExecEnv::serial(&l);
+    let pred = Pred::atom(Atom::eq(
+        ColRef::new(TableId(0), 0),
+        ColRef::new(TableId(1), 0),
+    ));
+    let (ls, rs) = (
+        TableSet::singleton(TableId(0)),
+        TableSet::singleton(TableId(1)),
+    );
+    let mut deltas = Vec::new();
+    for n in [10i64, 1000] {
+        let left = probes(&l, 1_000_000, 1_000_000 + n);
+        let right = build_side(&l, 128);
+        let before = alloc_snapshot();
+        let out = ops::hash_join_buf(&env, JoinKind::Inner, &pred, left, right, ls, rs);
+        deltas.push(alloc_snapshot().since(&before).count);
+        assert!(out.is_empty(), "no probe matches the build side");
+    }
+    assert_eq!(
+        deltas[0], deltas[1],
+        "join allocation count must not scale with non-matching probes: \
+         {} allocs for 10 probes vs {} for 1000",
+        deltas[0], deltas[1]
+    );
+}

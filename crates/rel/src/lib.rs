@@ -16,18 +16,27 @@
 //! constraints, no operators beyond the algebraic primitives the paper's
 //! definitions need. Those live in `ojv-storage` and `ojv-exec`.
 
+pub mod alloc;
 pub mod datum;
 pub mod error;
 pub mod floatsum;
+pub mod fxhash;
 pub mod relation;
 pub mod row;
+pub mod rowbuf;
 pub mod schema;
 pub mod subsume;
 
+pub use alloc::{alloc_counting_active, alloc_snapshot, AllocSnapshot, CountingAlloc};
 pub use datum::{date, date_from_days, days_from_date, DataType, Datum};
 pub use error::RelError;
 pub use floatsum::ExactFloatSum;
+pub use fxhash::{
+    fx_hash_one, fx_map_with_capacity, fx_set_with_capacity, FxBuildHasher, FxHashMap, FxHashSet,
+    FxHasher,
+};
 pub use relation::Relation;
-pub use row::{all_non_null, all_null, key_of, row_display, Row};
+pub use row::{all_non_null, all_null, key_into, key_of, row_display, Row};
+pub use rowbuf::{key_eq, key_eq_rows, key_hash, RowBuf};
 pub use schema::{Column, Schema, SchemaRef};
 pub use subsume::{minimum_union, outer_union, outer_union_schema, remove_subsumed, subsumes};

@@ -16,6 +16,15 @@ pub fn key_of(row: &[Datum], cols: &[usize]) -> Vec<Datum> {
     cols.iter().map(|&c| row[c].clone()).collect()
 }
 
+/// Extract the sub-tuple at `cols` into a caller-owned buffer, reusing its
+/// allocation — the loop-friendly form of [`key_of`] for probe loops that
+/// genuinely need an owned key (e.g. map insertion on miss).
+#[inline]
+pub fn key_into(row: &[Datum], cols: &[usize], out: &mut Vec<Datum>) {
+    out.clear();
+    out.extend(cols.iter().map(|&c| row[c].clone()));
+}
+
 /// True iff every column in `cols` is null — the paper's `null(T)` predicate
 /// evaluated over a table's key columns.
 pub fn all_null(row: &[Datum], cols: &[usize]) -> bool {

@@ -1,8 +1,6 @@
 //! Heap tables with a unique-key hash index and secondary indexes.
 
-use std::collections::HashMap;
-
-use ojv_rel::{key_of, Datum, Relation, Row, SchemaRef};
+use ojv_rel::{key_of, Datum, FxHashMap, Relation, Row, SchemaRef};
 
 use crate::error::StorageError;
 
@@ -10,7 +8,7 @@ use crate::error::StorageError;
 #[derive(Debug, Clone, Default)]
 struct SecondaryIndex {
     cols: Vec<usize>,
-    map: HashMap<Vec<Datum>, Vec<usize>>,
+    map: FxHashMap<Vec<Datum>, Vec<usize>>,
 }
 
 impl SecondaryIndex {
@@ -63,8 +61,9 @@ pub struct Table {
     schema: SchemaRef,
     key_cols: Vec<usize>,
     rows: Vec<Row>,
-    /// unique key -> position in `rows`.
-    unique: HashMap<Vec<Datum>, usize>,
+    /// unique key -> position in `rows`. Lookups borrow (`&[Datum]`), and
+    /// the deterministic fx hasher keeps probes cheap on the delta hot path.
+    unique: FxHashMap<Vec<Datum>, usize>,
     secondary: Vec<SecondaryIndex>,
 }
 
@@ -96,7 +95,7 @@ impl Table {
             schema,
             key_cols,
             rows: Vec::new(),
-            unique: HashMap::new(),
+            unique: FxHashMap::default(),
             secondary: Vec::new(),
         })
     }
@@ -136,7 +135,7 @@ impl Table {
     pub fn add_secondary_index(&mut self, cols: Vec<usize>) -> usize {
         let mut idx = SecondaryIndex {
             cols,
-            map: HashMap::new(),
+            map: FxHashMap::default(),
         };
         for (pos, row) in self.rows.iter().enumerate() {
             idx.insert(row, pos);

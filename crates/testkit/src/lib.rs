@@ -29,3 +29,9 @@ pub mod strategy;
 pub use check::run_property;
 pub use rng::{mix, Rng};
 pub use strategy::{choice, strategy, vec_of, Just, Strategy};
+
+// Allocation-discipline instrumentation: a counting `#[global_allocator]`
+// test harnesses can install to assert hot paths stay allocation-free.
+// The counters live in `ojv_rel` (next to the operators they audit);
+// re-exported here so test crates only need the testkit.
+pub use ojv_rel::{alloc_counting_active, alloc_snapshot, AllocSnapshot, CountingAlloc};
