@@ -13,11 +13,17 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (workspace, all targets, deny warnings)"
 cargo clippy --offline --workspace --all-targets -- -D warnings
 
+echo "==> xtask lint (in-repo token-level lint gate)"
+cargo run --offline -q -p xtask -- lint
+
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
 
 echo "==> cargo test"
 cargo test --offline --workspace -q
+
+echo "==> cargo test -p ojv-analysis (static plan verifier)"
+cargo test --offline -q -p ojv-analysis
 
 echo "==> bench targets compile (criterion-lite shim)"
 cargo check --offline -p ojv-bench --benches --features criterion

@@ -19,6 +19,8 @@
 //! Execution of the resulting expressions lives in `ojv-exec`; the end-to-end
 //! maintenance procedure lives in `ojv-core`.
 
+#![forbid(unsafe_code)]
+
 pub mod expr;
 pub mod fk;
 pub mod left_deep;

@@ -1,0 +1,711 @@
+//! The verification passes.
+//!
+//! Each pass takes the artifacts a plan is built from — the wide-row
+//! [`ViewLayout`], the normalized term set in its [`SubsumptionGraph`], the
+//! [`MaintenanceGraph`] classification, and the delta [`Expr`] tree — and
+//! re-derives the invariant the paper's construction is supposed to
+//! guarantee, without executing anything. On success a pass returns the
+//! number of individual checks it performed (summed into EXPLAIN's
+//! `verified: ok (N invariants)` footer); on failure it returns the first
+//! [`PlanViolation`] with the operator path that broke.
+
+use ojv_algebra::left_deep::is_left_deep;
+use ojv_algebra::{
+    Expr, FkEdge, JoinKind, MaintenanceGraph, Pred, SubsumptionGraph, TableId, TableSet, Term,
+};
+use ojv_exec::ViewLayout;
+use ojv_storage::Catalog;
+
+use crate::violation::{Invariant, PlanViolation};
+
+/// Outcome of running a set of passes: how many individual checks passed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VerifyReport {
+    pub checks: usize,
+}
+
+impl VerifyReport {
+    pub fn add(&mut self, checks: usize) {
+        self.checks += checks;
+    }
+}
+
+fn fail(
+    invariant: Invariant,
+    path: &[String],
+    detail: impl Into<String>,
+) -> Result<(), PlanViolation> {
+    Err(PlanViolation::new(invariant, path.join("/"), detail.into()))
+}
+
+/// Verify the wide-row layout itself, and (when a catalog is supplied) its
+/// agreement with the catalog's current table schemas.
+///
+/// The catalog cross-check is what catches *stride mismatch after widening*:
+/// a layout built against one catalog and used against another (e.g. after a
+/// table gained a column) widens rows at the wrong offsets.
+pub fn verify_layout(
+    layout: &ViewLayout,
+    catalog: Option<&Catalog>,
+) -> Result<usize, PlanViolation> {
+    let mut checks = 0usize;
+    let mut offset = 0usize;
+    for slot in layout.slots() {
+        let path = vec![format!("layout/{}", slot.name)];
+        checks += 1;
+        if slot.offset != offset {
+            fail(
+                Invariant::LayoutStride,
+                &path,
+                format!(
+                    "slot offset {} but previous slots end at {offset}",
+                    slot.offset
+                ),
+            )?;
+        }
+        checks += 1;
+        if slot.len != slot.schema.len() {
+            fail(
+                Invariant::LayoutStride,
+                &path,
+                format!(
+                    "slot len {} vs schema arity {}",
+                    slot.len,
+                    slot.schema.len()
+                ),
+            )?;
+        }
+        checks += 1;
+        if slot.key_cols.is_empty() {
+            fail(
+                Invariant::LayoutKey,
+                &path,
+                "slot has no key columns; null(T) is undecidable",
+            )?;
+        }
+        for &k in &slot.key_cols {
+            checks += 1;
+            if k < slot.offset || k >= slot.offset + slot.len {
+                fail(
+                    Invariant::LayoutKey,
+                    &path,
+                    format!(
+                        "key column {k} outside slot range [{}, {})",
+                        slot.offset,
+                        slot.offset + slot.len
+                    ),
+                )?;
+            } else {
+                checks += 1;
+                if slot.schema.columns()[k - slot.offset].nullable {
+                    fail(
+                        Invariant::LayoutKey,
+                        &path,
+                        format!("key column {k} is nullable; null(T) would misfire"),
+                    )?;
+                }
+            }
+        }
+        offset += slot.len;
+    }
+    let root = vec!["layout".to_string()];
+    checks += 1;
+    if layout.width() != offset {
+        fail(
+            Invariant::LayoutStride,
+            &root,
+            format!("width {} but slots tile {offset} columns", layout.width()),
+        )?;
+    }
+    checks += 1;
+    if layout.wide_schema().len() != layout.width() {
+        fail(
+            Invariant::LayoutStride,
+            &root,
+            format!(
+                "wide schema arity {} vs width {}",
+                layout.wide_schema().len(),
+                layout.width()
+            ),
+        )?;
+    }
+    if let Some(catalog) = catalog {
+        for slot in layout.slots() {
+            let path = vec![format!("layout/{}", slot.name)];
+            checks += 1;
+            let table = match catalog.table(&slot.name) {
+                Ok(t) => t,
+                Err(_) => {
+                    fail(
+                        Invariant::LayoutWiden,
+                        &path,
+                        "table no longer exists in the catalog",
+                    )?;
+                    continue;
+                }
+            };
+            checks += 1;
+            if table.schema().len() != slot.len {
+                fail(
+                    Invariant::LayoutWiden,
+                    &path,
+                    format!(
+                        "catalog arity {} vs slot len {} — widened rows would land at wrong strides",
+                        table.schema().len(),
+                        slot.len
+                    ),
+                )?;
+            }
+            checks += 1;
+            let expect: Vec<usize> = table.key_cols().iter().map(|&c| c + slot.offset).collect();
+            if expect != slot.key_cols {
+                fail(
+                    Invariant::LayoutWiden,
+                    &path,
+                    format!(
+                        "catalog key columns {expect:?} vs slot key columns {:?}",
+                        slot.key_cols
+                    ),
+                )?;
+            }
+        }
+    }
+    Ok(checks)
+}
+
+/// Verify that a delta batch's arity matches the updated table's slot, so
+/// widening lands every column at the right stride.
+pub fn verify_delta_arity(
+    layout: &ViewLayout,
+    updated: TableId,
+    arity: usize,
+) -> Result<usize, PlanViolation> {
+    let mut checks = 1usize;
+    if updated.index() >= layout.table_count() {
+        return Err(PlanViolation::new(
+            Invariant::PlanTableRange,
+            format!("Δ{updated}"),
+            format!(
+                "updated table outside layout of {} tables",
+                layout.table_count()
+            ),
+        ));
+    }
+    let slot = layout.slot(updated);
+    checks += 1;
+    if arity != slot.len {
+        return Err(PlanViolation::new(
+            Invariant::DeltaArity,
+            format!("Δ{}", slot.name),
+            format!("delta rows have {arity} columns vs slot arity {}", slot.len),
+        ));
+    }
+    Ok(checks)
+}
+
+/// Verify a delta expression tree against the layout: leaf table ranges,
+/// delta-leaf identity, join source disjointness, predicate scope and column
+/// ranges, and the λ/δ side conditions of the left-deep rewrite rules.
+///
+/// `delta` is the updated table when verifying a maintenance plan, or `None`
+/// for a plain view expression (which must not contain Δ leaves).
+pub fn verify_plan(
+    layout: &ViewLayout,
+    plan: &Expr,
+    delta: Option<TableId>,
+) -> Result<usize, PlanViolation> {
+    let mut checks = 0usize;
+    let mut path = vec!["plan".to_string()];
+    walk(layout, plan, delta, false, &mut path, &mut checks)?;
+    Ok(checks)
+}
+
+/// Verify that a plan claimed left-deep really is: every join's right
+/// operand along the spine is a leaf.
+pub fn verify_left_deep(plan: &Expr) -> Result<usize, PlanViolation> {
+    if !is_left_deep(plan) {
+        return Err(PlanViolation::new(
+            Invariant::LeftDeepSpine,
+            "plan",
+            "a spine join has a non-leaf right operand",
+        ));
+    }
+    Ok(1)
+}
+
+fn table_name(layout: &ViewLayout, t: TableId) -> String {
+    if t.index() < layout.table_count() {
+        layout.slot(t).name.clone()
+    } else {
+        t.to_string()
+    }
+}
+
+fn check_leaf(
+    layout: &ViewLayout,
+    t: TableId,
+    is_delta: bool,
+    delta: Option<TableId>,
+    path: &[String],
+    checks: &mut usize,
+) -> Result<(), PlanViolation> {
+    *checks += 1;
+    if t.index() >= layout.table_count() {
+        fail(
+            Invariant::PlanTableRange,
+            path,
+            format!(
+                "leaf references {t} but the layout has {} tables",
+                layout.table_count()
+            ),
+        )?;
+    }
+    if is_delta {
+        *checks += 1;
+        match delta {
+            Some(u) if u == t => {}
+            Some(u) => fail(
+                Invariant::PlanDeltaLeaf,
+                path,
+                format!(
+                    "Δ/old-state leaf over {} but the maintained update targets {}",
+                    table_name(layout, t),
+                    table_name(layout, u)
+                ),
+            )?,
+            None => fail(
+                Invariant::PlanDeltaLeaf,
+                path,
+                format!(
+                    "Δ/old-state leaf over {} in a plan with no delta input",
+                    table_name(layout, t)
+                ),
+            )?,
+        }
+    }
+    Ok(())
+}
+
+fn check_pred(
+    layout: &ViewLayout,
+    pred: &Pred,
+    scope: TableSet,
+    path: &[String],
+    checks: &mut usize,
+) -> Result<(), PlanViolation> {
+    for atom in pred.atoms() {
+        for col in atom.col_refs() {
+            *checks += 1;
+            if !scope.contains(col.table) {
+                fail(
+                    Invariant::PlanPredScope,
+                    path,
+                    format!(
+                        "predicate atom `{atom}` references {} outside scope {scope}",
+                        col.table
+                    ),
+                )?;
+            }
+            *checks += 1;
+            if col.table.index() >= layout.table_count() {
+                fail(
+                    Invariant::PlanColRange,
+                    path,
+                    format!(
+                        "predicate atom `{atom}` references unknown table {}",
+                        col.table
+                    ),
+                )?;
+            } else {
+                let slot = layout.slot(col.table);
+                *checks += 1;
+                if col.col >= slot.len {
+                    fail(
+                        Invariant::PlanColRange,
+                        path,
+                        format!(
+                            "predicate atom `{atom}` references {}.c{} but the slot has {} columns",
+                            slot.name, col.col, slot.len
+                        ),
+                    )?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn walk(
+    layout: &ViewLayout,
+    e: &Expr,
+    delta: Option<TableId>,
+    under_cleanup: bool,
+    path: &mut Vec<String>,
+    checks: &mut usize,
+) -> Result<(), PlanViolation> {
+    match e {
+        Expr::Table(t) => check_leaf(layout, *t, false, delta, path, checks),
+        Expr::Delta(t) | Expr::OldState(t) => check_leaf(layout, *t, true, delta, path, checks),
+        Expr::Empty => Ok(()),
+        Expr::Select(pred, input) => {
+            check_pred(layout, pred, input.sources(), path, checks)?;
+            path.push("σ".to_string());
+            walk(layout, input, delta, false, path, checks)?;
+            path.pop();
+            Ok(())
+        }
+        Expr::Join {
+            kind,
+            pred,
+            left,
+            right,
+        } => {
+            let ls = left.sources();
+            let rs = right.sources();
+            *checks += 1;
+            if !ls.intersect(rs).is_empty() {
+                fail(
+                    Invariant::PlanJoinOverlap,
+                    path,
+                    format!("join operands share sources {}", ls.intersect(rs)),
+                )?;
+            }
+            // Predicate scope for semijoins still spans both operands even
+            // though only the left side's columns survive.
+            check_pred(layout, pred, ls.union(rs), path, checks)?;
+            let label = match kind {
+                JoinKind::Inner => "⋈",
+                JoinKind::LeftOuter => "lo",
+                JoinKind::RightOuter => "ro",
+                JoinKind::FullOuter => "fo",
+                JoinKind::LeftSemi => "⋉",
+                JoinKind::LeftAnti => "▷",
+            };
+            path.push(format!("{label}[L]"));
+            walk(layout, left, delta, false, path, checks)?;
+            path.pop();
+            path.push(format!("{label}[R]"));
+            walk(layout, right, delta, false, path, checks)?;
+            path.pop();
+            Ok(())
+        }
+        Expr::NullIf {
+            null_tables,
+            pred,
+            input,
+        } => {
+            *checks += 1;
+            if !under_cleanup {
+                fail(
+                    Invariant::LeftDeepMissingDelta,
+                    path,
+                    "null-if (λ) without an enclosing cleanup (δ) — rules 1/4/5 \
+                     require δ to remove the duplicates and subsumed tuples λ creates",
+                )?;
+            }
+            *checks += 1;
+            if null_tables.is_empty() {
+                fail(Invariant::LeftDeepNullIfScope, path, "empty null set")?;
+            }
+            *checks += 1;
+            if !null_tables.is_subset_of(input.sources()) {
+                fail(
+                    Invariant::LeftDeepNullIfScope,
+                    path,
+                    format!(
+                        "null set {null_tables} not produced by the input (sources {})",
+                        input.sources()
+                    ),
+                )?;
+            }
+            *checks += 1;
+            if !pred.tables().is_subset_of(*null_tables) {
+                fail(
+                    Invariant::LeftDeepNullIfScope,
+                    path,
+                    format!(
+                        "λ predicate references {} outside the null set {null_tables}",
+                        pred.tables()
+                    ),
+                )?;
+            }
+            check_pred(layout, pred, input.sources(), path, checks)?;
+            path.push("λ".to_string());
+            walk(layout, input, delta, false, path, checks)?;
+            path.pop();
+            Ok(())
+        }
+        Expr::CleanDup(input) => {
+            path.push("δ".to_string());
+            walk(layout, input, delta, true, path, checks)?;
+            path.pop();
+            Ok(())
+        }
+    }
+}
+
+/// Verify JDNF well-formedness of a subsumption graph: unique term source
+/// sets, edges exactly to minimal proper supersets, and acyclicity.
+pub fn verify_jdnf(graph: &SubsumptionGraph) -> Result<usize, PlanViolation> {
+    let mut checks = 0usize;
+    let terms = graph.terms();
+    let n = terms.len();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            checks += 1;
+            if terms[i].tables == terms[j].tables {
+                return Err(PlanViolation::new(
+                    Invariant::JdnfUniqueSources,
+                    format!("jdnf/term{i}"),
+                    format!(
+                        "terms {i} and {j} share the source set {} — not in normal form",
+                        terms[i].tables
+                    ),
+                ));
+            }
+        }
+    }
+    for i in 0..n {
+        let mut expect: Vec<usize> = (0..n)
+            .filter(|&p| {
+                p != i
+                    && terms[i].tables.is_proper_subset_of(terms[p].tables)
+                    && !(0..n).any(|k| {
+                        k != i
+                            && k != p
+                            && terms[i].tables.is_proper_subset_of(terms[k].tables)
+                            && terms[k].tables.is_proper_subset_of(terms[p].tables)
+                    })
+            })
+            .collect();
+        expect.sort_unstable();
+        let mut actual = graph.parents(i).to_vec();
+        actual.sort_unstable();
+        checks += 1;
+        if actual != expect {
+            return Err(PlanViolation::new(
+                Invariant::SubsumeEdgeMinimal,
+                format!("subsumption/term{i}"),
+                format!("parents {actual:?} but the minimal supersets are {expect:?}"),
+            ));
+        }
+        // Children must be the exact inverse relation.
+        for &c in graph.children(i) {
+            checks += 1;
+            if c >= n || !graph.parents(c).contains(&i) {
+                return Err(PlanViolation::new(
+                    Invariant::SubsumeEdgeMinimal,
+                    format!("subsumption/term{i}"),
+                    format!("child edge to term {c} has no inverse parent edge"),
+                ));
+            }
+        }
+    }
+    // Acyclicity (implied by edge minimality over proper subsets, but checked
+    // directly so a broken edge pass still can't smuggle in a cycle).
+    let mut state = vec![0u8; n]; // 0 = unvisited, 1 = on stack, 2 = done
+    for start in 0..n {
+        if state[start] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(usize, usize)> = vec![(start, 0)];
+        state[start] = 1;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < graph.parents(node).len() {
+                let p = graph.parents(node)[*next];
+                *next += 1;
+                checks += 1;
+                if state[p] == 1 {
+                    return Err(PlanViolation::new(
+                        Invariant::SubsumeAcyclic,
+                        format!("subsumption/term{node}"),
+                        format!("cycle through parent edge {node} -> {p}"),
+                    ));
+                }
+                if state[p] == 0 {
+                    state[p] = 1;
+                    stack.push((p, 0));
+                }
+            } else {
+                state[node] = 2;
+                stack.pop();
+            }
+        }
+    }
+    Ok(checks)
+}
+
+/// Verify a maintenance graph against the subsumption graph it classifies:
+/// structural soundness of the direct/indirect split, parent-edge claims,
+/// and agreement with a full re-derivation under the same foreign keys.
+pub fn verify_maintenance_graph(
+    graph: &SubsumptionGraph,
+    m: &MaintenanceGraph,
+    fks: &[FkEdge],
+) -> Result<usize, PlanViolation> {
+    let mut checks = 0usize;
+    let n = graph.len();
+    let mut classified = vec![false; n];
+    for &d in &m.direct {
+        let path = vec![format!("mgraph/direct/term{d}")];
+        checks += 1;
+        if d >= n {
+            fail(Invariant::MaintClassify, &path, "term index out of range")?;
+        }
+        checks += 1;
+        if classified[d] {
+            fail(Invariant::MaintClassify, &path, "term classified twice")?;
+        }
+        classified[d] = true;
+        checks += 1;
+        if !graph.term(d).tables.contains(m.updated) {
+            fail(
+                Invariant::MaintClassify,
+                &path,
+                format!("classified direct but does not source {}", m.updated),
+            )?;
+        }
+    }
+    let direct = m.direct.clone();
+    for ind in &m.indirect {
+        let path = vec![format!("mgraph/indirect/term{}", ind.term)];
+        checks += 1;
+        if ind.term >= n {
+            fail(Invariant::MaintClassify, &path, "term index out of range")?;
+        }
+        checks += 1;
+        if classified[ind.term] {
+            fail(Invariant::MaintClassify, &path, "term classified twice")?;
+        }
+        classified[ind.term] = true;
+        checks += 1;
+        if graph.term(ind.term).tables.contains(m.updated) {
+            fail(
+                Invariant::MaintClassify,
+                &path,
+                format!("classified indirect but sources {} directly", m.updated),
+            )?;
+        }
+        checks += 1;
+        if ind.pard.is_empty() {
+            fail(
+                Invariant::MaintParents,
+                &path,
+                "indirect term with no directly affected parent",
+            )?;
+        }
+        for &p in &ind.pard {
+            checks += 1;
+            if !direct.contains(&p) {
+                fail(
+                    Invariant::MaintParents,
+                    &path,
+                    format!("pard entry {p} is not a directly affected term"),
+                )?;
+            }
+            checks += 1;
+            if !graph.parents(ind.term).contains(&p) {
+                fail(
+                    Invariant::MaintParents,
+                    &path,
+                    format!("pard entry {p} is not a subsumption parent"),
+                )?;
+            }
+        }
+        for &p in &ind.pari {
+            checks += 1;
+            if direct.contains(&p) || graph.term(p).tables.contains(m.updated) {
+                fail(
+                    Invariant::MaintParents,
+                    &path,
+                    format!("pari entry {p} is not indirectly affected"),
+                )?;
+            }
+            checks += 1;
+            if !graph.parents(ind.term).contains(&p) {
+                fail(
+                    Invariant::MaintParents,
+                    &path,
+                    format!("pari entry {p} is not a subsumption parent"),
+                )?;
+            }
+        }
+    }
+    // Re-derive the whole classification and require exact agreement — this
+    // is what catches a term silently dropped from (or added to) the graph.
+    let rebuilt = MaintenanceGraph::build(graph, m.updated, fks);
+    let mut got: Vec<usize> = m.direct.clone();
+    got.sort_unstable();
+    let mut want = rebuilt.direct.clone();
+    want.sort_unstable();
+    checks += 1;
+    if got != want {
+        return Err(PlanViolation::new(
+            Invariant::MaintClassify,
+            "mgraph/direct",
+            format!("direct terms {got:?} but re-derivation yields {want:?}"),
+        ));
+    }
+    let key = |ind: &ojv_algebra::maintenance_graph::IndirectTerm| {
+        let mut pard = ind.pard.clone();
+        pard.sort_unstable();
+        let mut pari = ind.pari.clone();
+        pari.sort_unstable();
+        (ind.term, pard, pari)
+    };
+    let mut got: Vec<_> = m.indirect.iter().map(key).collect();
+    got.sort();
+    let mut want: Vec<_> = rebuilt.indirect.iter().map(key).collect();
+    want.sort();
+    checks += 1;
+    if got != want {
+        return Err(PlanViolation::new(
+            Invariant::MaintClassify,
+            "mgraph/indirect",
+            format!("indirect classification {got:?} but re-derivation yields {want:?}"),
+        ));
+    }
+    Ok(checks)
+}
+
+/// Verify that a from-view secondary delta over `term` only relies on
+/// columns the view projects: the term's key columns (to probe the view's
+/// key-count index) and, per view table, at least one non-nullable column
+/// (the null-pattern predicates `null(X)`/`¬null(X)` span *all* tables, not
+/// just the term's). Mirrors the paper's §5.2 availability condition.
+pub fn verify_secondary_from_view(
+    layout: &ViewLayout,
+    term: &Term,
+    projection: &[usize],
+) -> Result<usize, PlanViolation> {
+    let mut checks = 0usize;
+    for k in layout.term_key_cols(term.tables) {
+        checks += 1;
+        if !projection.contains(&k) {
+            return Err(PlanViolation::new(
+                Invariant::SecondaryKeyProjected,
+                format!("secondary/{}", term.tables),
+                format!("from-view plan probes key column {k} but the view projects it away"),
+            ));
+        }
+    }
+    for slot in layout.slots() {
+        checks += 1;
+        let has_null_test = projection.iter().any(|&g| {
+            g >= slot.offset
+                && g < slot.offset + slot.len
+                && !slot.schema.columns()[g - slot.offset].nullable
+        });
+        if !has_null_test {
+            return Err(PlanViolation::new(
+                Invariant::SecondaryKeyProjected,
+                format!("secondary/{}", term.tables),
+                format!(
+                    "view projects no non-nullable column of {} — null({}) is undecidable on view rows",
+                    slot.name, slot.name
+                ),
+            ));
+        }
+    }
+    Ok(checks)
+}

@@ -1,0 +1,184 @@
+//! Structured verification failures.
+
+use std::fmt;
+
+/// The statically checkable invariants of a maintenance plan, each with a
+/// stable string id used in tests, EXPLAIN output, and DESIGN.md.
+///
+/// The ids are part of the crate's public contract: golden negative tests
+/// assert them exactly, and DESIGN.md maps each to the paper section whose
+/// proof obligation it encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Invariant {
+    /// Slot offsets/lengths tile the wide row exactly (`width` = Σ len).
+    LayoutStride,
+    /// Every slot has a non-empty, in-range, non-nullable unique key.
+    LayoutKey,
+    /// Layout slots agree with the catalog's current table schemas — a
+    /// widened row of table `T` has exactly `|schema(T)|` columns at the
+    /// slot's offset.
+    LayoutWiden,
+    /// Delta batch arity matches the updated table's slot.
+    DeltaArity,
+    /// Every `Table`/`Delta`/`OldState` leaf names a table of the layout.
+    PlanTableRange,
+    /// `Delta`/`OldState` leaves reference exactly the updated table.
+    PlanDeltaLeaf,
+    /// Join operands draw from disjoint source sets.
+    PlanJoinOverlap,
+    /// Predicates only reference tables in scope at their operator.
+    PlanPredScope,
+    /// Predicate column indexes fall inside their table's slot.
+    PlanColRange,
+    /// JDNF terms have pairwise distinct source sets (Galindo-Legaria
+    /// normal form).
+    JdnfUniqueSources,
+    /// Subsumption edges connect exactly the minimal proper supersets.
+    SubsumeEdgeMinimal,
+    /// The subsumption graph is acyclic.
+    SubsumeAcyclic,
+    /// A plan claimed left-deep has only leaf right operands on its spine.
+    LeftDeepSpine,
+    /// Every null-if (λ) is immediately wrapped by a cleanup (δ) — rules
+    /// 1, 4 and 5 of the left-deep conversion.
+    LeftDeepMissingDelta,
+    /// A null-if's predicate and null set respect the rewrite's side
+    /// conditions (`pred ⊆ null_tables ⊆ input sources`).
+    LeftDeepNullIfScope,
+    /// Every term is classified direct/indirect/unaffected exactly once,
+    /// matching a re-derivation of the maintenance graph.
+    MaintClassify,
+    /// Indirect terms' `pard`/`pari` sets are genuine subsumption parents
+    /// with the claimed classification.
+    MaintParents,
+    /// A from-view secondary delta only references keys (and null-test
+    /// columns) the view actually projects.
+    SecondaryKeyProjected,
+}
+
+impl Invariant {
+    /// The stable string id.
+    pub fn id(self) -> &'static str {
+        match self {
+            Invariant::LayoutStride => "LAYOUT-STRIDE",
+            Invariant::LayoutKey => "LAYOUT-KEY",
+            Invariant::LayoutWiden => "LAYOUT-WIDEN",
+            Invariant::DeltaArity => "DELTA-ARITY",
+            Invariant::PlanTableRange => "PLAN-TABLE-RANGE",
+            Invariant::PlanDeltaLeaf => "PLAN-DELTA-LEAF",
+            Invariant::PlanJoinOverlap => "PLAN-JOIN-OVERLAP",
+            Invariant::PlanPredScope => "PLAN-PRED-SCOPE",
+            Invariant::PlanColRange => "PLAN-COL-RANGE",
+            Invariant::JdnfUniqueSources => "JDNF-UNIQUE-SOURCES",
+            Invariant::SubsumeEdgeMinimal => "SUBSUME-EDGE-MINIMAL",
+            Invariant::SubsumeAcyclic => "SUBSUME-ACYCLIC",
+            Invariant::LeftDeepSpine => "LEFTDEEP-SPINE",
+            Invariant::LeftDeepMissingDelta => "LEFTDEEP-MISSING-DELTA",
+            Invariant::LeftDeepNullIfScope => "LEFTDEEP-NULLIF-SCOPE",
+            Invariant::MaintClassify => "MAINT-CLASSIFY",
+            Invariant::MaintParents => "MAINT-PARENTS",
+            Invariant::SecondaryKeyProjected => "SECONDARY-KEY-PROJECTED",
+        }
+    }
+
+    /// The paper section whose proof obligation the invariant encodes.
+    pub fn paper_section(self) -> &'static str {
+        match self {
+            Invariant::LayoutStride
+            | Invariant::LayoutKey
+            | Invariant::LayoutWiden
+            | Invariant::DeltaArity => "§2.1",
+            Invariant::JdnfUniqueSources => "§2.2",
+            Invariant::SubsumeEdgeMinimal | Invariant::SubsumeAcyclic => "§2.3",
+            Invariant::MaintClassify | Invariant::MaintParents => "§3.1/§6.2",
+            Invariant::PlanTableRange
+            | Invariant::PlanDeltaLeaf
+            | Invariant::PlanJoinOverlap
+            | Invariant::PlanPredScope
+            | Invariant::PlanColRange => "§4",
+            Invariant::LeftDeepSpine
+            | Invariant::LeftDeepMissingDelta
+            | Invariant::LeftDeepNullIfScope => "§4.1",
+            Invariant::SecondaryKeyProjected => "§5.2",
+        }
+    }
+}
+
+impl fmt::Display for Invariant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
+/// A structured verification failure: which invariant broke, where in the
+/// plan, and why.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanViolation {
+    pub invariant: Invariant,
+    /// Operator path from the plan root, e.g. `plan/δ/λ/LeftOuter[L]`.
+    pub path: String,
+    pub detail: String,
+}
+
+impl PlanViolation {
+    pub fn new(invariant: Invariant, path: impl Into<String>, detail: impl Into<String>) -> Self {
+        PlanViolation {
+            invariant,
+            path: path.into(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for PlanViolation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] at {}: {}", self.invariant, self.path, self.detail)
+    }
+}
+
+impl std::error::Error for PlanViolation {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_stable_and_distinct() {
+        let all = [
+            Invariant::LayoutStride,
+            Invariant::LayoutKey,
+            Invariant::LayoutWiden,
+            Invariant::DeltaArity,
+            Invariant::PlanTableRange,
+            Invariant::PlanDeltaLeaf,
+            Invariant::PlanJoinOverlap,
+            Invariant::PlanPredScope,
+            Invariant::PlanColRange,
+            Invariant::JdnfUniqueSources,
+            Invariant::SubsumeEdgeMinimal,
+            Invariant::SubsumeAcyclic,
+            Invariant::LeftDeepSpine,
+            Invariant::LeftDeepMissingDelta,
+            Invariant::LeftDeepNullIfScope,
+            Invariant::MaintClassify,
+            Invariant::MaintParents,
+            Invariant::SecondaryKeyProjected,
+        ];
+        let mut ids: Vec<&str> = all.iter().map(|i| i.id()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), all.len(), "duplicate invariant id");
+        for inv in all {
+            assert!(!inv.paper_section().is_empty());
+        }
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = PlanViolation::new(Invariant::LeftDeepMissingDelta, "plan/λ", "no δ above λ");
+        assert_eq!(
+            v.to_string(),
+            "[LEFTDEEP-MISSING-DELTA] at plan/λ: no δ above λ"
+        );
+    }
+}

@@ -1,0 +1,332 @@
+//! Golden negative tests: hand-built corrupted plans must trip the exact
+//! invariant id, and well-formed equivalents must verify clean.
+
+use ojv_algebra::{
+    Atom, ColRef, Expr, MaintenanceGraph, Pred, SubsumptionGraph, TableId, TableSet, Term,
+};
+use ojv_analysis::{
+    verify_delta_arity, verify_jdnf, verify_layout, verify_left_deep, verify_maintenance_graph,
+    verify_plan, verify_secondary_from_view, Invariant,
+};
+use ojv_exec::ViewLayout;
+use ojv_rel::{Column, DataType};
+use ojv_storage::Catalog;
+
+fn t(i: u8) -> TableId {
+    TableId(i)
+}
+
+fn eq(a: u8, ac: usize, b: u8, bc: usize) -> Pred {
+    Pred::atom(Atom::eq(ColRef::new(t(a), ac), ColRef::new(t(b), bc)))
+}
+
+fn term(ids: &[u8]) -> Term {
+    Term {
+        tables: TableSet::from_iter(ids.iter().map(|&i| t(i))),
+        pred: Pred::true_(),
+    }
+}
+
+/// Two tables: a(id, x) keyed on id, b(id, aid, y) keyed on id.
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    c.create_table(
+        "a",
+        vec![
+            Column::new("a", "id", DataType::Int, false),
+            Column::new("a", "x", DataType::Str, true),
+        ],
+        &["id"],
+    )
+    .unwrap();
+    c.create_table(
+        "b",
+        vec![
+            Column::new("b", "id", DataType::Int, false),
+            Column::new("b", "aid", DataType::Int, false),
+            Column::new("b", "y", DataType::Float, true),
+        ],
+        &["id"],
+    )
+    .unwrap();
+    c
+}
+
+fn layout() -> ViewLayout {
+    ViewLayout::new(&catalog(), &["a", "b"]).unwrap()
+}
+
+// ---- corrupted-plan class 1: duplicate source set ------------------------
+
+#[test]
+fn duplicate_source_set_is_rejected() {
+    let g = SubsumptionGraph::new(vec![term(&[0, 1]), term(&[0]), term(&[0])]);
+    let v = verify_jdnf(&g).unwrap_err();
+    assert_eq!(v.invariant, Invariant::JdnfUniqueSources);
+    assert_eq!(v.invariant.id(), "JDNF-UNIQUE-SOURCES");
+    assert!(v.detail.contains("source set"), "{v}");
+}
+
+#[test]
+fn well_formed_jdnf_verifies_clean() {
+    let g = SubsumptionGraph::new(vec![term(&[0, 1]), term(&[0]), term(&[1])]);
+    assert!(verify_jdnf(&g).unwrap() > 0);
+}
+
+// ---- corrupted-plan class 2: missing δ after rule 5 ----------------------
+
+#[test]
+fn null_if_without_cleanup_is_rejected() {
+    let l = layout();
+    // Rule 5's output with the δ stripped: λ over a left-deep join spine.
+    let bare = Expr::NullIf {
+        null_tables: TableSet::singleton(t(1)),
+        pred: Pred::atom(Atom::Const(
+            ColRef::new(t(1), 1),
+            ojv_algebra::CmpOp::Ge,
+            ojv_rel::Datum::Int(0),
+        )),
+        input: Box::new(Expr::left_outer(
+            eq(0, 0, 1, 1),
+            Expr::Delta(t(0)),
+            Expr::table(t(1)),
+        )),
+    };
+    let v = verify_plan(&l, &bare, Some(t(0))).unwrap_err();
+    assert_eq!(v.invariant, Invariant::LeftDeepMissingDelta);
+    assert_eq!(v.invariant.id(), "LEFTDEEP-MISSING-DELTA");
+
+    // The same plan with the δ restored verifies clean.
+    let fixed = Expr::CleanDup(Box::new(bare));
+    assert!(verify_plan(&l, &fixed, Some(t(0))).unwrap() > 0);
+    assert_eq!(verify_left_deep(&fixed).unwrap(), 1);
+}
+
+#[test]
+fn null_if_scope_must_cover_predicate() {
+    let l = layout();
+    // λ predicate references table a (t0), but only b (t1) is nulled.
+    let bad = Expr::CleanDup(Box::new(Expr::NullIf {
+        null_tables: TableSet::singleton(t(1)),
+        pred: eq(0, 0, 1, 1),
+        input: Box::new(Expr::left_outer(
+            eq(0, 0, 1, 1),
+            Expr::Delta(t(0)),
+            Expr::table(t(1)),
+        )),
+    }));
+    let v = verify_plan(&l, &bad, Some(t(0))).unwrap_err();
+    assert_eq!(v.invariant, Invariant::LeftDeepNullIfScope);
+    assert!(v.path.contains('δ'), "path should descend through δ: {v}");
+}
+
+// ---- corrupted-plan class 3: secondary delta over a projected-away key ---
+
+#[test]
+fn secondary_over_projected_away_key_is_rejected() {
+    let l = layout();
+    let b_only = term(&[1]);
+    // Projection keeps a.id, a.x, b.y — but drops b's key (global col 2).
+    let v = verify_secondary_from_view(&l, &b_only, &[0, 1, 4]).unwrap_err();
+    assert_eq!(v.invariant, Invariant::SecondaryKeyProjected);
+    assert_eq!(v.invariant.id(), "SECONDARY-KEY-PROJECTED");
+
+    // Keeping the key but no non-nullable column of the table is equally
+    // unusable: null(b) cannot be evaluated on view rows... except b.id is
+    // itself non-nullable, so the key alone suffices here.
+    assert!(verify_secondary_from_view(&l, &b_only, &[0, 2]).unwrap() > 0);
+
+    // A term over table a whose projection keeps only a.x (nullable): the
+    // key is gone and so is every null-test column.
+    let a_only = term(&[0]);
+    let v = verify_secondary_from_view(&l, &a_only, &[1]).unwrap_err();
+    assert_eq!(v.invariant, Invariant::SecondaryKeyProjected);
+}
+
+// ---- corrupted-plan class 4: stride mismatch after widening --------------
+
+#[test]
+fn stride_mismatch_after_widening_is_rejected() {
+    let l = layout();
+    // The same tables in a different catalog where `a` grew a column: rows
+    // widened with the stale layout would land b's columns two short.
+    let mut grown = Catalog::new();
+    grown
+        .create_table(
+            "a",
+            vec![
+                Column::new("a", "id", DataType::Int, false),
+                Column::new("a", "x", DataType::Str, true),
+                Column::new("a", "z", DataType::Int, true),
+            ],
+            &["id"],
+        )
+        .unwrap();
+    grown
+        .create_table(
+            "b",
+            vec![
+                Column::new("b", "id", DataType::Int, false),
+                Column::new("b", "aid", DataType::Int, false),
+                Column::new("b", "y", DataType::Float, true),
+            ],
+            &["id"],
+        )
+        .unwrap();
+    let v = verify_layout(&l, Some(&grown)).unwrap_err();
+    assert_eq!(v.invariant, Invariant::LayoutWiden);
+    assert_eq!(v.invariant.id(), "LAYOUT-WIDEN");
+    assert!(v.detail.contains("stride"), "{v}");
+
+    // Against its own catalog the layout verifies clean.
+    assert!(verify_layout(&l, Some(&catalog())).unwrap() > 0);
+    assert!(verify_layout(&l, None).unwrap() > 0);
+}
+
+#[test]
+fn delta_arity_mismatch_is_rejected() {
+    let l = layout();
+    let v = verify_delta_arity(&l, t(1), 2).unwrap_err();
+    assert_eq!(v.invariant, Invariant::DeltaArity);
+    assert!(verify_delta_arity(&l, t(1), 3).is_ok());
+}
+
+// ---- plan-tree structural checks -----------------------------------------
+
+#[test]
+fn join_over_shared_sources_is_rejected() {
+    let l = layout();
+    let bad = Expr::inner(eq(0, 0, 1, 1), Expr::table(t(0)), Expr::table(t(0)));
+    let v = verify_plan(&l, &bad, None).unwrap_err();
+    assert_eq!(v.invariant, Invariant::PlanJoinOverlap);
+}
+
+#[test]
+fn predicate_out_of_scope_is_rejected() {
+    let l = layout();
+    // Selection over table a referencing table b.
+    let bad = Expr::select(eq(0, 0, 1, 1), Expr::table(t(0)));
+    let v = verify_plan(&l, &bad, None).unwrap_err();
+    assert_eq!(v.invariant, Invariant::PlanPredScope);
+}
+
+#[test]
+fn predicate_column_out_of_range_is_rejected() {
+    let l = layout();
+    // a has 2 columns; a.c7 is out of range.
+    let bad = Expr::select(
+        Pred::atom(Atom::Const(
+            ColRef::new(t(0), 7),
+            ojv_algebra::CmpOp::Eq,
+            ojv_rel::Datum::Int(1),
+        )),
+        Expr::table(t(0)),
+    );
+    let v = verify_plan(&l, &bad, None).unwrap_err();
+    assert_eq!(v.invariant, Invariant::PlanColRange);
+}
+
+#[test]
+fn delta_leaf_of_wrong_table_is_rejected() {
+    let l = layout();
+    let plan = Expr::inner(eq(0, 0, 1, 1), Expr::Delta(t(0)), Expr::table(t(1)));
+    // Verified as a maintenance plan for an update of table b.
+    let v = verify_plan(&l, &plan, Some(t(1))).unwrap_err();
+    assert_eq!(v.invariant, Invariant::PlanDeltaLeaf);
+    // And as a plain view expression (no delta at all).
+    let v = verify_plan(&l, &plan, None).unwrap_err();
+    assert_eq!(v.invariant, Invariant::PlanDeltaLeaf);
+    // For the right update it is fine.
+    assert!(verify_plan(&l, &plan, Some(t(0))).is_ok());
+}
+
+#[test]
+fn leaf_outside_layout_is_rejected() {
+    let l = layout();
+    let v = verify_plan(&l, &Expr::table(t(5)), None).unwrap_err();
+    assert_eq!(v.invariant, Invariant::PlanTableRange);
+}
+
+#[test]
+fn bushy_plan_fails_left_deep_check() {
+    let bushy = Expr::inner(
+        eq(0, 0, 2, 0),
+        Expr::Delta(t(0)),
+        Expr::inner(eq(2, 0, 3, 0), Expr::table(t(2)), Expr::table(t(3))),
+    );
+    let v = verify_left_deep(&bushy).unwrap_err();
+    assert_eq!(v.invariant, Invariant::LeftDeepSpine);
+}
+
+// ---- maintenance-graph soundness -----------------------------------------
+
+fn v1_graph() -> SubsumptionGraph {
+    // Figure 1: terms TURS, TUR, TRS, TR, RS, R, S over R=0,S=1,T=2,U=3.
+    SubsumptionGraph::new(vec![
+        term(&[0, 1, 2, 3]),
+        term(&[0, 2, 3]),
+        term(&[0, 1, 2]),
+        term(&[0, 2]),
+        term(&[0, 1]),
+        term(&[0]),
+        term(&[1]),
+    ])
+}
+
+#[test]
+fn genuine_maintenance_graph_verifies_clean() {
+    let g = v1_graph();
+    let m = MaintenanceGraph::build(&g, t(2), &[]);
+    assert!(verify_maintenance_graph(&g, &m, &[]).unwrap() > 0);
+}
+
+#[test]
+fn dropped_direct_term_is_rejected() {
+    let g = v1_graph();
+    let mut m = MaintenanceGraph::build(&g, t(2), &[]);
+    // Drop the top term (no indirect term lists it as a parent, so only the
+    // re-derivation comparison can notice it went missing).
+    m.direct.remove(0);
+    let v = verify_maintenance_graph(&g, &m, &[]).unwrap_err();
+    assert_eq!(v.invariant, Invariant::MaintClassify);
+    assert_eq!(v.invariant.id(), "MAINT-CLASSIFY");
+}
+
+#[test]
+fn term_classified_twice_is_rejected() {
+    let g = v1_graph();
+    let mut m = MaintenanceGraph::build(&g, t(2), &[]);
+    let dup = m.direct[0];
+    m.direct.push(dup);
+    let v = verify_maintenance_graph(&g, &m, &[]).unwrap_err();
+    assert_eq!(v.invariant, Invariant::MaintClassify);
+    assert!(v.detail.contains("twice"), "{v}");
+}
+
+#[test]
+fn fabricated_parent_edge_is_rejected() {
+    let g = v1_graph();
+    let mut m = MaintenanceGraph::build(&g, t(2), &[]);
+    // Claim the top term (not a parent of any indirect term) as a pard.
+    m.indirect[0].pard = vec![0];
+    let v = verify_maintenance_graph(&g, &m, &[]).unwrap_err();
+    assert_eq!(v.invariant, Invariant::MaintParents);
+    assert_eq!(v.invariant.id(), "MAINT-PARENTS");
+}
+
+#[test]
+fn indirect_term_sourcing_the_update_is_rejected() {
+    let g = v1_graph();
+    let mut m = MaintenanceGraph::build(&g, t(2), &[]);
+    // Move a direct term (TUR, contains T; nobody's pard) into the
+    // indirect list.
+    let stolen = m.direct.remove(1);
+    m.indirect
+        .push(ojv_algebra::maintenance_graph::IndirectTerm {
+            term: stolen,
+            pard: vec![0],
+            pari: vec![],
+        });
+    let v = verify_maintenance_graph(&g, &m, &[]).unwrap_err();
+    assert_eq!(v.invariant, Invariant::MaintClassify);
+}

@@ -6,6 +6,8 @@
 //!   three compared systems (core view, outer-join view, GK baseline),
 //! * [`report`] — plain-text table/series formatting for the `repro` binary.
 
+#![forbid(unsafe_code)]
+
 pub mod harness;
 pub mod report;
 pub mod views;

@@ -78,7 +78,7 @@ pub fn analyze(catalog: &Catalog, def: &ViewDef) -> Result<ViewAnalysis> {
         }
     };
 
-    Ok(ViewAnalysis {
+    let analysis = ViewAnalysis {
         layout,
         expr,
         fks,
@@ -86,10 +86,60 @@ pub fn analyze(catalog: &Catalog, def: &ViewDef) -> Result<ViewAnalysis> {
         graph,
         view_key,
         projection,
-    })
+    };
+    // Debug builds verify every analysis at build time, turning the whole
+    // test suite into a sweep over the §2 invariants. Release callers opt in
+    // per run via `MaintenancePolicy::verify_plans`.
+    if cfg!(debug_assertions) {
+        analysis.verify_static(catalog)?;
+    }
+    Ok(analysis)
 }
 
 impl ViewAnalysis {
+    /// Static verification of the update-independent artifacts: layout
+    /// strides against the catalog, JDNF/subsumption well-formedness, and
+    /// the resolved view expression. Returns the number of checks passed.
+    pub fn verify_static(&self, catalog: &Catalog) -> Result<usize> {
+        let mut checks = ojv_analysis::verify_layout(&self.layout, Some(catalog))?;
+        checks += ojv_analysis::verify_jdnf(&self.graph)?;
+        checks += ojv_analysis::verify_plan(&self.layout, &self.expr, None)?;
+        Ok(checks)
+    }
+
+    /// Verify one update's compiled maintenance artifacts: the (possibly
+    /// reduced) maintenance graph, the primary-delta plan with its left-deep
+    /// side conditions, and — for terms maintained from the view — the §5.2
+    /// key-projection requirement. Returns the number of checks passed.
+    pub fn verify_maintenance(
+        &self,
+        t: TableId,
+        use_fk: bool,
+        left_deep: bool,
+        mgraph: &MaintenanceGraph,
+        plan: Option<&Expr>,
+    ) -> Result<usize> {
+        let fks: &[FkEdge] = if use_fk { &self.fks } else { &[] };
+        let mut checks = ojv_analysis::verify_maintenance_graph(&self.graph, mgraph, fks)?;
+        if let Some(plan) = plan {
+            checks += ojv_analysis::verify_plan(&self.layout, plan, Some(t))?;
+            if left_deep {
+                checks += ojv_analysis::verify_left_deep(plan)?;
+            }
+        }
+        Ok(checks)
+    }
+
+    /// Verify the §5.2 availability condition behind a from-view secondary
+    /// delta of `term_idx`. Returns the number of checks passed.
+    pub fn verify_from_view(&self, term_idx: usize) -> Result<usize> {
+        Ok(ojv_analysis::verify_secondary_from_view(
+            &self.layout,
+            &self.terms[term_idx],
+            &self.projection,
+        )?)
+    }
+
     /// The (possibly FK-reduced) maintenance graph for an update of `t`.
     pub fn maintenance_graph(&self, t: TableId, use_fk: bool) -> MaintenanceGraph {
         let fks: &[FkEdge] = if use_fk { &self.fks } else { &[] };

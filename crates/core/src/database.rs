@@ -339,8 +339,8 @@ mod tests {
             let b = par.insert("lineitem", vec![row]).unwrap();
             assert_eq!(a.len(), b.len());
         }
-        let va = seq.view("oj_view").unwrap().output();
-        let vb = par.view("oj_view").unwrap().output();
+        let va = seq.view("oj_view").unwrap().output().unwrap();
+        let vb = par.view("oj_view").unwrap().output().unwrap();
         assert!(va.bag_eq(&vb));
         assert!(seq
             .agg_view("agg")

@@ -2,6 +2,7 @@
 
 use std::fmt;
 
+use ojv_analysis::PlanViolation;
 use ojv_exec::ExecError;
 use ojv_rel::RelError;
 use ojv_storage::StorageError;
@@ -23,6 +24,9 @@ pub enum CoreError {
     DuplicateView { view: String },
     /// The named view does not exist.
     UnknownView { view: String },
+    /// The static plan verifier found a compiled plan violating one of the
+    /// paper's invariants (see `ojv-analysis`).
+    Plan(PlanViolation),
 }
 
 impl fmt::Display for CoreError {
@@ -36,6 +40,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::DuplicateView { view } => write!(f, "view {view} already exists"),
             CoreError::UnknownView { view } => write!(f, "unknown view {view}"),
+            CoreError::Plan(v) => write!(f, "plan verification failed: {v}"),
         }
     }
 }
@@ -57,6 +62,12 @@ impl From<RelError> for CoreError {
 impl From<ExecError> for CoreError {
     fn from(e: ExecError) -> Self {
         CoreError::Exec(e)
+    }
+}
+
+impl From<PlanViolation> for CoreError {
+    fn from(v: PlanViolation) -> Self {
+        CoreError::Plan(v)
     }
 }
 

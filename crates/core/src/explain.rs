@@ -27,6 +27,10 @@ struct Line {
 
 /// Render an expression with estimated output cardinalities, assuming the
 /// delta contains `delta_rows` rows.
+///
+/// The footer reports the static verifier's verdict on the plan — `verified:
+/// ok (N invariants)` or the first violation — so a plan dump doubles as
+/// verification evidence.
 pub fn explain_plan(
     catalog: &Catalog,
     analysis: &ViewAnalysis,
@@ -45,7 +49,25 @@ pub fn explain_plan(
             l.est_rows
         ));
     }
+    let verdict = ojv_analysis::verify_layout(&analysis.layout, Some(catalog))
+        .and_then(|n| Ok(n + ojv_analysis::verify_jdnf(&analysis.graph)?))
+        .and_then(|n| Ok(n + ojv_analysis::verify_plan(&analysis.layout, expr, find_delta(expr))?));
+    match verdict {
+        Ok(n) => out.push_str(&format!("verified: ok ({n} invariants)\n")),
+        Err(v) => out.push_str(&format!("verified: FAILED {v}\n")),
+    }
     out
+}
+
+/// The table whose Δ/old-state leaves appear in the plan, if any — what the
+/// plan is a maintenance expression *for*.
+fn find_delta(expr: &Expr) -> Option<TableId> {
+    match expr {
+        Expr::Delta(t) | Expr::OldState(t) => Some(*t),
+        Expr::Table(_) | Expr::Empty => None,
+        Expr::Select(_, i) | Expr::NullIf { input: i, .. } | Expr::CleanDup(i) => find_delta(i),
+        Expr::Join { left, right, .. } => find_delta(left).or_else(|| find_delta(right)),
+    }
 }
 
 fn table_len(catalog: &Catalog, analysis: &ViewAnalysis, t: TableId) -> f64 {
@@ -283,6 +305,25 @@ mod tests {
         assert!(text.contains("unique index on orders"));
         assert!(text.contains("unique index on part"));
         assert!(text.contains("[~100 rows]"));
+        assert!(text.contains("verified: ok ("), "got:\n{text}");
+    }
+
+    #[test]
+    fn explain_reports_the_first_violation() {
+        let c = example1_catalog();
+        let a = analyze(&c, &oj_view_def()).unwrap();
+        // A λ with no δ above it: the footer must carry the violation id.
+        let t = a.layout.table_id("lineitem").unwrap();
+        let bad = ojv_algebra::Expr::NullIf {
+            null_tables: ojv_algebra::TableSet::singleton(t),
+            pred: ojv_algebra::Pred::true_(),
+            input: Box::new(ojv_algebra::Expr::Delta(t)),
+        };
+        let text = explain_plan(&c, &a, &bad, 5);
+        assert!(
+            text.contains("verified: FAILED [LEFTDEEP-MISSING-DELTA]"),
+            "got:\n{text}"
+        );
     }
 
     #[test]

@@ -35,6 +35,8 @@
 //! assert!(db.view("oj_view").unwrap().len() > 0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod agg_view;
 pub mod analyze;
 pub mod baseline;

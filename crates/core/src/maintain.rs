@@ -49,6 +49,9 @@ pub struct MaintenanceReport {
     /// Per-operator executor counters (rows in/out, morsels, time) for the
     /// whole run — filter, join build/probe, index join, dedup, subsumption.
     pub exec: ExecStatsSnapshot,
+    /// Static-verifier checks passed for this run (0 when verification was
+    /// off: release build without `MaintenancePolicy::verify_plans`).
+    pub verified_checks: usize,
 }
 
 impl MaintenanceReport {
@@ -92,6 +95,24 @@ pub fn maintain(
     report.direct_terms = mgraph.direct.len();
     report.indirect_terms = mgraph.indirect.len();
 
+    let plan = if mgraph.direct.is_empty() {
+        None
+    } else {
+        Some(analysis.primary_delta_plan(t, use_fk, policy.left_deep))
+    };
+    // Static plan verification: unconditional in debug builds, opt-in via
+    // the policy in release. A violation aborts the run *before* the view
+    // store is touched.
+    let verify = cfg!(debug_assertions) || policy.verify_plans;
+    if verify {
+        report.verified_checks += analysis.verify_static(catalog)?;
+        report.verified_checks +=
+            ojv_analysis::verify_delta_arity(&analysis.layout, t, update.rows.schema().len())
+                .map_err(crate::error::CoreError::Plan)?;
+        report.verified_checks +=
+            analysis.verify_maintenance(t, use_fk, policy.left_deep, &mgraph, plan.as_ref())?;
+    }
+
     let delta_input = DeltaInput {
         table: t,
         rows: &update.rows,
@@ -103,11 +124,9 @@ pub fn maintain(
 
     // Step 1: primary delta (§4).
     let start = Instant::now();
-    let primary: Vec<Row> = if mgraph.direct.is_empty() {
-        Vec::new()
-    } else {
-        let plan = analysis.primary_delta_plan(t, use_fk, policy.left_deep);
-        eval_expr(&exec, &plan)?
+    let primary: Vec<Row> = match &plan {
+        None => Vec::new(),
+        Some(plan) => eval_expr(&exec, plan)?,
     };
     report.primary_rows = primary.len();
     report.primary_compute = start.elapsed();
@@ -125,9 +144,21 @@ pub fn maintain(
             updated: t,
         };
         // §9 future work: one shared pass over ΔV^D for all indirect terms.
+        // Like the per-term path below, this is only legal when every
+        // indirect term passes the §5.2 availability condition; otherwise
+        // fall through to the per-term loop and its base-table fallback.
         if policy.combine_secondary
             && resolve_strategy(policy.secondary, update.op) == SecondaryStrategy::FromView
+            && mgraph
+                .indirect
+                .iter()
+                .all(|ind| analysis.from_view_available(ind.term))
         {
+            if verify {
+                for ind in &mgraph.indirect {
+                    report.verified_checks += analysis.verify_from_view(ind.term)?;
+                }
+            }
             let ind_views: Vec<IndirectTermView<'_>> = mgraph
                 .indirect
                 .iter()
@@ -169,6 +200,9 @@ pub fn maintain(
             // views behave as they would in a production system.)
             if strategy == SecondaryStrategy::FromView && !analysis.from_view_available(ind.term) {
                 strategy = SecondaryStrategy::FromBase;
+            }
+            if verify && strategy == SecondaryStrategy::FromView {
+                report.verified_checks += analysis.verify_from_view(ind.term)?;
             }
             report.secondary_rows += match (strategy, update.op) {
                 (SecondaryStrategy::FromView, UpdateOp::Insert) => {
@@ -477,6 +511,29 @@ mod tests {
             .delete("lineitem", &[vec![Datum::Int(3), Datum::Int(1)]])
             .unwrap();
         maintain(&mut view, &c, &down, &policy).unwrap();
+        assert!(verify_against_recompute(&view, &c));
+    }
+
+    /// The static verifier runs on every maintenance plan (opt-in flag set,
+    /// and unconditionally in debug builds) and every plan the existing
+    /// fixtures produce verifies clean.
+    #[test]
+    fn plans_verify_clean_and_report_checks() {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 8, 9);
+        let mut view = MaterializedView::create(&c, oj_view_def()).unwrap();
+        let policy = MaintenancePolicy {
+            verify_plans: true,
+            ..Default::default()
+        };
+        let up = c
+            .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        let report = maintain(&mut view, &c, &up, &policy).unwrap();
+        assert!(
+            report.verified_checks > 0,
+            "verifier did not run: {report:?}"
+        );
         assert!(verify_against_recompute(&view, &c));
     }
 

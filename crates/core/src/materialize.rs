@@ -242,21 +242,24 @@ impl MaterializedView {
     }
 
     /// The view's *output*: the projected relation a reader sees.
-    pub fn output(&self) -> Relation {
+    ///
+    /// Errors if the projected columns do not form a valid schema (e.g. a
+    /// duplicate-name collision), instead of panicking.
+    pub fn output(&self) -> crate::error::Result<Relation> {
         let cols: Vec<ojv_rel::Column> = self
             .analysis
             .projection
             .iter()
             .map(|&g| self.analysis.layout.wide_schema().column(g).clone())
             .collect();
-        let schema = ojv_rel::Schema::shared(cols).expect("projection columns are distinct");
+        let schema = ojv_rel::Schema::shared(cols)?;
         let rows = self
             .store
             .rows()
             .iter()
             .map(|r| key_of(r, &self.analysis.projection))
             .collect();
-        Relation::new(schema, rows)
+        Ok(Relation::new(schema, rows))
     }
 
     /// Count stored rows per term (source-set pattern) — the paper's
@@ -338,7 +341,7 @@ mod tests {
         let def =
             oj_view_def().with_projection(vec![("part", "p_partkey"), ("orders", "o_orderkey")]);
         let view = MaterializedView::create(&c, def).unwrap();
-        let out = view.output();
+        let out = view.output().unwrap();
         assert_eq!(out.schema().len(), 2);
         assert_eq!(out.len(), view.len());
     }

@@ -39,6 +39,10 @@ pub struct MaintenancePolicy {
     /// serial/parallel cutover). Results are bit-identical at any setting;
     /// this only trades wall-clock for cores.
     pub parallel: ParallelSpec,
+    /// Run the `ojv-analysis` static plan verifier on every compiled
+    /// maintenance plan. Debug builds verify unconditionally; this knob
+    /// opts release builds in.
+    pub verify_plans: bool,
 }
 
 impl Default for MaintenancePolicy {
@@ -50,6 +54,7 @@ impl Default for MaintenancePolicy {
             update_decomposition: false,
             combine_secondary: false,
             parallel: ParallelSpec::serial(),
+            verify_plans: false,
         }
     }
 }

@@ -9,6 +9,8 @@
 //! benchmark. It does not do statistical outlier analysis, HTML reports, or
 //! baseline comparison; for those, wire the real criterion back in.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::time::{Duration, Instant};
 

@@ -31,11 +31,12 @@ impl ViewLayout {
     /// Build a layout for `tables` (in view order) resolved against the
     /// catalog.
     pub fn new(catalog: &Catalog, tables: &[&str]) -> Result<Self, StorageError> {
-        assert!(
-            tables.len() <= TableSet::MAX_TABLES,
-            "a view references at most {} tables",
-            TableSet::MAX_TABLES
-        );
+        if tables.len() > TableSet::MAX_TABLES {
+            return Err(StorageError::TooManyTables {
+                count: tables.len(),
+                max: TableSet::MAX_TABLES,
+            });
+        }
         let mut slots = Vec::with_capacity(tables.len());
         let mut wide_cols: Vec<Column> = Vec::new();
         let mut offset = 0usize;
@@ -50,14 +51,15 @@ impl ViewLayout {
                 c.nullable = true;
                 wide_cols.push(c);
             }
+            let len = schema.len();
             slots.push(TableSlot {
                 name: name.to_string(),
                 offset,
-                len: schema.len(),
+                len,
                 key_cols,
                 schema,
             });
-            offset += slots.last().expect("just pushed").len;
+            offset += len;
         }
         Ok(ViewLayout {
             slots,
@@ -274,6 +276,30 @@ mod tests {
         let mut wide = l.widen(TableId(0), &[Datum::Int(3), Datum::str("v")]);
         l.null_out(TableSet::singleton(TableId(0)), &mut wide);
         assert!(wide.iter().all(|d| d.is_null()));
+    }
+
+    #[test]
+    fn too_many_tables_is_an_error_not_a_panic() {
+        let mut c = Catalog::new();
+        let mut names = Vec::new();
+        for i in 0..=TableSet::MAX_TABLES {
+            let name = format!("t{i}");
+            c.create_table(
+                &name,
+                vec![Column::new(&name, "id", DataType::Int, false)],
+                &["id"],
+            )
+            .unwrap();
+            names.push(name);
+        }
+        let refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        match ViewLayout::new(&c, &refs) {
+            Err(StorageError::TooManyTables { count, max }) => {
+                assert_eq!(count, TableSet::MAX_TABLES + 1);
+                assert_eq!(max, TableSet::MAX_TABLES);
+            }
+            other => panic!("expected TooManyTables, got {other:?}"),
+        }
     }
 
     #[test]

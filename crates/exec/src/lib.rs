@@ -14,6 +14,8 @@
 //! operand is a base-table scan with a covering index), mirroring the plans
 //! a production optimizer would choose for small deltas.
 
+#![forbid(unsafe_code)]
+
 pub mod error;
 pub mod eval;
 pub mod hashtbl;

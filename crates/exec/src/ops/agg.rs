@@ -48,6 +48,7 @@ enum Acc {
 /// empty (all-null) sum yields `Null`.
 pub fn hash_aggregate(rows: &[Row], group_cols: &[usize], aggs: &[AggFunc]) -> Vec<Row> {
     let mut groups: FxHashMap<Vec<Datum>, usize> = FxHashMap::default();
+    // lint:allow(vec-vec-datum) group keys are variable-arity, not row batches
     let mut order: Vec<Vec<Datum>> = Vec::new();
     let mut accs: Vec<Vec<Acc>> = Vec::new();
 

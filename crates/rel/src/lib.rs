@@ -16,6 +16,12 @@
 //! constraints, no operators beyond the algebraic primitives the paper's
 //! definitions need. Those live in `ojv-storage` and `ojv-exec`.
 
+#![deny(unsafe_code)]
+
+// SAFETY: the allocator shim must implement `GlobalAlloc`, an unsafe trait;
+// it is the single allowlisted unsafe module in the workspace (the
+// `unsafe-code` lint in `cargo run -p xtask -- lint` enforces this).
+#[allow(unsafe_code)]
 pub mod alloc;
 pub mod datum;
 pub mod error;

@@ -1,8 +1,6 @@
 //! The catalog: tables plus declared constraints.
 
-use std::collections::HashMap;
-
-use ojv_rel::{key_of, Column, Datum, Relation, Row, Schema};
+use ojv_rel::{key_of, Column, Datum, FxHashMap, Relation, Row, Schema};
 
 use crate::delta::{Update, UpdateOp};
 use crate::error::StorageError;
@@ -36,7 +34,7 @@ pub struct ForeignKey {
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: Vec<Table>,
-    by_name: HashMap<String, usize>,
+    by_name: FxHashMap<String, usize>,
     fks: Vec<ForeignKey>,
     /// When false, constraint checks are skipped (bulk load fast path).
     pub enforce_constraints: bool,
@@ -46,7 +44,7 @@ impl Catalog {
     pub fn new() -> Self {
         Catalog {
             tables: Vec::new(),
-            by_name: HashMap::new(),
+            by_name: FxHashMap::default(),
             fks: Vec::new(),
             enforce_constraints: true,
         }

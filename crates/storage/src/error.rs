@@ -24,6 +24,8 @@ pub enum StorageError {
     Rel(RelError),
     /// Invalid constraint declaration (e.g. FK not targeting the parent key).
     InvalidConstraint { detail: String },
+    /// A view layout references more tables than a `TableSet` can index.
+    TooManyTables { count: usize, max: usize },
 }
 
 impl fmt::Display for StorageError {
@@ -48,6 +50,9 @@ impl fmt::Display for StorageError {
             StorageError::Rel(e) => write!(f, "{e}"),
             StorageError::InvalidConstraint { detail } => {
                 write!(f, "invalid constraint: {detail}")
+            }
+            StorageError::TooManyTables { count, max } => {
+                write!(f, "view references {count} tables; at most {max} supported")
             }
         }
     }

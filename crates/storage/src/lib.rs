@@ -15,6 +15,8 @@
 //! declared against the parent's unique key, matching §6's assumption that an
 //! FK references "a non-null, unique key".
 
+#![forbid(unsafe_code)]
+
 pub mod catalog;
 pub mod delta;
 pub mod error;

@@ -22,6 +22,8 @@
 //! }
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod check;
 pub mod rng;
 pub mod strategy;

@@ -19,6 +19,8 @@
 //! Everything is seeded: the same `(scale factor, seed)` pair regenerates
 //! bit-identical data, so experiments are reproducible.
 
+#![forbid(unsafe_code)]
+
 pub mod gen;
 pub mod refresh;
 pub mod schema;

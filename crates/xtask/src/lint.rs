@@ -1,0 +1,588 @@
+//! Dependency-free token-level lint gate for the maintenance pipeline.
+//!
+//! The scanner masks string/char literals and comments (preserving newlines),
+//! tokenizes what remains, and matches token sequences — so `FxHashMap::new()`
+//! never matches the `default-hasher` lint and `"unsafe"` inside a string
+//! never matches `unsafe-code`. Each lint has a stable id and a per-line
+//! escape hatch: `// lint:allow(<id>)` on the offending line or the line
+//! directly above suppresses the finding.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A lint rule known to the scanner.
+pub struct LintDef {
+    pub id: &'static str,
+    pub desc: &'static str,
+}
+
+/// All lints, in the order `--list` prints them.
+pub const LINTS: [LintDef; 4] = [
+    LintDef {
+        id: "vec-vec-datum",
+        desc: "no Vec<Vec<Datum>> row batches in crates/exec (use RowBuf)",
+    },
+    LintDef {
+        id: "default-hasher",
+        desc:
+            "no HashMap::new()/HashSet::new() default hasher in exec/storage (use ojv_rel fxhash)",
+    },
+    LintDef {
+        id: "panic-hot-path",
+        desc: "no unwrap()/expect()/panic! in eval/join/dedup hot paths outside tests",
+    },
+    LintDef {
+        id: "unsafe-code",
+        desc: "unsafe only in the allowlisted crates/rel/src/alloc.rs",
+    },
+];
+
+/// One finding: which lint fired, where, and the offending source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    pub lint: &'static str,
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    pub excerpt: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file, self.line, self.lint, self.excerpt
+        )
+    }
+}
+
+/// Does `lint` apply to the file at workspace-relative `path`?
+fn applies(lint: &str, path: &str) -> bool {
+    match lint {
+        "vec-vec-datum" => path.starts_with("crates/exec/src/"),
+        "default-hasher" => {
+            path.starts_with("crates/exec/src/") || path.starts_with("crates/storage/src/")
+        }
+        "panic-hot-path" => matches!(
+            path,
+            "crates/exec/src/eval.rs"
+                | "crates/exec/src/ops/join.rs"
+                | "crates/exec/src/ops/dedup.rs"
+        ),
+        "unsafe-code" => path != "crates/rel/src/alloc.rs",
+        _ => false,
+    }
+}
+
+/// Pull `lint:allow(<id>[, <id>...])` directives out of a comment and record
+/// them against the line each directive appears on.
+fn collect_allows(comment: &str, start_line: usize, allows: &mut Vec<Vec<String>>) {
+    let mut search = 0;
+    while let Some(pos) = comment[search..].find("lint:allow(") {
+        let abs = search + pos;
+        let line = start_line + comment[..abs].bytes().filter(|&b| b == b'\n').count();
+        let rest = &comment[abs + "lint:allow(".len()..];
+        if let Some(close) = rest.find(')') {
+            while allows.len() <= line {
+                allows.push(Vec::new());
+            }
+            for id in rest[..close].split(',') {
+                allows[line].push(id.trim().to_string());
+            }
+        }
+        search = abs + 1;
+    }
+}
+
+/// Blank out comments and string/char literals, preserving newlines so line
+/// numbers survive. Returns the masked text plus per-line allow directives.
+fn mask(src: &str) -> (String, Vec<Vec<String>>) {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut out: Vec<u8> = Vec::with_capacity(n);
+    let mut allows: Vec<Vec<String>> = vec![Vec::new()];
+    let mut line = 0usize;
+    let mut i = 0usize;
+
+    // Emit the byte range [start, end) as blanks, keeping newlines.
+    macro_rules! blank {
+        ($start:expr, $end:expr) => {
+            for &bb in &b[$start..$end] {
+                if bb == b'\n' {
+                    out.push(b'\n');
+                    line += 1;
+                    if allows.len() <= line {
+                        allows.push(Vec::new());
+                    }
+                } else {
+                    out.push(b' ');
+                }
+            }
+        };
+    }
+
+    while i < n {
+        let c = b[i];
+        // Line comment (also doc comments).
+        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            let start = i;
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            collect_allows(&src[start..i], line, &mut allows);
+            blank!(start, i);
+            continue;
+        }
+        // Block comment, nested per Rust.
+        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1;
+            i += 2;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            collect_allows(&src[start..i], start_line, &mut allows);
+            blank!(start, i);
+            continue;
+        }
+        // Raw string literal: optional `b`, then `r`, hashes, quote.
+        if c == b'r' || (c == b'b' && i + 1 < n && b[i + 1] == b'r') {
+            let r_pos = if c == b'b' { i + 1 } else { i };
+            let mut k = r_pos + 1;
+            let mut hashes = 0usize;
+            while k < n && b[k] == b'#' {
+                hashes += 1;
+                k += 1;
+            }
+            if k < n && b[k] == b'"' {
+                let start = i;
+                k += 1;
+                'raw: while k < n {
+                    if b[k] == b'"' {
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < n && b[k + 1 + h] == b'#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break 'raw;
+                        }
+                    }
+                    k += 1;
+                }
+                i = k;
+                blank!(start, i);
+                continue;
+            }
+        }
+        // Ordinary string literal (a leading `b` stays an ordinary token).
+        if c == b'"' {
+            let start = i;
+            i += 1;
+            while i < n {
+                if b[i] == b'\\' {
+                    i += 2;
+                    continue;
+                }
+                if b[i] == b'"' {
+                    i += 1;
+                    break;
+                }
+                i += 1;
+            }
+            blank!(start, i.min(n));
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if i + 1 < n && b[i + 1] == b'\\' {
+                // Escaped char literal, e.g. '\n', '\'', '\u{41}'.
+                let start = i;
+                i += 2;
+                if i < n {
+                    i += 1;
+                }
+                while i < n && b[i] != b'\'' && b[i] != b'\n' {
+                    i += 1;
+                }
+                if i < n && b[i] == b'\'' {
+                    i += 1;
+                }
+                blank!(start, i);
+                continue;
+            }
+            let is_lifetime = i + 1 < n
+                && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
+                && !(i + 2 < n && b[i + 2] == b'\'');
+            if is_lifetime {
+                out.push(c);
+                i += 1;
+                continue;
+            }
+            // Plain (possibly multi-byte) char literal.
+            let start = i;
+            i += 1;
+            while i < n && b[i] != b'\'' && b[i] != b'\n' {
+                i += 1;
+            }
+            if i < n && b[i] == b'\'' {
+                i += 1;
+            }
+            blank!(start, i);
+            continue;
+        }
+        if c == b'\n' {
+            out.push(b'\n');
+            line += 1;
+            if allows.len() <= line {
+                allows.push(Vec::new());
+            }
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    let text = String::from_utf8(out).expect("masking preserves UTF-8");
+    (text, allows)
+}
+
+struct Tok<'a> {
+    text: &'a str,
+    line: usize,
+}
+
+/// Split masked source into identifier and single-character punct tokens.
+fn tokenize(masked: &str) -> Vec<Tok<'_>> {
+    let b = masked.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+    let ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if ident(c) {
+            let s = i;
+            while i < b.len() && ident(b[i]) {
+                i += 1;
+            }
+            toks.push(Tok {
+                text: &masked[s..i],
+                line,
+            });
+            continue;
+        }
+        toks.push(Tok {
+            text: &masked[i..i + 1],
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+fn line_of(masked: &str, byte: usize) -> usize {
+    masked.as_bytes()[..byte.min(masked.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+}
+
+/// Per-line flags marking `#[cfg(test)]` brace regions (the attribute line
+/// through the matching closing brace).
+fn test_lines(masked: &str) -> Vec<bool> {
+    let nlines = masked.bytes().filter(|&b| b == b'\n').count() + 1;
+    let mut flags = vec![false; nlines];
+    let b = masked.as_bytes();
+    let mut search = 0usize;
+    while let Some(pos) = masked[search..].find("#[cfg(test)]") {
+        let abs = search + pos;
+        let start_line = line_of(masked, abs);
+        let mut i = abs + "#[cfg(test)]".len();
+        while i < b.len() && b[i] != b'{' {
+            i += 1;
+        }
+        let mut depth = 0usize;
+        while i < b.len() {
+            match b[i] {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        let end_line = line_of(masked, i).min(nlines - 1);
+        for flag in flags.iter_mut().take(end_line + 1).skip(start_line) {
+            *flag = true;
+        }
+        search = abs + 1;
+    }
+    flags
+}
+
+/// Scan one file's source. `rel_path` is workspace-relative with `/`
+/// separators; it decides which lints apply.
+pub fn scan_file(rel_path: &str, src: &str) -> Vec<Violation> {
+    let path = rel_path.replace('\\', "/");
+    let (masked, allows) = mask(src);
+    let toks = tokenize(&masked);
+    let in_test = test_lines(&masked);
+    let src_lines: Vec<&str> = src.lines().collect();
+    let mut out = Vec::new();
+
+    let allowed = |line: usize, id: &str| {
+        let has = |l: usize| allows.get(l).is_some_and(|v| v.iter().any(|a| a == id));
+        has(line) || (line > 0 && has(line - 1))
+    };
+    let seq = |i: usize, pat: &[&str]| {
+        pat.iter()
+            .enumerate()
+            .all(|(k, p)| toks.get(i + k).is_some_and(|t| t.text == *p))
+    };
+
+    let record = |lint: &'static str, line: usize, out: &mut Vec<Violation>| {
+        if allowed(line, lint) {
+            return;
+        }
+        out.push(Violation {
+            lint,
+            file: path.clone(),
+            line: line + 1,
+            excerpt: src_lines.get(line).map_or("", |l| l.trim()).to_string(),
+        });
+    };
+
+    for (i, tok) in toks.iter().enumerate() {
+        let line = tok.line;
+        if applies("vec-vec-datum", &path) && seq(i, &["Vec", "<", "Vec", "<", "Datum", ">", ">"]) {
+            record("vec-vec-datum", line, &mut out);
+        }
+        if applies("default-hasher", &path)
+            && (tok.text == "HashMap" || tok.text == "HashSet")
+            && seq(i + 1, &[":", ":", "new", "(", ")"])
+        {
+            record("default-hasher", line, &mut out);
+        }
+        if applies("panic-hot-path", &path)
+            && !in_test.get(line).copied().unwrap_or(false)
+            && (seq(i, &[".", "unwrap", "(", ")"])
+                || seq(i, &[".", "expect", "("])
+                || seq(i, &["panic", "!", "("]))
+        {
+            record("panic-hot-path", line, &mut out);
+        }
+        if applies("unsafe-code", &path) && tok.text == "unsafe" {
+            record("unsafe-code", line, &mut out);
+        }
+    }
+    out
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        let name = p.file_name().and_then(|s| s.to_str()).unwrap_or("");
+        if p.is_dir() {
+            if name == "target" || name == ".git" {
+                continue;
+            }
+            collect_rs(&p, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(p);
+        }
+    }
+    Ok(())
+}
+
+/// Scan every `.rs` file under `crates/` and `src/` of the workspace rooted
+/// at `root`. Returns all findings, ordered by path.
+pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files)?;
+    collect_rs(&root.join("src"), &mut files)?;
+    files.sort();
+    let mut all = Vec::new();
+    for f in &files {
+        let rel = f
+            .strip_prefix(root)
+            .unwrap_or(f)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(f)?;
+        all.extend(scan_file(&rel, &src));
+    }
+    Ok(all)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lint_ids_are_distinct() {
+        for (i, a) in LINTS.iter().enumerate() {
+            for b in &LINTS[i + 1..] {
+                assert_ne!(a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn vec_vec_datum_detected_in_exec_only() {
+        let src = "fn f() { let x: Vec<Vec<Datum>> = Vec::new(); }\n";
+        let v = scan_file("crates/exec/src/ops/foo.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "vec-vec-datum");
+        assert_eq!(v[0].line, 1);
+        // Same code outside crates/exec is not in scope.
+        assert!(scan_file("crates/core/src/foo.rs", src).is_empty());
+    }
+
+    #[test]
+    fn vec_vec_datum_spanning_whitespace_still_matches() {
+        let src = "fn f() { let x: Vec< Vec < Datum > > = make(); }\n";
+        let v = scan_file("crates/exec/src/foo.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "vec-vec-datum");
+    }
+
+    #[test]
+    fn default_hasher_detected_but_fxhash_is_fine() {
+        let bad = "fn f() { return HashMap::new(); }\n";
+        let v = scan_file("crates/storage/src/foo.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "default-hasher");
+        // Identifier boundary: FxHashMap must NOT match HashMap.
+        let good = "fn f() { let m: FxHashMap<u32, u32> = FxHashMap::default(); }\n";
+        assert!(scan_file("crates/storage/src/foo.rs", good).is_empty());
+        let set = "fn f() { let s = HashSet::new(); }\n";
+        assert_eq!(
+            scan_file("crates/exec/src/foo.rs", set)[0].lint,
+            "default-hasher"
+        );
+    }
+
+    #[test]
+    fn panic_hot_path_skips_tests_and_out_of_scope_files() {
+        let src = "fn f(o: Option<u32>) -> u32 { o.unwrap() }\n";
+        let v = scan_file("crates/exec/src/eval.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "panic-hot-path");
+        // The same code inside a #[cfg(test)] region is exempt.
+        let tested =
+            "#[cfg(test)]\nmod tests {\n    fn f(o: Option<u32>) -> u32 { o.unwrap() }\n}\n";
+        assert!(scan_file("crates/exec/src/eval.rs", tested).is_empty());
+        // Non-hot-path files are out of scope.
+        assert!(scan_file("crates/exec/src/ops/agg.rs", src).is_empty());
+        // expect and panic! also fire.
+        let src2 = "fn g(o: Option<u32>) { o.expect(\"boom\"); panic!(\"no\"); }\n";
+        let v2 = scan_file("crates/exec/src/ops/join.rs", src2);
+        assert_eq!(v2.len(), 2);
+    }
+
+    #[test]
+    fn unsafe_detected_everywhere_except_alloc() {
+        let src = "fn f() { unsafe { std::hint::unreachable_unchecked() } }\n";
+        let v = scan_file("crates/exec/src/foo.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "unsafe-code");
+        assert!(scan_file("crates/rel/src/alloc.rs", src).is_empty());
+        // Identifier boundary: `unsafe_code` (as in the forbid attribute) is
+        // one token and must not match.
+        let attr = "#![forbid(unsafe_code)]\n";
+        assert!(scan_file("crates/core/src/lib.rs", attr).is_empty());
+    }
+
+    #[test]
+    fn literals_and_comments_are_masked() {
+        let src = concat!(
+            "// unsafe HashMap::new() in a comment\n",
+            "/* unsafe\n   Vec<Vec<Datum>> */\n",
+            "fn f() -> &'static str { \"unsafe .unwrap() HashMap::new()\" }\n",
+            "fn g() -> char { '\\'' }\n",
+            "fn h() -> &'static str { r#\"unsafe \"quoted\" panic!(\"#  }\n",
+        );
+        assert!(scan_file("crates/exec/src/eval.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lint_allow_suppresses_on_same_or_previous_line() {
+        let same = "fn f() { let m = HashMap::new(); } // lint:allow(default-hasher)\n";
+        assert!(scan_file("crates/storage/src/foo.rs", same).is_empty());
+        let above = "// lint:allow(default-hasher) keyed by small ints\nfn f() { let m = HashMap::new(); }\n";
+        assert!(scan_file("crates/storage/src/foo.rs", above).is_empty());
+        // The wrong id does not suppress.
+        let wrong = "fn f() { let m = HashMap::new(); } // lint:allow(unsafe-code)\n";
+        assert_eq!(scan_file("crates/storage/src/foo.rs", wrong).len(), 1);
+        // An allow two lines up does not leak downward.
+        let far = "// lint:allow(default-hasher)\n\nfn f() { let m = HashMap::new(); }\n";
+        assert_eq!(scan_file("crates/storage/src/foo.rs", far).len(), 1);
+    }
+
+    /// The CI gate behavior: a seeded violation anywhere in the scanned tree
+    /// makes `run` report it (and `main` turn that into a non-zero exit,
+    /// which is what fails ci/check.sh).
+    #[test]
+    fn seeded_violation_fails_the_gate() {
+        let root = std::env::temp_dir().join(format!("xtask-lint-seed-{}", std::process::id()));
+        let dir = root.join("crates/exec/src");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("seeded.rs"),
+            "fn f() { let rows: Vec<Vec<Datum>> = Vec::new(); }\n",
+        )
+        .unwrap();
+        let v = run(&root).unwrap();
+        fs::remove_dir_all(&root).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "vec-vec-datum");
+        assert_eq!(v[0].file, "crates/exec/src/seeded.rs");
+    }
+
+    /// The repo itself must scan clean — this is the in-tree mirror of the
+    /// `cargo run -p xtask -- lint` gate in ci/check.sh.
+    #[test]
+    fn repo_scans_clean() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+            .parent()
+            .and_then(Path::parent)
+            .expect("workspace root");
+        let v = run(root).unwrap();
+        assert!(
+            v.is_empty(),
+            "lint violations:\n{}",
+            v.iter()
+                .map(|x| x.to_string())
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

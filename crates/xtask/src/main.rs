@@ -1,0 +1,59 @@
+//! `cargo run -p xtask -- <task>` — in-repo developer tasks.
+//!
+//! Currently one task: `lint`, a dependency-free token-level scanner that
+//! enforces the pipeline's hot-path hygiene rules (see `lint.rs`). Exits
+//! non-zero when any lint fires, which is how ci/check.sh gates on it.
+#![forbid(unsafe_code)]
+
+mod lint;
+
+use std::path::Path;
+
+fn usage() -> ! {
+    eprintln!("usage: cargo run -p xtask -- lint [--list]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut list = false;
+    for a in &args {
+        match a.as_str() {
+            "lint" => {}
+            "--list" => list = true,
+            _ => usage(),
+        }
+    }
+    if args.is_empty() {
+        usage();
+    }
+
+    if list {
+        for l in &lint::LINTS {
+            println!("{:<16} {}", l.id, l.desc);
+        }
+        return;
+    }
+
+    // crates/xtask/ -> workspace root.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("xtask lives two levels below the workspace root");
+    match lint::run(root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("xtask lint: clean ({} lints)", lint::LINTS.len());
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!("xtask lint: {} violation(s)", violations.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("xtask lint: io error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

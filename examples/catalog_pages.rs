@@ -49,7 +49,7 @@ fn pages_view() -> ViewDef {
 /// Render a handful of part pages as nested documents.
 fn render_pages(db: &Database, keys: &[i64]) {
     let view = db.view("pages").expect("view exists");
-    let out = view.output();
+    let out = view.output().expect("projection forms a valid schema");
     let mut pages: BTreeMap<i64, Page> = BTreeMap::new();
     for row in out.rows() {
         let Some(pk) = row[0].as_int() else { continue };

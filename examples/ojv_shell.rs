@@ -152,13 +152,15 @@ fn run_line(db: &mut Database, line: &str) -> Result<bool> {
         }
     } else if let Some(rest) = strip_prefix_ci(trimmed, "show ") {
         match db.view(rest.trim()) {
-            Some(v) => {
-                let out = v.output();
-                println!("{} ({} rows, first 20):", v.name(), out.len());
-                for row in out.rows().iter().take(20) {
-                    println!("  {}", ojv::rel::row_display(row));
+            Some(v) => match v.output() {
+                Ok(out) => {
+                    println!("{} ({} rows, first 20):", v.name(), out.len());
+                    for row in out.rows().iter().take(20) {
+                        println!("  {}", ojv::rel::row_display(row));
+                    }
                 }
-            }
+                Err(e) => println!("cannot render {}: {e}", v.name()),
+            },
             None => println!("no view named {rest}"),
         }
     } else if let Some(rest) = strip_prefix_ci(trimmed, "explain ") {

@@ -13,7 +13,8 @@ use ojv::prelude::*;
 fn print_view(db: &Database) {
     let view = db.view("oj_view").expect("view exists");
     println!("oj_view ({} rows):", view.len());
-    for row in view.output().rows() {
+    let out = view.output().expect("projection forms a valid schema");
+    for row in out.rows() {
         println!("  {}", ojv::rel::row_display(row));
     }
     println!();

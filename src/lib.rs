@@ -10,7 +10,10 @@
 //! let _ = (Datum::Int(1), Catalog::new());
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use ojv_algebra as algebra;
+pub use ojv_analysis as analysis;
 pub use ojv_core as core;
 pub use ojv_exec as exec;
 pub use ojv_rel as rel;

@@ -262,7 +262,7 @@ fn projected_view_maintenance() {
     db.create_view(def).unwrap();
     {
         let view = db.view("oj_view").unwrap();
-        assert_eq!(view.output().schema().len(), 4);
+        assert_eq!(view.output().unwrap().schema().len(), 4);
         // lineitem exposes no non-nullable column → no term is from-view
         // maintainable per the paper's condition.
         for i in 0..view.analysis.terms.len() {
