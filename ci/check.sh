@@ -25,6 +25,9 @@ cargo test --offline --workspace -q
 echo "==> cargo test -p ojv-analysis (static plan verifier)"
 cargo test --offline -q -p ojv-analysis
 
+echo "==> crash-recovery matrix + 200-case fuzz sweep (fixed seed)"
+cargo test --offline -q --test crash_recovery -- --ignored
+
 echo "==> bench targets compile (criterion-lite shim)"
 cargo check --offline -p ojv-bench --benches --features criterion
 

@@ -1,7 +1,7 @@
 //! Reproduce the paper's tables and figures.
 //!
 //! ```text
-//! repro [--sf 0.05] [--seed 42] [--quick] [table1|fig5a|fig5b|example1|graphs|all]
+//! repro [--sf 0.05] [--seed 42] [--quick] [table1|fig5a|fig5b|example1|graphs|walbench|all]
 //! ```
 //!
 //! * `table1` — Table 1: term cardinalities of V3 and rows affected by a
@@ -11,7 +11,9 @@
 //!   outer-join view, and the GK baseline,
 //! * `example1` — the §1/§6 foreign-key fast paths,
 //! * `graphs` — the subsumption and maintenance graphs of Figures 1 and 4,
-//! * `all` — everything above.
+//! * `walbench` — Figure-5-style insert maintenance through the durable
+//!   WAL at each fsync policy vs the in-memory engine (`BENCH_pr4.json`),
+//! * `all` — everything above except `walbench`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -76,6 +78,7 @@ fn main() {
         "example1" => example1(&env),
         "graphs" => graphs(&env),
         "sql" => sql(&env),
+        "walbench" => walbench(&env, &cfg),
         "all" => {
             graphs(&env);
             sql(&env);
@@ -85,7 +88,9 @@ fn main() {
             json_panels.push(("fig5b_delete", fig5(&env, &cfg, true)));
         }
         other => {
-            eprintln!("unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|all");
+            eprintln!(
+                "unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|walbench|all"
+            );
             std::process::exit(2);
         }
     }
@@ -156,6 +161,49 @@ fn render_json(cfg: &Config, panels: &[(&str, Vec<Measurement>)]) -> String {
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
     s
+}
+
+/// Durable WAL overhead sweep; emits `BENCH_pr4.json` next to the pr2 file.
+fn walbench(env: &Env, cfg: &Config) {
+    let scratch = std::env::temp_dir().join(format!("ojv-walbench-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir creates");
+    let ms = ojv_bench::walbench::run_walbench(env, cfg, &scratch);
+    std::fs::remove_dir_all(&scratch).ok();
+    println!("{}", ojv_bench::walbench::render_walbench(&ms));
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{ \"sf\": {}, \"seed\": {}, \"repetitions\": {} }},",
+        cfg.sf, cfg.seed, cfg.repetitions
+    );
+    let _ = writeln!(s, "  \"panels\": [");
+    let _ = writeln!(
+        s,
+        "    {{ \"panel\": \"walbench_insert\", \"measurements\": ["
+    );
+    for (mi, m) in ms.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{ \"system\": \"{}\", \"batch\": {}, \"time_ns\": {}, \
+             \"wal_bytes\": {}, \"primary_rows\": {} }}{}",
+            m.series,
+            m.batch,
+            m.time.as_nanos(),
+            m.wal_bytes,
+            m.primary_rows,
+            if mi + 1 < ms.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(s, "    ] }}");
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    let path = "BENCH_pr4.json";
+    match std::fs::write(path, s) {
+        Ok(()) => println!("machine-readable results written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
 }
 
 fn table1(env: &Env, cfg: &Config) {

@@ -4,10 +4,12 @@
 //!   customer/orders/lineitem/part) and its *core view* (all inner joins),
 //! * [`harness`] — workload builders and timed maintenance runners for the
 //!   three compared systems (core view, outer-join view, GK baseline),
-//! * [`report`] — plain-text table/series formatting for the `repro` binary.
+//! * [`report`] — plain-text table/series formatting for the `repro` binary,
+//! * [`walbench`] — WAL overhead of durable maintenance per fsync policy.
 
 #![forbid(unsafe_code)]
 
 pub mod harness;
 pub mod report;
 pub mod views;
+pub mod walbench;

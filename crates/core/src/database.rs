@@ -41,6 +41,13 @@ impl Database {
         &self.catalog
     }
 
+    /// Mutable catalog access for the durable layer's recovery replay,
+    /// which re-applies logged updates without re-running maintenance
+    /// bookkeeping through the public `insert`/`delete` wrappers.
+    pub(crate) fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
     /// Create and materialize an outer-join view.
     pub fn create_view(&mut self, def: ViewDef) -> Result<&MaterializedView> {
         if self.views.iter().any(|v| v.name() == def.name())
@@ -123,14 +130,49 @@ impl Database {
     /// Insert rows into a base table (constraints enforced) and maintain
     /// every registered view. Returns one report per non-noop view.
     pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<Vec<MaintenanceReport>> {
-        let update = self.catalog.insert(table, rows)?;
-        self.maintain_all(&update)
+        let update = self.apply_insert(table, rows)?;
+        self.maintain_update(&update)
     }
 
     /// Delete rows by unique key and maintain every registered view.
     pub fn delete(&mut self, table: &str, keys: &[Vec<Datum>]) -> Result<Vec<MaintenanceReport>> {
-        let update = self.catalog.delete(table, keys)?;
-        self.maintain_all(&update)
+        let update = self.apply_delete(table, keys)?;
+        self.maintain_update(&update)
+    }
+
+    /// Apply an insert to the catalog only — no view maintenance — and
+    /// return the applied delta. The durable layer uses this to log the
+    /// delta to the WAL *before* maintenance runs, so a crash mid-maintain
+    /// replays the whole batch.
+    pub fn apply_insert(&mut self, table: &str, rows: Vec<Row>) -> Result<Update> {
+        Ok(self.catalog.insert(table, rows)?)
+    }
+
+    /// Apply a delete to the catalog only (see [`Database::apply_insert`]).
+    pub fn apply_delete(&mut self, table: &str, keys: &[Vec<Datum>]) -> Result<Update> {
+        Ok(self.catalog.delete(table, keys)?)
+    }
+
+    /// Maintain every registered view for an update that has already been
+    /// applied to the catalog (via [`Database::apply_insert`] /
+    /// [`Database::apply_delete`] or recovery replay). Returns one report
+    /// per non-noop view.
+    pub fn maintain_update(&mut self, update: &Update) -> Result<Vec<MaintenanceReport>> {
+        self.maintain_all(update)
+    }
+
+    /// Register an already-materialized view (recovery restores view stores
+    /// from a checkpoint instead of re-evaluating the definition).
+    pub(crate) fn install_view(&mut self, view: MaterializedView) -> Result<()> {
+        if self.views.iter().any(|v| v.name() == view.name())
+            || self.agg_views.iter().any(|v| v.name() == view.name())
+        {
+            return Err(CoreError::DuplicateView {
+                view: view.name().to_string(),
+            });
+        }
+        self.views.push(view);
+        Ok(())
     }
 
     /// SQL-style `UPDATE`, modeled as a delete followed by an insert (paper

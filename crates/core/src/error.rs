@@ -3,6 +3,7 @@
 use std::fmt;
 
 use ojv_analysis::PlanViolation;
+use ojv_durability::DurabilityError;
 use ojv_exec::ExecError;
 use ojv_rel::RelError;
 use ojv_storage::StorageError;
@@ -27,6 +28,8 @@ pub enum CoreError {
     /// The static plan verifier found a compiled plan violating one of the
     /// paper's invariants (see `ojv-analysis`).
     Plan(PlanViolation),
+    /// WAL / checkpoint / filesystem error from the durability layer.
+    Durability(DurabilityError),
 }
 
 impl fmt::Display for CoreError {
@@ -41,6 +44,7 @@ impl fmt::Display for CoreError {
             CoreError::DuplicateView { view } => write!(f, "view {view} already exists"),
             CoreError::UnknownView { view } => write!(f, "unknown view {view}"),
             CoreError::Plan(v) => write!(f, "plan verification failed: {v}"),
+            CoreError::Durability(e) => write!(f, "{e}"),
         }
     }
 }
@@ -68,6 +72,12 @@ impl From<ExecError> for CoreError {
 impl From<PlanViolation> for CoreError {
     fn from(v: PlanViolation) -> Self {
         CoreError::Plan(v)
+    }
+}
+
+impl From<DurabilityError> for CoreError {
+    fn from(e: DurabilityError) -> Self {
+        CoreError::Durability(e)
     }
 }
 

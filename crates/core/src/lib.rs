@@ -13,7 +13,9 @@
 //! * [`agg_view`] — aggregated outer-join views (§3.3),
 //! * [`baseline`] — Griffin–Kumar-style change propagation and full
 //!   recompute, for the paper's experimental comparison,
-//! * [`database`] — a small façade tying the catalog and views together.
+//! * [`database`] — a small façade tying the catalog and views together,
+//! * [`durable`] — WAL + checkpoints + crash recovery replayed through the
+//!   incremental engine.
 //!
 //! # Quick start
 //!
@@ -42,6 +44,7 @@ pub mod analyze;
 pub mod baseline;
 pub mod database;
 pub mod deferred;
+pub mod durable;
 pub mod error;
 pub mod explain;
 pub mod fixtures;
@@ -61,6 +64,7 @@ pub mod prelude {
     pub use crate::analyze::{analyze, ViewAnalysis};
     pub use crate::database::Database;
     pub use crate::deferred::DeferredView;
+    pub use crate::durable::{DurableDatabase, RecoveryReport};
     pub use crate::error::{CoreError, Result};
     pub use crate::explain::{explain_plan, render_exec_stats};
     pub use crate::maintain::{maintain, verify_against_recompute, MaintenanceReport};
@@ -70,6 +74,7 @@ pub mod prelude {
     pub use crate::view_def::{col_between, col_cmp, col_eq, NamedAtom, ViewDef, ViewExpr};
     pub use crate::view_match::{execute_match, match_view, ViewMatch};
     pub use ojv_algebra::{CmpOp, JoinKind};
+    pub use ojv_durability::{DiskVfs, FsyncPolicy, MemVfs, Vfs};
     pub use ojv_exec::{ExecStatsSnapshot, ParallelSpec};
     pub use ojv_rel::{Datum, Relation, Row};
     pub use ojv_storage::{Catalog, Update, UpdateOp};

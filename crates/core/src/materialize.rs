@@ -7,6 +7,9 @@ use crate::analyze::{analyze, ViewAnalysis};
 use crate::error::{CoreError, Result};
 use crate::view_def::ViewDef;
 
+/// One count index in canonical form: `(cols, entries sorted by key)`.
+pub type CountIndexSnapshot = (Vec<usize>, Vec<(Vec<Datum>, usize)>);
+
 /// A non-unique count index over a subset of the view's key columns.
 ///
 /// The secondary-delta anti-joins (§5.2) only need *existence* of a view row
@@ -153,6 +156,23 @@ impl ViewStore {
         Ok(())
     }
 
+    /// Canonical snapshot of every count index: `(cols, entries)` with the
+    /// entries sorted by key. The fx hash map's iteration order is
+    /// seed-stable but insertion-order dependent, so sorting is what makes
+    /// the encoding — and the byte-level differential tests built on it —
+    /// independent of the path that produced the index.
+    pub fn count_index_snapshot(&self) -> Vec<CountIndexSnapshot> {
+        self.secondary
+            .iter()
+            .map(|idx| {
+                let mut entries: Vec<(Vec<Datum>, usize)> =
+                    idx.counts.iter().map(|(k, &c)| (k.clone(), c)).collect();
+                entries.sort_by(|a, b| a.0.cmp(&b.0));
+                (idx.cols.clone(), entries)
+            })
+            .collect()
+    }
+
     /// Delete by view key, returning the removed row. Missing keys indicate
     /// a maintenance bug.
     pub fn delete(&mut self, key: &[Datum], view: &str) -> Result<Row> {
@@ -193,6 +213,19 @@ impl MaterializedView {
         let analysis = analyze(catalog, &def)?;
         let ctx = ojv_exec::ExecCtx::new(catalog, &analysis.layout);
         let rows = ojv_exec::eval_expr(&ctx, &analysis.expr)?;
+        Self::from_rows(def, analysis, rows)
+    }
+
+    /// Rebuild a view from checkpointed wide rows instead of re-evaluating
+    /// the definition. Rows must be in store (heap) order — inserting them
+    /// in that order reproduces the exact store state, so a recovered view
+    /// is byte-identical to the one that was checkpointed.
+    pub fn restore(catalog: &Catalog, def: ViewDef, rows: Vec<Row>) -> Result<Self> {
+        let analysis = analyze(catalog, &def)?;
+        Self::from_rows(def, analysis, rows)
+    }
+
+    fn from_rows(def: ViewDef, analysis: ViewAnalysis, rows: Vec<Row>) -> Result<Self> {
         let mut store = ViewStore::new(analysis.view_key.clone());
         // One count index per term that can ever be indirectly affected
         // (i.e. has a parent in the subsumption graph) — the §5.2 anti-joins

@@ -1,6 +1,7 @@
 //! Maintenance policy knobs — the paper's optimizations, individually
 //! switchable (used by the ablation benchmarks).
 
+use ojv_durability::FsyncPolicy;
 use ojv_exec::ParallelSpec;
 
 /// How the secondary delta `ΔV^I` is computed.
@@ -43,6 +44,10 @@ pub struct MaintenancePolicy {
     /// maintenance plan. Debug builds verify unconditionally; this knob
     /// opts release builds in.
     pub verify_plans: bool,
+    /// When the database is opened durably ([`crate::DurableDatabase`]),
+    /// how often WAL appends are flushed to stable storage. Ignored by the
+    /// purely in-memory [`crate::Database`].
+    pub fsync: FsyncPolicy,
 }
 
 impl Default for MaintenancePolicy {
@@ -55,6 +60,7 @@ impl Default for MaintenancePolicy {
             combine_secondary: false,
             parallel: ParallelSpec::serial(),
             verify_plans: false,
+            fsync: FsyncPolicy::Always,
         }
     }
 }

@@ -1,0 +1,75 @@
+//! Error type for the durability layer.
+//!
+//! `std::io::Error` is neither `Clone` nor `PartialEq`, both of which the
+//! workspace's error types provide (differential tests compare errors
+//! structurally), so I/O failures are captured as `{op, file, detail}`
+//! strings at the VFS boundary.
+
+use std::fmt;
+
+/// Everything that can go wrong below the recovery layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DurabilityError {
+    /// An underlying filesystem operation failed.
+    Io {
+        /// VFS operation (`"read"`, `"append"`, `"rename"`, ...).
+        op: &'static str,
+        /// File the operation targeted, relative to the VFS root.
+        file: String,
+        /// Stringified OS / VFS error.
+        detail: String,
+    },
+    /// A file's contents are structurally invalid in a way that cannot be
+    /// repaired by truncating a torn tail (e.g. a corrupt segment header or
+    /// a checkpoint whose magic is wrong).
+    Corrupt {
+        /// File the corruption was found in.
+        file: String,
+        /// What was wrong.
+        detail: String,
+    },
+    /// A record or payload exceeded a format limit (e.g. a payload longer
+    /// than `u32::MAX` bytes cannot be length-prefixed).
+    Limit {
+        /// What was too large.
+        detail: String,
+    },
+}
+
+impl DurabilityError {
+    /// Shorthand for an I/O error.
+    pub fn io(op: &'static str, file: &str, detail: impl fmt::Display) -> Self {
+        DurabilityError::Io {
+            op,
+            file: file.to_string(),
+            detail: detail.to_string(),
+        }
+    }
+
+    /// Shorthand for a corruption error.
+    pub fn corrupt(file: &str, detail: impl Into<String>) -> Self {
+        DurabilityError::Corrupt {
+            file: file.to_string(),
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for DurabilityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DurabilityError::Io { op, file, detail } => {
+                write!(f, "io error during {op} on {file:?}: {detail}")
+            }
+            DurabilityError::Corrupt { file, detail } => {
+                write!(f, "corrupt durable file {file:?}: {detail}")
+            }
+            DurabilityError::Limit { detail } => write!(f, "format limit exceeded: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for DurabilityError {}
+
+/// Result alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, DurabilityError>;

@@ -1,0 +1,358 @@
+//! Minimal virtual filesystem the WAL and checkpoint layers write through.
+//!
+//! Two implementations:
+//!
+//! * [`DiskVfs`] — a directory on the real filesystem (`std::fs`), with
+//!   cached append handles so the WAL hot path does not reopen the active
+//!   segment per record,
+//! * [`MemVfs`] — an in-memory model that tracks, per file, both the
+//!   *written* bytes and the *durable* bytes (those guaranteed to survive a
+//!   crash, i.e. covered by a completed `sync`). [`MemVfs::crash`] discards
+//!   everything that was never synced, which is exactly the state a process
+//!   kill leaves behind — the substrate for the crash-point matrix and
+//!   fault-injection tests.
+//!
+//! The interface is deliberately flat (no directories, no seeks): the log
+//! only ever appends, truncates a torn tail, renames a finished checkpoint
+//! into place, and deletes obsolete files.
+
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+
+use crate::error::{DurabilityError, Result};
+
+/// Filesystem surface required by the durability layer.
+///
+/// Contract notes:
+/// * `append` only guarantees the bytes reach the OS; they are crash-durable
+///   only once a subsequent `sync` on the same file returns,
+/// * `rename` is atomic with respect to crashes: afterwards either the old
+///   or the new name exists, never a half state — and the rename itself is
+///   durable (directory metadata flushed on disk implementations),
+/// * `truncate` + `sync` makes the shortened length durable.
+pub trait Vfs {
+    /// Names of all files, sorted ascending.
+    fn list(&self) -> Result<Vec<String>>;
+    /// Current (written, not necessarily durable) length of a file.
+    fn len(&self, name: &str) -> Result<u64>;
+    /// Read a whole file.
+    fn read(&self, name: &str) -> Result<Vec<u8>>;
+    /// Create an empty file, truncating any existing one.
+    fn create(&mut self, name: &str) -> Result<()>;
+    /// Append bytes to an existing file.
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<()>;
+    /// Make all written bytes of `name` durable.
+    fn sync(&mut self, name: &str) -> Result<()>;
+    /// Shorten a file to `len` bytes.
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()>;
+    /// Remove a file.
+    fn delete(&mut self, name: &str) -> Result<()>;
+    /// Atomically and durably rename `from` to `to`, replacing `to`.
+    fn rename(&mut self, from: &str, to: &str) -> Result<()>;
+}
+
+// ---------------------------------------------------------------------------
+// DiskVfs
+// ---------------------------------------------------------------------------
+
+/// A directory on the real filesystem.
+pub struct DiskVfs {
+    root: PathBuf,
+    /// Cached append handles; the WAL appends to one file thousands of
+    /// times between rotations, and reopening per record would dominate.
+    handles: HashMap<String, std::fs::File>,
+}
+
+impl DiskVfs {
+    /// Open (creating if needed) `root` as a durability directory.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        std::fs::create_dir_all(&root)
+            .map_err(|e| DurabilityError::io("create_dir", &root.display().to_string(), e))?;
+        Ok(DiskVfs {
+            root,
+            handles: HashMap::new(),
+        })
+    }
+
+    /// The directory this VFS reads and writes.
+    pub fn root(&self) -> &std::path::Path {
+        &self.root
+    }
+
+    fn path(&self, name: &str) -> PathBuf {
+        self.root.join(name)
+    }
+
+    fn handle(&mut self, name: &str) -> Result<&mut std::fs::File> {
+        if !self.handles.contains_key(name) {
+            let file = std::fs::OpenOptions::new()
+                .append(true)
+                .open(self.path(name))
+                .map_err(|e| DurabilityError::io("open", name, e))?;
+            self.handles.insert(name.to_string(), file);
+        }
+        Ok(self.handles.get_mut(name).expect("just inserted"))
+    }
+
+    /// Flush directory metadata so renames/deletes are crash-durable.
+    fn sync_dir(&self) -> Result<()> {
+        let dir = std::fs::File::open(&self.root)
+            .map_err(|e| DurabilityError::io("open_dir", &self.root.display().to_string(), e))?;
+        dir.sync_all()
+            .map_err(|e| DurabilityError::io("sync_dir", &self.root.display().to_string(), e))
+    }
+}
+
+impl Vfs for DiskVfs {
+    fn list(&self) -> Result<Vec<String>> {
+        let mut names = Vec::new();
+        let entries = std::fs::read_dir(&self.root)
+            .map_err(|e| DurabilityError::io("read_dir", &self.root.display().to_string(), e))?;
+        for entry in entries {
+            let entry = entry.map_err(|e| DurabilityError::io("read_dir", "<entry>", e))?;
+            if entry.path().is_file() {
+                if let Some(name) = entry.file_name().to_str() {
+                    names.push(name.to_string());
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        let meta = std::fs::metadata(self.path(name))
+            .map_err(|e| DurabilityError::io("metadata", name, e))?;
+        Ok(meta.len())
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>> {
+        std::fs::read(self.path(name)).map_err(|e| DurabilityError::io("read", name, e))
+    }
+
+    fn create(&mut self, name: &str) -> Result<()> {
+        self.handles.remove(name);
+        std::fs::File::create(self.path(name))
+            .map_err(|e| DurabilityError::io("create", name, e))?;
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        let file = self.handle(name)?;
+        file.write_all(data)
+            .map_err(|e| DurabilityError::io("append", name, e))
+    }
+
+    fn sync(&mut self, name: &str) -> Result<()> {
+        let file = self.handle(name)?;
+        file.sync_data()
+            .map_err(|e| DurabilityError::io("sync", name, e))
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()> {
+        self.handles.remove(name);
+        let file = std::fs::OpenOptions::new()
+            .write(true)
+            .open(self.path(name))
+            .map_err(|e| DurabilityError::io("open", name, e))?;
+        file.set_len(len)
+            .map_err(|e| DurabilityError::io("truncate", name, e))?;
+        file.sync_data()
+            .map_err(|e| DurabilityError::io("sync", name, e))
+    }
+
+    fn delete(&mut self, name: &str) -> Result<()> {
+        self.handles.remove(name);
+        std::fs::remove_file(self.path(name))
+            .map_err(|e| DurabilityError::io("delete", name, e))?;
+        self.sync_dir()
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        self.handles.remove(from);
+        self.handles.remove(to);
+        std::fs::rename(self.path(from), self.path(to))
+            .map_err(|e| DurabilityError::io("rename", from, e))?;
+        self.sync_dir()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MemVfs
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+struct MemFile {
+    /// Bytes as written (what a reader sees before a crash).
+    data: Vec<u8>,
+    /// Bytes guaranteed to survive a crash (prefix covered by `sync`).
+    durable: Vec<u8>,
+}
+
+/// In-memory VFS with an explicit written/durable split.
+///
+/// `sync` promotes the written bytes to durable; [`MemVfs::crash`] produces
+/// the filesystem a process kill would leave behind: every file rolled back
+/// to its durable contents. Unsynced appends vanish; a `truncate` that was
+/// never synced can even "resurrect" previously-durable bytes, exactly as a
+/// real filesystem may.
+#[derive(Debug, Clone, Default)]
+pub struct MemVfs {
+    files: BTreeMap<String, MemFile>,
+}
+
+impl MemVfs {
+    /// An empty in-memory filesystem.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Simulate a crash: return the filesystem as it would be found on
+    /// restart, with every file reduced to its durable contents.
+    #[must_use]
+    pub fn crash(&self) -> MemVfs {
+        let files = self
+            .files
+            .iter()
+            .map(|(name, f)| {
+                (
+                    name.clone(),
+                    MemFile {
+                        data: f.durable.clone(),
+                        durable: f.durable.clone(),
+                    },
+                )
+            })
+            .collect();
+        MemVfs { files }
+    }
+
+    /// Durable length of a file (what would survive a crash), for tests
+    /// asserting on fsync coverage.
+    pub fn durable_len(&self, name: &str) -> Option<u64> {
+        self.files.get(name).map(|f| f.durable.len() as u64) // lint:allow(cast) — widening
+    }
+
+    fn file_mut(&mut self, op: &'static str, name: &str) -> Result<&mut MemFile> {
+        self.files
+            .get_mut(name)
+            .ok_or_else(|| DurabilityError::io(op, name, "no such file"))
+    }
+}
+
+impl Vfs for MemVfs {
+    fn list(&self) -> Result<Vec<String>> {
+        Ok(self.files.keys().cloned().collect())
+    }
+
+    fn len(&self, name: &str) -> Result<u64> {
+        self.files
+            .get(name)
+            .map(|f| f.data.len() as u64) // lint:allow(cast) — widening
+            .ok_or_else(|| DurabilityError::io("len", name, "no such file"))
+    }
+
+    fn read(&self, name: &str) -> Result<Vec<u8>> {
+        self.files
+            .get(name)
+            .map(|f| f.data.clone())
+            .ok_or_else(|| DurabilityError::io("read", name, "no such file"))
+    }
+
+    fn create(&mut self, name: &str) -> Result<()> {
+        self.files.insert(name.to_string(), MemFile::default());
+        Ok(())
+    }
+
+    fn append(&mut self, name: &str, data: &[u8]) -> Result<()> {
+        self.file_mut("append", name)?.data.extend_from_slice(data);
+        Ok(())
+    }
+
+    fn sync(&mut self, name: &str) -> Result<()> {
+        let file = self.file_mut("sync", name)?;
+        file.durable = file.data.clone();
+        Ok(())
+    }
+
+    fn truncate(&mut self, name: &str, len: u64) -> Result<()> {
+        let file = self.file_mut("truncate", name)?;
+        let len = usize::try_from(len)
+            .map_err(|_| DurabilityError::io("truncate", name, "length exceeds usize"))?;
+        file.data.truncate(len);
+        Ok(())
+    }
+
+    fn delete(&mut self, name: &str) -> Result<()> {
+        self.files
+            .remove(name)
+            .map(|_| ())
+            .ok_or_else(|| DurabilityError::io("delete", name, "no such file"))
+    }
+
+    fn rename(&mut self, from: &str, to: &str) -> Result<()> {
+        let mut file = self
+            .files
+            .remove(from)
+            .ok_or_else(|| DurabilityError::io("rename", from, "no such file"))?;
+        // Rename is durable: the moved name refers to the written contents,
+        // and callers sync file data before renaming it into place.
+        file.durable = file.data.clone();
+        self.files.insert(to.to_string(), file);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mem_crash_discards_unsynced_appends() {
+        let mut vfs = MemVfs::new();
+        vfs.create("a").unwrap();
+        vfs.append("a", b"hello").unwrap();
+        vfs.sync("a").unwrap();
+        vfs.append("a", b" world").unwrap();
+        assert_eq!(vfs.read("a").unwrap(), b"hello world");
+        let crashed = vfs.crash();
+        assert_eq!(crashed.read("a").unwrap(), b"hello");
+    }
+
+    #[test]
+    fn mem_rename_is_durable() {
+        let mut vfs = MemVfs::new();
+        vfs.create("tmp").unwrap();
+        vfs.append("tmp", b"snapshot").unwrap();
+        vfs.sync("tmp").unwrap();
+        vfs.rename("tmp", "final").unwrap();
+        let crashed = vfs.crash();
+        assert_eq!(crashed.read("final").unwrap(), b"snapshot");
+        assert!(crashed.read("tmp").is_err());
+    }
+
+    #[test]
+    fn disk_vfs_round_trip() {
+        let dir = std::env::temp_dir().join(format!(
+            "ojv-vfs-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut vfs = DiskVfs::open(&dir).unwrap();
+        vfs.create("wal-0.log").unwrap();
+        vfs.append("wal-0.log", b"abcdef").unwrap();
+        vfs.sync("wal-0.log").unwrap();
+        assert_eq!(vfs.len("wal-0.log").unwrap(), 6);
+        vfs.truncate("wal-0.log", 3).unwrap();
+        assert_eq!(vfs.read("wal-0.log").unwrap(), b"abc");
+        vfs.rename("wal-0.log", "wal-1.log").unwrap();
+        assert_eq!(vfs.list().unwrap(), vec!["wal-1.log".to_string()]);
+        vfs.delete("wal-1.log").unwrap();
+        assert!(vfs.list().unwrap().is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,333 @@
+//! Binary encoding for [`Datum`] values and rows.
+//!
+//! The durable maintenance log (`ojv-durability` + `ojv-core`) persists
+//! update batches and view snapshots; this module is the value layer of
+//! that format. Design rules:
+//!
+//! * **Self-describing**: every datum carries a one-byte tag, so decode
+//!   needs no schema. Catalog-level framing (tables, updates) lives in
+//!   `ojv-storage`'s codec and supplies the context this layer does not.
+//! * **Bit-exact floats**: `f64` round-trips through `to_bits`/`from_bits`,
+//!   preserving `-0.0`, NaN payloads, and integral-valued floats — the same
+//!   bit patterns PR 2's hasher had to treat carefully. Recovered state
+//!   must be *bit*-identical to the pre-crash state, not merely `==`.
+//! * **Little-endian, length-prefixed**: matches the WAL framing; string
+//!   lengths are `u32`.
+//!
+//! Decoding is total: every failure is a [`RelError::Codec`], never a
+//! panic, because recovery feeds these functions CRC-validated but
+//! adversarially truncated bytes in the fault-injection tests.
+
+use std::sync::Arc;
+
+use crate::datum::Datum;
+use crate::error::RelError;
+use crate::row::Row;
+
+const TAG_NULL: u8 = 0;
+const TAG_BOOL_FALSE: u8 = 1;
+const TAG_BOOL_TRUE: u8 = 2;
+const TAG_INT: u8 = 3;
+const TAG_FLOAT: u8 = 4;
+const TAG_STR: u8 = 5;
+const TAG_DATE: u8 = 6;
+
+/// Append a `u32` little-endian.
+pub fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a `u64` little-endian.
+pub fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Append a length-prefixed UTF-8 string.
+///
+/// # Errors
+/// Fails if the string is longer than `u32::MAX` bytes.
+pub fn put_str(buf: &mut Vec<u8>, s: &str) -> Result<(), RelError> {
+    let len = u32::try_from(s.len()).map_err(|_| RelError::Codec {
+        detail: format!("string of {} bytes exceeds u32 framing", s.len()),
+    })?;
+    put_u32(buf, len);
+    buf.extend_from_slice(s.as_bytes());
+    Ok(())
+}
+
+/// Append one datum (tag + value bytes).
+pub fn put_datum(buf: &mut Vec<u8>, d: &Datum) -> Result<(), RelError> {
+    match d {
+        Datum::Null => buf.push(TAG_NULL),
+        Datum::Bool(false) => buf.push(TAG_BOOL_FALSE),
+        Datum::Bool(true) => buf.push(TAG_BOOL_TRUE),
+        Datum::Int(v) => {
+            buf.push(TAG_INT);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        Datum::Float(v) => {
+            buf.push(TAG_FLOAT);
+            // to_bits preserves -0.0 and every NaN payload.
+            put_u64(buf, v.to_bits());
+        }
+        Datum::Str(s) => {
+            buf.push(TAG_STR);
+            put_str(buf, s)?;
+        }
+        Datum::Date(v) => {
+            buf.push(TAG_DATE);
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+    Ok(())
+}
+
+/// Append a row as `u32` arity followed by each datum.
+pub fn put_row(buf: &mut Vec<u8>, row: &[Datum]) -> Result<(), RelError> {
+    let len = u32::try_from(row.len()).map_err(|_| RelError::Codec {
+        detail: format!("row of {} columns exceeds u32 framing", row.len()),
+    })?;
+    put_u32(buf, len);
+    for d in row {
+        put_datum(buf, d)?;
+    }
+    Ok(())
+}
+
+/// Sequential reader over encoded bytes with total (never-panicking)
+/// accessors.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// Start reading at the beginning of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        ByteReader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True iff every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Current read offset, for error reporting.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    fn short(&self, what: &str, need: usize) -> RelError {
+        RelError::Codec {
+            detail: format!(
+                "short read at offset {}: need {need} bytes for {what}, have {}",
+                self.pos,
+                self.remaining()
+            ),
+        }
+    }
+
+    /// Read `n` raw bytes.
+    pub fn bytes(&mut self, n: usize, what: &str) -> Result<&'a [u8], RelError> {
+        if self.remaining() < n {
+            return Err(self.short(what, n));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Read one byte.
+    pub fn u8(&mut self, what: &str) -> Result<u8, RelError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    /// Read a little-endian `u32`.
+    pub fn u32(&mut self, what: &str) -> Result<u32, RelError> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.bytes(4, what)?);
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `u64`.
+    pub fn u64(&mut self, what: &str) -> Result<u64, RelError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.bytes(8, what)?);
+        Ok(u64::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `i64`.
+    pub fn i64(&mut self, what: &str) -> Result<i64, RelError> {
+        let mut b = [0u8; 8];
+        b.copy_from_slice(self.bytes(8, what)?);
+        Ok(i64::from_le_bytes(b))
+    }
+
+    /// Read a little-endian `i32`.
+    pub fn i32(&mut self, what: &str) -> Result<i32, RelError> {
+        let mut b = [0u8; 4];
+        b.copy_from_slice(self.bytes(4, what)?);
+        Ok(i32::from_le_bytes(b))
+    }
+
+    /// Read a length-prefixed UTF-8 string.
+    pub fn str(&mut self, what: &str) -> Result<&'a str, RelError> {
+        let len = self.u32(what)? as usize; // lint:allow(cast) — u32 widens into usize
+        let bytes = self.bytes(len, what)?;
+        std::str::from_utf8(bytes).map_err(|e| RelError::Codec {
+            detail: format!("invalid utf-8 in {what}: {e}"),
+        })
+    }
+
+    /// Read one datum.
+    pub fn datum(&mut self) -> Result<Datum, RelError> {
+        let tag = self.u8("datum tag")?;
+        Ok(match tag {
+            TAG_NULL => Datum::Null,
+            TAG_BOOL_FALSE => Datum::Bool(false),
+            TAG_BOOL_TRUE => Datum::Bool(true),
+            TAG_INT => Datum::Int(self.i64("int datum")?),
+            TAG_FLOAT => Datum::Float(f64::from_bits(self.u64("float datum")?)),
+            TAG_STR => Datum::Str(Arc::from(self.str("str datum")?)),
+            TAG_DATE => Datum::Date(self.i32("date datum")?),
+            other => {
+                return Err(RelError::Codec {
+                    detail: format!("unknown datum tag {other} at offset {}", self.pos - 1),
+                })
+            }
+        })
+    }
+
+    /// Read a row (arity-prefixed datum sequence).
+    pub fn row(&mut self) -> Result<Row, RelError> {
+        let arity = self.u32("row arity")? as usize; // lint:allow(cast) — u32 widens into usize
+                                                     // Guard against adversarial arities claiming more datums than bytes
+                                                     // remain (every datum takes at least one tag byte).
+        if arity > self.remaining() {
+            return Err(RelError::Codec {
+                detail: format!(
+                    "row arity {arity} exceeds remaining {} bytes",
+                    self.remaining()
+                ),
+            });
+        }
+        let mut row = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            row.push(self.datum()?);
+        }
+        Ok(row)
+    }
+}
+
+/// Encode a single datum to a fresh buffer (tests and tools; bulk encoding
+/// should reuse a buffer via [`put_datum`]).
+pub fn encode_datum(d: &Datum) -> Result<Vec<u8>, RelError> {
+    let mut buf = Vec::new();
+    put_datum(&mut buf, d)?;
+    Ok(buf)
+}
+
+/// Decode a single datum, requiring the buffer to be fully consumed.
+pub fn decode_datum(data: &[u8]) -> Result<Datum, RelError> {
+    let mut r = ByteReader::new(data);
+    let d = r.datum()?;
+    if !r.is_empty() {
+        return Err(RelError::Codec {
+            detail: format!("{} trailing bytes after datum", r.remaining()),
+        });
+    }
+    Ok(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(d: &Datum) -> Datum {
+        decode_datum(&encode_datum(d).unwrap()).unwrap()
+    }
+
+    fn bits_of(d: &Datum) -> Option<u64> {
+        match d {
+            Datum::Float(f) => Some(f.to_bits()),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn all_variants_round_trip() {
+        let values = [
+            Datum::Null,
+            Datum::Bool(false),
+            Datum::Bool(true),
+            Datum::Int(0),
+            Datum::Int(i64::MIN),
+            Datum::Int(i64::MAX),
+            Datum::Float(3.25),
+            Datum::str(""),
+            Datum::str("héllo wörld"),
+            Datum::Date(0),
+            Datum::Date(-719_162), // year 1
+            Datum::Date(2_932_896),
+        ];
+        for v in &values {
+            assert_eq!(&round_trip(v), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn float_bit_patterns_survive() {
+        // The exact patterns PR 2's hasher tripped on: -0.0 vs 0.0,
+        // NaN payloads, integral-valued floats.
+        let patterns = [
+            0.0f64.to_bits(),
+            (-0.0f64).to_bits(),
+            f64::NAN.to_bits(),
+            f64::NAN.to_bits() | 0xDEAD, // non-canonical NaN payload
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            42.0f64.to_bits(), // integral-valued float
+            f64::MIN_POSITIVE.to_bits(),
+            1u64, // subnormal
+        ];
+        for bits in patterns {
+            let d = Datum::Float(f64::from_bits(bits));
+            let back = round_trip(&d);
+            assert_eq!(bits_of(&back), Some(bits), "bits {bits:#018x}");
+        }
+    }
+
+    #[test]
+    fn truncated_input_errors_cleanly() {
+        let full = encode_datum(&Datum::str("some string payload")).unwrap();
+        for cut in 0..full.len() {
+            let err = decode_datum(&full[..cut]);
+            assert!(err.is_err(), "prefix of {cut} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn unknown_tag_is_an_error() {
+        assert!(matches!(decode_datum(&[0xFF]), Err(RelError::Codec { .. })));
+    }
+
+    #[test]
+    fn row_round_trip_and_arity_guard() {
+        let row = vec![Datum::Int(7), Datum::Null, Datum::str("x")];
+        let mut buf = Vec::new();
+        put_row(&mut buf, &row).unwrap();
+        let mut r = ByteReader::new(&buf);
+        assert_eq!(r.row().unwrap(), row);
+        assert!(r.is_empty());
+        // A length prefix claiming 2^31 datums must fail fast, not allocate.
+        let mut bad = Vec::new();
+        put_u32(&mut bad, 1 << 31);
+        assert!(ByteReader::new(&bad).row().is_err());
+    }
+}

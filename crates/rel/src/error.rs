@@ -11,6 +11,8 @@ pub enum RelError {
     DuplicateColumn { qualifier: String, name: String },
     /// A row's arity or a datum's type does not match the schema.
     TypeMismatch { detail: String },
+    /// Binary encode/decode failure (durable log and snapshot codec).
+    Codec { detail: String },
 }
 
 impl fmt::Display for RelError {
@@ -23,6 +25,7 @@ impl fmt::Display for RelError {
                 write!(f, "duplicate column {qualifier}.{name}")
             }
             RelError::TypeMismatch { detail } => write!(f, "type mismatch: {detail}"),
+            RelError::Codec { detail } => write!(f, "codec error: {detail}"),
         }
     }
 }

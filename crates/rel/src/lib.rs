@@ -23,6 +23,7 @@
 // `unsafe-code` lint in `cargo run -p xtask -- lint` enforces this).
 #[allow(unsafe_code)]
 pub mod alloc;
+pub mod codec;
 pub mod datum;
 pub mod error;
 pub mod floatsum;
@@ -34,6 +35,9 @@ pub mod schema;
 pub mod subsume;
 
 pub use alloc::{alloc_counting_active, alloc_snapshot, AllocSnapshot, CountingAlloc};
+pub use codec::{
+    decode_datum, encode_datum, put_datum, put_row, put_str, put_u32, put_u64, ByteReader,
+};
 pub use datum::{date, date_from_days, days_from_date, DataType, Datum};
 pub use error::RelError;
 pub use floatsum::ExactFloatSum;

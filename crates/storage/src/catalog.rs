@@ -160,6 +160,13 @@ impl Catalog {
         &self.fks
     }
 
+    /// Mutable access to the declared foreign keys, for catalog restore to
+    /// reapply the `cascade_delete`/`deferrable` flags `add_foreign_key`
+    /// defaults to `false`.
+    pub fn foreign_keys_mut(&mut self) -> &mut [ForeignKey] {
+        &mut self.fks
+    }
+
     /// Foreign keys whose child table is `child`.
     pub fn fks_from<'a>(&'a self, child: &'a str) -> impl Iterator<Item = &'a ForeignKey> + 'a {
         self.fks.iter().filter(move |fk| fk.child == child)

@@ -18,11 +18,13 @@
 #![forbid(unsafe_code)]
 
 pub mod catalog;
+pub mod codec;
 pub mod delta;
 pub mod error;
 pub mod table;
 
 pub use catalog::{Catalog, ForeignKey};
+pub use codec::{decode_catalog, decode_update, encode_catalog, encode_update};
 pub use delta::{Update, UpdateOp};
 pub use error::StorageError;
 pub use table::{IndexRef, Table};

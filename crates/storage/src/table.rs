@@ -131,8 +131,15 @@ impl Table {
     }
 
     /// Add a secondary index over `cols`; returns its id. Existing rows are
-    /// indexed immediately.
+    /// indexed immediately. Requesting an index over a column set that is
+    /// already indexed returns the existing id instead of building a
+    /// duplicate — catalog restore re-runs `add_foreign_key` after
+    /// re-creating the recorded indexes, and the FK must land on the same
+    /// index id it had before the snapshot.
     pub fn add_secondary_index(&mut self, cols: Vec<usize>) -> usize {
+        if let Some(existing) = self.secondary.iter().position(|idx| idx.cols == cols) {
+            return existing;
+        }
         let mut idx = SecondaryIndex {
             cols,
             map: FxHashMap::default(),
@@ -142,6 +149,12 @@ impl Table {
         }
         self.secondary.push(idx);
         self.secondary.len() - 1
+    }
+
+    /// Column sets of all secondary indexes, in index-id order — recorded
+    /// by catalog snapshots so restore can rebuild indexes with stable ids.
+    pub fn secondary_col_sets(&self) -> Vec<Vec<usize>> {
+        self.secondary.iter().map(|idx| idx.cols.clone()).collect()
     }
 
     /// Look up a row by unique key.

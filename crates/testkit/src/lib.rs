@@ -25,10 +25,12 @@
 #![forbid(unsafe_code)]
 
 pub mod check;
+pub mod fault;
 pub mod rng;
 pub mod strategy;
 
 pub use check::run_property;
+pub use fault::{fault_spec, FaultFile, FaultSpec, FaultSpecStrategy};
 pub use rng::{mix, Rng};
 pub use strategy::{choice, strategy, vec_of, Just, Strategy};
 

@@ -18,7 +18,7 @@ pub struct LintDef {
 }
 
 /// All lints, in the order `--list` prints them.
-pub const LINTS: [LintDef; 4] = [
+pub const LINTS: [LintDef; 6] = [
     LintDef {
         id: "vec-vec-datum",
         desc: "no Vec<Vec<Datum>> row batches in crates/exec (use RowBuf)",
@@ -35,6 +35,15 @@ pub const LINTS: [LintDef; 4] = [
     LintDef {
         id: "unsafe-code",
         desc: "unsafe only in the allowlisted crates/rel/src/alloc.rs",
+    },
+    LintDef {
+        id: "fs-outside-durability",
+        desc: "no std::fs / File:: outside crates/durability, crates/bench, crates/xtask \
+               (everything else goes through the Vfs trait)",
+    },
+    LintDef {
+        id: "cast",
+        desc: "no `as u32`/`as u64` in the WAL framing (crates/durability) — use try_from",
     },
 ];
 
@@ -72,6 +81,18 @@ fn applies(lint: &str, path: &str) -> bool {
                 | "crates/exec/src/ops/dedup.rs"
         ),
         "unsafe-code" => path != "crates/rel/src/alloc.rs",
+        // Durability is where the real filesystem is abstracted behind the
+        // Vfs trait; bench needs to emit result files; xtask *is* the file
+        // scanner. Everyone else must go through a Vfs so fault injection
+        // covers them.
+        "fs-outside-durability" => {
+            !path.starts_with("crates/durability/")
+                && !path.starts_with("crates/bench/")
+                && !path.starts_with("crates/xtask/")
+        }
+        // Silent truncation in record framing corrupts the log; the WAL
+        // code converts with try_from and handles the error.
+        "cast" => path.starts_with("crates/durability/src/"),
         _ => false,
     }
 }
@@ -399,6 +420,19 @@ pub fn scan_file(rel_path: &str, src: &str) -> Vec<Violation> {
         if applies("unsafe-code", &path) && tok.text == "unsafe" {
             record("unsafe-code", line, &mut out);
         }
+        if applies("fs-outside-durability", &path)
+            && (seq(i, &["std", ":", ":", "fs"]) || seq(i, &["File", ":", ":"]))
+        {
+            record("fs-outside-durability", line, &mut out);
+        }
+        if applies("cast", &path)
+            && tok.text == "as"
+            && toks
+                .get(i + 1)
+                .is_some_and(|t| t.text == "u32" || t.text == "u64")
+        {
+            record("cast", line, &mut out);
+        }
     }
     out
 }
@@ -545,6 +579,67 @@ mod tests {
         // An allow two lines up does not leak downward.
         let far = "// lint:allow(default-hasher)\n\nfn f() { let m = HashMap::new(); }\n";
         assert_eq!(scan_file("crates/storage/src/foo.rs", far).len(), 1);
+    }
+
+    #[test]
+    fn fs_banned_outside_durability_bench_xtask() {
+        let uses = "use std::fs;\nfn f() { let _ = std::fs::read(\"x\"); }\n";
+        let v = scan_file("crates/core/src/durable.rs", uses);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.lint == "fs-outside-durability"));
+        let file = "fn f() { let _ = File::open(\"x\"); }\n";
+        assert_eq!(
+            scan_file("crates/exec/src/foo.rs", file)[0].lint,
+            "fs-outside-durability"
+        );
+        // Identifier boundary: FaultFile::new is not File::.
+        let fault = "fn f() { let _ = FaultFile::new(inner, spec); }\n";
+        assert!(scan_file("crates/testkit/src/fault.rs", fault).is_empty());
+        // The allowlisted crates are exempt.
+        for path in [
+            "crates/durability/src/vfs.rs",
+            "crates/bench/src/bin/repro.rs",
+            "crates/xtask/src/lint.rs",
+        ] {
+            assert!(scan_file(path, uses).is_empty(), "{path}");
+        }
+        // The escape hatch still works.
+        let allowed = "use std::fs; // lint:allow(fs-outside-durability)\n";
+        assert!(scan_file("crates/core/src/foo.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn cast_banned_in_wal_framing() {
+        let src = "fn f(n: usize) -> u32 { n as u32 }\nfn g(n: usize) -> u64 { n as u64 }\n";
+        let v = scan_file("crates/durability/src/wal.rs", src);
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.lint == "cast"));
+        // Widening into usize is fine (cannot truncate).
+        let widen = "fn f(n: u32) -> usize { n as usize }\n";
+        assert!(scan_file("crates/durability/src/wal.rs", widen).is_empty());
+        // Out of scope elsewhere.
+        assert!(scan_file("crates/exec/src/eval.rs", src).is_empty());
+        // Escape hatch.
+        let allowed = "fn f(n: usize) -> u32 { n as u32 } // lint:allow(cast)\n";
+        assert!(scan_file("crates/durability/src/wal.rs", allowed).is_empty());
+    }
+
+    /// A seeded fs violation fails the gate just like the older lints.
+    #[test]
+    fn seeded_fs_violation_fails_the_gate() {
+        let root = std::env::temp_dir().join(format!("xtask-lint-fs-{}", std::process::id()));
+        let dir = root.join("crates/core/src");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("seeded.rs"),
+            "fn f() { let _ = std::fs::read(\"x\"); }\n",
+        )
+        .unwrap();
+        let v = run(&root).unwrap();
+        fs::remove_dir_all(&root).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "fs-outside-durability");
+        assert_eq!(v[0].file, "crates/core/src/seeded.rs");
     }
 
     /// The CI gate behavior: a seeded violation anywhere in the scanned tree

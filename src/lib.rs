@@ -15,6 +15,7 @@
 pub use ojv_algebra as algebra;
 pub use ojv_analysis as analysis;
 pub use ojv_core as core;
+pub use ojv_durability as durability;
 pub use ojv_exec as exec;
 pub use ojv_rel as rel;
 pub use ojv_storage as storage;

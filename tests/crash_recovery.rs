@@ -1,0 +1,431 @@
+//! Crash-point matrix over the durable maintenance log.
+//!
+//! A scripted three-table workload (inserts, deletes, SQL-style updates,
+//! deferred-view refreshes) runs once against a [`MemVfs`]; the resulting WAL
+//! segment is then cut at every record boundary — and, in the full matrix,
+//! at torn offsets *inside* every record — and recovery is opened on each
+//! truncated filesystem. Recovered state must be **byte-identical** (via
+//! `DurableDatabase::state_bytes`) to an uncrashed twin that ran exactly the
+//! surviving prefix of the workload.
+//!
+//! When a cut lands between the two halves of an `update()` (which logs a
+//! delete record and an insert record), no step-granular twin exists; those
+//! points are checked record-granularly instead: the recovered catalog must
+//! equal a catalog that applied exactly the surviving record operations, the
+//! eager view must pass the full-recompute oracle, and recovery must be
+//! idempotent (a second open over the recovered filesystem is a byte-level
+//! no-op).
+//!
+//! The fast subset runs in plain `cargo test -q`; the exhaustive matrix and
+//! the ~200-case seeded fault-injection sweep are `#[ignore]`d and run in CI
+//! via `--ignored` (see `ci/check.sh`).
+
+use ojv::durability::wal::{scan_segment, SEGMENT_HEADER_LEN};
+use ojv::prelude::*;
+use ojv::storage::encode_catalog;
+use ojv_core::fixtures;
+use ojv_testkit::{fault_spec, FaultFile, Rng, Strategy};
+
+const EAGER: &str = "oj_view";
+const DEFERRED: &str = "oj_dv";
+const N_PARTS: i64 = 6;
+const N_ORDERS: i64 = 9;
+
+fn policy() -> MaintenancePolicy {
+    MaintenancePolicy::default() // FsyncPolicy::Always
+}
+
+fn populated_catalog() -> Catalog {
+    let mut c = fixtures::example1_catalog();
+    fixtures::populate_example1(&mut c, N_PARTS, N_ORDERS);
+    c
+}
+
+/// Fresh durable database with one eager and one deferred view over the
+/// paper's Example 1 join, checkpointed at LSN 0 (DDL time) so every
+/// workload record stays in the live WAL segment.
+fn build<V: Vfs>(vfs: V) -> DurableDatabase<V> {
+    let mut d = DurableDatabase::create(vfs, populated_catalog(), policy()).unwrap();
+    d.create_view(fixtures::oj_view_def()).unwrap();
+    d.create_deferred_view(ViewDef::new(
+        DEFERRED,
+        fixtures::oj_view_def().expr().clone(),
+    ))
+    .unwrap();
+    d
+}
+
+/// One workload step. `Update` logs two WAL records (delete + insert with
+/// the decomposition flag); everything else logs exactly one.
+#[derive(Debug, Clone)]
+enum Step {
+    Insert(&'static str, Row),
+    Delete(&'static str, Row),
+    Update(&'static str, Row, Row),
+    Refresh,
+}
+
+impl Step {
+    fn records(&self) -> u64 {
+        match self {
+            Step::Update(..) => 2,
+            _ => 1,
+        }
+    }
+}
+
+/// The scripted workload: touches all three base tables, exercises both
+/// deferred refresh markers, and keeps every prefix FK-consistent (orders
+/// divisible by 3 have no lineitems, so order 9 can be updated via
+/// delete+insert; part 50 is inserted before it is deleted).
+fn steps() -> Vec<Step> {
+    let i = Datum::Int;
+    vec![
+        Step::Insert("lineitem", fixtures::lineitem_row(3, 1, 2, 4, 42.0)),
+        Step::Insert("orders", fixtures::order_row(100, 7)),
+        Step::Insert("lineitem", fixtures::lineitem_row(100, 1, 5, 2, 9.5)),
+        Step::Refresh,
+        Step::Update(
+            "lineitem",
+            vec![i(2), i(1)],
+            fixtures::lineitem_row(2, 1, 3, 99, 1.0),
+        ),
+        Step::Delete("lineitem", vec![i(3), i(1)]),
+        Step::Insert("part", fixtures::part_row(50, "crash-part", 3.25)),
+        Step::Refresh,
+        Step::Update("orders", vec![i(9)], fixtures::order_row(9, 4242)),
+        Step::Delete("part", vec![i(50)]),
+    ]
+}
+
+fn total_records() -> u64 {
+    steps().iter().map(Step::records).sum()
+}
+
+fn apply<V: Vfs>(d: &mut DurableDatabase<V>, step: &Step) {
+    match step {
+        Step::Insert(t, row) => {
+            d.insert(t, vec![row.clone()]).unwrap();
+        }
+        Step::Delete(t, key) => {
+            d.delete(t, std::slice::from_ref(key)).unwrap();
+        }
+        Step::Update(t, key, row) => {
+            d.update(t, std::slice::from_ref(key), vec![row.clone()])
+                .unwrap();
+        }
+        Step::Refresh => {
+            d.refresh(DEFERRED).unwrap();
+        }
+    }
+}
+
+/// Uncrashed twin reflecting exactly the first `m` WAL records, or `None`
+/// when `m` falls between the two records of an `Update` step.
+fn twin_at(m: u64) -> Option<DurableDatabase<MemVfs>> {
+    let mut d = build(MemVfs::new());
+    let mut logged = 0u64;
+    for step in steps() {
+        let n = step.records();
+        if logged + n > m {
+            break;
+        }
+        apply(&mut d, &step);
+        logged += n;
+    }
+    (logged == m).then_some(d)
+}
+
+/// The catalog-level operation each WAL record performs (refresh markers
+/// perform none) — the record-granular oracle for mid-update crash points.
+enum CatOp {
+    Ins(&'static str, Row),
+    Del(&'static str, Row),
+    None,
+}
+
+fn record_ops() -> Vec<CatOp> {
+    let mut ops = Vec::new();
+    for step in steps() {
+        match step {
+            Step::Insert(t, row) => ops.push(CatOp::Ins(t, row)),
+            Step::Delete(t, key) => ops.push(CatOp::Del(t, key)),
+            Step::Update(t, key, row) => {
+                ops.push(CatOp::Del(t, key));
+                ops.push(CatOp::Ins(t, row));
+            }
+            Step::Refresh => ops.push(CatOp::None),
+        }
+    }
+    ops
+}
+
+/// Catalog after applying exactly the first `m` record operations.
+fn catalog_at(m: u64) -> Catalog {
+    let mut c = populated_catalog();
+    for op in record_ops().into_iter().take(usize::try_from(m).unwrap()) {
+        match op {
+            CatOp::Ins(t, row) => {
+                c.insert(t, vec![row]).unwrap();
+            }
+            CatOp::Del(t, key) => {
+                c.delete(t, std::slice::from_ref(&key)).unwrap();
+            }
+            CatOp::None => {}
+        }
+    }
+    c
+}
+
+/// Run the whole workload and return the crash image (durable bytes only —
+/// under `FsyncPolicy::Always` that is everything).
+fn full_run_vfs() -> MemVfs {
+    let mut d = build(MemVfs::new());
+    for step in steps() {
+        apply(&mut d, &step);
+    }
+    d.into_vfs().crash()
+}
+
+fn newest_segment(vfs: &MemVfs) -> String {
+    vfs.list()
+        .unwrap()
+        .into_iter()
+        .filter(|n| n.starts_with("wal-") && n.ends_with(".log"))
+        .max()
+        .expect("workload leaves a live WAL segment")
+}
+
+/// `(end_offset, lsn)` of every record in the live segment, in order.
+fn boundaries(vfs: &MemVfs, segment: &str) -> Vec<(u64, u64)> {
+    let scan = scan_segment(segment, &vfs.read(segment).unwrap(), Some(1));
+    assert!(
+        scan.torn.is_none(),
+        "clean run must scan clean: {:?}",
+        scan.torn
+    );
+    scan.records
+        .iter()
+        .map(|r| (r.end_offset, r.record.lsn))
+        .collect()
+}
+
+/// Crash the workload at byte offset `cut` of the live segment, recover,
+/// and check the recovered state against the appropriate oracle.
+fn check_cut(full: &MemVfs, segment: &str, cut: u64, ends: &[(u64, u64)]) {
+    let mut crashed = full.clone();
+    crashed.truncate(segment, cut).unwrap();
+    crashed.sync(segment).unwrap();
+    let (rec, report) = DurableDatabase::open(crashed, policy())
+        .unwrap_or_else(|e| panic!("recovery failed at cut {cut}: {e}"));
+
+    // Surviving record count: LSNs are dense from 1 and DDL logs nothing,
+    // so the highest replayed LSN *is* the count of whole surviving records.
+    let m = u64::try_from(ends.iter().filter(|(end, _)| *end <= cut).count()).unwrap();
+    assert_eq!(
+        report.last_lsn, m,
+        "cut {cut}: wrong surviving-record count"
+    );
+
+    let header = u64::try_from(SEGMENT_HEADER_LEN).unwrap();
+    let at_boundary = cut == header || ends.iter().any(|(end, _)| *end == cut);
+    if at_boundary {
+        assert!(
+            report.wal_truncated.is_none(),
+            "cut {cut} is a record boundary, nothing to truncate: {:?}",
+            report.wal_truncated
+        );
+    } else {
+        assert!(
+            report.wal_truncated.is_some(),
+            "cut {cut} tears a record; recovery must report the truncation"
+        );
+    }
+
+    match twin_at(m) {
+        Some(twin) => {
+            assert_eq!(
+                rec.state_bytes().unwrap(),
+                twin.state_bytes().unwrap(),
+                "cut {cut} (lsn {m}): recovered state differs from uncrashed twin"
+            );
+        }
+        None => {
+            // The cut split an update's delete/insert pair: no step-granular
+            // twin exists, so check record-granularly.
+            let oracle = catalog_at(m);
+            assert_eq!(
+                encode_catalog(rec.database().catalog()).unwrap(),
+                encode_catalog(&oracle).unwrap(),
+                "cut {cut} (lsn {m}): recovered catalog differs from record oracle"
+            );
+            assert!(
+                verify_against_recompute(rec.view(EAGER).unwrap(), rec.database().catalog()),
+                "cut {cut} (lsn {m}): eager view fails the recompute oracle"
+            );
+            let bytes = rec.state_bytes().unwrap();
+            let (again, _) = DurableDatabase::open(rec.into_vfs(), policy()).unwrap();
+            assert_eq!(
+                again.state_bytes().unwrap(),
+                bytes,
+                "cut {cut} (lsn {m}): recovery is not idempotent"
+            );
+        }
+    }
+}
+
+/// Sanity-check the assumptions the matrix leans on: one live segment
+/// starting at LSN 1, densely numbered records, and a workload whose final
+/// state passes the recompute oracle.
+#[test]
+fn workload_emits_the_expected_log() {
+    let mut d = build(MemVfs::new());
+    for step in steps() {
+        apply(&mut d, &step);
+    }
+    assert_eq!(d.last_lsn(), total_records());
+    assert!(verify_against_recompute(
+        d.view(EAGER).unwrap(),
+        d.database().catalog()
+    ));
+    let vfs = d.into_vfs();
+    let segment = newest_segment(&vfs);
+    assert_eq!(segment, "wal-0000000000000001.log");
+    let lsns: Vec<u64> = boundaries(&vfs, &segment).iter().map(|&(_, l)| l).collect();
+    assert_eq!(lsns, (1..=total_records()).collect::<Vec<u64>>());
+}
+
+/// Fast subset: every record boundary, plus the empty-log boundary at the
+/// end of the segment header.
+#[test]
+fn recovery_at_every_record_boundary_is_byte_identical() {
+    let full = full_run_vfs();
+    let segment = newest_segment(&full);
+    let ends = boundaries(&full, &segment);
+    check_cut(
+        &full,
+        &segment,
+        u64::try_from(SEGMENT_HEADER_LEN).unwrap(),
+        &ends,
+    );
+    for &(end, _) in &ends {
+        check_cut(&full, &segment, end, &ends);
+    }
+}
+
+/// Fast subset: a few torn (mid-record) cuts, including one inside each
+/// half of an update pair, must be detected and cleanly truncated.
+#[test]
+fn torn_tails_are_detected_and_truncated() {
+    let full = full_run_vfs();
+    let segment = newest_segment(&full);
+    let ends = boundaries(&full, &segment);
+    let header = u64::try_from(SEGMENT_HEADER_LEN).unwrap();
+    // One byte into the first record, the middle of the update's delete
+    // record (lsn 5), and one byte shy of the final record's end.
+    let starts: Vec<u64> = std::iter::once(header)
+        .chain(ends.iter().map(|&(end, _)| end))
+        .collect();
+    let cuts = [
+        starts[0] + 1,
+        (starts[4] + ends[4].0) / 2,
+        ends[ends.len() - 1].0 - 1,
+    ];
+    for cut in cuts {
+        check_cut(&full, &segment, cut, &ends);
+    }
+}
+
+/// Exhaustive matrix: every record boundary plus three torn offsets inside
+/// every record, and cuts inside the segment header itself.
+#[test]
+#[ignore = "exhaustive crash matrix; run via --ignored in CI"]
+fn crash_matrix_full() {
+    let full = full_run_vfs();
+    let segment = newest_segment(&full);
+    let ends = boundaries(&full, &segment);
+    let header = u64::try_from(SEGMENT_HEADER_LEN).unwrap();
+
+    // Cuts inside the segment header invalidate the whole file; recovery
+    // must still come up, with an empty log.
+    for cut in [0, 1, header / 2, header - 1] {
+        check_cut(&full, &segment, cut, &ends);
+    }
+
+    let mut prev = header;
+    for &(end, lsn) in &ends {
+        check_cut(&full, &segment, end, &ends);
+        for cut in [prev + 1, (prev + end) / 2, end - 1] {
+            if cut > prev && cut < end {
+                check_cut(&full, &segment, cut, &ends);
+            } else {
+                panic!("record {lsn} shorter than 2 bytes?");
+            }
+        }
+        prev = end;
+    }
+}
+
+/// Seeded fault-injection sweep: run the workload through a [`FaultFile`]
+/// that drops fsyncs, tears the tail, and flips bits, then recover and hold
+/// the recovered state to the same oracles as the deterministic matrix.
+fn fuzz_sweep(cases: usize, seed: u64) {
+    let clean = full_run_vfs();
+    let segment = newest_segment(&clean);
+    let wal_len = clean.len(&segment).unwrap();
+    let strat = fault_spec(wal_len + 32);
+    let mut rng = Rng::seed_from_u64(seed);
+
+    for case in 0..cases {
+        let spec = strat.generate(&mut rng);
+        let mut d = build(FaultFile::new(MemVfs::new(), spec));
+        for step in steps() {
+            apply(&mut d, &step);
+        }
+        let crashed = d.into_vfs().crash();
+        let (rec, report) = DurableDatabase::open(crashed, policy())
+            .unwrap_or_else(|e| panic!("case {case} {spec:?}: recovery failed: {e}"));
+        let m = report.last_lsn;
+        assert!(
+            m <= total_records(),
+            "case {case} {spec:?}: impossible LSN {m}"
+        );
+        match twin_at(m) {
+            Some(twin) => assert_eq!(
+                rec.state_bytes().unwrap(),
+                twin.state_bytes().unwrap(),
+                "case {case} {spec:?} (lsn {m}): state differs from twin"
+            ),
+            None => {
+                let oracle = catalog_at(m);
+                assert_eq!(
+                    encode_catalog(rec.database().catalog()).unwrap(),
+                    encode_catalog(&oracle).unwrap(),
+                    "case {case} {spec:?} (lsn {m}): catalog differs from record oracle"
+                );
+                assert!(
+                    verify_against_recompute(rec.view(EAGER).unwrap(), rec.database().catalog()),
+                    "case {case} {spec:?} (lsn {m}): eager view fails recompute"
+                );
+                let bytes = rec.state_bytes().unwrap();
+                let (again, _) = DurableDatabase::open(rec.into_vfs(), policy()).unwrap();
+                assert_eq!(
+                    again.state_bytes().unwrap(),
+                    bytes,
+                    "case {case} {spec:?} (lsn {m}): recovery not idempotent"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn recovery_fuzz_smoke() {
+    fuzz_sweep(32, 0xC4A5_11E5);
+}
+
+#[test]
+#[ignore = "200-case recovery fuzz sweep; run via --ignored in CI"]
+fn recovery_fuzz_sweep() {
+    fuzz_sweep(200, 0xC4A5_11E5);
+}
