@@ -18,7 +18,17 @@
 //! logged delta through the same `maintain` path the live system uses, so
 //! the recovered stores are *byte-identical* to an uncrashed twin — not
 //! merely set-equal. A crash between 1 and 2 loses only RAM state that was
-//! never acknowledged as durable.
+//! never acknowledged as durable. If step 2 *fails* (I/O error, framing
+//! limit), RAM is ahead of the log and recovery could never reproduce it:
+//! the database **poisons** itself — every later durable operation,
+//! including `checkpoint`, returns [`CoreError::Poisoned`] — so the
+//! diverged image can neither grow nor be snapshotted; reopening from the
+//! log lands on the last consistent state.
+//!
+//! Recovery also guards against the log having been cut *below* the
+//! checkpoint's LSN (a corrupt record in a segment that survived pruning):
+//! the WAL then resumes at `checkpoint_lsn + 1` via [`Wal::begin_after`]
+//! instead of re-issuing LSNs the replay filter would silently skip.
 //!
 //! [`DurableDatabase::checkpoint`] serializes the catalog and every view
 //! store (rows in heap order plus the canonical count-index snapshot) to an
@@ -39,8 +49,8 @@
 //! idempotence the watermark buys) cannot double-apply a batch.
 
 use ojv_durability::{
-    prune_checkpoints, read_latest_checkpoint, write_checkpoint, DurabilityError, Lsn, Vfs, Wal,
-    WalOptions, WalRecord,
+    is_checkpoint_file, is_segment_file, prune_checkpoints, read_latest_checkpoint,
+    write_checkpoint, DurabilityError, Lsn, Vfs, Wal, WalOptions, WalRecord,
 };
 use ojv_rel::{key_of, put_row, put_str, put_u32, put_u64, ByteReader, Datum, RelError, Row};
 use ojv_storage::{
@@ -481,12 +491,34 @@ pub struct DurableDatabase<V: Vfs> {
     db: Database,
     deferred: Vec<DurableDeferred>,
     checkpoint_lsn: Lsn,
+    /// Set when a durable write failed after an in-memory mutation: RAM is
+    /// ahead of the log, so further durable operations are refused (see
+    /// [`CoreError::Poisoned`]).
+    poisoned: Option<String>,
 }
 
 impl<V: Vfs> DurableDatabase<V> {
     /// Initialize a fresh durable database in an empty directory: writes the
     /// first WAL segment and a checkpoint of the starting catalog.
+    ///
+    /// Fails if the directory already holds WAL segments or checkpoints —
+    /// overwriting the first segment of an existing database while leaving
+    /// its later segments and snapshots in place would create a
+    /// mixed-generation directory a later [`DurableDatabase::open`] could
+    /// misread. Use `open` for existing directories.
     pub fn create(mut vfs: V, catalog: Catalog, policy: MaintenancePolicy) -> Result<Self> {
+        if let Some(name) = vfs
+            .list()?
+            .into_iter()
+            .find(|n| is_segment_file(n) || is_checkpoint_file(n))
+        {
+            return Err(CoreError::Durability(DurabilityError::Corrupt {
+                file: name,
+                detail: "directory already holds a durable database; open() it instead of \
+                         create()-ing over it"
+                    .to_string(),
+            }));
+        }
         let opts = WalOptions {
             policy: policy.fsync,
             ..WalOptions::default()
@@ -500,6 +532,7 @@ impl<V: Vfs> DurableDatabase<V> {
             db,
             deferred: Vec::new(),
             checkpoint_lsn: 0,
+            poisoned: None,
         };
         this.checkpoint()?;
         Ok(this)
@@ -524,7 +557,18 @@ impl<V: Vfs> DurableDatabase<V> {
             policy: policy.fsync,
             ..WalOptions::default()
         };
-        let (wal, scan) = Wal::open(&mut vfs, opts, ckpt.lsn + 1)?;
+        let (mut wal, scan) = Wal::open(&mut vfs, opts, ckpt.lsn + 1)?;
+        if wal.next_lsn() <= ckpt.lsn {
+            // A corrupt record *below* the checkpoint LSN cut the scan short
+            // (its segment survives pruning while any deferred watermark is
+            // older). Appending at an already-checkpointed LSN would create
+            // records the `lsn > ckpt_lsn` replay filter silently skips on
+            // the next open — acknowledged data lost. The checkpoint vouches
+            // for every LSN at or below its own, so resume the log past it;
+            // surviving earlier records stay on disk for deferred-queue
+            // rebuilds.
+            wal.begin_after(&mut vfs, ckpt.lsn + 1)?;
+        }
 
         let mut db = Database::new(state.catalog);
         db.policy = policy;
@@ -560,6 +604,7 @@ impl<V: Vfs> DurableDatabase<V> {
                 db,
                 deferred,
                 checkpoint_lsn: ckpt.lsn,
+                poisoned: None,
             },
             report,
         ))
@@ -648,12 +693,41 @@ impl<V: Vfs> DurableDatabase<V> {
         Ok(())
     }
 
+    /// Refuse the operation if an earlier durable-write failure left RAM
+    /// ahead of the log.
+    fn check_usable(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(detail) => Err(CoreError::Poisoned {
+                detail: detail.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    /// Record that a durable write failed after an in-memory mutation. The
+    /// live state can no longer be reproduced by recovery (and later logged
+    /// deltas would be computed against a catalog replay never sees), so
+    /// every subsequent durable operation — including `checkpoint`, which
+    /// would persist the diverged state — is rejected from here on.
+    fn poison(&mut self, during: &str, err: CoreError) -> CoreError {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(format!("{during} failed: {err}"));
+        }
+        err
+    }
+
+    /// Append an applied update batch to the WAL. The catalog mutation has
+    /// already happened by the time this runs, so any failure here poisons
+    /// the database.
     fn log_update(&mut self, update: &Update, flags: u8) -> Result<Lsn> {
-        let body = encode_update(update)?;
-        let mut payload = Vec::with_capacity(1 + body.len());
-        payload.push(flags);
-        payload.extend_from_slice(&body);
-        Ok(self.wal.append(&mut self.vfs, REC_UPDATE, &payload)?)
+        let result = (|| {
+            let body = encode_update(update)?;
+            let mut payload = Vec::with_capacity(1 + body.len());
+            payload.push(flags);
+            payload.extend_from_slice(&body);
+            Ok(self.wal.append(&mut self.vfs, REC_UPDATE, &payload)?)
+        })();
+        result.map_err(|e| self.poison("WAL append of an applied update", e))
     }
 
     fn enqueue_deferred(&mut self, update: &Update) {
@@ -665,6 +739,7 @@ impl<V: Vfs> DurableDatabase<V> {
     /// Durable insert: apply to the catalog, log, maintain eager views,
     /// enqueue on deferred views.
     pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<Vec<MaintenanceReport>> {
+        self.check_usable()?;
         let update = self.db.apply_insert(table, rows)?;
         self.log_update(&update, 0)?;
         let reports = self.db.maintain_update(&update)?;
@@ -674,6 +749,7 @@ impl<V: Vfs> DurableDatabase<V> {
 
     /// Durable delete by unique key (see [`DurableDatabase::insert`]).
     pub fn delete(&mut self, table: &str, keys: &[Vec<Datum>]) -> Result<Vec<MaintenanceReport>> {
+        self.check_usable()?;
         let update = self.db.apply_delete(table, keys)?;
         self.log_update(&update, 0)?;
         let reports = self.db.maintain_update(&update)?;
@@ -689,6 +765,7 @@ impl<V: Vfs> DurableDatabase<V> {
         keys: &[Vec<Datum>],
         new_rows: Vec<Row>,
     ) -> Result<Vec<MaintenanceReport>> {
+        self.check_usable()?;
         let saved = self.db.policy;
         self.db.policy.update_decomposition = true;
         let result = (|| {
@@ -709,14 +786,17 @@ impl<V: Vfs> DurableDatabase<V> {
     /// Create an eagerly-maintained view and checkpoint (definitions live
     /// in snapshots, not the log).
     pub fn create_view(&mut self, def: ViewDef) -> Result<()> {
+        self.check_usable()?;
         self.db.create_view(def)?;
-        self.checkpoint()?;
+        self.checkpoint()
+            .map_err(|e| self.poison("checkpoint after view creation", e))?;
         Ok(())
     }
 
     /// Create a deferred view, watermarked at the current log position, and
     /// checkpoint.
     pub fn create_deferred_view(&mut self, def: ViewDef) -> Result<()> {
+        self.check_usable()?;
         if self.db.view(def.name()).is_some()
             || self
                 .deferred
@@ -732,7 +812,8 @@ impl<V: Vfs> DurableDatabase<V> {
             dv: DeferredView::new(view),
             watermark: self.wal.last_lsn(),
         });
-        self.checkpoint()?;
+        self.checkpoint()
+            .map_err(|e| self.poison("checkpoint after view creation", e))?;
         Ok(())
     }
 
@@ -741,6 +822,7 @@ impl<V: Vfs> DurableDatabase<V> {
     /// instead of losing it, and a *second* recovery cannot apply the
     /// consumed batches again (watermark idempotence).
     pub fn refresh(&mut self, view: &str) -> Result<Vec<MaintenanceReport>> {
+        self.check_usable()?;
         let policy = self.db.policy;
         let d = self
             .deferred
@@ -754,7 +836,13 @@ impl<V: Vfs> DurableDatabase<V> {
         let mut payload = Vec::new();
         put_str(&mut payload, view)?;
         put_u64(&mut payload, up_to);
-        self.wal.append(&mut self.vfs, REC_REFRESH, &payload)?;
+        // The refresh above already consumed the pending queue and mutated
+        // the store; if the completion marker cannot be logged, the stale
+        // watermark must never reach a checkpoint (recovery would re-apply
+        // the consumed batches on top of the refreshed rows) — poison.
+        self.wal
+            .append(&mut self.vfs, REC_REFRESH, &payload)
+            .map_err(|e| self.poison("WAL append of a refresh marker", CoreError::Durability(e)))?;
         // Re-borrow: the append above needed `&mut self.vfs`.
         if let Some(d) = self
             .deferred
@@ -770,6 +858,7 @@ impl<V: Vfs> DurableDatabase<V> {
     /// segments and checkpoints that no recovery can need: records at or
     /// below both the checkpoint LSN and every deferred watermark.
     pub fn checkpoint(&mut self) -> Result<Lsn> {
+        self.check_usable()?;
         self.wal.sync(&mut self.vfs)?;
         let lsn = self.wal.last_lsn();
         let payload = encode_state(&self.db, &self.deferred)?;
@@ -835,6 +924,12 @@ impl<V: Vfs> DurableDatabase<V> {
     /// High-water LSN of the newest checkpoint.
     pub fn checkpoint_lsn(&self) -> Lsn {
         self.checkpoint_lsn
+    }
+
+    /// Why the database refuses durable operations, if a durable write
+    /// failed after an in-memory mutation (see [`CoreError::Poisoned`]).
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.poisoned.as_deref()
     }
 
     /// The underlying virtual filesystem (tests inspect files directly).
@@ -998,6 +1093,185 @@ mod tests {
         assert_eq!(report.replayed_refreshes, 0, "marker is pre-checkpoint");
         assert_eq!(report.reenqueued, 0, "batch is below the watermark");
         assert_eq!(r.state_bytes().unwrap(), expected);
+    }
+
+    /// Flip one bit in the payload of the last record of the newest WAL
+    /// segment (rewriting the file durably, as media corruption would).
+    fn corrupt_newest_segment_tail(vfs: &mut MemVfs) {
+        let segment = vfs
+            .list()
+            .unwrap()
+            .into_iter()
+            .filter(|n| ojv_durability::is_segment_file(n))
+            .max()
+            .expect("a live WAL segment");
+        let mut data = vfs.read(&segment).unwrap();
+        let last = data.len() - 1;
+        data[last] ^= 0x40;
+        vfs.create(&segment).unwrap();
+        vfs.append(&segment, &data).unwrap();
+        vfs.sync(&segment).unwrap();
+    }
+
+    #[test]
+    fn wal_truncated_below_checkpoint_resumes_past_it() {
+        let mut d = DurableDatabase::create(MemVfs::new(), seeded(), policy()).unwrap();
+        d.create_view(oj_view_def()).unwrap();
+        d.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        d.checkpoint().unwrap();
+        let expected = d.state_bytes().unwrap();
+        let ckpt_lsn = d.checkpoint_lsn();
+        assert_eq!(d.last_lsn(), ckpt_lsn, "log tail is below the checkpoint");
+        let mut vfs = d.into_vfs();
+        // Corrupt the record at the checkpoint LSN itself: the scan cuts the
+        // log to *below* the checkpoint.
+        corrupt_newest_segment_tail(&mut vfs);
+
+        let (mut r, report) = DurableDatabase::open(vfs, policy()).unwrap();
+        assert!(report.wal_truncated.is_some());
+        assert_eq!(report.replayed_updates, 0);
+        // The checkpoint vouches for the lost record; state is intact and
+        // the log resumed past the checkpoint, not inside it.
+        assert_eq!(r.state_bytes().unwrap(), expected);
+        assert_eq!(r.last_lsn(), ckpt_lsn);
+
+        // The regression: a post-recovery write must get an LSN above the
+        // checkpoint, so the *next* recovery replays it instead of silently
+        // skipping it.
+        r.insert("lineitem", vec![lineitem_row(6, 9, 5, 1, 2.0)])
+            .unwrap();
+        assert!(r.last_lsn() > ckpt_lsn);
+        let expected2 = r.state_bytes().unwrap();
+        let (r2, rep2) = DurableDatabase::open(r.into_vfs(), policy()).unwrap();
+        assert_eq!(rep2.replayed_updates, 1, "post-recovery write must replay");
+        assert_eq!(r2.state_bytes().unwrap(), expected2);
+    }
+
+    #[test]
+    fn create_refuses_existing_database_directory() {
+        let d = DurableDatabase::create(MemVfs::new(), seeded(), policy()).unwrap();
+        let vfs = d.into_vfs();
+        assert!(matches!(
+            DurableDatabase::create(vfs, seeded(), policy()),
+            Err(CoreError::Durability(DurabilityError::Corrupt { .. }))
+        ));
+    }
+
+    /// [`MemVfs`] wrapper whose `append` fails while the shared switch is
+    /// on — the injection point for write-path poisoning tests.
+    struct FlakyVfs {
+        inner: MemVfs,
+        fail_appends: std::rc::Rc<std::cell::Cell<bool>>,
+    }
+
+    impl FlakyVfs {
+        fn new() -> (Self, std::rc::Rc<std::cell::Cell<bool>>) {
+            let fail = std::rc::Rc::new(std::cell::Cell::new(false));
+            (
+                FlakyVfs {
+                    inner: MemVfs::new(),
+                    fail_appends: fail.clone(),
+                },
+                fail,
+            )
+        }
+    }
+
+    type VfsResult<T> = std::result::Result<T, DurabilityError>;
+
+    impl Vfs for FlakyVfs {
+        fn list(&self) -> VfsResult<Vec<String>> {
+            self.inner.list()
+        }
+        fn len(&self, name: &str) -> VfsResult<u64> {
+            self.inner.len(name)
+        }
+        fn read(&self, name: &str) -> VfsResult<Vec<u8>> {
+            self.inner.read(name)
+        }
+        fn create(&mut self, name: &str) -> VfsResult<()> {
+            self.inner.create(name)
+        }
+        fn append(&mut self, name: &str, data: &[u8]) -> VfsResult<()> {
+            if self.fail_appends.get() {
+                return Err(DurabilityError::io("append", name, "injected failure"));
+            }
+            self.inner.append(name, data)
+        }
+        fn sync(&mut self, name: &str) -> VfsResult<()> {
+            self.inner.sync(name)
+        }
+        fn truncate(&mut self, name: &str, len: u64) -> VfsResult<()> {
+            self.inner.truncate(name, len)
+        }
+        fn delete(&mut self, name: &str) -> VfsResult<()> {
+            self.inner.delete(name)
+        }
+        fn rename(&mut self, from: &str, to: &str) -> VfsResult<()> {
+            self.inner.rename(from, to)
+        }
+    }
+
+    #[test]
+    fn failed_update_append_poisons_the_database() {
+        let (vfs, fail) = FlakyVfs::new();
+        let mut d = DurableDatabase::create(vfs, seeded(), policy()).unwrap();
+        d.create_view(oj_view_def()).unwrap();
+        let pre_failure = d.state_bytes().unwrap();
+
+        fail.set(true);
+        let err = d
+            .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Durability(_)), "{err}");
+        assert!(d.poison_reason().is_some());
+
+        // Even with I/O healthy again, the in-memory image is ahead of the
+        // log: every durable operation — above all `checkpoint`, which
+        // would persist the divergence — must be refused.
+        fail.set(false);
+        assert!(matches!(
+            d.insert("lineitem", vec![lineitem_row(6, 9, 5, 1, 2.0)]),
+            Err(CoreError::Poisoned { .. })
+        ));
+        assert!(matches!(
+            d.delete("lineitem", &[vec![Datum::Int(2), Datum::Int(1)]]),
+            Err(CoreError::Poisoned { .. })
+        ));
+        assert!(matches!(d.checkpoint(), Err(CoreError::Poisoned { .. })));
+        assert!(matches!(
+            d.refresh("anything"),
+            Err(CoreError::Poisoned { .. })
+        ));
+
+        // Reopening from the log lands on the last consistent state: the
+        // half-applied insert never happened.
+        let (r, _) = DurableDatabase::open(d.into_vfs(), policy()).unwrap();
+        assert_eq!(r.state_bytes().unwrap(), pre_failure);
+    }
+
+    #[test]
+    fn failed_refresh_marker_append_poisons_the_database() {
+        let (vfs, fail) = FlakyVfs::new();
+        let mut d = DurableDatabase::create(vfs, seeded(), policy()).unwrap();
+        d.create_deferred_view(oj_view_def()).unwrap();
+        d.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        let pre_refresh = d.state_bytes().unwrap();
+
+        fail.set(true);
+        assert!(d.refresh("oj_view").is_err());
+        fail.set(false);
+        // The store was refreshed but the watermark marker never made the
+        // log: checkpointing now would make recovery double-apply the
+        // consumed batch, so the database must refuse.
+        assert!(matches!(d.checkpoint(), Err(CoreError::Poisoned { .. })));
+
+        // Recovery rewinds to the pre-refresh state, batch still pending.
+        let (r, _) = DurableDatabase::open(d.into_vfs(), policy()).unwrap();
+        assert_eq!(r.state_bytes().unwrap(), pre_refresh);
+        assert_eq!(r.deferred_view("oj_view").unwrap().pending_len(), 1);
     }
 
     #[test]

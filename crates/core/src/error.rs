@@ -30,6 +30,11 @@ pub enum CoreError {
     Plan(PlanViolation),
     /// WAL / checkpoint / filesystem error from the durability layer.
     Durability(DurabilityError),
+    /// A durable write failed *after* the in-memory state was mutated, so
+    /// RAM is ahead of the log and no longer reproducible by recovery; the
+    /// database refuses further durable operations. Reopen from the log to
+    /// get back to a consistent (pre-failure) state.
+    Poisoned { detail: String },
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +50,13 @@ impl fmt::Display for CoreError {
             CoreError::UnknownView { view } => write!(f, "unknown view {view}"),
             CoreError::Plan(v) => write!(f, "plan verification failed: {v}"),
             CoreError::Durability(e) => write!(f, "{e}"),
+            CoreError::Poisoned { detail } => {
+                write!(
+                    f,
+                    "durable database poisoned (in-memory state is ahead of the log): {detail}; \
+                     reopen from the log to recover"
+                )
+            }
         }
     }
 }

@@ -62,6 +62,12 @@ fn parse_snap_name(name: &str) -> Option<Lsn> {
     Lsn::from_str_radix(hex, 16).ok()
 }
 
+/// Whether `name` is a checkpoint file — a finished `.snap` or a leftover
+/// `.tmp` from a crashed writer.
+pub fn is_checkpoint_file(name: &str) -> bool {
+    parse_snap_name(name).is_some() || (name.starts_with("ckpt-") && name.ends_with(".tmp"))
+}
+
 /// Write a checkpoint atomically (tmp + sync + rename). Returns the final
 /// file name.
 pub fn write_checkpoint(vfs: &mut dyn Vfs, lsn: Lsn, payload: &[u8]) -> Result<String> {

@@ -29,11 +29,13 @@ pub mod error;
 pub mod vfs;
 pub mod wal;
 
-pub use checkpoint::{prune_checkpoints, read_latest_checkpoint, write_checkpoint, Checkpoint};
+pub use checkpoint::{
+    is_checkpoint_file, prune_checkpoints, read_latest_checkpoint, write_checkpoint, Checkpoint,
+};
 pub use crc32c::crc32c;
 pub use error::DurabilityError;
 pub use vfs::{DiskVfs, MemVfs, Vfs};
 pub use wal::{
-    scan_segment, FsyncPolicy, Lsn, SegmentRecord, TailTruncation, Wal, WalOptions, WalRecord,
-    WalScan,
+    is_segment_file, scan_segment, FsyncPolicy, Lsn, SegmentRecord, TailTruncation, Wal,
+    WalOptions, WalRecord, WalScan,
 };

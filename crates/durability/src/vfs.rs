@@ -26,6 +26,9 @@ use crate::error::{DurabilityError, Result};
 /// Filesystem surface required by the durability layer.
 ///
 /// Contract notes:
+/// * `create` durably registers the file's directory entry (disk
+///   implementations flush directory metadata), so a created file survives
+///   a crash — as empty, until its contents are covered by `sync`,
 /// * `append` only guarantees the bytes reach the OS; they are crash-durable
 ///   only once a subsequent `sync` on the same file returns,
 /// * `rename` is atomic with respect to crashes: afterwards either the old
@@ -137,7 +140,10 @@ impl Vfs for DiskVfs {
         self.handles.remove(name);
         std::fs::File::create(self.path(name))
             .map_err(|e| DurabilityError::io("create", name, e))?;
-        Ok(())
+        // Without this, the new entry lives only in the in-memory directory:
+        // on ext4 a power cut after rotation can drop the whole segment even
+        // though every record in it was fsynced.
+        self.sync_dir()
     }
 
     fn append(&mut self, name: &str, data: &[u8]) -> Result<()> {
@@ -263,6 +269,9 @@ impl Vfs for MemVfs {
     }
 
     fn create(&mut self, name: &str) -> Result<()> {
+        // A created file survives a crash as empty: this models DiskVfs,
+        // whose `create` flushes the directory entry (contents still need a
+        // `sync` to become durable).
         self.files.insert(name.to_string(), MemFile::default());
         Ok(())
     }

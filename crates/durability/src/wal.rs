@@ -174,6 +174,11 @@ fn parse_segment_name(name: &str) -> Option<Lsn> {
     Lsn::from_str_radix(hex, 16).ok()
 }
 
+/// Whether `name` is a WAL segment file (`wal-{lsn:016x}.log`).
+pub fn is_segment_file(name: &str) -> bool {
+    parse_segment_name(name).is_some()
+}
+
 fn encode_segment_header(first_lsn: Lsn) -> Vec<u8> {
     let mut buf = Vec::with_capacity(SEGMENT_HEADER_LEN);
     buf.extend_from_slice(SEGMENT_MAGIC);
@@ -354,6 +359,15 @@ impl Wal {
     /// even the header is bad), and deletes all later segments. If the
     /// directory has no segments at all, a fresh one starting at
     /// `next_if_empty` is created (recovery passes `checkpoint_lsn + 1`).
+    ///
+    /// LSNs must be contiguous across segment boundaries, with one
+    /// exception: a segment may start *ahead* of where the previous one
+    /// ended as long as it starts at or below `next_if_empty`. Such a gap is
+    /// the scar left by [`Wal::begin_after`] — a prior recovery found the
+    /// log cut short below a checkpoint, and every skipped LSN is vouched
+    /// for by that checkpoint. A gap reaching past `next_if_empty` is still
+    /// treated as a torn tail, because it would skip records no checkpoint
+    /// covers.
     pub fn open(vfs: &mut dyn Vfs, opts: WalOptions, next_if_empty: Lsn) -> Result<(Wal, WalScan)> {
         let mut segments: Vec<(Lsn, String)> = Vec::new();
         for name in vfs.list()? {
@@ -384,9 +398,11 @@ impl Wal {
             let data = vfs.read(name)?;
             let data_len = u64::try_from(data.len()).unwrap_or(u64::MAX);
             // Cross-segment continuity: this segment must begin exactly
-            // where the previous one ended.
-            let scan = if *first == expect_lsn {
-                scan_segment(name, &data, Some(expect_lsn))
+            // where the previous one ended — or jump forward to at most
+            // `next_if_empty`, the checkpoint-vouched gap a prior
+            // `begin_after` leaves behind.
+            let scan = if *first == expect_lsn || (*first > expect_lsn && *first <= next_if_empty) {
+                scan_segment(name, &data, Some(*first))
             } else {
                 SegmentScan {
                     records: Vec::new(),
@@ -399,7 +415,7 @@ impl Wal {
             for rec in &scan.records {
                 records.push(rec.record.clone());
             }
-            expect_lsn += u64::try_from(scan.records.len()).unwrap_or(0);
+            expect_lsn = *first + u64::try_from(scan.records.len()).unwrap_or(0);
             if let Some(reason) = scan.torn {
                 truncated = Some(TailTruncation {
                     file: name.clone(),
@@ -431,11 +447,18 @@ impl Wal {
             }
         }
 
-        let next_lsn = records.last().map(|r| r.lsn + 1).unwrap_or_else(|| {
-            live.first()
-                .map(|(first, _, _)| *first)
-                .unwrap_or(next_if_empty)
-        });
+        let next_lsn = records
+            .last()
+            .map(|r| r.lsn + 1)
+            .unwrap_or_else(|| {
+                live.first()
+                    .map(|(first, _, _)| *first)
+                    .unwrap_or(next_if_empty)
+            })
+            // Never hand out an LSN below the active segment's first: a
+            // record-less gap segment (begin_after, then crash before any
+            // append survived) still claims its header's LSN.
+            .max(live.last().map(|(first, _, _)| *first).unwrap_or(0));
 
         let wal = match live.last() {
             Some((_, name, valid_len)) => Wal {
@@ -514,6 +537,41 @@ impl Wal {
     /// The segment currently being appended to.
     pub fn active_segment(&self) -> &str {
         &self.active
+    }
+
+    /// Rotate to a fresh segment whose first record will get `first_lsn`,
+    /// skipping the LSNs in between.
+    ///
+    /// Recovery calls this when the surviving log ends at or below a
+    /// checkpoint's LSN (a corrupt record below the checkpoint cut the scan
+    /// short): appending at `next_lsn() <= checkpoint_lsn` would create
+    /// records every later replay silently skips, losing acknowledged data.
+    /// The checkpoint vouches for all LSNs at or below its own, so the log
+    /// may legally resume at `checkpoint_lsn + 1`. Earlier segments are kept
+    /// — records above a deferred view's refresh watermark are still needed
+    /// to rebuild pending queues — and [`Wal::open`] accepts the resulting
+    /// gap (see its docs).
+    pub fn begin_after(&mut self, vfs: &mut dyn Vfs, first_lsn: Lsn) -> Result<()> {
+        if first_lsn < self.next_lsn {
+            return Err(DurabilityError::Corrupt {
+                file: self.active.clone(),
+                detail: format!(
+                    "begin_after({first_lsn}) would move the log backwards from {}",
+                    self.next_lsn
+                ),
+            });
+        }
+        vfs.sync(&self.active)?;
+        let name = segment_name(first_lsn);
+        vfs.create(&name)?;
+        vfs.append(&name, &encode_segment_header(first_lsn))?;
+        vfs.sync(&name)?;
+        self.active = name;
+        self.active_len = u64::try_from(SEGMENT_HEADER_LEN).unwrap_or(u64::MAX);
+        self.next_lsn = first_lsn;
+        self.unsynced = 0;
+        self.segment_first_lsns.push(first_lsn);
+        Ok(())
     }
 
     /// Delete segments that only contain records with LSN < `keep_from`.
@@ -698,6 +756,66 @@ mod tests {
         let (wal2, scan) = Wal::open(&mut vfs, opts(FsyncPolicy::Always, 64), 1).unwrap();
         assert_eq!(scan.records.last().unwrap().lsn, last);
         assert_eq!(wal2.next_lsn(), last + 1);
+    }
+
+    #[test]
+    fn begin_after_skips_to_the_vouched_lsn_and_reopens() {
+        let mut vfs = MemVfs::new();
+        let mut wal = Wal::create(&mut vfs, WalOptions::default(), 1).unwrap();
+        wal.append(&mut vfs, 1, b"kept").unwrap();
+        // Records 2..=5 were lost to corruption but a checkpoint at LSN 5
+        // vouches for them: resume at 6.
+        wal.begin_after(&mut vfs, 6).unwrap();
+        assert_eq!(wal.next_lsn(), 6);
+        let lsn = wal.append(&mut vfs, 1, b"after-gap").unwrap();
+        assert_eq!(lsn, 6);
+        // Reopen with the checkpoint horizon at 5: the gap is accepted, the
+        // earlier segment's records survive, and the log stays appendable.
+        let (wal2, scan) = Wal::open(&mut vfs, WalOptions::default(), 6).unwrap();
+        assert!(scan.truncated.is_none(), "{:?}", scan.truncated);
+        let lsns: Vec<Lsn> = scan.records.iter().map(|r| r.lsn).collect();
+        assert_eq!(lsns, vec![1, 6]);
+        assert_eq!(wal2.next_lsn(), 7);
+    }
+
+    #[test]
+    fn gap_past_the_checkpoint_horizon_is_cut() {
+        let mut vfs = MemVfs::new();
+        let mut wal = Wal::create(&mut vfs, WalOptions::default(), 1).unwrap();
+        wal.append(&mut vfs, 1, b"kept").unwrap();
+        wal.begin_after(&mut vfs, 6).unwrap();
+        wal.append(&mut vfs, 1, b"after-gap").unwrap();
+        // A horizon of 4 does not vouch for LSN 5: the gap segment must be
+        // discarded as a torn tail, not silently accepted.
+        let (wal2, scan) = Wal::open(&mut vfs, WalOptions::default(), 4).unwrap();
+        let trunc = scan.truncated.expect("gap beyond horizon must be cut");
+        assert!(trunc.reason.contains("expected"), "{}", trunc.reason);
+        assert_eq!(scan.records.len(), 1);
+        // The survivor ends at LSN 1; it is the caller's job (recovery) to
+        // notice next_lsn <= checkpoint_lsn and begin_after the horizon.
+        assert_eq!(wal2.next_lsn(), 2);
+    }
+
+    #[test]
+    fn record_less_gap_segment_still_claims_its_lsn() {
+        let mut vfs = MemVfs::new();
+        let mut wal = Wal::create(&mut vfs, WalOptions::default(), 1).unwrap();
+        wal.append(&mut vfs, 1, b"kept").unwrap();
+        wal.begin_after(&mut vfs, 6).unwrap();
+        // Crash before anything lands in the gap segment: the next append
+        // must still get LSN 6 (the segment header claims it), never 2.
+        let (wal2, scan) = Wal::open(&mut vfs, WalOptions::default(), 6).unwrap();
+        assert!(scan.truncated.is_none(), "{:?}", scan.truncated);
+        assert_eq!(wal2.next_lsn(), 6);
+    }
+
+    #[test]
+    fn begin_after_refuses_to_move_backwards() {
+        let mut vfs = MemVfs::new();
+        let mut wal = Wal::create(&mut vfs, WalOptions::default(), 1).unwrap();
+        wal.append(&mut vfs, 1, b"a").unwrap();
+        wal.append(&mut vfs, 1, b"b").unwrap();
+        assert!(wal.begin_after(&mut vfs, 2).is_err());
     }
 
     #[test]
