@@ -1,0 +1,327 @@
+//! Canonical fingerprints of delta-expression plans.
+//!
+//! The batch maintenance layer (PR 5) shares work between views by comparing
+//! plan structure, so it needs a hash of an [`Expr`] tree that is *stable*
+//! across runs and across structurally-equal clones. `Expr`/`Pred`/`Atom`
+//! deliberately do not implement `Hash` (atoms carry [`Datum`] literals,
+//! which include `f64`), so this module folds the tree into a 64-bit FNV-1a
+//! digest by hand: every variant contributes a discriminant tag and its
+//! fields in a fixed order, floats are hashed by their IEEE-754 bit pattern,
+//! and strings by their UTF-8 bytes.
+//!
+//! Two expressions have equal fingerprints iff they are structurally equal
+//! (modulo the astronomically unlikely 64-bit collision); the batch layer
+//! additionally compares layout signatures before trusting a match, so a
+//! collision can at worst group two views whose wide-row schemas already
+//! agree.
+
+use ojv_rel::Datum;
+
+use crate::expr::{Expr, JoinKind};
+use crate::pred::{Atom, CmpOp, ColRef, Pred};
+use crate::table_set::TableSet;
+
+/// Incremental FNV-1a 64-bit hasher. Not a general-purpose `Hasher`:
+/// deliberately tiny, allocation-free, and with a byte-for-byte specified
+/// encoding so fingerprints stay stable across platforms and releases.
+#[derive(Debug, Clone)]
+pub struct Fingerprinter {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+impl Default for Fingerprinter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Fingerprinter {
+    pub fn new() -> Self {
+        Fingerprinter { state: FNV_OFFSET }
+    }
+
+    #[inline]
+    pub fn write_u8(&mut self, b: u8) {
+        self.state ^= b as u64;
+        self.state = self.state.wrapping_mul(FNV_PRIME);
+    }
+
+    #[inline]
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u8(b);
+        }
+    }
+
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    #[inline]
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    #[inline]
+    pub fn write_str(&mut self, s: &str) {
+        // Length prefix keeps ("ab","c") distinct from ("a","bc").
+        self.write_usize(s.len());
+        self.write_bytes(s.as_bytes());
+    }
+
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// Fingerprint of a whole operator tree.
+pub fn fingerprint_expr(e: &Expr) -> u64 {
+    let mut f = Fingerprinter::new();
+    fold_expr(&mut f, e);
+    f.finish()
+}
+
+/// Fingerprint of a predicate alone (used for spine-step hashing).
+pub fn fingerprint_pred(p: &Pred) -> u64 {
+    let mut f = Fingerprinter::new();
+    fold_pred(&mut f, p);
+    f.finish()
+}
+
+pub fn fold_expr(f: &mut Fingerprinter, e: &Expr) {
+    match e {
+        Expr::Table(t) => {
+            f.write_u8(0x01);
+            f.write_u8(t.0);
+        }
+        Expr::Delta(t) => {
+            f.write_u8(0x02);
+            f.write_u8(t.0);
+        }
+        Expr::OldState(t) => {
+            f.write_u8(0x03);
+            f.write_u8(t.0);
+        }
+        Expr::Empty => f.write_u8(0x04),
+        Expr::Select(p, input) => {
+            f.write_u8(0x05);
+            fold_pred(f, p);
+            fold_expr(f, input);
+        }
+        Expr::Join {
+            kind,
+            pred,
+            left,
+            right,
+        } => {
+            f.write_u8(0x06);
+            f.write_u8(join_kind_tag(*kind));
+            fold_pred(f, pred);
+            fold_expr(f, left);
+            fold_expr(f, right);
+        }
+        Expr::NullIf {
+            null_tables,
+            pred,
+            input,
+        } => {
+            f.write_u8(0x07);
+            fold_table_set(f, *null_tables);
+            fold_pred(f, pred);
+            fold_expr(f, input);
+        }
+        Expr::CleanDup(input) => {
+            f.write_u8(0x08);
+            fold_expr(f, input);
+        }
+    }
+}
+
+pub fn fold_pred(f: &mut Fingerprinter, p: &Pred) {
+    f.write_usize(p.atoms().len());
+    for a in p.atoms() {
+        fold_atom(f, a);
+    }
+}
+
+fn fold_atom(f: &mut Fingerprinter, a: &Atom) {
+    match a {
+        Atom::Cols(x, op, y) => {
+            f.write_u8(0x11);
+            fold_col(f, *x);
+            f.write_u8(cmp_tag(*op));
+            fold_col(f, *y);
+        }
+        Atom::Const(c, op, d) => {
+            f.write_u8(0x12);
+            fold_col(f, *c);
+            f.write_u8(cmp_tag(*op));
+            fold_datum(f, d);
+        }
+        Atom::Between(c, lo, hi) => {
+            f.write_u8(0x13);
+            fold_col(f, *c);
+            fold_datum(f, lo);
+            fold_datum(f, hi);
+        }
+    }
+}
+
+fn fold_col(f: &mut Fingerprinter, c: ColRef) {
+    f.write_u8(c.table.0);
+    f.write_usize(c.col);
+}
+
+fn fold_table_set(f: &mut Fingerprinter, ts: TableSet) {
+    f.write_usize(ts.len());
+    for t in ts.iter() {
+        f.write_u8(t.0);
+    }
+}
+
+fn fold_datum(f: &mut Fingerprinter, d: &Datum) {
+    match d {
+        Datum::Null => f.write_u8(0x21),
+        Datum::Bool(b) => {
+            f.write_u8(0x22);
+            f.write_u8(*b as u8);
+        }
+        Datum::Int(i) => {
+            f.write_u8(0x23);
+            f.write_bytes(&i.to_le_bytes());
+        }
+        // Bit pattern, not value: -0.0 and 0.0 fingerprint differently, and
+        // NaN payloads are preserved — the goal is structural identity of
+        // the *plan text*, not numeric equivalence.
+        Datum::Float(x) => {
+            f.write_u8(0x24);
+            f.write_bytes(&x.to_bits().to_le_bytes());
+        }
+        Datum::Str(s) => {
+            f.write_u8(0x25);
+            f.write_str(s);
+        }
+        Datum::Date(d) => {
+            f.write_u8(0x26);
+            f.write_bytes(&d.to_le_bytes());
+        }
+    }
+}
+
+fn join_kind_tag(k: JoinKind) -> u8 {
+    match k {
+        JoinKind::Inner => 0x31,
+        JoinKind::LeftOuter => 0x32,
+        JoinKind::RightOuter => 0x33,
+        JoinKind::FullOuter => 0x34,
+        JoinKind::LeftSemi => 0x35,
+        JoinKind::LeftAnti => 0x36,
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0x41,
+        CmpOp::Ne => 0x42,
+        CmpOp::Lt => 0x43,
+        CmpOp::Le => 0x44,
+        CmpOp::Gt => 0x45,
+        CmpOp::Ge => 0x46,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table_set::TableId;
+
+    fn t(i: u8) -> TableId {
+        TableId(i)
+    }
+
+    fn eq_pred(a: u8, b: u8) -> Pred {
+        Pred::atom(Atom::eq(ColRef::new(t(a), 0), ColRef::new(t(b), 0)))
+    }
+
+    #[test]
+    fn structural_equality_means_equal_fingerprints() {
+        let e1 = Expr::left_outer(eq_pred(0, 1), Expr::Delta(t(0)), Expr::table(t(1)));
+        let e2 = e1.clone();
+        assert_eq!(fingerprint_expr(&e1), fingerprint_expr(&e2));
+    }
+
+    #[test]
+    fn different_shapes_differ() {
+        let base = Expr::left_outer(eq_pred(0, 1), Expr::Delta(t(0)), Expr::table(t(1)));
+        let other_kind = Expr::inner(eq_pred(0, 1), Expr::Delta(t(0)), Expr::table(t(1)));
+        let other_leaf = Expr::left_outer(eq_pred(0, 1), Expr::table(t(0)), Expr::table(t(1)));
+        let fp = fingerprint_expr(&base);
+        assert_ne!(fp, fingerprint_expr(&other_kind));
+        assert_ne!(fp, fingerprint_expr(&other_leaf));
+    }
+
+    #[test]
+    fn literal_values_matter() {
+        let mk = |v: i64| {
+            Expr::select(
+                Pred::atom(Atom::Const(ColRef::new(t(0), 2), CmpOp::Lt, Datum::Int(v))),
+                Expr::Delta(t(0)),
+            )
+        };
+        assert_ne!(fingerprint_expr(&mk(5)), fingerprint_expr(&mk(6)));
+    }
+
+    #[test]
+    fn float_literals_hash_by_bits() {
+        let mk = |v: f64| {
+            Expr::select(
+                Pred::atom(Atom::Const(
+                    ColRef::new(t(0), 0),
+                    CmpOp::Lt,
+                    Datum::Float(v),
+                )),
+                Expr::Delta(t(0)),
+            )
+        };
+        assert_ne!(fingerprint_expr(&mk(0.0)), fingerprint_expr(&mk(-0.0)));
+        // Same bit pattern ⇒ same fingerprint, even for NaN.
+        assert_eq!(
+            fingerprint_expr(&mk(f64::NAN)),
+            fingerprint_expr(&mk(f64::NAN))
+        );
+    }
+
+    #[test]
+    fn string_length_prefix_disambiguates() {
+        let mk = |s: &str, u: &str| {
+            Expr::select(
+                Pred::new(vec![
+                    Atom::Const(ColRef::new(t(0), 0), CmpOp::Eq, Datum::str(s)),
+                    Atom::Const(ColRef::new(t(0), 1), CmpOp::Eq, Datum::str(u)),
+                ]),
+                Expr::Delta(t(0)),
+            )
+        };
+        assert_ne!(
+            fingerprint_expr(&mk("ab", "c")),
+            fingerprint_expr(&mk("a", "bc"))
+        );
+    }
+
+    #[test]
+    fn null_if_tables_and_pred_are_folded() {
+        let mk = |ts: TableSet| Expr::NullIf {
+            null_tables: ts,
+            pred: eq_pred(0, 1),
+            input: Box::new(Expr::Delta(t(0))),
+        };
+        assert_ne!(
+            fingerprint_expr(&mk(TableSet::singleton(t(1)))),
+            fingerprint_expr(&mk(TableSet::from_iter([t(1), t(2)])))
+        );
+    }
+}

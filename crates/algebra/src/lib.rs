@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 
 pub mod expr;
+pub mod fingerprint;
 pub mod fk;
 pub mod left_deep;
 pub mod maintenance_graph;
@@ -29,10 +30,12 @@ pub mod normal_form;
 pub mod pred;
 pub mod primary_delta;
 pub mod simplify_fk;
+pub mod spine;
 pub mod subsumption;
 pub mod table_set;
 
 pub use expr::{Expr, JoinKind};
+pub use fingerprint::{fingerprint_expr, fingerprint_pred, Fingerprinter};
 pub use fk::FkEdge;
 pub use left_deep::to_left_deep;
 pub use maintenance_graph::{Affect, MaintenanceGraph};
@@ -40,5 +43,6 @@ pub use normal_form::{normalize, normalize_unpruned, Term};
 pub use pred::{Atom, CmpOp, ColRef, Pred};
 pub use primary_delta::derive_primary_delta;
 pub use simplify_fk::simplify_tree;
+pub use spine::{Spine, SpineStep};
 pub use subsumption::SubsumptionGraph;
 pub use table_set::{TableId, TableSet};

@@ -5,11 +5,13 @@
 //! * [`harness`] — workload builders and timed maintenance runners for the
 //!   three compared systems (core view, outer-join view, GK baseline),
 //! * [`report`] — plain-text table/series formatting for the `repro` binary,
-//! * [`walbench`] — WAL overhead of durable maintenance per fsync policy.
+//! * [`walbench`] — WAL overhead of durable maintenance per fsync policy,
+//! * [`multiview`] — batched multi-view maintenance with shared-plan A/B.
 
 #![forbid(unsafe_code)]
 
 pub mod harness;
+pub mod multiview;
 pub mod report;
 pub mod views;
 pub mod walbench;

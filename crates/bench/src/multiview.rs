@@ -1,0 +1,181 @@
+//! Multi-view batched maintenance: N structurally related views over the
+//! shared TPC-H tables, maintained for one lineitem insert batch, with
+//! shared-plan batching on vs off (A/B).
+//!
+//! The view set is the V3 family ([`crate::views::v3_family_def`]): four
+//! variants differing only in the trailing part-join price cutoff, repeated
+//! round-robin to reach the requested view count. All members share the
+//! `Δlineitem ⋈ orders ⋈ customer` plan prefix; members with equal cutoffs
+//! share whole plans. With sharing on, the batch layer evaluates the common
+//! prefix once per batch instead of once per view.
+//!
+//! Steady-state batches must not compile plans — the runner counter-asserts
+//! zero compilations inside every timed region.
+
+use std::time::{Duration, Instant};
+
+use ojv_core::prelude::*;
+
+use crate::harness::{Config, Env};
+use crate::views::v3_family_def;
+
+/// The family's part-join price cutoffs; view `i` gets cutoff `i % 4`.
+pub const FAMILY_CUTOFFS: [f64; 4] = [500.0, 1000.0, 1500.0, 2000.0];
+
+/// One measured point: `views` family members maintained for one lineitem
+/// batch, with shared-plan batching on or off.
+#[derive(Debug, Clone)]
+pub struct MultiViewPoint {
+    pub views: usize,
+    pub shared: bool,
+    pub batch: usize,
+    /// Median wall-clock of the whole batched maintenance (all views).
+    pub time: Duration,
+    /// Plan compilations observed inside the timed regions, summed over
+    /// repetitions. Asserted zero: plans compile at view creation only.
+    pub timed_compiles: usize,
+    /// Primary-delta rows of the widest view in the batch.
+    pub primary_rows: usize,
+}
+
+fn build_db(env: &Env, n_views: usize, shared: bool) -> Database {
+    let mut db = Database::new(env.catalog.clone());
+    db.policy = MaintenancePolicy {
+        share_plans: shared,
+        ..MaintenancePolicy::default()
+    };
+    for i in 0..n_views {
+        let cutoff = FAMILY_CUTOFFS[i % FAMILY_CUTOFFS.len()];
+        db.create_view(v3_family_def(&format!("v3_{i}"), cutoff))
+            .expect("family view materializes");
+    }
+    db
+}
+
+/// Run the multi-view panel: for each view count, maintain the same insert
+/// workload with sharing off and on. Returns unshared/shared pairs in view
+/// count order.
+pub fn run_multiview(
+    env: &Env,
+    cfg: &Config,
+    batch: usize,
+    view_counts: &[usize],
+) -> Vec<MultiViewPoint> {
+    let mut out = Vec::new();
+    for &n in view_counts {
+        for shared in [false, true] {
+            let mut reps: Vec<(Duration, usize)> = Vec::new();
+            let mut timed_compiles = 0usize;
+            for rep in 0..cfg.repetitions.max(1) as u64 {
+                let mut db = build_db(env, n, shared);
+                // Warm-up batch (untimed): view creation already compiled
+                // every plan; this exercises the full maintenance path once.
+                let rows = env.gen.lineitem_insert_batch(batch, 10_000 + rep);
+                let update = db.apply_insert("lineitem", rows).expect("warm-up batch");
+                db.maintain_update(&update).expect("warm-up maintenance");
+
+                let rows = env.gen.lineitem_insert_batch(batch, rep);
+                let update = db.apply_insert("lineitem", rows).expect("timed batch");
+                let before = compile_count();
+                let start = Instant::now();
+                let reports = db.maintain_update(&update).expect("timed maintenance");
+                let t = start.elapsed();
+                let compiled = compile_count() - before;
+                assert_eq!(compiled, 0, "steady-state batch must not compile plans");
+                timed_compiles += compiled;
+                let primary = reports.iter().map(|r| r.primary_rows).max().unwrap_or(0);
+                reps.push((t, primary));
+            }
+            reps.sort_by_key(|(t, _)| *t);
+            let (time, primary_rows) = reps[reps.len() / 2];
+            out.push(MultiViewPoint {
+                views: n,
+                shared,
+                batch,
+                time,
+                timed_compiles,
+                primary_rows,
+            });
+        }
+    }
+    out
+}
+
+/// Plain-text table with the shared-vs-unshared speedup per view count.
+pub fn render_multiview(points: &[MultiViewPoint]) -> String {
+    let mut s = String::new();
+    s.push_str("Multi-view batched maintenance (V3 family, lineitem insert):\n");
+    s.push_str("  views  batch   unshared      shared        speedup\n");
+    let mut i = 0;
+    while i + 1 < points.len() + 1 {
+        let Some(unshared) = points.get(i) else { break };
+        let shared = points.get(i + 1);
+        match shared {
+            Some(sh) if sh.views == unshared.views && sh.shared && !unshared.shared => {
+                let speedup = unshared.time.as_secs_f64() / sh.time.as_secs_f64().max(f64::EPSILON);
+                s.push_str(&format!(
+                    "  {:>5}  {:>5}  {:>10.3?}  {:>10.3?}  {:>9.2}x\n",
+                    unshared.views, unshared.batch, unshared.time, sh.time, speedup
+                ));
+                i += 2;
+            }
+            _ => {
+                s.push_str(&format!(
+                    "  {:>5}  {:>5}  {:>10.3?}  (unpaired)\n",
+                    unshared.views, unshared.batch, unshared.time
+                ));
+                i += 1;
+            }
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Config {
+        Config {
+            sf: 0.002,
+            seed: 7,
+            batch_sizes: vec![50],
+            repetitions: 1,
+            verify: false,
+        }
+    }
+
+    /// The panel runs at small scale, produces unshared/shared pairs with
+    /// identical view contents, and compiles nothing inside timed regions.
+    #[test]
+    fn multiview_panel_runs_and_matches() {
+        let cfg = tiny();
+        let env = Env::new(&cfg);
+        let points = run_multiview(&env, &cfg, 50, &[1, 4]);
+        assert_eq!(points.len(), 4);
+        assert!(points.iter().all(|p| p.timed_compiles == 0));
+        for pair in points.chunks(2) {
+            assert_eq!(pair[0].views, pair[1].views);
+            assert!(!pair[0].shared && pair[1].shared);
+            assert_eq!(pair[0].primary_rows, pair[1].primary_rows);
+        }
+        // Shared and unshared runs leave byte-identical views.
+        let mut a = build_db(&env, 4, true);
+        let mut b = build_db(&env, 4, false);
+        for db in [&mut a, &mut b] {
+            let rows = env.gen.lineitem_insert_batch(50, 3);
+            let update = db.apply_insert("lineitem", rows).unwrap();
+            db.maintain_update(&update).unwrap();
+        }
+        for i in 0..4 {
+            let name = format!("v3_{i}");
+            assert_eq!(
+                a.view(&name).unwrap().wide_rows(),
+                b.view(&name).unwrap().wide_rows(),
+                "view {name} diverged"
+            );
+        }
+        let text = render_multiview(&points);
+        assert!(text.contains("speedup"));
+    }
+}

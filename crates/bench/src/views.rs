@@ -24,7 +24,24 @@ pub fn v3_core_def() -> ViewDef {
     ViewDef::new("v3_core", v3_expr(JoinKind::Inner, JoinKind::Inner))
 }
 
+/// A member of the V3 *family*: identical shape to [`v3_def`], with the
+/// part-join retail-price cutoff as a parameter. All members share the
+/// `Δlineitem ⋈ orders ⋈ customer` leading subplan of their lineitem
+/// maintenance plans and diverge only at the trailing part join, so batched
+/// multi-view maintenance factors the shared prefix out once. Members with
+/// equal cutoffs have identical plans and share whole primary deltas.
+pub fn v3_family_def(name: &str, price_cutoff: f64) -> ViewDef {
+    ViewDef::new(
+        name,
+        v3_expr_with(JoinKind::RightOuter, JoinKind::FullOuter, price_cutoff),
+    )
+}
+
 fn v3_expr(customer_join: JoinKind, part_join: JoinKind) -> ViewExpr {
+    v3_expr_with(customer_join, part_join, 2000.0)
+}
+
+fn v3_expr_with(customer_join: JoinKind, part_join: JoinKind, price_cutoff: f64) -> ViewExpr {
     let lineitem_orders = ViewExpr::inner(
         vec![
             col_eq("lineitem", "l_orderkey", "orders", "o_orderkey"),
@@ -48,7 +65,7 @@ fn v3_expr(customer_join: JoinKind, part_join: JoinKind) -> ViewExpr {
         part_join,
         vec![
             col_eq("lineitem", "l_partkey", "part", "p_partkey"),
-            col_cmp("part", "p_retailprice", CmpOp::Lt, 2000.0),
+            col_cmp("part", "p_retailprice", CmpOp::Lt, price_cutoff),
         ],
         with_customer,
         ViewExpr::table("part"),

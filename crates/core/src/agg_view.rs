@@ -12,12 +12,15 @@
 //! As in SQL Server's indexed views, the maintainable aggregate set is
 //! `COUNT(*)`, `COUNT(col)`, and `SUM(col)`.
 
+use std::sync::Arc;
+
 use ojv_algebra::TableId;
 use ojv_exec::{eval_expr, DeltaInput, ExecCtx};
 use ojv_rel::{key_of, Column, DataType, Datum, ExactFloatSum, FxHashMap, Relation, Row, Schema};
 use ojv_storage::{Catalog, Update, UpdateOp};
 
 use crate::analyze::{analyze, ViewAnalysis};
+use crate::compile::{CompiledMaintenancePlan, PlanCache, PlanConfig};
 use crate::error::{CoreError, Result};
 use crate::maintain::{IndirectTermView, MaintenanceReport};
 use crate::policy::MaintenancePolicy;
@@ -109,6 +112,7 @@ pub struct MaterializedAggView {
     /// Tables that are null-extended in at least one term (§3.3).
     notnull_tables: Vec<TableId>,
     groups: FxHashMap<Vec<Datum>, GroupState>,
+    plans: PlanCache,
 }
 
 impl MaterializedAggView {
@@ -183,6 +187,7 @@ impl MaterializedAggView {
             agg_cols,
             notnull_tables,
             groups: FxHashMap::default(),
+            plans: PlanCache::default(),
         };
         let ctx = ExecCtx::new(catalog, &view.analysis.layout);
         let rows = eval_expr(&ctx, &view.analysis.expr)?;
@@ -263,6 +268,28 @@ impl MaterializedAggView {
         }
     }
 
+    /// The compiled maintenance plan for updates of `t` under `cfg`,
+    /// compiling on first use.
+    pub fn compiled_plan(
+        &mut self,
+        catalog: &Catalog,
+        t: TableId,
+        cfg: PlanConfig,
+    ) -> Result<Arc<CompiledMaintenancePlan>> {
+        self.plans.get_or_compile(&self.analysis, catalog, t, cfg)
+    }
+
+    /// Eagerly compile the maintenance plan for every referenced table under
+    /// `policy` — called at view creation so steady-state maintenance never
+    /// compiles.
+    pub fn warm_plans(&mut self, catalog: &Catalog, policy: &MaintenancePolicy) -> Result<()> {
+        let cfg = PlanConfig::of(policy);
+        for i in 0..self.analysis.layout.table_count() {
+            self.compiled_plan(catalog, TableId(i as u8), cfg)?;
+        }
+        Ok(())
+    }
+
     /// Incrementally maintain after `update` was applied to the catalog.
     pub fn maintain(
         &mut self,
@@ -280,56 +307,75 @@ impl MaterializedAggView {
             report.noop = true;
             return Ok(report);
         };
-        let use_fk = policy.fk_enabled();
-        let mgraph = self.analysis.maintenance_graph(t, use_fk);
-        if mgraph.is_empty() {
+        let compiled = self.compiled_plan(catalog, t, PlanConfig::of(policy))?;
+        if compiled.noop {
             report.noop = true;
             return Ok(report);
         }
-        report.direct_terms = mgraph.direct.len();
-        report.indirect_terms = mgraph.indirect.len();
-        let sign = match update.op {
-            UpdateOp::Insert => 1,
-            UpdateOp::Delete => -1,
-        };
-        let delta_input = DeltaInput {
-            table: t,
-            rows: &update.rows,
-        };
         // The aggregated store is independent of the delta computations
         // (the secondary delta always comes from base tables, §3.3), so
         // compute both deltas first, then merge.
         let analysis = self.analysis.clone();
+        ojv_analysis::verify_delta_arity(&analysis.layout, t, update.rows.schema().len())
+            .map_err(CoreError::Plan)?;
+        let delta_input = DeltaInput {
+            table: t,
+            rows: &update.rows,
+        };
         let exec = ExecCtx::with_delta(catalog, &analysis.layout, delta_input)
             .with_parallel(policy.parallel);
 
         let start = std::time::Instant::now();
-        let primary: Vec<Row> = if mgraph.direct.is_empty() {
-            Vec::new()
-        } else {
-            let plan = analysis.primary_delta_plan(t, use_fk, policy.left_deep);
-            eval_expr(&exec, &plan)?
+        let primary: Vec<Row> = match &compiled.plan {
+            None => Vec::new(),
+            Some(plan) => eval_expr(&exec, plan)?,
         };
+        let primary_compute = start.elapsed();
+        self.apply_with_primary(&exec, update, &analysis, &compiled, &primary, &mut report)?;
+        report.primary_compute = primary_compute;
+        Ok(report)
+    }
+
+    /// Compute the secondary delta and merge both deltas into the group
+    /// states, given an already-evaluated primary delta. Factored out so the
+    /// batch layer can feed a shared primary delta in.
+    pub(crate) fn apply_with_primary(
+        &mut self,
+        exec: &ExecCtx<'_>,
+        update: &Update,
+        analysis: &ViewAnalysis,
+        compiled: &CompiledMaintenancePlan,
+        primary: &[Row],
+        report: &mut MaintenanceReport,
+    ) -> Result<()> {
+        let t = compiled.table;
+        report.direct_terms = compiled.mgraph.direct.len();
+        report.indirect_terms = compiled.indirect.len();
+        report.verified_checks = compiled.verified_checks;
+        report.plan_fingerprint = compiled.fingerprint;
         report.primary_rows = primary.len();
-        report.primary_compute = start.elapsed();
+        let sign = match update.op {
+            UpdateOp::Insert => 1,
+            UpdateOp::Delete => -1,
+        };
 
         let start = std::time::Instant::now();
         let mut secondary_rows: Vec<Row> = Vec::new();
-        if !mgraph.indirect.is_empty() && !primary.is_empty() {
+        if !compiled.indirect.is_empty() && !primary.is_empty() {
             let sctx = SecondaryCtx {
                 layout: &analysis.layout,
                 terms: &analysis.terms,
                 updated: t,
             };
-            for ind in &mgraph.indirect {
+            for ind in &compiled.indirect {
                 let ind_view = IndirectTermView {
                     term: ind.term,
                     pard: &ind.pard,
-                    all_parents: analysis.graph.parents(ind.term),
+                    all_parents: &ind.all_parents,
                 };
                 let insert = update.op == UpdateOp::Insert;
                 secondary_rows.extend(secondary::from_base(
-                    &sctx, &exec, &ind_view, &primary, insert,
+                    &sctx, exec, &ind_view, primary, insert,
                 )?);
             }
         }
@@ -337,10 +383,10 @@ impl MaterializedAggView {
         report.secondary_time = start.elapsed();
 
         let start = std::time::Instant::now();
-        self.apply_rows(&primary, sign);
+        self.apply_rows(primary, sign);
         self.apply_rows(&secondary_rows, -sign);
         report.primary_apply = start.elapsed();
-        Ok(report)
+        Ok(())
     }
 
     /// The aggregated output: group-by columns followed by the aggregates.

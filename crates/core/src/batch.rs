@@ -1,0 +1,1000 @@
+//! The batch layer: maintain every affected view of one base-table update
+//! with cross-view sharing of common plan prefixes and a bounded worker
+//! pool.
+//!
+//! Given one `Update`, [`maintain_batch`]:
+//!
+//! 1. collects the affected views and their cached
+//!    [`CompiledMaintenancePlan`]s (compiling on first use),
+//! 2. when [`MaintenancePolicy::share_plans`] is on, fingerprints the plans
+//!    and factors shared leading subplans — the `ΔT` scan and common
+//!    leftmost join prefixes — into a trie, so shared work executes once and
+//!    fans its rows out into the per-view remainders,
+//! 3. applies the per-view deltas on a worker pool capped by
+//!    `MaintenancePolicy::parallel.threads`, catching panics at the job
+//!    boundary and surfacing them as [`CoreError::MaintenancePanic`].
+//!
+//! Sharing is safe because primary-delta evaluation reads only the catalog
+//! and the update's rows — never a view store — so evaluating all primaries
+//! before applying any is byte-identical to the serial interleaved order.
+//! Two plans may share rows only when their views' wide-row layouts agree
+//! (equal `layout_sig`); within a layout group the trie is keyed by the
+//! structural fingerprints of the spine steps.
+//!
+//! The bare `ΔT` leaf is **never** materialized for non-terminal sharing:
+//! children of the trie root evaluate their prefix symbolically through the
+//! ordinary executor, preserving its narrow-left delta index-join fast path.
+//! From depth 1 on, a prefix with two or more interested parties (child
+//! branches or views ending there) is materialized once and fanned out.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use ojv_algebra::{fingerprint_expr, Expr, SpineStep, TableId, TableSet};
+use ojv_exec::{
+    apply_spine_step, eval_expr, eval_expr_buf, DeltaInput, ExecCtx, ExecStats, ParallelSpec,
+    ViewLayout,
+};
+use ojv_rel::{FxHashMap, Relation, Row, RowBuf};
+use ojv_storage::{Catalog, Update};
+
+use crate::agg_view::MaterializedAggView;
+use crate::analyze::ViewAnalysis;
+use crate::compile::{CompiledMaintenancePlan, PlanConfig};
+use crate::error::{CoreError, Result};
+use crate::maintain::MaintenanceReport;
+use crate::materialize::MaterializedView;
+use crate::policy::MaintenancePolicy;
+
+/// Which view a batch job maintains.
+#[derive(Debug, Clone, Copy)]
+enum JobTarget {
+    View(usize),
+    Agg(usize),
+}
+
+/// One unit of batched maintenance: a view, its compiled plan, and a clone
+/// of its analysis (so execution can borrow the layout while the view store
+/// is mutated).
+struct Job {
+    target: JobTarget,
+    name: String,
+    analysis: ViewAnalysis,
+    compiled: Arc<CompiledMaintenancePlan>,
+}
+
+/// Maintain every affected view and aggregated view for `update`, which has
+/// already been applied to the catalog. Returns one report per non-noop
+/// view, in registration order (views first, then aggregated views).
+///
+/// `threads` caps the worker pool; `1` runs the jobs inline on the calling
+/// thread.
+pub fn maintain_batch(
+    views: &mut [MaterializedView],
+    agg_views: &mut [MaterializedAggView],
+    catalog: &Catalog,
+    update: &Update,
+    policy: &MaintenancePolicy,
+    threads: usize,
+) -> Result<Vec<MaintenanceReport>> {
+    let cfg = PlanConfig::of(policy);
+
+    // Phase 1 (serial): resolve plans, skip unaffected views, run the cheap
+    // per-run arity check.
+    let mut jobs: Vec<Job> = Vec::new();
+    for (i, v) in views.iter_mut().enumerate() {
+        let Some(t) = v.analysis.layout.table_id(&update.table) else {
+            continue;
+        };
+        let compiled = v.compiled_plan(catalog, t, cfg)?;
+        if compiled.noop {
+            continue;
+        }
+        ojv_analysis::verify_delta_arity(&v.analysis.layout, t, update.rows.schema().len())
+            .map_err(CoreError::Plan)?;
+        jobs.push(Job {
+            target: JobTarget::View(i),
+            name: v.name().to_string(),
+            analysis: v.analysis.clone(),
+            compiled,
+        });
+    }
+    for (i, v) in agg_views.iter_mut().enumerate() {
+        let Some(t) = v.analysis.layout.table_id(&update.table) else {
+            continue;
+        };
+        let compiled = v.compiled_plan(catalog, t, cfg)?;
+        if compiled.noop {
+            continue;
+        }
+        ojv_analysis::verify_delta_arity(&v.analysis.layout, t, update.rows.schema().len())
+            .map_err(CoreError::Plan)?;
+        jobs.push(Job {
+            target: JobTarget::Agg(i),
+            name: v.name().to_string(),
+            analysis: v.analysis.clone(),
+            compiled,
+        });
+    }
+    if jobs.is_empty() {
+        return Ok(Vec::new());
+    }
+
+    // Per-job executor counters, shared between the shared-prefix evaluation
+    // (attributed to each subtree's owner job) and the per-job remainder.
+    let stats: Vec<ExecStats> = jobs.iter().map(|_| ExecStats::default()).collect();
+
+    // Phase 2 (serial): evaluate shared primary deltas through the trie.
+    let shared = if policy.share_plans {
+        eval_shared(&jobs, catalog, update, policy, &stats)?
+    } else {
+        SharedPrimaries::unshared(jobs.len())
+    };
+
+    // Phase 3: per-view application on the bounded pool.
+    let mut view_slots: Vec<Option<&mut MaterializedView>> = views.iter_mut().map(Some).collect();
+    let mut agg_slots: Vec<Option<&mut MaterializedAggView>> =
+        agg_views.iter_mut().map(Some).collect();
+    let works: Vec<Work<'_>> = jobs
+        .into_iter()
+        .enumerate()
+        .map(|(k, job)| Work {
+            idx: k,
+            name: job.name,
+            analysis: job.analysis,
+            compiled: job.compiled,
+            target: match job.target {
+                JobTarget::View(i) => {
+                    WorkTarget::View(view_slots[i].take().expect("one job per view"))
+                }
+                JobTarget::Agg(i) => {
+                    WorkTarget::Agg(agg_slots[i].take().expect("one job per view"))
+                }
+            },
+            primary: shared.primaries[k].clone(),
+            shared_compute: shared.durations[k],
+            shared_with: shared.shared_with[k],
+        })
+        .collect();
+
+    let p = threads.max(1).min(works.len());
+    let mut results: Vec<(usize, Result<MaintenanceReport>)> = if p <= 1 {
+        works
+            .into_iter()
+            .map(|w| {
+                let s = &stats[w.idx];
+                run_job(w, catalog, update, policy, s)
+            })
+            .collect()
+    } else {
+        let mut buckets: Vec<Vec<Work<'_>>> = (0..p).map(|_| Vec::new()).collect();
+        for (k, w) in works.into_iter().enumerate() {
+            buckets[k % p].push(w);
+        }
+        let stats = &stats;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .map(|bucket| {
+                    scope.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(|w| {
+                                let s = &stats[w.idx];
+                                run_job(w, catalog, update, policy, s)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| match h.join() {
+                    Ok(v) => v,
+                    // Per-job panics are caught inside run_job; a panic here
+                    // is in the pool plumbing itself. Surface it instead of
+                    // poisoning the caller.
+                    Err(p) => vec![(
+                        usize::MAX,
+                        Err(CoreError::MaintenancePanic {
+                            view: "<batch worker>".to_string(),
+                            detail: panic_detail(p.as_ref()),
+                        }),
+                    )],
+                })
+                .collect()
+        })
+    };
+    results.sort_by_key(|(i, _)| *i);
+    let mut reports = Vec::with_capacity(results.len());
+    for (_, r) in results {
+        reports.push(r?);
+    }
+    Ok(reports)
+}
+
+/// Mutable handle on a job's view for the execution phase.
+enum WorkTarget<'a> {
+    View(&'a mut MaterializedView),
+    Agg(&'a mut MaterializedAggView),
+}
+
+struct Work<'a> {
+    idx: usize,
+    name: String,
+    analysis: ViewAnalysis,
+    compiled: Arc<CompiledMaintenancePlan>,
+    target: WorkTarget<'a>,
+    /// Shared-precomputed primary delta, if phase 2 produced one.
+    primary: Option<Arc<Vec<Row>>>,
+    /// Primary-compute time attributed to this job by the shared evaluation
+    /// (`ZERO` for jobs that rode along on another job's work).
+    shared_compute: Duration,
+    shared_with: usize,
+}
+
+fn panic_detail(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run one job: evaluate the primary (unless phase 2 already shared it),
+/// then apply primary and secondary deltas to the view. Panics are caught at
+/// this boundary so one broken view cannot take down its siblings' threads.
+fn run_job(
+    mut work: Work<'_>,
+    catalog: &Catalog,
+    update: &Update,
+    policy: &MaintenancePolicy,
+    stats: &ExecStats,
+) -> (usize, Result<MaintenanceReport>) {
+    let idx = work.idx;
+    let name = work.name.clone();
+    let result = catch_unwind(AssertUnwindSafe(|| -> Result<MaintenanceReport> {
+        #[cfg(test)]
+        test_panic::maybe_panic(&work.name);
+        let mut report = MaintenanceReport {
+            view: work.name.clone(),
+            table: update.table.clone(),
+            update_rows: update.rows.len(),
+            ..Default::default()
+        };
+        let delta = DeltaInput {
+            table: work.compiled.table,
+            rows: &update.rows,
+        };
+        let exec = ExecCtx::with_delta(catalog, &work.analysis.layout, delta)
+            .with_parallel(policy.parallel)
+            .with_stats(stats);
+        let (primary, compute) = match work.primary.take() {
+            Some(p) => (p, work.shared_compute),
+            None => {
+                let start = Instant::now();
+                let rows = match &work.compiled.plan {
+                    None => Vec::new(),
+                    Some(plan) => eval_expr(&exec, plan)?,
+                };
+                (Arc::new(rows), start.elapsed())
+            }
+        };
+        match &mut work.target {
+            WorkTarget::View(v) => crate::maintain::apply_with_primary(
+                v,
+                &exec,
+                update,
+                policy,
+                &work.analysis,
+                &work.compiled,
+                &primary,
+                &mut report,
+            )?,
+            WorkTarget::Agg(v) => v.apply_with_primary(
+                &exec,
+                update,
+                &work.analysis,
+                &work.compiled,
+                &primary,
+                &mut report,
+            )?,
+        }
+        report.primary_compute = compute;
+        report.shared_with = work.shared_with;
+        report.exec = stats.snapshot();
+        Ok(report)
+    }));
+    match result {
+        Ok(r) => (idx, r),
+        Err(p) => (
+            idx,
+            Err(CoreError::MaintenancePanic {
+                view: name,
+                detail: panic_detail(p.as_ref()),
+            }),
+        ),
+    }
+}
+
+/// Output of the shared-prefix evaluation, indexed by job.
+struct SharedPrimaries {
+    /// `Some(rows)` when phase 2 evaluated this job's primary (shared or
+    /// degenerate empty plan); `None` means the job evaluates its own.
+    primaries: Vec<Option<Arc<Vec<Row>>>>,
+    durations: Vec<Duration>,
+    shared_with: Vec<usize>,
+}
+
+impl SharedPrimaries {
+    fn unshared(n: usize) -> Self {
+        SharedPrimaries {
+            primaries: vec![None; n],
+            durations: vec![Duration::ZERO; n],
+            shared_with: vec![0; n],
+        }
+    }
+}
+
+/// A trie of spine steps over one layout group. The root is a shared leaf
+/// (usually `ΔT`); each node is one step applied to its parent's prefix.
+struct Trie {
+    /// The leaf expression all plans in this trie start from.
+    prefix: Expr,
+    leaf_fp: u64,
+    sources: TableSet,
+    children: Vec<TrieNode>,
+    /// Jobs whose whole plan is the bare leaf.
+    terminals: Vec<usize>,
+    owner: usize,
+}
+
+struct TrieNode {
+    step: SpineStep,
+    step_fp: u64,
+    /// `leaf ∘ steps[..=this]` — evaluated directly when the parent stayed
+    /// symbolic.
+    prefix: Expr,
+    prefix_fp: u64,
+    /// Source set of the *input* rows (the parent prefix).
+    sources_in: TableSet,
+    sources_out: TableSet,
+    children: Vec<TrieNode>,
+    /// Jobs whose whole plan ends exactly here.
+    terminals: Vec<usize>,
+    /// First (lowest-index) job through this subtree — executor counters and
+    /// compute time for shared work are attributed to it.
+    owner: usize,
+}
+
+fn trie_insert(trie: &mut Trie, steps: &[SpineStep], job: usize) {
+    trie.owner = trie.owner.min(job);
+    let Trie {
+        prefix,
+        sources,
+        children,
+        terminals,
+        ..
+    } = trie;
+    let Some((step, rest)) = steps.split_first() else {
+        terminals.push(job);
+        return;
+    };
+    let pos = find_or_create(children, prefix, *sources, step, job);
+    trie_insert_node(&mut children[pos], rest, job);
+}
+
+fn trie_insert_node(node: &mut TrieNode, steps: &[SpineStep], job: usize) {
+    node.owner = node.owner.min(job);
+    let TrieNode {
+        prefix,
+        sources_out,
+        children,
+        terminals,
+        ..
+    } = node;
+    let Some((step, rest)) = steps.split_first() else {
+        terminals.push(job);
+        return;
+    };
+    let pos = find_or_create(children, prefix, *sources_out, step, job);
+    trie_insert_node(&mut children[pos], rest, job);
+}
+
+fn find_or_create(
+    children: &mut Vec<TrieNode>,
+    parent_prefix: &Expr,
+    parent_sources: TableSet,
+    step: &SpineStep,
+    job: usize,
+) -> usize {
+    let fp = step.fingerprint();
+    if let Some(pos) = children.iter().position(|c| c.step_fp == fp) {
+        return pos;
+    }
+    let prefix = step.reapply(parent_prefix.clone());
+    let prefix_fp = fingerprint_expr(&prefix);
+    children.push(TrieNode {
+        step: step.clone(),
+        step_fp: fp,
+        prefix,
+        prefix_fp,
+        sources_in: parent_sources,
+        sources_out: step.apply_sources(parent_sources),
+        children: Vec::new(),
+        terminals: Vec::new(),
+        owner: job,
+    });
+    children.len() - 1
+}
+
+/// Everything the trie evaluation needs to build per-node executor contexts.
+struct BatchEnv<'a> {
+    catalog: &'a Catalog,
+    layout: &'a ViewLayout,
+    table: TableId,
+    rows: &'a Relation,
+    parallel: ParallelSpec,
+    stats: &'a [ExecStats],
+}
+
+impl BatchEnv<'_> {
+    fn ctx(&self, owner: usize) -> ExecCtx<'_> {
+        ExecCtx::with_delta(
+            self.catalog,
+            self.layout,
+            DeltaInput {
+                table: self.table,
+                rows: self.rows,
+            },
+        )
+        .with_parallel(self.parallel)
+        .with_stats(&self.stats[owner])
+    }
+}
+
+/// Build the layout-grouped tries and evaluate every shared primary delta.
+fn eval_shared(
+    jobs: &[Job],
+    catalog: &Catalog,
+    update: &Update,
+    policy: &MaintenancePolicy,
+    stats: &[ExecStats],
+) -> Result<SharedPrimaries> {
+    let n = jobs.len();
+    let mut out = SharedPrimaries::unshared(n);
+    let mut groups: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    for (i, job) in jobs.iter().enumerate() {
+        if job.compiled.plan.is_none() {
+            // No directly affected term: the primary delta is empty by
+            // construction; nothing to evaluate or share.
+            out.primaries[i] = Some(Arc::new(Vec::new()));
+        } else {
+            groups.entry(job.compiled.layout_sig).or_default().push(i);
+        }
+    }
+    let mut group_list: Vec<Vec<usize>> = groups.into_values().collect();
+    group_list.sort_by_key(|g| g[0]);
+    for group in group_list {
+        let tries = build_tries(jobs, &group);
+        let lead = &jobs[group[0]];
+        let env = BatchEnv {
+            catalog,
+            layout: &lead.analysis.layout,
+            table: lead.compiled.table,
+            rows: &update.rows,
+            parallel: policy.parallel,
+            stats,
+        };
+        for trie in &tries {
+            // Views whose whole plan is the bare leaf share its scan; the
+            // children always evaluate symbolically from the leaf so the
+            // executor's delta index-join fast path keeps firing.
+            if !trie.terminals.is_empty() {
+                let exec = env.ctx(trie.owner);
+                let start = Instant::now();
+                let rows = eval_expr_buf(&exec, &trie.prefix)?;
+                out.durations[trie.owner] += start.elapsed();
+                share_rows(&rows, &trie.terminals, &mut out);
+            }
+            for child in &trie.children {
+                eval_trie_node(child, None, &env, &mut out)?;
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn build_tries(jobs: &[Job], group: &[usize]) -> Vec<Trie> {
+    let mut tries: Vec<Trie> = Vec::new();
+    for &j in group {
+        let spine = jobs[j]
+            .compiled
+            .spine
+            .as_ref()
+            .expect("grouped jobs have a plan, hence a spine");
+        let leaf_fp = spine.leaf_fingerprint();
+        let pos = match tries.iter().position(|t| t.leaf_fp == leaf_fp) {
+            Some(p) => p,
+            None => {
+                tries.push(Trie {
+                    prefix: spine.leaf.clone(),
+                    leaf_fp,
+                    sources: spine.leaf.sources(),
+                    children: Vec::new(),
+                    terminals: Vec::new(),
+                    owner: j,
+                });
+                tries.len() - 1
+            }
+        };
+        trie_insert(&mut tries[pos], &spine.steps, j);
+    }
+    tries
+}
+
+fn share_rows(rows: &RowBuf, terminals: &[usize], out: &mut SharedPrimaries) {
+    let shared = Arc::new(rows.to_rows());
+    for &j in terminals {
+        out.shared_with[j] = terminals.len();
+        out.primaries[j] = Some(Arc::clone(&shared));
+    }
+}
+
+fn eval_trie_node(
+    node: &TrieNode,
+    cur: Option<&RowBuf>,
+    env: &BatchEnv<'_>,
+    out: &mut SharedPrimaries,
+) -> Result<()> {
+    // Materialize this prefix when the parent handed rows down (one step to
+    // apply), when a view's plan ends here, or when two or more branches
+    // would otherwise re-evaluate it. A pass-through chain (one child, no
+    // terminals, symbolic parent) stays symbolic and collapses into a single
+    // evaluation at the next materialization point.
+    let compute = cur.is_some() || !node.terminals.is_empty() || node.children.len() >= 2;
+    let rows: Option<RowBuf> = if compute {
+        let exec = env.ctx(node.owner);
+        let start = Instant::now();
+        let produced = match cur {
+            Some(buf) => apply_spine_step(&exec, &node.step, buf.clone(), node.sources_in)?,
+            None => eval_expr_buf(&exec, &node.prefix)?,
+        };
+        out.durations[node.owner] += start.elapsed();
+        Some(produced)
+    } else {
+        None
+    };
+    if !node.terminals.is_empty() {
+        share_rows(
+            rows.as_ref().expect("computed when terminals exist"),
+            &node.terminals,
+            out,
+        );
+    }
+    for child in &node.children {
+        eval_trie_node(child, rows.as_ref(), env, out)?;
+    }
+    Ok(())
+}
+
+/// Render the batch plan for an update of `table` over the given compiled
+/// plans: one line per view, then one `shared:` line per subplan that two or
+/// more views have in common. Used by `Database::explain_batch`.
+pub fn render_batch_plan(table: &str, plans: &[(String, CompiledMaintenancePlan)]) -> String {
+    let mut s = format!("batch maintenance plan for Δ{table}:\n");
+    let mut active: Vec<usize> = Vec::new();
+    for (i, (name, p)) in plans.iter().enumerate() {
+        if p.noop {
+            s.push_str(&format!("  view {name}: noop\n"));
+        } else if p.plan.is_none() {
+            s.push_str(&format!(
+                "  view {name}: no primary delta (indirect only)\n"
+            ));
+        } else {
+            s.push_str(&format!("  view {name}: plan {:016x}\n", p.fingerprint));
+            active.push(i);
+        }
+    }
+    // Rebuild the same tries the batch executor would use and report every
+    // shared prefix: `shared: <fingerprint> (k views)`.
+    let mut groups: FxHashMap<u64, Vec<usize>> = FxHashMap::default();
+    for &i in &active {
+        groups.entry(plans[i].1.layout_sig).or_default().push(i);
+    }
+    let mut group_list: Vec<Vec<usize>> = groups.into_values().collect();
+    group_list.sort_by_key(|g| g[0]);
+    for group in group_list {
+        let mut tries: Vec<Trie> = Vec::new();
+        for &i in &group {
+            let spine = plans[i].1.spine.as_ref().expect("active plans have spines");
+            let leaf_fp = spine.leaf_fingerprint();
+            let pos = match tries.iter().position(|t| t.leaf_fp == leaf_fp) {
+                Some(p) => p,
+                None => {
+                    tries.push(Trie {
+                        prefix: spine.leaf.clone(),
+                        leaf_fp,
+                        sources: spine.leaf.sources(),
+                        children: Vec::new(),
+                        terminals: Vec::new(),
+                        owner: i,
+                    });
+                    tries.len() - 1
+                }
+            };
+            trie_insert(&mut tries[pos], &spine.steps, i);
+        }
+        for trie in &tries {
+            let root_terms = trie_terminal_count(trie);
+            if root_terms >= 2 && (!trie.terminals.is_empty() || trie.children.len() >= 2) {
+                s.push_str(&format!(
+                    "  shared: {:016x} ({} views)\n",
+                    trie.leaf_fp, root_terms
+                ));
+            }
+            for child in &trie.children {
+                render_shared_nodes(child, &mut s);
+            }
+        }
+    }
+    s
+}
+
+fn trie_terminal_count(trie: &Trie) -> usize {
+    trie.terminals.len() + trie.children.iter().map(node_terminal_count).sum::<usize>()
+}
+
+fn node_terminal_count(node: &TrieNode) -> usize {
+    node.terminals.len() + node.children.iter().map(node_terminal_count).sum::<usize>()
+}
+
+fn render_shared_nodes(node: &TrieNode, s: &mut String) {
+    let subtree = node_terminal_count(node);
+    if subtree >= 2 && (node.terminals.len() >= 2 || node.children.len() >= 2) {
+        s.push_str(&format!(
+            "  shared: {:016x} ({} views)\n",
+            node.prefix_fp, subtree
+        ));
+    }
+    for child in &node.children {
+        render_shared_nodes(child, s);
+    }
+}
+
+/// Test-only panic injection: arming makes any job maintaining a view named
+/// `panic_me` panic inside the worker, exercising the catch-and-surface
+/// path.
+#[cfg(test)]
+pub(crate) mod test_panic {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    static ARMED: AtomicBool = AtomicBool::new(false);
+
+    pub fn arm() {
+        ARMED.store(true, Ordering::SeqCst);
+    }
+
+    pub fn disarm() {
+        ARMED.store(false, Ordering::SeqCst);
+    }
+
+    pub fn maybe_panic(view: &str) {
+        if view == "panic_me" && ARMED.load(Ordering::SeqCst) {
+            panic!("injected maintenance panic");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::fixtures::*;
+    use crate::maintain::verify_against_recompute;
+    use ojv_rel::Datum;
+
+    fn db_with_views(n: usize, share: bool) -> Database {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 8, 9);
+        let mut db = Database::new(c);
+        db.policy.share_plans = share;
+        for i in 0..n {
+            db.create_view(oj_view_def().with_name(&format!("v{i}")))
+                .unwrap();
+        }
+        db
+    }
+
+    /// Shared-plan batching must be byte-identical to per-view serial
+    /// maintenance across inserts and deletes.
+    #[test]
+    fn shared_batch_matches_unshared_serial() {
+        let mut shared = db_with_views(4, true);
+        let mut plain = db_with_views(4, false);
+        let ops: Vec<(bool, i64, i64)> =
+            vec![(true, 3, 1), (true, 6, 9), (false, 3, 1), (false, 2, 1)];
+        for (insert, ok, ln) in ops {
+            if insert {
+                let row = lineitem_row(ok, ln, 2, 4, 42.0);
+                shared.insert("lineitem", vec![row.clone()]).unwrap();
+                plain.insert("lineitem", vec![row]).unwrap();
+            } else {
+                let key = vec![Datum::Int(ok), Datum::Int(ln)];
+                shared
+                    .delete("lineitem", std::slice::from_ref(&key))
+                    .unwrap();
+                plain.delete("lineitem", &[key]).unwrap();
+            }
+            for i in 0..4 {
+                let a = shared.view(&format!("v{i}")).unwrap();
+                let b = plain.view(&format!("v{i}")).unwrap();
+                assert_eq!(a.wide_rows(), b.wide_rows(), "view v{i} diverged");
+                assert!(verify_against_recompute(a, shared.catalog()));
+            }
+        }
+    }
+
+    /// Identical views share one primary evaluation: every report carries
+    /// the same plan fingerprint and `shared_with == number of views`.
+    #[test]
+    fn identical_views_share_primary() {
+        let mut db = db_with_views(3, true);
+        let reports = db
+            .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        assert_eq!(reports.len(), 3);
+        let fp = reports[0].plan_fingerprint;
+        assert_ne!(fp, 0);
+        for r in &reports {
+            assert_eq!(r.plan_fingerprint, fp);
+            assert_eq!(r.shared_with, 3);
+            assert_eq!(r.primary_rows, reports[0].primary_rows);
+        }
+        // Exactly one job paid the primary compute; the others rode along.
+        let paying = reports
+            .iter()
+            .filter(|r| r.primary_compute > Duration::ZERO)
+            .count();
+        assert_eq!(paying, 1);
+    }
+
+    /// With sharing off, every view evaluates its own primary.
+    #[test]
+    fn unshared_views_each_pay() {
+        let mut db = db_with_views(3, false);
+        let reports = db
+            .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        assert_eq!(reports.len(), 3);
+        for r in &reports {
+            assert_eq!(r.shared_with, 0);
+        }
+    }
+
+    /// A panicking job surfaces as `MaintenancePanic` instead of taking the
+    /// process down, on both the inline and the threaded path.
+    #[test]
+    fn job_panic_is_caught_and_surfaced() {
+        for threads in [1usize, 4] {
+            let mut c = example1_catalog();
+            populate_example1(&mut c, 8, 9);
+            let mut db = Database::new(c);
+            db.parallel_maintenance = threads > 1;
+            db.policy = MaintenancePolicy::with_threads(threads);
+            db.create_view(oj_view_def().with_name("ok_view")).unwrap();
+            db.create_view(oj_view_def().with_name("panic_me")).unwrap();
+            test_panic::arm();
+            let err = db.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)]);
+            test_panic::disarm();
+            match err {
+                Err(CoreError::MaintenancePanic { view, detail }) => {
+                    assert_eq!(view, "panic_me");
+                    assert!(detail.contains("injected"), "detail: {detail}");
+                }
+                other => panic!("expected MaintenancePanic, got {other:?}"),
+            }
+        }
+    }
+
+    /// The worker pool is capped by `policy.parallel.threads`, and capped
+    /// parallel maintenance matches serial output.
+    #[test]
+    fn bounded_pool_matches_serial() {
+        let mut serial = db_with_views(5, true);
+        let mut pooled = db_with_views(5, true);
+        pooled.parallel_maintenance = true;
+        pooled.policy = MaintenancePolicy {
+            share_plans: true,
+            ..MaintenancePolicy::with_threads(2)
+        };
+        for d in [&mut serial, &mut pooled] {
+            d.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+                .unwrap();
+        }
+        for i in 0..5 {
+            let a = serial.view(&format!("v{i}")).unwrap();
+            let b = pooled.view(&format!("v{i}")).unwrap();
+            assert_eq!(a.wide_rows(), b.wide_rows());
+        }
+    }
+
+    /// Steady state compiles nothing: after view creation warms the caches,
+    /// a 100-batch workload leaves the compile counter untouched.
+    #[test]
+    fn steady_state_never_compiles() {
+        let mut db = db_with_views(4, true);
+        // Warm-up round so every (view, table) pair in this workload is
+        // compiled (creation already warmed them eagerly).
+        db.insert("lineitem", vec![lineitem_row(3, 99, 2, 4, 1.0)])
+            .unwrap();
+        let before = crate::compile::compile_count();
+        for i in 0..100i64 {
+            db.insert("lineitem", vec![lineitem_row(6, 100 + i, 2, 4, 1.0)])
+                .unwrap();
+        }
+        assert_eq!(
+            crate::compile::compile_count(),
+            before,
+            "steady-state batches must not compile"
+        );
+    }
+
+    fn db_with_family() -> Database {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 8, 9);
+        let mut db = Database::new(c);
+        db.create_view(oj_view_variant("qa", 10)).unwrap();
+        db.create_view(oj_view_variant("qb", 10)).unwrap();
+        db.create_view(oj_view_variant("qc", 20)).unwrap();
+        db
+    }
+
+    fn compiled_for(db: &Database, view: &str, table: &str) -> CompiledMaintenancePlan {
+        let v = db.view(view).unwrap();
+        let t = v.analysis.layout.table_id(table).unwrap();
+        crate::compile::compile_uncached(&v.analysis, db.catalog(), t, PlanConfig::of(&db.policy))
+            .unwrap()
+    }
+
+    /// Golden EXPLAIN: three identical Example-1 views share the whole plan,
+    /// and the batch plan pins exactly one `shared:` line carrying the full
+    /// plan fingerprint.
+    #[test]
+    fn explain_batch_pins_full_sharing() {
+        let db = db_with_views(3, true);
+        let text = db.explain_batch("lineitem").unwrap();
+        let fp = compiled_for(&db, "v0", "lineitem").fingerprint;
+        let expected = format!(
+            "batch maintenance plan for Δlineitem:\n\
+             \x20 view v0: plan {fp:016x}\n\
+             \x20 view v1: plan {fp:016x}\n\
+             \x20 view v2: plan {fp:016x}\n\
+             \x20 shared: {fp:016x} (3 views)\n"
+        );
+        assert_eq!(text, expected);
+    }
+
+    /// Golden EXPLAIN for the TPC-H view family: all three members share the
+    /// `Δlineitem ⋈ orders` prefix (3 views), and the two identical members
+    /// additionally share the whole plan (2 views).
+    #[test]
+    fn explain_batch_pins_prefix_sharing() {
+        let db = db_with_family();
+        let text = db.explain_batch("lineitem").unwrap();
+        let pa = compiled_for(&db, "qa", "lineitem");
+        let pb = compiled_for(&db, "qb", "lineitem");
+        let pc = compiled_for(&db, "qc", "lineitem");
+        assert_eq!(
+            pa.fingerprint, pb.fingerprint,
+            "equal constants, equal plans"
+        );
+        assert_ne!(
+            pa.fingerprint, pc.fingerprint,
+            "different constants diverge"
+        );
+        // The shared prefix is the longest common leading subplan of the
+        // family's spines; pin the EXPLAIN lines to its fingerprint.
+        let sa = pa.spine.as_ref().unwrap();
+        let sc = pc.spine.as_ref().unwrap();
+        assert_eq!(sa.leaf_fingerprint(), sc.leaf_fingerprint());
+        let mut k = 0;
+        while k < sa.steps.len()
+            && k < sc.steps.len()
+            && sa.steps[k].fingerprint() == sc.steps[k].fingerprint()
+        {
+            k += 1;
+        }
+        assert!(k >= 1, "family must share at least the first join step");
+        let prefix_fp = fingerprint_expr(&sa.prefix_expr(k));
+        assert!(
+            text.contains(&format!("shared: {prefix_fp:016x} (3 views)")),
+            "missing 3-view prefix line in:\n{text}"
+        );
+        assert!(
+            text.contains(&format!("shared: {:016x} (2 views)", pa.fingerprint)),
+            "missing 2-view full-plan line in:\n{text}"
+        );
+    }
+
+    /// Prefix sharing must also be byte-identical: the family diverges after
+    /// the shared prefix, and batched maintenance with sharing on matches
+    /// sharing off on every member.
+    #[test]
+    fn family_prefix_sharing_matches_unshared() {
+        let mut shared = db_with_family();
+        let mut plain = db_with_family();
+        plain.policy.share_plans = false;
+        for (ok, ln, qty) in [(3i64, 1i64, 5i64), (6, 9, 15), (2, 7, 25)] {
+            let row = lineitem_row(ok, ln, 2, qty, 7.0);
+            let a = shared.insert("lineitem", vec![row.clone()]).unwrap();
+            let b = plain.insert("lineitem", vec![row]).unwrap();
+            assert_eq!(a.len(), b.len());
+            // `shared_with` counts views consuming the same final primary
+            // rows: qa and qb share theirs (2), qc finishes its tail alone
+            // after the shared prefix (1).
+            let shares: Vec<usize> = a.iter().map(|r| r.shared_with).collect();
+            assert_eq!(shares, vec![2, 2, 1]);
+            assert!(b.iter().all(|r| r.shared_with == 0));
+        }
+        for name in ["qa", "qb", "qc"] {
+            let a = shared.view(name).unwrap();
+            let b = plain.view(name).unwrap();
+            assert_eq!(a.wide_rows(), b.wide_rows(), "view {name} diverged");
+            assert!(verify_against_recompute(a, shared.catalog()));
+        }
+    }
+
+    /// End-to-end byte identity through the durable layer: the same workload
+    /// with shared-plan batching on and off serializes to identical state.
+    #[test]
+    fn durable_state_bytes_identical_shared_vs_unshared() {
+        let run = |share: bool| {
+            let policy = MaintenancePolicy {
+                share_plans: share,
+                ..MaintenancePolicy::default()
+            };
+            let mut c = example1_catalog();
+            populate_example1(&mut c, 8, 9);
+            let mut d =
+                crate::durable::DurableDatabase::create(ojv_durability::MemVfs::new(), c, policy)
+                    .unwrap();
+            d.create_view(oj_view_variant("qa", 10)).unwrap();
+            d.create_view(oj_view_variant("qb", 10)).unwrap();
+            d.create_view(oj_view_variant("qc", 20)).unwrap();
+            d.create_view(oj_view_def()).unwrap();
+            for i in 0..10i64 {
+                d.insert(
+                    "lineitem",
+                    vec![lineitem_row(6, 300 + i, 1 + (i % 8), i % 15, 1.0)],
+                )
+                .unwrap();
+            }
+            d.delete("lineitem", &[vec![Datum::Int(6), Datum::Int(300)]])
+                .unwrap();
+            d.state_bytes().unwrap()
+        };
+        assert_eq!(
+            run(true),
+            run(false),
+            "state bytes must not depend on sharing"
+        );
+    }
+
+    /// Views over different tables coexist in a batch: unaffected views are
+    /// skipped, affected ones maintained.
+    #[test]
+    fn unaffected_views_are_skipped() {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 8, 9);
+        let mut db = Database::new(c);
+        db.create_view(oj_view_def()).unwrap();
+        let reports = db
+            .insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        assert_eq!(reports.len(), 1);
+    }
+}

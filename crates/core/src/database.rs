@@ -6,8 +6,9 @@ use ojv_rel::{Datum, Row};
 use ojv_storage::{Catalog, Update};
 
 use crate::agg_view::{AggViewDef, MaterializedAggView};
+use crate::compile::PlanConfig;
 use crate::error::{CoreError, Result};
-use crate::maintain::{maintain, MaintenanceReport};
+use crate::maintain::MaintenanceReport;
 use crate::materialize::MaterializedView;
 use crate::policy::MaintenancePolicy;
 use crate::view_def::ViewDef;
@@ -57,7 +58,10 @@ impl Database {
                 view: def.name().to_string(),
             });
         }
-        let view = MaterializedView::create(&self.catalog, def)?;
+        let mut view = MaterializedView::create(&self.catalog, def)?;
+        // Compile (and statically verify) the maintenance plans once, at
+        // creation time, so the update hot path only hits the cache.
+        view.warm_plans(&self.catalog, &self.policy)?;
         self.views.push(view);
         Ok(self.views.last().expect("just pushed"))
     }
@@ -97,7 +101,8 @@ impl Database {
         {
             return Err(CoreError::DuplicateView { view: def.name });
         }
-        let view = MaterializedAggView::create(&self.catalog, def)?;
+        let mut view = MaterializedAggView::create(&self.catalog, def)?;
+        view.warm_plans(&self.catalog, &self.policy)?;
         self.agg_views.push(view);
         Ok(self.agg_views.last().expect("just pushed"))
     }
@@ -163,7 +168,7 @@ impl Database {
 
     /// Register an already-materialized view (recovery restores view stores
     /// from a checkpoint instead of re-evaluating the definition).
-    pub(crate) fn install_view(&mut self, view: MaterializedView) -> Result<()> {
+    pub(crate) fn install_view(&mut self, mut view: MaterializedView) -> Result<()> {
         if self.views.iter().any(|v| v.name() == view.name())
             || self.agg_views.iter().any(|v| v.name() == view.name())
         {
@@ -171,6 +176,7 @@ impl Database {
                 view: view.name().to_string(),
             });
         }
+        view.warm_plans(&self.catalog, &self.policy)?;
         self.views.push(view);
         Ok(())
     }
@@ -195,51 +201,45 @@ impl Database {
         result
     }
 
-    fn maintain_all(&mut self, update: &Update) -> Result<Vec<MaintenanceReport>> {
-        if self.parallel_maintenance && self.views.len() + self.agg_views.len() > 1 {
-            return self.maintain_all_parallel(update);
-        }
-        let mut reports = Vec::new();
-        for view in &mut self.views {
-            let r = maintain(view, &self.catalog, update, &self.policy)?;
-            if !r.noop {
-                reports.push(r);
+    /// Render the batched physical maintenance plan the engine would run for
+    /// an update of `table`: one line per affected view plus `shared:` lines
+    /// for every subplan factored out across views.
+    pub fn explain_batch(&self, table: &str) -> Result<String> {
+        let cfg = PlanConfig::of(&self.policy);
+        let mut plans = Vec::new();
+        for v in &self.views {
+            if let Some(t) = v.analysis.layout.table_id(table) {
+                plans.push((
+                    v.name().to_string(),
+                    crate::compile::compile_uncached(&v.analysis, &self.catalog, t, cfg)?,
+                ));
             }
         }
-        for view in &mut self.agg_views {
-            let r = view.maintain(&self.catalog, update, &self.policy)?;
-            if !r.noop {
-                reports.push(r);
+        for v in &self.agg_views {
+            if let Some(t) = v.analysis.layout.table_id(table) {
+                plans.push((
+                    v.name().to_string(),
+                    crate::compile::compile_uncached(&v.analysis, &self.catalog, t, cfg)?,
+                ));
             }
         }
-        Ok(reports)
+        Ok(crate::batch::render_batch_plan(table, &plans))
     }
 
-    /// Fan maintenance out over one thread per view.
-    fn maintain_all_parallel(&mut self, update: &Update) -> Result<Vec<MaintenanceReport>> {
-        let catalog = &self.catalog;
-        let policy = self.policy;
-        let results: Vec<Result<MaintenanceReport>> = std::thread::scope(|scope| {
-            let mut handles = Vec::new();
-            for view in &mut self.views {
-                handles.push(scope.spawn(move || maintain(view, catalog, update, &policy)));
-            }
-            for view in &mut self.agg_views {
-                handles.push(scope.spawn(move || view.maintain(catalog, update, &policy)));
-            }
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("maintenance thread panicked"))
-                .collect()
-        });
-        let mut reports = Vec::new();
-        for r in results {
-            let r = r?;
-            if !r.noop {
-                reports.push(r);
-            }
-        }
-        Ok(reports)
+    fn maintain_all(&mut self, update: &Update) -> Result<Vec<MaintenanceReport>> {
+        let threads = if self.parallel_maintenance {
+            self.policy.parallel.threads.max(1)
+        } else {
+            1
+        };
+        crate::batch::maintain_batch(
+            &mut self.views,
+            &mut self.agg_views,
+            &self.catalog,
+            update,
+            &self.policy,
+            threads,
+        )
     }
 }
 
@@ -368,6 +368,7 @@ mod tests {
         let mut seq = db();
         let mut par = db();
         par.parallel_maintenance = true;
+        par.policy = MaintenancePolicy::with_threads(4);
         for d in [&mut seq, &mut par] {
             d.create_view(oj_view_def()).unwrap();
             let agg = crate::agg_view::AggViewDef::new("agg", oj_view_def())

@@ -30,6 +30,11 @@ pub enum CoreError {
     Plan(PlanViolation),
     /// WAL / checkpoint / filesystem error from the durability layer.
     Durability(DurabilityError),
+    /// A maintenance job panicked on a worker thread of the batch executor.
+    /// The panic is caught at the job boundary — sibling views finish their
+    /// jobs and the panic surfaces as an error instead of poisoning the
+    /// whole process.
+    MaintenancePanic { view: String, detail: String },
     /// A durable write failed *after* the in-memory state was mutated, so
     /// RAM is ahead of the log and no longer reproducible by recovery; the
     /// database refuses further durable operations. Reopen from the log to
@@ -49,6 +54,9 @@ impl fmt::Display for CoreError {
             CoreError::DuplicateView { view } => write!(f, "view {view} already exists"),
             CoreError::UnknownView { view } => write!(f, "unknown view {view}"),
             CoreError::Plan(v) => write!(f, "plan verification failed: {v}"),
+            CoreError::MaintenancePanic { view, detail } => {
+                write!(f, "maintenance of view {view} panicked: {detail}")
+            }
             CoreError::Durability(e) => write!(f, "{e}"),
             CoreError::Poisoned { detail } => {
                 write!(

@@ -4,7 +4,7 @@
 use ojv_rel::{Column, DataType, Datum, Row};
 use ojv_storage::Catalog;
 
-use crate::view_def::{col_eq, ViewDef, ViewExpr};
+use crate::view_def::{col_cmp, col_eq, ViewDef, ViewExpr};
 
 /// The Example 1 schema: `part`, `orders`, `lineitem` with foreign keys
 /// `lineitem → orders` and `lineitem → part`.
@@ -106,6 +106,30 @@ pub fn oj_view_def() -> ViewDef {
         "oj_view",
         ViewExpr::full_outer(
             vec![col_eq("part", "p_partkey", "lineitem", "l_partkey")],
+            ViewExpr::table("part"),
+            ViewExpr::left_outer(
+                vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
+                ViewExpr::table("orders"),
+                ViewExpr::table("lineitem"),
+            ),
+        ),
+    )
+}
+
+/// A member of the Example 1 view family: same shape as [`oj_view_def`] but
+/// with an extra `l_quantity < max_qty` predicate on the part join. Family
+/// members share the `Δlineitem ⋈ orders` prefix of their maintenance plans
+/// and diverge at the part join, so batched maintenance shares the common
+/// prefix without sharing whole plans. Members with equal `max_qty` have
+/// identical plans.
+pub fn oj_view_variant(name: &str, max_qty: i64) -> ViewDef {
+    ViewDef::new(
+        name,
+        ViewExpr::full_outer(
+            vec![
+                col_eq("part", "p_partkey", "lineitem", "l_partkey"),
+                col_cmp("lineitem", "l_quantity", ojv_algebra::CmpOp::Lt, max_qty),
+            ],
             ViewExpr::table("part"),
             ViewExpr::left_outer(
                 vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],

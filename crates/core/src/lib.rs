@@ -8,7 +8,10 @@
 //! * [`view_def`] — name-based SPOJ view definitions,
 //! * [`analyze`] — resolution, normal form, subsumption graph, delta plans,
 //! * [`materialize`] — initial materialization and view storage,
+//! * [`compile`] — compiled physical maintenance plans, cached per view,
 //! * [`maintain`] — the two-step primary/secondary maintenance procedure,
+//! * [`batch`] — batched multi-view maintenance with cross-view sharing of
+//!   common plan prefixes and a bounded worker pool,
 //! * [`secondary`] — §5.2 (from-view) and §5.3 (from-base) strategies,
 //! * [`agg_view`] — aggregated outer-join views (§3.3),
 //! * [`baseline`] — Griffin–Kumar-style change propagation and full
@@ -42,6 +45,8 @@
 pub mod agg_view;
 pub mod analyze;
 pub mod baseline;
+pub mod batch;
+pub mod compile;
 pub mod database;
 pub mod deferred;
 pub mod durable;
@@ -62,6 +67,7 @@ pub mod view_match;
 pub mod prelude {
     pub use crate::agg_view::{AggSpec, AggViewDef, MaterializedAggView};
     pub use crate::analyze::{analyze, ViewAnalysis};
+    pub use crate::compile::{compile_count, CompiledMaintenancePlan, PlanCache, PlanConfig};
     pub use crate::database::Database;
     pub use crate::deferred::DeferredView;
     pub use crate::durable::{DurableDatabase, RecoveryReport};

@@ -7,6 +7,8 @@ use ojv_exec::{eval_expr, DeltaInput, ExecCtx, ExecStats, ExecStatsSnapshot};
 use ojv_rel::Row;
 use ojv_storage::{Catalog, Update, UpdateOp};
 
+use crate::analyze::ViewAnalysis;
+use crate::compile::{CompiledMaintenancePlan, PlanConfig};
 use crate::error::Result;
 use crate::materialize::MaterializedView;
 use crate::policy::{MaintenancePolicy, SecondaryStrategy};
@@ -49,9 +51,17 @@ pub struct MaintenanceReport {
     /// Per-operator executor counters (rows in/out, morsels, time) for the
     /// whole run — filter, join build/probe, index join, dedup, subsumption.
     pub exec: ExecStatsSnapshot,
-    /// Static-verifier checks passed for this run (0 when verification was
-    /// off: release build without `MaintenancePolicy::verify_plans`).
+    /// Static-verifier checks passed when this run's plan was *compiled*
+    /// (0 when verification was off: release build without
+    /// `MaintenancePolicy::verify_plans`). Cache hits report the checks of
+    /// the original compilation.
     pub verified_checks: usize,
+    /// Canonical fingerprint of the primary-delta plan this run executed
+    /// (0 when there was no primary plan).
+    pub plan_fingerprint: u64,
+    /// In a batched run: how many views shared this run's primary delta
+    /// evaluation (including this one). 0 for unshared/serial runs.
+    pub shared_with: usize,
 }
 
 impl MaintenanceReport {
@@ -66,6 +76,11 @@ impl MaintenanceReport {
 /// FK-reduced) maintenance graph; compute and apply the primary delta; then
 /// compute the secondary delta with the configured strategy and apply it
 /// with the inverse operation.
+///
+/// The update-independent artifacts — maintenance graph, primary-delta plan,
+/// §5.2 availability, static verification — come from the view's compiled
+/// plan cache ([`crate::compile`]); only the delta arity check runs per
+/// update.
 pub fn maintain(
     view: &mut MaterializedView,
     catalog: &Catalog,
@@ -78,40 +93,23 @@ pub fn maintain(
         update_rows: update.rows.len(),
         ..Default::default()
     };
+    let Some(t) = view.analysis.layout.table_id(&update.table) else {
+        report.noop = true;
+        return Ok(report);
+    };
+    let compiled = view.compiled_plan(catalog, t, PlanConfig::of(policy))?;
+    if compiled.noop {
+        report.noop = true;
+        return Ok(report);
+    }
     // Cloned so the execution context can borrow the layout while the view
     // store is mutated; the analysis is small (terms, graph, layout with
     // shared schemas).
     let analysis = view.analysis.clone();
-    let Some(t) = analysis.layout.table_id(&update.table) else {
-        report.noop = true;
-        return Ok(report);
-    };
-    let use_fk = policy.fk_enabled();
-    let mgraph = analysis.maintenance_graph(t, use_fk);
-    if mgraph.is_empty() {
-        report.noop = true;
-        return Ok(report);
-    }
-    report.direct_terms = mgraph.direct.len();
-    report.indirect_terms = mgraph.indirect.len();
-
-    let plan = if mgraph.direct.is_empty() {
-        None
-    } else {
-        Some(analysis.primary_delta_plan(t, use_fk, policy.left_deep))
-    };
-    // Static plan verification: unconditional in debug builds, opt-in via
-    // the policy in release. A violation aborts the run *before* the view
-    // store is touched.
-    let verify = cfg!(debug_assertions) || policy.verify_plans;
-    if verify {
-        report.verified_checks += analysis.verify_static(catalog)?;
-        report.verified_checks +=
-            ojv_analysis::verify_delta_arity(&analysis.layout, t, update.rows.schema().len())
-                .map_err(crate::error::CoreError::Plan)?;
-        report.verified_checks +=
-            analysis.verify_maintenance(t, use_fk, policy.left_deep, &mgraph, plan.as_ref())?;
-    }
+    // The one per-run check: the delta's arity must match the compiled
+    // layout. Everything else was verified at compile time.
+    ojv_analysis::verify_delta_arity(&analysis.layout, t, update.rows.schema().len())
+        .map_err(crate::error::CoreError::Plan)?;
 
     let delta_input = DeltaInput {
         table: t,
@@ -124,20 +122,58 @@ pub fn maintain(
 
     // Step 1: primary delta (§4).
     let start = Instant::now();
-    let primary: Vec<Row> = match &plan {
+    let primary: Vec<Row> = match &compiled.plan {
         None => Vec::new(),
         Some(plan) => eval_expr(&exec, plan)?,
     };
+    let primary_compute = start.elapsed();
+
+    apply_with_primary(
+        view,
+        &exec,
+        update,
+        policy,
+        &analysis,
+        &compiled,
+        &primary,
+        &mut report,
+    )?;
+    report.primary_compute = primary_compute;
+    report.exec = stats.snapshot();
+    Ok(report)
+}
+
+/// Apply an already-computed primary delta and run the secondary step —
+/// everything in a maintenance run *after* `ΔV^D` evaluation. Factored out
+/// so the batch layer can feed a shared primary delta into several views.
+///
+/// Fills every report field except `primary_compute` and `exec`, which
+/// depend on how (and whether) the caller evaluated the primary.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn apply_with_primary(
+    view: &mut MaterializedView,
+    exec: &ExecCtx<'_>,
+    update: &Update,
+    policy: &MaintenancePolicy,
+    analysis: &ViewAnalysis,
+    compiled: &CompiledMaintenancePlan,
+    primary: &[Row],
+    report: &mut MaintenanceReport,
+) -> Result<()> {
+    let t = compiled.table;
+    report.direct_terms = compiled.mgraph.direct.len();
+    report.indirect_terms = compiled.indirect.len();
+    report.verified_checks = compiled.verified_checks;
+    report.plan_fingerprint = compiled.fingerprint;
     report.primary_rows = primary.len();
-    report.primary_compute = start.elapsed();
 
     let start = Instant::now();
-    apply_primary(view, &primary, update.op)?;
+    apply_primary(view, primary, update.op)?;
     report.primary_apply = start.elapsed();
 
     // Step 2: secondary delta (§5), applied with the inverse operation.
     let start = Instant::now();
-    if !mgraph.indirect.is_empty() && !primary.is_empty() {
+    if !compiled.indirect.is_empty() && !primary.is_empty() {
         let sctx = SecondaryCtx {
             layout: &analysis.layout,
             terms: &analysis.terms,
@@ -145,32 +181,25 @@ pub fn maintain(
         };
         // §9 future work: one shared pass over ΔV^D for all indirect terms.
         // Like the per-term path below, this is only legal when every
-        // indirect term passes the §5.2 availability condition; otherwise
-        // fall through to the per-term loop and its base-table fallback.
+        // indirect term passes the §5.2 availability condition (checked at
+        // compile time as `combine_ok`); otherwise fall through to the
+        // per-term loop and its base-table fallback.
         if policy.combine_secondary
             && resolve_strategy(policy.secondary, update.op) == SecondaryStrategy::FromView
-            && mgraph
-                .indirect
-                .iter()
-                .all(|ind| analysis.from_view_available(ind.term))
+            && compiled.combine_ok
         {
-            if verify {
-                for ind in &mgraph.indirect {
-                    report.verified_checks += analysis.verify_from_view(ind.term)?;
-                }
-            }
-            let ind_views: Vec<IndirectTermView<'_>> = mgraph
+            let ind_views: Vec<IndirectTermView<'_>> = compiled
                 .indirect
                 .iter()
                 .map(|ind| IndirectTermView {
                     term: ind.term,
                     pard: &ind.pard,
-                    all_parents: analysis.graph.parents(ind.term),
+                    all_parents: &ind.all_parents,
                 })
                 .collect();
             let insert = update.op == UpdateOp::Insert;
             let deltas =
-                secondary::from_view_combined(&sctx, view.store(), &ind_views, &primary, insert);
+                secondary::from_view_combined(&sctx, view.store(), &ind_views, primary, insert);
             let name = view.name().to_string();
             for d in deltas {
                 report.secondary_rows += d.delete_keys.len() + d.insert_rows.len();
@@ -182,32 +211,25 @@ pub fn maintain(
                 }
             }
             report.secondary_time = start.elapsed();
-            report.exec = stats.snapshot();
-            return Ok(report);
+            return Ok(());
         }
-        for ind in &mgraph.indirect {
+        for ind in &compiled.indirect {
             let ind_view = IndirectTermView {
                 term: ind.term,
                 pard: &ind.pard,
-                all_parents: analysis.graph.parents(ind.term),
+                all_parents: &ind.all_parents,
             };
             let mut strategy = resolve_strategy(policy.secondary, update.op);
-            // §5.2 column availability: "If a view does not output the
-            // columns required by the expressions above, then the expression
-            // cannot be used and ∆D_i has to be computed using base tables."
-            // (The engine's internal store is wide, but we honour the
-            // paper's condition against the declared output so projected
-            // views behave as they would in a production system.)
-            if strategy == SecondaryStrategy::FromView && !analysis.from_view_available(ind.term) {
+            // §5.2 column availability (resolved at compile time): "If a
+            // view does not output the columns required by the expressions
+            // above, then the expression cannot be used and ∆D_i has to be
+            // computed using base tables."
+            if strategy == SecondaryStrategy::FromView && !ind.from_view_ok {
                 strategy = SecondaryStrategy::FromBase;
-            }
-            if verify && strategy == SecondaryStrategy::FromView {
-                report.verified_checks += analysis.verify_from_view(ind.term)?;
             }
             report.secondary_rows += match (strategy, update.op) {
                 (SecondaryStrategy::FromView, UpdateOp::Insert) => {
-                    let keys =
-                        secondary::from_view_insert(&sctx, view.store(), &ind_view, &primary);
+                    let keys = secondary::from_view_insert(&sctx, view.store(), &ind_view, primary);
                     let name = view.name().to_string();
                     let n = keys.len();
                     for key in keys {
@@ -216,8 +238,7 @@ pub fn maintain(
                     n
                 }
                 (SecondaryStrategy::FromView, UpdateOp::Delete) => {
-                    let rows =
-                        secondary::from_view_delete(&sctx, view.store(), &ind_view, &primary);
+                    let rows = secondary::from_view_delete(&sctx, view.store(), &ind_view, primary);
                     let name = view.name().to_string();
                     let n = rows.len();
                     for row in rows {
@@ -227,7 +248,7 @@ pub fn maintain(
                 }
                 (SecondaryStrategy::FromBase, op) => {
                     let insert = op == UpdateOp::Insert;
-                    let rows = secondary::from_base(&sctx, &exec, &ind_view, &primary, insert)?;
+                    let rows = secondary::from_base(&sctx, exec, &ind_view, primary, insert)?;
                     let name = view.name().to_string();
                     let n = rows.len();
                     for row in rows {
@@ -247,8 +268,7 @@ pub fn maintain(
         }
     }
     report.secondary_time = start.elapsed();
-    report.exec = stats.snapshot();
-    Ok(report)
+    Ok(())
 }
 
 /// `Auto` resolves to the view-based strategy (§5.2): with the view's

@@ -1,10 +1,14 @@
 //! Materialized view storage and initial materialization.
 
+use std::sync::Arc;
+
 use ojv_rel::{key_of, Datum, FxHashMap, Relation, Row};
 use ojv_storage::Catalog;
 
 use crate::analyze::{analyze, ViewAnalysis};
+use crate::compile::{CompiledMaintenancePlan, PlanCache, PlanConfig};
 use crate::error::{CoreError, Result};
+use crate::policy::MaintenancePolicy;
 use crate::view_def::ViewDef;
 
 /// One count index in canonical form: `(cols, entries sorted by key)`.
@@ -198,12 +202,14 @@ impl ViewStore {
     }
 }
 
-/// A materialized outer-join view: definition, analysis, and stored rows.
+/// A materialized outer-join view: definition, analysis, stored rows, and
+/// the cache of compiled maintenance plans.
 #[derive(Debug, Clone)]
 pub struct MaterializedView {
     def: ViewDef,
     pub analysis: ViewAnalysis,
     store: ViewStore,
+    plans: PlanCache,
 }
 
 impl MaterializedView {
@@ -242,7 +248,36 @@ impl MaterializedView {
             def,
             analysis,
             store,
+            plans: PlanCache::default(),
         })
+    }
+
+    /// The compiled maintenance plan for updates of `t` under the policy
+    /// configuration `cfg`, compiling on first use (or after DDL / a policy
+    /// flip invalidated the cached entry).
+    pub fn compiled_plan(
+        &mut self,
+        catalog: &Catalog,
+        t: ojv_algebra::TableId,
+        cfg: PlanConfig,
+    ) -> Result<Arc<CompiledMaintenancePlan>> {
+        self.plans.get_or_compile(&self.analysis, catalog, t, cfg)
+    }
+
+    /// Eagerly compile the maintenance plan for every referenced table under
+    /// `policy` — called at view creation so steady-state maintenance never
+    /// compiles (the compile counter stays flat).
+    pub fn warm_plans(&mut self, catalog: &Catalog, policy: &MaintenancePolicy) -> Result<()> {
+        let cfg = PlanConfig::of(policy);
+        for i in 0..self.analysis.layout.table_count() {
+            self.compiled_plan(catalog, ojv_algebra::TableId(i as u8), cfg)?;
+        }
+        Ok(())
+    }
+
+    /// Number of cached compiled plans (for tests).
+    pub fn cached_plan_count(&self) -> usize {
+        self.plans.len()
     }
 
     pub fn name(&self) -> &str {

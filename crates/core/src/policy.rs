@@ -44,6 +44,11 @@ pub struct MaintenancePolicy {
     /// maintenance plan. Debug builds verify unconditionally; this knob
     /// opts release builds in.
     pub verify_plans: bool,
+    /// Factor shared leading subplans out of batched multi-view maintenance
+    /// so common work (the `ΔT` scan, shared join prefixes) executes once per
+    /// batch instead of once per view. Off = each view evaluates its own
+    /// plan end to end (the A/B baseline). Results are identical either way.
+    pub share_plans: bool,
     /// When the database is opened durably ([`crate::DurableDatabase`]),
     /// how often WAL appends are flushed to stable storage. Ignored by the
     /// purely in-memory [`crate::Database`].
@@ -60,6 +65,7 @@ impl Default for MaintenancePolicy {
             combine_secondary: false,
             parallel: ParallelSpec::serial(),
             verify_plans: false,
+            share_plans: true,
             fsync: FsyncPolicy::Always,
         }
     }

@@ -157,7 +157,7 @@ pub fn maintenance_script(
         );
     }
     let mut out = String::new();
-    let plan = analysis.primary_delta_plan(t, use_fk, left_deep);
+    let plan = crate::compile::derive_plan(analysis, t, use_fk, left_deep);
 
     out.push_str("-- Q1: compute primary delta\n");
     out.push_str("INSERT INTO #delta1\nSELECT *\nFROM\n");

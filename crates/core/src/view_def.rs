@@ -223,6 +223,13 @@ impl ViewDef {
         self
     }
 
+    /// Rename the definition — handy when creating several structurally
+    /// identical views (the plan-sharing tests and benches do).
+    pub fn with_name(mut self, name: &str) -> Self {
+        self.name = name.to_string();
+        self
+    }
+
     pub fn name(&self) -> &str {
         &self.name
     }

@@ -149,24 +149,8 @@ pub fn eval_expr_buf(ctx: &ExecCtx<'_>, expr: &Expr) -> ExecResult<RowBuf> {
             pred,
             input,
         } => {
-            let mut rows = eval_expr_buf(ctx, input)?;
-            // Predicate evaluation is the expensive part; run it
-            // morsel-parallel over the read-only rows, then null out the
-            // flagged rows in order.
-            let null_flags: Vec<bool> = map_morsels(ctx.spec, rows.len(), |range| {
-                range
-                    .map(|i| !eval_pred(ctx.layout, pred, rows.row(i)))
-                    .collect::<Vec<bool>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect();
-            for (i, null_it) in null_flags.into_iter().enumerate() {
-                if null_it {
-                    ctx.layout.null_out(*null_tables, rows.row_mut(i));
-                }
-            }
-            Ok(rows)
+            let rows = eval_expr_buf(ctx, input)?;
+            Ok(null_if_buf(ctx, *null_tables, pred, rows))
         }
         Expr::CleanDup(input) => {
             let rows = eval_expr_buf(ctx, input)?;
@@ -190,6 +174,55 @@ pub fn eval_expr_buf(ctx: &ExecCtx<'_>, expr: &Expr) -> ExecResult<RowBuf> {
             let left_rows = eval_expr_buf(ctx, left)?;
             join_buf_expr(ctx, *kind, pred, left_rows, left.sources(), right)
         }
+    }
+}
+
+/// The paper's `λ^c_p` on a materialized batch: null out the columns of
+/// `null_tables` on every row *failing* `pred`. Predicate evaluation is the
+/// expensive part; it runs morsel-parallel over the read-only rows, then the
+/// flagged rows are nulled in order.
+pub fn null_if_buf(
+    ctx: &ExecCtx<'_>,
+    null_tables: TableSet,
+    pred: &ojv_algebra::Pred,
+    mut rows: RowBuf,
+) -> RowBuf {
+    let null_flags: Vec<bool> = map_morsels(ctx.spec, rows.len(), |range| {
+        range
+            .map(|i| !eval_pred(ctx.layout, pred, rows.row(i)))
+            .collect::<Vec<bool>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    for (i, null_it) in null_flags.into_iter().enumerate() {
+        if null_it {
+            ctx.layout.null_out(null_tables, rows.row_mut(i));
+        }
+    }
+    rows
+}
+
+/// Apply one left-spine step to an already-materialized prefix batch whose
+/// source set is `sources`. This is how the batch maintenance layer fans a
+/// shared prefix's rows out into per-view plan remainders: joins go through
+/// the same [`join_buf_expr`] ladder `eval_expr_buf` uses, so the access-path
+/// choices (index NL, narrow build, hash) are identical to evaluating the
+/// full plan from scratch.
+pub fn apply_spine_step(
+    ctx: &ExecCtx<'_>,
+    step: &ojv_algebra::SpineStep,
+    rows: RowBuf,
+    sources: TableSet,
+) -> ExecResult<RowBuf> {
+    use ojv_algebra::SpineStep;
+    match step {
+        SpineStep::Join { kind, pred, right } => {
+            join_buf_expr(ctx, *kind, pred, rows, sources, right)
+        }
+        SpineStep::Select(pred) => Ok(ops::filter_buf(&ctx.env(), pred, rows)),
+        SpineStep::NullIf { null_tables, pred } => Ok(null_if_buf(ctx, *null_tables, pred, rows)),
+        SpineStep::CleanDup => Ok(ops::clean_dup_buf(&ctx.env(), rows)),
     }
 }
 

@@ -38,6 +38,10 @@ pub struct Catalog {
     fks: Vec<ForeignKey>,
     /// When false, constraint checks are skipped (bulk load fast path).
     pub enforce_constraints: bool,
+    /// Bumped by every schema-changing DDL (`create_table`,
+    /// `add_foreign_key`). Cached maintenance plans are keyed on this so a
+    /// schema change invalidates them; data changes do not bump it.
+    schema_version: u64,
 }
 
 impl Catalog {
@@ -47,7 +51,13 @@ impl Catalog {
             by_name: FxHashMap::default(),
             fks: Vec::new(),
             enforce_constraints: true,
+            schema_version: 0,
         }
+    }
+
+    /// Monotone counter of schema-changing DDL statements.
+    pub fn schema_version(&self) -> u64 {
+        self.schema_version
     }
 
     /// Create a table. `key` lists the unique-key column names.
@@ -77,6 +87,7 @@ impl Catalog {
         let table = Table::new(name, schema, key_cols)?;
         self.by_name.insert(name.to_string(), self.tables.len());
         self.tables.push(table);
+        self.schema_version += 1;
         Ok(())
     }
 
@@ -122,6 +133,7 @@ impl Catalog {
             cascade_delete: false,
             deferrable: false,
         });
+        self.schema_version += 1;
         Ok(())
     }
 

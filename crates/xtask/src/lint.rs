@@ -18,7 +18,7 @@ pub struct LintDef {
 }
 
 /// All lints, in the order `--list` prints them.
-pub const LINTS: [LintDef; 6] = [
+pub const LINTS: [LintDef; 7] = [
     LintDef {
         id: "vec-vec-datum",
         desc: "no Vec<Vec<Datum>> row batches in crates/exec (use RowBuf)",
@@ -44,6 +44,12 @@ pub const LINTS: [LintDef; 6] = [
     LintDef {
         id: "cast",
         desc: "no `as u32`/`as u64` in the WAL framing (crates/durability) — use try_from",
+    },
+    LintDef {
+        id: "plan-compile-confined",
+        desc: "plan derivation/verification (primary_delta_plan, verify_static, \
+               verify_maintenance, verify_from_view) only in core's compile/analyze modules \
+               — everything else consumes CompiledMaintenancePlan",
     },
 ];
 
@@ -93,6 +99,15 @@ fn applies(lint: &str, path: &str) -> bool {
         // Silent truncation in record framing corrupts the log; the WAL
         // code converts with try_from and handles the error.
         "cast" => path.starts_with("crates/durability/src/"),
+        // Plans are compiled (and statically verified) exactly once, in the
+        // compile module; analyze hosts the derivation primitives. The rest
+        // of the crate must go through the cached CompiledMaintenancePlan so
+        // the hot path never re-derives or re-verifies.
+        "plan-compile-confined" => {
+            path.starts_with("crates/core/src/")
+                && path != "crates/core/src/compile.rs"
+                && path != "crates/core/src/analyze.rs"
+        }
         _ => false,
     }
 }
@@ -433,6 +448,15 @@ pub fn scan_file(rel_path: &str, src: &str) -> Vec<Violation> {
         {
             record("cast", line, &mut out);
         }
+        if applies("plan-compile-confined", &path)
+            && !in_test.get(line).copied().unwrap_or(false)
+            && matches!(
+                tok.text,
+                "primary_delta_plan" | "verify_static" | "verify_maintenance" | "verify_from_view"
+            )
+        {
+            record("plan-compile-confined", line, &mut out);
+        }
     }
     out
 }
@@ -622,6 +646,34 @@ mod tests {
         // Escape hatch.
         let allowed = "fn f(n: usize) -> u32 { n as u32 } // lint:allow(cast)\n";
         assert!(scan_file("crates/durability/src/wal.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn plan_compile_confined_to_compile_and_analyze() {
+        let src = "fn f(a: &ViewAnalysis) { let _ = a.primary_delta_plan(t, true, true); }\n";
+        let v = scan_file("crates/core/src/maintain.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "plan-compile-confined");
+        // The compile and analyze modules are the sanctioned homes.
+        assert!(scan_file("crates/core/src/compile.rs", src).is_empty());
+        assert!(scan_file("crates/core/src/analyze.rs", src).is_empty());
+        // Other crates are out of scope (bench renders plans for reports).
+        assert!(scan_file("crates/bench/src/bin/repro.rs", src).is_empty());
+        // Every verifier entry point is covered.
+        let verifiers = "fn g(a: &ViewAnalysis) {\n    a.verify_static(c);\n    a.verify_maintenance(t, true, true, &m, None);\n    a.verify_from_view(0);\n}\n";
+        let v2 = scan_file("crates/core/src/sql.rs", verifiers);
+        assert_eq!(v2.len(), 3);
+        assert!(v2.iter().all(|x| x.lint == "plan-compile-confined"));
+        // Tests may exercise the primitives directly.
+        let tested = "#[cfg(test)]\nmod tests {\n    fn f(a: &ViewAnalysis) { a.primary_delta_plan(t, true, true); }\n}\n";
+        assert!(scan_file("crates/core/src/sql.rs", tested).is_empty());
+        // Escape hatch.
+        let allowed =
+            "fn f(a: &A) { a.primary_delta_plan(t, true, true); } // lint:allow(plan-compile-confined)\n";
+        assert!(scan_file("crates/core/src/maintain.rs", allowed).is_empty());
+        // Identifier boundary: verify_maintenance_graph is a different token.
+        let other = "fn h() { ojv_analysis::verify_maintenance_graph(&g, &m, fks); }\n";
+        assert!(scan_file("crates/core/src/maintain.rs", other).is_empty());
     }
 
     /// A seeded fs violation fails the gate just like the older lints.
