@@ -28,6 +28,12 @@ cargo test --offline -q -p ojv-analysis
 echo "==> crash-recovery matrix + 200-case fuzz sweep (fixed seed)"
 cargo test --offline -q --test crash_recovery -- --ignored
 
+echo "==> snapshot stress matrix (1/8/32 reader threads x 3 seeds)"
+cargo test --offline -q --test snapshot_isolation -- --ignored
+
+echo "==> snapshot interleaving sweep (64 scheduler seeds)"
+cargo test --offline -q --test snapshot_interleavings -- --ignored
+
 echo "==> bench targets compile (criterion-lite shim)"
 cargo check --offline -p ojv-bench --benches --features criterion
 

@@ -16,7 +16,10 @@
 //! * `multiview` — batched maintenance of a multi-view family (1/4/16 views
 //!   over the shared TPC-H tables) with shared-plan batching on vs off
 //!   (`BENCH_pr5.json`),
-//! * `all` — everything above except `walbench` and `multiview`.
+//! * `readers` — snapshot-reader throughput at 1/8/32 reader threads while
+//!   maintenance streams insert batches, plus the single-reader
+//!   snapshot-vs-direct baseline (`BENCH_pr6.json`),
+//! * `all` — everything above except `walbench`, `multiview` and `readers`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -83,6 +86,7 @@ fn main() {
         "sql" => sql(&env),
         "walbench" => walbench(&env, &cfg),
         "multiview" => multiview(&env, &cfg),
+        "readers" => readers(&env, &cfg),
         "all" => {
             graphs(&env);
             sql(&env);
@@ -93,7 +97,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|walbench|multiview|all"
+                "unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|walbench|multiview|readers|all"
             );
             std::process::exit(2);
         }
@@ -248,6 +252,52 @@ fn multiview(env: &Env, cfg: &Config) {
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
     let path = "BENCH_pr5.json";
+    match std::fs::write(path, s) {
+        Ok(()) => println!("machine-readable results written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Reader-throughput panel against the versioned view store; emits
+/// `BENCH_pr6.json`.
+fn readers(env: &Env, cfg: &Config) {
+    let thread_counts = [1usize, 8, 32];
+    let reads_per_thread = 400u64;
+    let points = ojv_bench::readbench::run_readbench(env, cfg, reads_per_thread, &thread_counts);
+    println!("{}", ojv_bench::readbench::render_readbench(&points));
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{ \"sf\": {}, \"seed\": {}, \"repetitions\": {}, \
+         \"reads_per_thread\": {} }},",
+        cfg.sf, cfg.seed, cfg.repetitions, reads_per_thread
+    );
+    let _ = writeln!(s, "  \"panels\": [");
+    let _ = writeln!(
+        s,
+        "    {{ \"panel\": \"reader_throughput\", \"measurements\": ["
+    );
+    for (mi, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{ \"path\": \"{}\", \"readers\": {}, \"maintenance\": {}, \
+             \"reads\": {}, \"batches\": {}, \"time_ns\": {}, \"qps\": {:.1} }}{}",
+            p.path,
+            p.readers,
+            p.maintenance,
+            p.reads,
+            p.batches,
+            p.time.as_nanos(),
+            p.qps,
+            if mi + 1 < points.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(s, "    ] }}");
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    let path = "BENCH_pr6.json";
     match std::fs::write(path, s) {
         Ok(()) => println!("machine-readable results written to {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

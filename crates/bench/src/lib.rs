@@ -6,12 +6,14 @@
 //!   three compared systems (core view, outer-join view, GK baseline),
 //! * [`report`] — plain-text table/series formatting for the `repro` binary,
 //! * [`walbench`] — WAL overhead of durable maintenance per fsync policy,
-//! * [`multiview`] — batched multi-view maintenance with shared-plan A/B.
+//! * [`multiview`] — batched multi-view maintenance with shared-plan A/B,
+//! * [`readbench`] — snapshot-reader throughput concurrent with maintenance.
 
 #![forbid(unsafe_code)]
 
 pub mod harness;
 pub mod multiview;
+pub mod readbench;
 pub mod report;
 pub mod views;
 pub mod walbench;

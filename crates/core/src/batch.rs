@@ -861,8 +861,9 @@ mod tests {
     }
 
     /// Golden EXPLAIN: three identical Example-1 views share the whole plan,
-    /// and the batch plan pins exactly one `shared:` line carrying the full
-    /// plan fingerprint.
+    /// the batch plan pins exactly one `shared:` line carrying the full plan
+    /// fingerprint, and the snapshot footer reports the commit LSN (0 — no
+    /// batch has committed yet).
     #[test]
     fn explain_batch_pins_full_sharing() {
         let db = db_with_views(3, true);
@@ -873,9 +874,33 @@ mod tests {
              \x20 view v0: plan {fp:016x}\n\
              \x20 view v1: plan {fp:016x}\n\
              \x20 view v2: plan {fp:016x}\n\
-             \x20 shared: {fp:016x} (3 views)\n"
+             \x20 shared: {fp:016x} (3 views)\n\
+             \x20 snapshot lsn=0\n"
         );
         assert_eq!(text, expected);
+    }
+
+    /// The snapshot footer tracks the commit LSN: after two maintenance
+    /// batches the same plan renders with `snapshot lsn=2`.
+    #[test]
+    fn explain_batch_snapshot_footer_tracks_commits() {
+        let mut db = db_with_views(1, true);
+        db.insert(
+            "lineitem",
+            vec![crate::fixtures::lineitem_row(3, 1, 2, 4, 42.0)],
+        )
+        .unwrap();
+        db.delete(
+            "lineitem",
+            &[vec![ojv_rel::Datum::Int(3), ojv_rel::Datum::Int(1)]],
+        )
+        .unwrap();
+        let text = db.explain_batch("lineitem").unwrap();
+        assert!(
+            text.ends_with("  snapshot lsn=2\n"),
+            "footer must carry the post-batch LSN:\n{text}"
+        );
+        assert_eq!(db.commit_lsn(), 2);
     }
 
     /// Golden EXPLAIN for the TPC-H view family: all three members share the

@@ -2,6 +2,7 @@
 //! update flows through it, constraints are enforced, and all registered
 //! views are maintained incrementally.
 
+use ojv_durability::Lsn;
 use ojv_rel::{Datum, Row};
 use ojv_storage::{Catalog, Update};
 
@@ -11,14 +12,23 @@ use crate::error::{CoreError, Result};
 use crate::maintain::MaintenanceReport;
 use crate::materialize::MaterializedView;
 use crate::policy::MaintenancePolicy;
+use crate::snapshot::{Snapshot, SnapshotRegistry};
 use crate::view_def::ViewDef;
 
 /// The catalog plus registered materialized (and aggregated) views.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct Database {
     catalog: Catalog,
     views: Vec<MaterializedView>,
     agg_views: Vec<MaterializedAggView>,
+    /// LSN of the last committed maintenance batch. Standalone databases
+    /// number commits 1, 2, … themselves; under a durable database this is
+    /// driven by the WAL so snapshot LSNs are durable LSNs.
+    commit_lsn: Lsn,
+    /// Versioned images of every (non-aggregate, non-deferred) view for
+    /// concurrent snapshot reads. Aggregate views keep their own stores and
+    /// are not versioned (a documented limitation of the snapshot layer).
+    snapshots: SnapshotRegistry,
     /// Maintenance policy applied to every view on every update.
     pub policy: MaintenancePolicy,
     /// Maintain independent views on separate threads. Views never share
@@ -27,12 +37,38 @@ pub struct Database {
     pub parallel_maintenance: bool,
 }
 
+impl Clone for Database {
+    /// Cloning forks the database: the clone gets its *own* snapshot
+    /// registry (re-seeded from the cloned view stores at the same commit
+    /// LSN), so pins against the original never retain the clone's versions
+    /// and vice versa.
+    fn clone(&self) -> Self {
+        let snapshots = SnapshotRegistry::new();
+        for v in &self.views {
+            snapshots
+                .register(v, self.commit_lsn)
+                .expect("re-registering a registered view cannot fail");
+        }
+        Database {
+            catalog: self.catalog.clone(),
+            views: self.views.clone(),
+            agg_views: self.agg_views.clone(),
+            commit_lsn: self.commit_lsn,
+            snapshots,
+            policy: self.policy,
+            parallel_maintenance: self.parallel_maintenance,
+        }
+    }
+}
+
 impl Database {
     pub fn new(catalog: Catalog) -> Self {
         Database {
             catalog,
             views: Vec::new(),
             agg_views: Vec::new(),
+            commit_lsn: 0,
+            snapshots: SnapshotRegistry::new(),
             policy: MaintenancePolicy::default(),
             parallel_maintenance: false,
         }
@@ -62,6 +98,8 @@ impl Database {
         // Compile (and statically verify) the maintenance plans once, at
         // creation time, so the update hot path only hits the cache.
         view.warm_plans(&self.catalog, &self.policy)?;
+        view.enable_journal();
+        self.snapshots.register(&view, self.commit_lsn)?;
         self.views.push(view);
         Ok(self.views.last().expect("just pushed"))
     }
@@ -107,7 +145,8 @@ impl Database {
         Ok(self.agg_views.last().expect("just pushed"))
     }
 
-    /// Drop a view by name.
+    /// Drop a view by name. Snapshots pinned before the drop keep their
+    /// image of the view; new snapshots no longer include it.
     pub fn drop_view(&mut self, name: &str) -> Result<()> {
         let before = self.views.len() + self.agg_views.len();
         self.views.retain(|v| v.name() != name);
@@ -117,6 +156,7 @@ impl Database {
                 view: name.to_string(),
             });
         }
+        self.snapshots.unregister(name);
         Ok(())
     }
 
@@ -161,9 +201,34 @@ impl Database {
     /// Maintain every registered view for an update that has already been
     /// applied to the catalog (via [`Database::apply_insert`] /
     /// [`Database::apply_delete`] or recovery replay). Returns one report
-    /// per non-noop view.
+    /// per non-noop view. The commit is numbered `commit_lsn + 1`; the
+    /// durable layer assigns WAL LSNs via [`Database::maintain_update_at`]
+    /// instead.
     pub fn maintain_update(&mut self, update: &Update) -> Result<Vec<MaintenanceReport>> {
-        self.maintain_all(update)
+        self.maintain_update_at(update, self.commit_lsn + 1)
+    }
+
+    /// Maintain every registered view and publish the resulting view deltas
+    /// to the snapshot registry as one atomic commit at `lsn` (a WAL LSN
+    /// under the durable layer). Journals are drained and published even
+    /// when maintenance errors, so the registry's tips always track the
+    /// working stores.
+    pub fn maintain_update_at(
+        &mut self,
+        update: &Update,
+        lsn: Lsn,
+    ) -> Result<Vec<MaintenanceReport>> {
+        let result = self.maintain_all(update);
+        let drained: Vec<(String, Vec<crate::snapshot::ViewOp>)> = self
+            .views
+            .iter_mut()
+            .map(|v| (v.name().to_string(), v.take_journal()))
+            .collect();
+        let published = self.snapshots.commit(lsn, drained);
+        self.commit_lsn = self.commit_lsn.max(lsn);
+        let reports = result?;
+        published?;
+        Ok(reports)
     }
 
     /// Register an already-materialized view (recovery restores view stores
@@ -177,8 +242,45 @@ impl Database {
             });
         }
         view.warm_plans(&self.catalog, &self.policy)?;
+        view.enable_journal();
+        self.snapshots.register(&view, self.commit_lsn)?;
         self.views.push(view);
         Ok(())
+    }
+
+    /// The shared snapshot registry. Clone the handle onto reader threads;
+    /// pins taken there stay consistent while this database keeps
+    /// committing.
+    pub fn snapshots(&self) -> &SnapshotRegistry {
+        &self.snapshots
+    }
+
+    /// Pin a consistent snapshot of every registered view at the newest
+    /// committed LSN.
+    pub fn snapshot(&self) -> Result<Snapshot> {
+        self.snapshots.pin()
+    }
+
+    /// Pin a consistent snapshot as of LSN `lsn` (fails with
+    /// [`CoreError::SnapshotUnavailable`] once reclamation has freed that
+    /// version).
+    pub fn snapshot_at(&self, lsn: Lsn) -> Result<Snapshot> {
+        self.snapshots.pin_at(lsn)
+    }
+
+    /// LSN of the last committed maintenance batch.
+    pub fn commit_lsn(&self) -> Lsn {
+        self.commit_lsn
+    }
+
+    /// Recovery hook: re-anchor the commit LSN (and the registry) at a
+    /// checkpoint LSN before replay, so replayed batches land on the same
+    /// LSNs the original run produced.
+    pub(crate) fn set_commit_lsn(&mut self, lsn: Lsn) {
+        self.commit_lsn = lsn;
+        self.snapshots
+            .commit(lsn, Vec::new())
+            .expect("an empty commit only advances the registry LSN and cannot fail");
     }
 
     /// SQL-style `UPDATE`, modeled as a delete followed by an insert (paper
@@ -223,7 +325,9 @@ impl Database {
                 ));
             }
         }
-        Ok(crate::batch::render_batch_plan(table, &plans))
+        let mut rendered = crate::batch::render_batch_plan(table, &plans);
+        rendered.push_str(&format!("  snapshot lsn={}\n", self.commit_lsn));
+        Ok(rendered)
     }
 
     fn maintain_all(&mut self, update: &Update) -> Result<Vec<MaintenanceReport>> {

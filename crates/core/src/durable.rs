@@ -572,6 +572,10 @@ impl<V: Vfs> DurableDatabase<V> {
 
         let mut db = Database::new(state.catalog);
         db.policy = policy;
+        // Anchor the snapshot-LSN clock at the checkpoint before installing
+        // views, so restored chains register at the checkpoint LSN and
+        // replayed batches land on the same LSNs the original run produced.
+        db.set_commit_lsn(ckpt.lsn);
         for section in state.views {
             let view = restore_view(db.catalog(), section)?;
             db.install_view(view)?;
@@ -646,7 +650,7 @@ impl<V: Vfs> DurableDatabase<V> {
                     if flags & FLAG_UPDATE_DECOMPOSITION != 0 {
                         db.policy.update_decomposition = true;
                     }
-                    let maintained = db.maintain_update(&update);
+                    let maintained = db.maintain_update_at(&update, rec.lsn);
                     db.policy = saved;
                     maintained?;
                     report.replayed_updates += 1;
@@ -741,8 +745,8 @@ impl<V: Vfs> DurableDatabase<V> {
     pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<Vec<MaintenanceReport>> {
         self.check_usable()?;
         let update = self.db.apply_insert(table, rows)?;
-        self.log_update(&update, 0)?;
-        let reports = self.db.maintain_update(&update)?;
+        let lsn = self.log_update(&update, 0)?;
+        let reports = self.db.maintain_update_at(&update, lsn)?;
         self.enqueue_deferred(&update);
         Ok(reports)
     }
@@ -751,8 +755,8 @@ impl<V: Vfs> DurableDatabase<V> {
     pub fn delete(&mut self, table: &str, keys: &[Vec<Datum>]) -> Result<Vec<MaintenanceReport>> {
         self.check_usable()?;
         let update = self.db.apply_delete(table, keys)?;
-        self.log_update(&update, 0)?;
-        let reports = self.db.maintain_update(&update)?;
+        let lsn = self.log_update(&update, 0)?;
+        let reports = self.db.maintain_update_at(&update, lsn)?;
         self.enqueue_deferred(&update);
         Ok(reports)
     }
@@ -770,12 +774,12 @@ impl<V: Vfs> DurableDatabase<V> {
         self.db.policy.update_decomposition = true;
         let result = (|| {
             let del = self.db.apply_delete(table, keys)?;
-            self.log_update(&del, FLAG_UPDATE_DECOMPOSITION)?;
-            let mut reports = self.db.maintain_update(&del)?;
+            let del_lsn = self.log_update(&del, FLAG_UPDATE_DECOMPOSITION)?;
+            let mut reports = self.db.maintain_update_at(&del, del_lsn)?;
             self.enqueue_deferred(&del);
             let ins = self.db.apply_insert(table, new_rows)?;
-            self.log_update(&ins, FLAG_UPDATE_DECOMPOSITION)?;
-            reports.extend(self.db.maintain_update(&ins)?);
+            let ins_lsn = self.log_update(&ins, FLAG_UPDATE_DECOMPOSITION)?;
+            reports.extend(self.db.maintain_update_at(&ins, ins_lsn)?);
             self.enqueue_deferred(&ins);
             Ok(reports)
         })();
@@ -892,6 +896,24 @@ impl<V: Vfs> DurableDatabase<V> {
     /// The wrapped in-memory database (catalog and eager views).
     pub fn database(&self) -> &Database {
         &self.db
+    }
+
+    /// The shared snapshot registry of the wrapped database. Snapshot LSNs
+    /// are WAL LSNs here: a pin at LSN `n` is the view state as of durable
+    /// LSN `n`.
+    pub fn snapshots(&self) -> &crate::snapshot::SnapshotRegistry {
+        self.db.snapshots()
+    }
+
+    /// Pin a consistent snapshot of every eager view at the newest durable
+    /// LSN.
+    pub fn snapshot(&self) -> Result<crate::snapshot::Snapshot> {
+        self.db.snapshot()
+    }
+
+    /// Pin a consistent snapshot as of durable LSN `lsn`.
+    pub fn snapshot_at(&self, lsn: Lsn) -> Result<crate::snapshot::Snapshot> {
+        self.db.snapshot_at(lsn)
     }
 
     /// An eager view by name.

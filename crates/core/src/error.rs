@@ -35,6 +35,10 @@ pub enum CoreError {
     /// jobs and the panic surfaces as an error instead of poisoning the
     /// whole process.
     MaintenancePanic { view: String, detail: String },
+    /// A snapshot was requested at an LSN the registry can no longer (or
+    /// not yet) serve: epoch reclamation already freed every version below
+    /// `floor`.
+    SnapshotUnavailable { requested: u64, floor: u64 },
     /// A durable write failed *after* the in-memory state was mutated, so
     /// RAM is ahead of the log and no longer reproducible by recovery; the
     /// database refuses further durable operations. Reopen from the log to
@@ -58,6 +62,12 @@ impl fmt::Display for CoreError {
                 write!(f, "maintenance of view {view} panicked: {detail}")
             }
             CoreError::Durability(e) => write!(f, "{e}"),
+            CoreError::SnapshotUnavailable { requested, floor } => {
+                write!(
+                    f,
+                    "snapshot at lsn {requested} unavailable: oldest retained version is {floor}"
+                )
+            }
             CoreError::Poisoned { detail } => {
                 write!(
                     f,

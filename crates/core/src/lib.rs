@@ -17,6 +17,8 @@
 //! * [`baseline`] — Griffin–Kumar-style change propagation and full
 //!   recompute, for the paper's experimental comparison,
 //! * [`database`] — a small façade tying the catalog and views together,
+//! * [`snapshot`] — LSN-versioned view images: consistent snapshot reads
+//!   concurrent with maintenance, with epoch-based reclamation,
 //! * [`durable`] — WAL + checkpoints + crash recovery replayed through the
 //!   incremental engine.
 //!
@@ -58,6 +60,7 @@ pub mod materialize;
 pub mod parser;
 pub mod policy;
 pub mod secondary;
+pub mod snapshot;
 pub mod sql;
 pub mod term_delta;
 pub mod view_def;
@@ -77,6 +80,7 @@ pub mod prelude {
     pub use crate::materialize::MaterializedView;
     pub use crate::parser::parse_view;
     pub use crate::policy::{MaintenancePolicy, SecondaryStrategy};
+    pub use crate::snapshot::{Snapshot, SnapshotRegistry, SnapshotStats, SnapshotView, ViewOp};
     pub use crate::view_def::{col_between, col_cmp, col_eq, NamedAtom, ViewDef, ViewExpr};
     pub use crate::view_match::{execute_match, match_view, ViewMatch};
     pub use ojv_algebra::{CmpOp, JoinKind};

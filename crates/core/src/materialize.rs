@@ -9,6 +9,7 @@ use crate::analyze::{analyze, ViewAnalysis};
 use crate::compile::{CompiledMaintenancePlan, PlanCache, PlanConfig};
 use crate::error::{CoreError, Result};
 use crate::policy::MaintenancePolicy;
+use crate::snapshot::ViewOp;
 use crate::view_def::ViewDef;
 
 /// One count index in canonical form: `(cols, entries sorted by key)`.
@@ -72,6 +73,10 @@ pub struct ViewStore {
     /// deterministic fx hasher — no owned key is built on the lookup path.
     index: FxHashMap<Vec<Datum>, usize>,
     secondary: Vec<KeyCountIndex>,
+    /// When enabled, every successful `insert`/`delete` is recorded as a
+    /// [`ViewOp`] for the snapshot registry's redo chains. `None` (the
+    /// default) costs nothing on the maintenance hot path.
+    journal: Option<Vec<ViewOp>>,
 }
 
 impl ViewStore {
@@ -81,6 +86,41 @@ impl ViewStore {
             rows: Vec::new(),
             index: FxHashMap::default(),
             secondary: Vec::new(),
+            journal: None,
+        }
+    }
+
+    /// Start journaling mutations (idempotent; keeps pending ops).
+    pub(crate) fn enable_journal(&mut self) {
+        if self.journal.is_none() {
+            self.journal = Some(Vec::new());
+        }
+    }
+
+    /// Drain the pending journaled ops. Empty when journaling is disabled.
+    pub(crate) fn take_journal(&mut self) -> Vec<ViewOp> {
+        match &mut self.journal {
+            Some(j) => std::mem::take(j),
+            None => Vec::new(),
+        }
+    }
+
+    /// A deep copy with journaling disabled — the image the snapshot
+    /// registry replays redo ops onto (replays must not re-journal).
+    pub(crate) fn unjournaled_clone(&self) -> ViewStore {
+        let mut clone = self.clone();
+        clone.journal = None;
+        clone
+    }
+
+    /// Re-execute a journaled op. Replay goes through the same
+    /// `insert`/`delete` (swap-remove) code that produced the op, so a
+    /// replayed store is byte-identical to the original — heap order and
+    /// index contents included.
+    pub(crate) fn apply_op(&mut self, op: &ViewOp, view: &str) -> Result<()> {
+        match op {
+            ViewOp::Insert(row) => self.insert(row.clone(), view),
+            ViewOp::Delete(key) => self.delete(key, view).map(|_| ()),
         }
     }
 
@@ -155,6 +195,9 @@ impl ViewStore {
         for idx in &mut self.secondary {
             idx.add(&row);
         }
+        if let Some(journal) = &mut self.journal {
+            journal.push(ViewOp::Insert(row.clone()));
+        }
         self.index.insert(key, self.rows.len());
         self.rows.push(row);
         Ok(())
@@ -197,6 +240,9 @@ impl ViewStore {
         if pos < self.rows.len() {
             let moved_key = key_of(&self.rows[pos], &self.key_cols);
             self.index.insert(moved_key, pos);
+        }
+        if let Some(journal) = &mut self.journal {
+            journal.push(ViewOp::Delete(key.to_vec()));
         }
         Ok(row)
     }
@@ -307,6 +353,16 @@ impl MaterializedView {
 
     pub(crate) fn store(&self) -> &ViewStore {
         &self.store
+    }
+
+    /// Start journaling this view's mutations for the snapshot registry.
+    pub(crate) fn enable_journal(&mut self) {
+        self.store.enable_journal();
+    }
+
+    /// Drain the ops journaled since the last drain.
+    pub(crate) fn take_journal(&mut self) -> Vec<ViewOp> {
+        self.store.take_journal()
     }
 
     /// The view's *output*: the projected relation a reader sees.

@@ -1,0 +1,685 @@
+//! LSN-versioned view storage: consistent snapshot reads concurrent with
+//! maintenance.
+//!
+//! The working [`ViewStore`] inside each [`MaterializedView`] is still
+//! mutated in place by the maintenance commit path — that keeps the paper's
+//! delta-application hot path untouched — but every mutation is journaled as
+//! a [`ViewOp`]. When a batch commits, [`crate::database::Database`] drains
+//! the journals of *all* registered views and publishes them into a shared
+//! [`SnapshotRegistry`] under a single commit LSN, atomically: readers can
+//! never observe view A at LSN n and view B at LSN n−1.
+//!
+//! # Version-chain layout
+//!
+//! Per view the registry holds:
+//!
+//! * `tip` — an [`Arc<ViewStore>`] image at the newest committed LSN. At
+//!   commit it is advanced by replaying the journaled ops through
+//!   [`Arc::make_mut`]: in place when nobody else holds the `Arc` (the
+//!   pin-free steady state — zero copies, bounded memory), copy-on-write
+//!   when a reader does.
+//! * `hist` — present only while pins retain older versions: a `base` image
+//!   at the oldest retained LSN plus one redo delta (the journaled ops) per
+//!   later commit. A version at LSN `v` is materialized by cloning `base`
+//!   and replaying the deltas with `lsn <= v` — the *same* `insert`/`delete`
+//!   calls (and therefore the same `swap_remove` heap order) a serially
+//!   maintained twin would have executed, so a snapshot at LSN `v` is
+//!   byte-identical to that twin, not merely set-equal. Materializations are
+//!   memoized per LSN, so repeated pins of the same version are `Arc`
+//!   clones.
+//!
+//! # Epoch-based reclamation
+//!
+//! Every pin registers its LSN; the *floor* is the smallest pinned LSN.
+//! After each commit and each unpin the registry trims: with no pins the
+//! whole history is dropped (`hist = None`) and only `tip` survives;
+//! otherwise `base` is advanced up to the floor by replaying (and then
+//! discarding) the deltas below it. A pinned version is never reclaimed — it
+//! is either at or above the floor, and the snapshot additionally holds its
+//! own `Arc` on the materialized image. An unpinned dead version is always
+//! reclaimed by the next trim.
+//!
+//! # LSN ↔ WAL mapping
+//!
+//! A plain in-memory [`crate::database::Database`] numbers commits 1, 2, …
+//! itself. Under [`crate::durable::DurableDatabase`] every update batch is
+//! first appended to the WAL and the *WAL LSN* is passed down into the
+//! commit, so a snapshot at LSN `n` is exactly "the view as of durable LSN
+//! `n`" and crash recovery replays land the registry on the same LSNs the
+//! original run produced.
+
+use std::sync::{Arc, Mutex};
+
+use ojv_durability::Lsn;
+use ojv_rel::{key_of, put_row, put_str, put_u32, put_u64, Datum, Relation, Row, SchemaRef};
+
+use crate::error::{CoreError, Result};
+use crate::materialize::{MaterializedView, ViewStore};
+
+/// One journaled mutation of a view store, in apply order. Replaying a
+/// store's ops reproduces its exact state *including heap order*, because
+/// the replay goes through the same `insert`/`delete` (swap-remove) code.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ViewOp {
+    /// A wide row inserted by the commit path.
+    Insert(Row),
+    /// A deletion by view key.
+    Delete(Vec<Datum>),
+}
+
+/// One commit's redo delta for a single view.
+#[derive(Debug, Clone)]
+struct CommitDelta {
+    lsn: Lsn,
+    ops: Arc<Vec<ViewOp>>,
+}
+
+/// Retained history of one view: the oldest pinnable image plus the redo
+/// deltas that advance it to the tip. Present only while pins require it.
+#[derive(Debug, Clone)]
+struct ChainHist {
+    base_lsn: Lsn,
+    base: Arc<ViewStore>,
+    /// Ascending LSNs, all `> base_lsn`.
+    deltas: Vec<CommitDelta>,
+    /// Memoized materializations at mid-chain LSNs.
+    cache: Vec<(Lsn, Arc<ViewStore>)>,
+}
+
+/// Version chain of one registered view.
+#[derive(Debug, Clone)]
+struct ViewChain {
+    name: Arc<str>,
+    /// Global wide-row column indexes of the view's projection.
+    projection: Arc<[usize]>,
+    /// Schema of the projected output.
+    schema: SchemaRef,
+    /// Image at the registry's current LSN.
+    tip: Arc<ViewStore>,
+    hist: Option<ChainHist>,
+}
+
+impl ViewChain {
+    /// Smallest LSN this chain can still materialize.
+    fn floor(&self, current: Lsn) -> Lsn {
+        self.hist.as_ref().map_or(current, |h| h.base_lsn)
+    }
+
+    /// Materialize the view image at `lsn` (callers have validated
+    /// `lsn >= self.floor(current)`).
+    fn materialize(&mut self, lsn: Lsn, current: Lsn) -> Result<Arc<ViewStore>> {
+        if lsn >= current {
+            return Ok(Arc::clone(&self.tip));
+        }
+        let Some(hist) = &mut self.hist else {
+            // floor() == current, so a validated lsn is >= current.
+            return Ok(Arc::clone(&self.tip));
+        };
+        if lsn == hist.base_lsn {
+            return Ok(Arc::clone(&hist.base));
+        }
+        if let Some((_, store)) = hist.cache.iter().find(|(l, _)| *l == lsn) {
+            return Ok(Arc::clone(store));
+        }
+        let mut store = hist.base.unjournaled_clone();
+        for delta in hist.deltas.iter().filter(|d| d.lsn <= lsn) {
+            for op in delta.ops.iter() {
+                store.apply_op(op, &self.name)?;
+            }
+        }
+        let store = Arc::new(store);
+        hist.cache.push((lsn, Arc::clone(&store)));
+        Ok(store)
+    }
+}
+
+/// Point-in-time metrics of the registry (tests and benches read these).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotStats {
+    /// Newest committed LSN.
+    pub current_lsn: Lsn,
+    /// Oldest LSN any chain can still serve.
+    pub floor_lsn: Lsn,
+    /// Active pins across all snapshots.
+    pub active_pins: usize,
+    /// Redo ops currently retained across all chains (0 when no history).
+    pub retained_ops: usize,
+    /// Materialized historical images retained (bases + memoized versions).
+    pub retained_versions: usize,
+    /// High-water mark of `retained_ops` since the registry was created.
+    pub high_water_ops: usize,
+}
+
+#[derive(Debug)]
+struct Inner {
+    lsn: Lsn,
+    chains: Vec<ViewChain>,
+    /// Active pin counts, keyed by pinned LSN (unordered, few entries).
+    pins: Vec<(Lsn, usize)>,
+    high_water_ops: usize,
+}
+
+impl Inner {
+    fn pin_floor(&self) -> Option<Lsn> {
+        self.pins.iter().map(|&(l, _)| l).min()
+    }
+
+    fn retained_ops(&self) -> usize {
+        self.chains
+            .iter()
+            .filter_map(|c| c.hist.as_ref())
+            .map(|h| h.deltas.iter().map(|d| d.ops.len()).sum::<usize>())
+            .sum()
+    }
+
+    /// Reclaim every version no pin can reach. With no pins the entire
+    /// history drops; otherwise each chain's base advances to the pin floor
+    /// by replaying (then discarding) the deltas at or below it.
+    fn trim(&mut self) {
+        let floor = self.pin_floor();
+        for chain in &mut self.chains {
+            match floor {
+                Some(f) if f < self.lsn => {
+                    if let Some(hist) = &mut chain.hist {
+                        if hist.base_lsn < f {
+                            hist.cache.retain(|(l, _)| *l >= f);
+                            let base = Arc::make_mut(&mut hist.base);
+                            for delta in hist.deltas.iter().take_while(|d| d.lsn <= f) {
+                                for op in delta.ops.iter() {
+                                    base.apply_op(op, &chain.name).expect(
+                                        "redo replay onto the base cannot fail: the same ops \
+                                         already applied to the tip in this order",
+                                    );
+                                }
+                            }
+                            hist.deltas.retain(|d| d.lsn > f);
+                            hist.base_lsn = f;
+                        }
+                    }
+                }
+                // No pins below the tip: only the tip needs to survive.
+                _ => chain.hist = None,
+            }
+        }
+        self.high_water_ops = self.high_water_ops.max(self.retained_ops());
+    }
+}
+
+/// Shared, thread-safe registry of versioned view images. Clone the handle
+/// freely — readers on other threads pin snapshots through their own clone
+/// while the owning [`crate::database::Database`] commits new versions.
+#[derive(Debug, Clone)]
+pub struct SnapshotRegistry {
+    inner: Arc<Mutex<Inner>>,
+}
+
+impl Default for SnapshotRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SnapshotRegistry {
+    pub fn new() -> Self {
+        SnapshotRegistry {
+            inner: Arc::new(Mutex::new(Inner {
+                lsn: 0,
+                chains: Vec::new(),
+                pins: Vec::new(),
+                high_water_ops: 0,
+            })),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().expect("snapshot registry mutex poisoned")
+    }
+
+    /// Register a view's current image as the tip of a new chain. Called
+    /// when a view is created or installed; the store clone is the one-time
+    /// DDL cost of making the view snapshottable.
+    pub(crate) fn register(&self, view: &MaterializedView, at: Lsn) -> Result<()> {
+        let cols: Vec<ojv_rel::Column> = view
+            .analysis
+            .projection
+            .iter()
+            .map(|&g| view.analysis.layout.wide_schema().column(g).clone())
+            .collect();
+        let schema = ojv_rel::Schema::shared(cols)?;
+        let mut inner = self.lock();
+        inner.lsn = inner.lsn.max(at);
+        inner.chains.push(ViewChain {
+            name: Arc::from(view.name()),
+            projection: Arc::from(view.analysis.projection.as_slice()),
+            schema,
+            tip: Arc::new(view.store().unjournaled_clone()),
+            hist: None,
+        });
+        Ok(())
+    }
+
+    /// Drop a view's chain. Outstanding snapshots keep their own `Arc`s and
+    /// stay readable; new pins no longer include the view.
+    pub(crate) fn unregister(&self, name: &str) {
+        let mut inner = self.lock();
+        inner.chains.retain(|c| c.name.as_ref() != name);
+    }
+
+    /// Publish one commit: advance every named chain's tip by its journaled
+    /// ops and stamp the registry at `lsn` — atomically for all views. While
+    /// pins retain older versions, the pre-commit tip becomes (or extends)
+    /// the chain's history so those versions stay materializable.
+    pub(crate) fn commit(&self, lsn: Lsn, updates: Vec<(String, Vec<ViewOp>)>) -> Result<()> {
+        let mut inner = self.lock();
+        let prev = inner.lsn;
+        let retain_history = !inner.pins.is_empty();
+        for (name, ops) in updates {
+            if ops.is_empty() {
+                continue;
+            }
+            let Some(chain) = inner.chains.iter_mut().find(|c| c.name.as_ref() == name) else {
+                continue; // dropped concurrently with the batch
+            };
+            if retain_history {
+                let hist = chain.hist.get_or_insert_with(|| ChainHist {
+                    base_lsn: prev,
+                    // The pre-commit tip *is* the base image: an Arc clone,
+                    // not a copy. make_mut below pays the one O(n) copy.
+                    base: Arc::clone(&chain.tip),
+                    deltas: Vec::new(),
+                    cache: Vec::new(),
+                });
+                hist.deltas.push(CommitDelta {
+                    lsn,
+                    ops: Arc::new(ops.clone()),
+                });
+            }
+            let tip = Arc::make_mut(&mut chain.tip);
+            for op in &ops {
+                tip.apply_op(op, &name)?;
+            }
+        }
+        inner.lsn = inner.lsn.max(lsn);
+        inner.trim();
+        Ok(())
+    }
+
+    /// Pin a consistent snapshot of every registered view at the newest
+    /// committed LSN.
+    pub fn pin(&self) -> Result<Snapshot> {
+        self.pin_inner(None)
+    }
+
+    /// Pin a consistent snapshot at `lsn`. Every view is materialized at its
+    /// newest version `<= lsn`; fails with [`CoreError::SnapshotUnavailable`]
+    /// when reclamation has already freed that version.
+    pub fn pin_at(&self, lsn: Lsn) -> Result<Snapshot> {
+        self.pin_inner(Some(lsn))
+    }
+
+    fn pin_inner(&self, at: Option<Lsn>) -> Result<Snapshot> {
+        let mut inner = self.lock();
+        let current = inner.lsn;
+        let lsn = at.unwrap_or(current);
+        let floor = inner
+            .chains
+            .iter()
+            .map(|c| c.floor(current))
+            .max()
+            .unwrap_or(current);
+        if lsn < floor {
+            return Err(CoreError::SnapshotUnavailable {
+                requested: lsn,
+                floor,
+            });
+        }
+        let mut views = Vec::with_capacity(inner.chains.len());
+        // Split-borrow: materialize needs &mut chains while `current` is a
+        // copied scalar.
+        let chains = &mut inner.chains;
+        for chain in chains.iter_mut() {
+            // Arc bumps only — pinning allocates nothing per view beyond
+            // the `views` vec itself.
+            views.push(SnapshotView {
+                name: Arc::clone(&chain.name),
+                projection: Arc::clone(&chain.projection),
+                schema: Arc::clone(&chain.schema),
+                store: chain.materialize(lsn, current)?,
+            });
+        }
+        // Pins are keyed by the version they hold alive: a request above the
+        // current LSN only ever reads the tip.
+        let key = lsn.min(current);
+        match inner.pins.iter_mut().find(|(l, _)| *l == key) {
+            Some((_, n)) => *n += 1,
+            None => inner.pins.push((key, 1)),
+        }
+        Ok(Snapshot {
+            lsn,
+            pin_key: key,
+            views,
+            registry: self.clone(),
+        })
+    }
+
+    fn unpin(&self, key: Lsn) {
+        let mut inner = self.lock();
+        if let Some(pos) = inner.pins.iter().position(|(l, _)| *l == key) {
+            inner.pins[pos].1 -= 1;
+            if inner.pins[pos].1 == 0 {
+                inner.pins.swap_remove(pos);
+            }
+        }
+        inner.trim();
+    }
+
+    /// Newest committed LSN.
+    pub fn current_lsn(&self) -> Lsn {
+        self.lock().lsn
+    }
+
+    /// Current registry metrics.
+    pub fn stats(&self) -> SnapshotStats {
+        let inner = self.lock();
+        let current = inner.lsn;
+        SnapshotStats {
+            current_lsn: current,
+            floor_lsn: inner
+                .chains
+                .iter()
+                .map(|c| c.floor(current))
+                .max()
+                .unwrap_or(current),
+            active_pins: inner.pins.iter().map(|&(_, n)| n).sum(),
+            retained_ops: inner.retained_ops(),
+            retained_versions: inner
+                .chains
+                .iter()
+                .filter_map(|c| c.hist.as_ref())
+                .map(|h| 1 + h.cache.len())
+                .sum(),
+            high_water_ops: inner.high_water_ops,
+        }
+    }
+}
+
+/// One view inside a pinned [`Snapshot`]: an immutable image plus the
+/// projection needed to render the view's output.
+#[derive(Debug, Clone)]
+pub struct SnapshotView {
+    name: Arc<str>,
+    projection: Arc<[usize]>,
+    schema: SchemaRef,
+    store: Arc<ViewStore>,
+}
+
+impl SnapshotView {
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn len(&self) -> usize {
+        self.store.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.store.is_empty()
+    }
+
+    /// The stored wide rows (internal representation, heap order).
+    pub fn wide_rows(&self) -> &[Row] {
+        self.store.rows()
+    }
+
+    /// Look up a stored row by view key.
+    pub fn get_by_key(&self, key: &[Datum]) -> Option<&Row> {
+        self.store.get_by_key(key)
+    }
+
+    pub fn contains(&self, key: &[Datum]) -> bool {
+        self.store.contains(key)
+    }
+
+    /// Indexed multiplicity lookup (see [`ViewStore::count_by_key`]).
+    pub fn count_by_key(&self, cols: &[usize], key: &[Datum]) -> Option<usize> {
+        self.store.count_by_key(cols, key)
+    }
+
+    /// The view's projected output, as of the snapshot's LSN.
+    pub fn output(&self) -> Result<Relation> {
+        let rows = self
+            .store
+            .rows()
+            .iter()
+            .map(|r| key_of(r, &self.projection))
+            .collect();
+        Ok(Relation::new(Arc::clone(&self.schema), rows))
+    }
+}
+
+/// A pinned, immutable image of every registered view at one LSN. Holding
+/// it keeps that version materializable; dropping it releases the pin and
+/// lets reclamation advance.
+#[derive(Debug)]
+pub struct Snapshot {
+    lsn: Lsn,
+    pin_key: Lsn,
+    views: Vec<SnapshotView>,
+    registry: SnapshotRegistry,
+}
+
+impl Snapshot {
+    /// The LSN this snapshot was pinned at.
+    pub fn lsn(&self) -> Lsn {
+        self.lsn
+    }
+
+    pub fn view(&self, name: &str) -> Option<&SnapshotView> {
+        self.views.iter().find(|v| v.name.as_ref() == name)
+    }
+
+    pub fn views(&self) -> impl Iterator<Item = &SnapshotView> {
+        self.views.iter()
+    }
+
+    /// Canonical encoding of every view image in this snapshot (name, rows
+    /// in heap order, sorted count-index entries) — the per-snapshot
+    /// differential instrument: two snapshots at the same LSN of identically
+    /// maintained databases are byte-equal, and a snapshot is byte-equal to
+    /// a serially maintained twin paused at the same LSN.
+    pub fn state_bytes(&self) -> Result<Vec<u8>> {
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.lsn);
+        let n =
+            u32::try_from(self.views.len()).map_err(|_| crate::error::CoreError::InvalidView {
+                view: "<snapshot>".to_string(),
+                detail: "view count exceeds u32 framing".to_string(),
+            })?;
+        put_u32(&mut buf, n);
+        for v in &self.views {
+            put_str(&mut buf, &v.name).map_err(CoreError::Rel)?;
+            encode_store(&mut buf, &v.store)?;
+        }
+        Ok(buf)
+    }
+}
+
+impl Drop for Snapshot {
+    fn drop(&mut self) {
+        self.registry.unpin(self.pin_key);
+    }
+}
+
+/// Canonical store section: rows in heap order plus the sorted count-index
+/// snapshot (the same shape the durable checkpoint codec uses).
+fn encode_store(buf: &mut Vec<u8>, store: &ViewStore) -> Result<()> {
+    let fit = |n: usize, what: &str| -> Result<u32> {
+        u32::try_from(n).map_err(|_| CoreError::InvalidView {
+            view: "<snapshot>".to_string(),
+            detail: format!("{what} of {n} exceeds u32 framing"),
+        })
+    };
+    let rows = store.rows();
+    put_u32(buf, fit(rows.len(), "row count")?);
+    for row in rows {
+        put_row(buf, row).map_err(CoreError::Rel)?;
+    }
+    let indexes = store.count_index_snapshot();
+    put_u32(buf, fit(indexes.len(), "index count")?);
+    for (cols, entries) in &indexes {
+        put_u32(buf, fit(cols.len(), "index column count")?);
+        for &c in cols {
+            put_u32(buf, fit(c, "index column")?);
+        }
+        put_u32(buf, fit(entries.len(), "index entry count")?);
+        for (key, count) in entries {
+            put_row(buf, key).map_err(CoreError::Rel)?;
+            put_u64(buf, *count as u64); // lint:allow(cast) — usize widens into u64 on 64-bit
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::database::Database;
+    use crate::fixtures::*;
+
+    fn db() -> Database {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 8, 9);
+        let mut db = Database::new(c);
+        db.create_view(oj_view_def()).unwrap();
+        db
+    }
+
+    #[test]
+    fn pin_latest_tracks_commits() {
+        let mut db = db();
+        let reg = db.snapshots().clone();
+        assert_eq!(reg.current_lsn(), 0);
+        let s0 = reg.pin().unwrap();
+        assert_eq!(s0.lsn(), 0);
+        let len0 = s0.view("oj_view").unwrap().len();
+
+        db.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        assert_eq!(reg.current_lsn(), 1);
+        let s1 = reg.pin().unwrap();
+        assert_eq!(s1.lsn(), 1);
+        // The old pin still sees the old image.
+        assert_eq!(s0.view("oj_view").unwrap().len(), len0);
+        assert_eq!(
+            s1.view("oj_view").unwrap().wide_rows(),
+            db.view("oj_view").unwrap().wide_rows()
+        );
+    }
+
+    #[test]
+    fn pinned_version_survives_later_commits_byte_exactly() {
+        let mut live = db();
+        let mut twin = db();
+        live.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        twin.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        let pinned = live.snapshots().pin().unwrap(); // lsn 1
+        let expect = twin.snapshots().pin().unwrap().state_bytes().unwrap();
+
+        // Keep mutating the live database; the pin must not move.
+        live.insert("lineitem", vec![lineitem_row(6, 9, 5, 1, 2.0)])
+            .unwrap();
+        live.delete("lineitem", &[vec![Datum::Int(3), Datum::Int(1)]])
+            .unwrap();
+        assert_eq!(pinned.state_bytes().unwrap(), expect);
+        // And a fresh pin at the old LSN materializes the same bytes.
+        let repinned = live.snapshots().pin_at(1).unwrap();
+        assert_eq!(repinned.state_bytes().unwrap(), expect);
+    }
+
+    #[test]
+    fn unpinned_history_is_reclaimed() {
+        let mut db = db();
+        let reg = db.snapshots().clone();
+        let pin = reg.pin().unwrap(); // lsn 0
+        db.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        db.insert("lineitem", vec![lineitem_row(6, 9, 5, 1, 2.0)])
+            .unwrap();
+        let stats = reg.stats();
+        assert_eq!(stats.active_pins, 1);
+        assert_eq!(stats.floor_lsn, 0);
+        assert!(stats.retained_ops > 0, "history retained while pinned");
+
+        drop(pin);
+        let stats = reg.stats();
+        assert_eq!(stats.active_pins, 0);
+        assert_eq!(stats.retained_ops, 0, "history reclaimed on last unpin");
+        assert_eq!(stats.floor_lsn, stats.current_lsn);
+        // The reclaimed version is now unavailable.
+        assert!(matches!(
+            reg.pin_at(0),
+            Err(CoreError::SnapshotUnavailable { .. })
+        ));
+    }
+
+    #[test]
+    fn pin_free_workload_retains_nothing() {
+        let mut db = db();
+        for i in 0..6i64 {
+            db.insert("lineitem", vec![lineitem_row(3, 10 + i, 2, 1, 1.0)])
+                .unwrap();
+        }
+        let stats = db.snapshots().stats();
+        assert_eq!(stats.retained_ops, 0);
+        assert_eq!(stats.retained_versions, 0);
+        assert_eq!(stats.high_water_ops, 0, "no pins, no history ever built");
+    }
+
+    #[test]
+    fn mid_chain_pin_materializes_and_memoizes() {
+        let mut db = db();
+        let reg = db.snapshots().clone();
+        let hold = reg.pin().unwrap(); // keeps lsn 0 alive
+        let mut per_lsn = vec![reg.pin().unwrap().state_bytes().unwrap()];
+        for i in 0..4i64 {
+            db.insert("lineitem", vec![lineitem_row(3, 10 + i, 2, 1, 1.0)])
+                .unwrap();
+            per_lsn.push(reg.pin().unwrap().state_bytes().unwrap());
+        }
+        // Pin every retained LSN again; bytes must match what was seen live.
+        for (lsn, expect) in per_lsn.iter().enumerate() {
+            let s = reg.pin_at(lsn as u64).unwrap();
+            let mut got = s.state_bytes().unwrap();
+            // state_bytes embeds the pinned LSN; both were pinned at `lsn`.
+            assert_eq!(&mut got, expect, "lsn {lsn}");
+        }
+        let stats = reg.stats();
+        assert!(stats.retained_versions >= 1);
+        drop(hold);
+        assert_eq!(reg.stats().retained_ops, 0);
+    }
+
+    #[test]
+    fn snapshot_output_matches_view_output() {
+        let mut db = db();
+        db.insert("lineitem", vec![lineitem_row(3, 1, 2, 4, 42.0)])
+            .unwrap();
+        let snap = db.snapshots().pin().unwrap();
+        let out = snap.view("oj_view").unwrap().output().unwrap();
+        let live = db.view("oj_view").unwrap().output().unwrap();
+        assert_eq!(out.schema().len(), live.schema().len());
+        assert!(out.bag_eq(&live));
+    }
+
+    #[test]
+    fn dropped_view_leaves_existing_snapshots_readable() {
+        let mut db = db();
+        let snap = db.snapshots().pin().unwrap();
+        db.drop_view("oj_view").unwrap();
+        assert!(snap.view("oj_view").is_some());
+        let fresh = db.snapshots().pin().unwrap();
+        assert!(fresh.view("oj_view").is_none());
+    }
+}

@@ -9,7 +9,10 @@
 //! * [`rng`] — SplitMix64-seeded xorshift128+ generator with a
 //!   rand-compatible surface (`gen_range`, `gen_bool`),
 //! * [`strategy`] — value-based generation + shrinking ([`Strategy`]),
-//! * [`check`] — the [`property!`] macro's case runner and shrink loop.
+//! * [`check`] — the [`property!`] macro's case runner and shrink loop,
+//! * [`sched`] — a deterministic virtual-thread scheduler (seeded, replayed,
+//!   or exhaustively enumerated interleavings — the in-repo stand-in for
+//!   `loom`).
 //!
 //! ```
 //! use ojv_testkit::property;
@@ -27,11 +30,13 @@
 pub mod check;
 pub mod fault;
 pub mod rng;
+pub mod sched;
 pub mod strategy;
 
 pub use check::run_property;
 pub use fault::{fault_spec, FaultFile, FaultSpec, FaultSpecStrategy};
 pub use rng::{mix, Rng};
+pub use sched::{interleavings, replay, run_seeded, Actor};
 pub use strategy::{choice, strategy, vec_of, Just, Strategy};
 
 // Allocation-discipline instrumentation: a counting `#[global_allocator]`

@@ -18,7 +18,7 @@ pub struct LintDef {
 }
 
 /// All lints, in the order `--list` prints them.
-pub const LINTS: [LintDef; 7] = [
+pub const LINTS: [LintDef; 8] = [
     LintDef {
         id: "vec-vec-datum",
         desc: "no Vec<Vec<Datum>> row batches in crates/exec (use RowBuf)",
@@ -50,6 +50,12 @@ pub const LINTS: [LintDef; 7] = [
         desc: "plan derivation/verification (primary_delta_plan, verify_static, \
                verify_maintenance, verify_from_view) only in core's compile/analyze modules \
                — everything else consumes CompiledMaintenancePlan",
+    },
+    LintDef {
+        id: "view-store-mutation",
+        desc: "no direct ViewStore mutation (store_mut) outside the maintenance commit path \
+               (core's materialize/maintain/baseline) — readers go through snapshots so the \
+               registry's journaled tips never drift from the working stores",
     },
 ];
 
@@ -107,6 +113,17 @@ fn applies(lint: &str, path: &str) -> bool {
             path.starts_with("crates/core/src/")
                 && path != "crates/core/src/compile.rs"
                 && path != "crates/core/src/analyze.rs"
+        }
+        // Every ViewStore mutation must be journaled for the snapshot
+        // registry; mutations are confined to the commit path (maintain,
+        // the GK/recompute baselines) and the store's own module. Anything
+        // else mutating a store would bypass the journal and desynchronize
+        // the registry's version chains.
+        "view-store-mutation" => {
+            path.starts_with("crates/core/src/")
+                && path != "crates/core/src/materialize.rs"
+                && path != "crates/core/src/maintain.rs"
+                && path != "crates/core/src/baseline.rs"
         }
         _ => false,
     }
@@ -457,6 +474,12 @@ pub fn scan_file(rel_path: &str, src: &str) -> Vec<Violation> {
         {
             record("plan-compile-confined", line, &mut out);
         }
+        if applies("view-store-mutation", &path)
+            && !in_test.get(line).copied().unwrap_or(false)
+            && tok.text == "store_mut"
+        {
+            record("view-store-mutation", line, &mut out);
+        }
     }
     out
 }
@@ -674,6 +697,34 @@ mod tests {
         // Identifier boundary: verify_maintenance_graph is a different token.
         let other = "fn h() { ojv_analysis::verify_maintenance_graph(&g, &m, fks); }\n";
         assert!(scan_file("crates/core/src/maintain.rs", other).is_empty());
+    }
+
+    #[test]
+    fn view_store_mutation_confined_to_commit_path() {
+        let src = "fn f(v: &mut MaterializedView) { v.store_mut().insert(row, \"v\").unwrap(); }\n";
+        let v = scan_file("crates/core/src/database.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "view-store-mutation");
+        // The commit path and the store's own module are the sanctioned homes.
+        for path in [
+            "crates/core/src/materialize.rs",
+            "crates/core/src/maintain.rs",
+            "crates/core/src/baseline.rs",
+        ] {
+            assert!(scan_file(path, src).is_empty(), "{path}");
+        }
+        // Other crates are out of scope.
+        assert!(scan_file("crates/bench/src/multiview.rs", src).is_empty());
+        // Tests may poke stores directly.
+        let tested =
+            "#[cfg(test)]\nmod tests {\n    fn f(v: &mut MaterializedView) { v.store_mut(); }\n}\n";
+        assert!(scan_file("crates/core/src/database.rs", tested).is_empty());
+        // Escape hatch.
+        let allowed = "fn f(v: &mut MaterializedView) { v.store_mut(); } // lint:allow(view-store-mutation)\n";
+        assert!(scan_file("crates/core/src/database.rs", allowed).is_empty());
+        // Identifier boundary: `restore_mutations` is a different token.
+        let other = "fn g() { restore_mutations(); }\n";
+        assert!(scan_file("crates/core/src/database.rs", other).is_empty());
     }
 
     /// A seeded fs violation fails the gate just like the older lints.

@@ -1,0 +1,175 @@
+//! Property tests for the snapshot registry's epoch-based reclamation:
+//! arbitrary pin / release / commit sequences must never reclaim a pinned
+//! version, must always reclaim unpinned dead versions, and must retain
+//! nothing at all under a pin-free workload.
+
+use ojv::prelude::*;
+use ojv_core::fixtures;
+use ojv_testkit::{property, strategy, vec_of, Rng, Strategy};
+
+/// One abstract command; numeric arguments are resolved against the live
+/// state inside the property body (so every generated sequence is valid).
+#[derive(Debug, Clone, PartialEq)]
+enum Cmd {
+    /// Apply one maintenance batch (advances the LSN by one).
+    Commit,
+    /// Pin the newest version and remember its bytes.
+    Pin,
+    /// Pin a historical version chosen by `pick` among the reachable LSNs.
+    PinAt { pick: u8 },
+    /// Drop the pin chosen by `pick` among the held pins.
+    Release { pick: u8 },
+}
+
+fn cmd_strategy() -> impl Strategy<Value = Cmd> {
+    strategy(
+        |rng: &mut Rng| match rng.gen_range(0u8..4) {
+            0 => Cmd::Commit,
+            1 => Cmd::Pin,
+            2 => Cmd::PinAt {
+                pick: rng.gen_range(0u8..8),
+            },
+            _ => Cmd::Release {
+                pick: rng.gen_range(0u8..8),
+            },
+        },
+        // Shrinking: drop parameters toward zero and commands toward Commit.
+        |cmd: &Cmd| match cmd {
+            Cmd::Commit => vec![],
+            Cmd::Pin => vec![Cmd::Commit],
+            Cmd::PinAt { pick } if *pick > 0 => vec![Cmd::PinAt { pick: pick - 1 }, Cmd::Pin],
+            Cmd::PinAt { .. } => vec![Cmd::Pin],
+            Cmd::Release { pick } if *pick > 0 => vec![Cmd::Release { pick: pick - 1 }],
+            Cmd::Release { .. } => vec![Cmd::Commit],
+        },
+    )
+}
+
+fn build_db() -> Database {
+    let mut c = fixtures::example1_catalog();
+    fixtures::populate_example1(&mut c, 6, 9);
+    let mut db = Database::new(c);
+    db.create_view(fixtures::oj_view_def()).unwrap();
+    db
+}
+
+property! {
+    /// Pinned versions stay byte-stable through arbitrary command
+    /// sequences; with no pins outstanding the registry retains nothing.
+    #[cases = 64]
+    fn reclamation_respects_pins(
+        cmds in vec_of(cmd_strategy(), 1..24),
+        data_seed in 0u64..1000,
+    ) {
+        let mut db = build_db();
+        let mut rng = Rng::seed_from_u64(data_seed);
+        let mut next_ln = 500i64;
+        // Reference bytes per LSN, recorded at commit time.
+        let mut refs = vec![db.snapshot().unwrap().state_bytes().unwrap()];
+        // Held pins with the bytes they returned when taken.
+        let mut pins: Vec<(u64, ojv_core::snapshot::Snapshot, Vec<u8>)> = Vec::new();
+
+        for cmd in &cmds {
+            match cmd {
+                Cmd::Commit => {
+                    let ok = 1 + rng.gen_range(0..9i64);
+                    let pk = 1 + rng.gen_range(0..6i64);
+                    next_ln += 1;
+                    db.insert(
+                        "lineitem",
+                        vec![fixtures::lineitem_row(ok, next_ln, pk, 3, 9.0)],
+                    )
+                    .unwrap();
+                    refs.push(db.snapshot().unwrap().state_bytes().unwrap());
+                    assert_eq!(refs.len() as u64, db.commit_lsn() + 1);
+                }
+                Cmd::Pin => {
+                    let snap = db.snapshot().unwrap();
+                    let bytes = snap.state_bytes().unwrap();
+                    assert_eq!(bytes, refs[snap.lsn() as usize]);
+                    pins.push((snap.lsn(), snap, bytes));
+                }
+                Cmd::PinAt { pick } => {
+                    let floor = db.snapshots().stats().floor_lsn;
+                    let current = db.commit_lsn();
+                    let lsn = floor + u64::from(*pick) % (current - floor + 1);
+                    let snap = db.snapshot_at(lsn).unwrap();
+                    let bytes = snap.state_bytes().unwrap();
+                    assert_eq!(
+                        bytes, refs[lsn as usize],
+                        "historical pin at lsn {lsn} differs from its commit-time bytes"
+                    );
+                    pins.push((lsn, snap, bytes));
+                }
+                Cmd::Release { pick } => {
+                    if !pins.is_empty() {
+                        let i = usize::from(*pick) % pins.len();
+                        pins.swap_remove(i);
+                    }
+                }
+            }
+
+            // A pinned version is never reclaimed: every held snapshot's
+            // bytes re-encode identically after every command.
+            for (lsn, snap, bytes) in &pins {
+                assert_eq!(
+                    &snap.state_bytes().unwrap(),
+                    bytes,
+                    "held pin at lsn {lsn} changed bytes"
+                );
+            }
+            let stats = db.snapshots().stats();
+            assert_eq!(stats.active_pins, pins.len());
+            if pins.is_empty() {
+                // An unpinned dead version is always reclaimed immediately.
+                assert_eq!(stats.retained_ops, 0);
+                assert_eq!(stats.retained_versions, 0);
+                assert_eq!(stats.floor_lsn, stats.current_lsn);
+            } else {
+                let min_pin = pins.iter().map(|&(l, _, _)| l).min().unwrap();
+                assert!(
+                    stats.floor_lsn <= min_pin,
+                    "floor {} climbed above the oldest pin {min_pin}",
+                    stats.floor_lsn
+                );
+            }
+        }
+
+        // Dropping the last pin reclaims all history.
+        pins.clear();
+        let stats = db.snapshots().stats();
+        assert_eq!(stats.active_pins, 0);
+        assert_eq!(stats.retained_ops, 0);
+        assert_eq!(stats.retained_versions, 0);
+    }
+}
+
+property! {
+    /// Memory high-water is bounded under a pin-free workload: no history
+    /// is ever built, however many batches commit.
+    #[cases = 16]
+    fn pin_free_workload_builds_no_history(
+        batches in 1usize..40,
+        data_seed in 0u64..1000,
+    ) {
+        let mut db = build_db();
+        let mut rng = Rng::seed_from_u64(data_seed ^ 0x9e37);
+        for i in 0..batches {
+            let ok = 1 + rng.gen_range(0..9i64);
+            let pk = 1 + rng.gen_range(0..6i64);
+            db.insert(
+                "lineitem",
+                vec![fixtures::lineitem_row(ok, 2000 + i as i64, pk, 2, 4.0)],
+            )
+            .unwrap();
+        }
+        let stats = db.snapshots().stats();
+        assert_eq!(stats.current_lsn, batches as u64);
+        assert_eq!(stats.retained_ops, 0);
+        assert_eq!(stats.retained_versions, 0);
+        assert_eq!(
+            stats.high_water_ops, 0,
+            "pin-free maintenance must never materialize history"
+        );
+    }
+}
