@@ -16,6 +16,9 @@ cargo clippy --offline --workspace --all-targets -- -D warnings
 echo "==> xtask lint (in-repo token-level lint gate)"
 cargo run --offline -q -p xtask -- lint
 
+echo "==> xtask concheck (static concurrency gate: lock order, workers, atomics)"
+cargo run --offline -q -p xtask -- concheck
+
 echo "==> cargo build --release"
 cargo build --offline --release --workspace
 
@@ -33,6 +36,15 @@ cargo test --offline -q --test snapshot_isolation -- --ignored
 
 echo "==> snapshot interleaving sweep (64 scheduler seeds)"
 cargo test --offline -q --test snapshot_interleavings -- --ignored
+
+echo "==> race detector (fast): interleavings + mutation under --features concheck"
+cargo test --offline -q --features concheck --test snapshot_interleavings
+cargo test --offline -q --features concheck --test snapshot_isolation
+cargo test --offline -q --test concheck_mutation
+
+echo "==> race detector (full): seeded matrix under --features concheck"
+cargo test --offline -q --features concheck --test snapshot_interleavings -- --ignored
+cargo test --offline -q --features concheck --test snapshot_isolation -- --ignored
 
 echo "==> bench targets compile (criterion-lite shim)"
 cargo check --offline -p ojv-bench --benches --features criterion

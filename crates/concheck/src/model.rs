@@ -1,0 +1,655 @@
+//! Syntactic model of one masked source file: function boundaries, `impl`
+//! blocks, lock-acquisition sites and guard live ranges.
+//!
+//! Everything here is token-level and deliberately approximate — the same
+//! trade the `xtask` lint gate makes. The model errs on the side of seeing
+//! *more* acquisitions and *longer* guard ranges than the compiler would,
+//! which is the conservative direction for deadlock analysis, and every
+//! check downstream has a per-site `// concheck:allow(id)` escape hatch for
+//! the false positives that conservatism buys.
+
+use crate::scan::Tok;
+
+/// One function in a file.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    pub name: String,
+    /// Token index of the `fn` keyword.
+    pub fn_tok: usize,
+    /// Token range of the body: `(open brace index, close brace index)`.
+    pub body: (usize, usize),
+    /// 0-based line range `(first, last)` of the whole item.
+    pub lines: (usize, usize),
+    /// Names of parameters with a callable (`Fn`/`FnMut`/`FnOnce`) type,
+    /// directly (`impl Fn(..)`) or via a generic bound (`F: Fn(..)`).
+    pub callback_params: Vec<String>,
+}
+
+/// One syntactic lock acquisition: `recv.lock()`, `recv.read()` or
+/// `recv.write()` with no arguments.
+#[derive(Debug, Clone)]
+pub struct Acquire {
+    /// Lock class: the final receiver segment (`self.inner.lock()` → `inner`)
+    /// or the `impl` type name for a bare `self.lock()`.
+    pub class: String,
+    /// Which method was matched: `lock`, `read`, or `write`.
+    pub method: &'static str,
+    /// Token index of the method-name token.
+    pub tok: usize,
+    /// 0-based line of the acquisition.
+    pub line: usize,
+    /// Token index one past the guard's live range: end of statement for a
+    /// temporary, end of the enclosing block (or `drop(guard)`) for a
+    /// `let`-bound guard.
+    pub live_end: usize,
+    /// The `let`-bound guard variable, when there is one.
+    pub guard_var: Option<String>,
+}
+
+/// The per-file model consumed by the checks.
+pub struct FileModel {
+    /// Brace depth *before* each token.
+    pub depth: Vec<usize>,
+    pub fns: Vec<FnInfo>,
+    pub acquires: Vec<Acquire>,
+}
+
+const KEYWORDS: &[&str] = &[
+    "if", "else", "while", "match", "for", "loop", "return", "fn", "let", "in", "move", "mut",
+    "ref", "pub", "use", "mod", "impl", "struct", "enum", "trait", "where", "const", "static",
+    "type", "unsafe", "as", "break", "continue", "crate", "super", "Self", "self", "dyn", "box",
+    "async", "await",
+];
+
+pub fn is_keyword(s: &str) -> bool {
+    KEYWORDS.contains(&s)
+}
+
+/// Brace depth before each token.
+fn depths(toks: &[Tok<'_>]) -> Vec<usize> {
+    let mut out = Vec::with_capacity(toks.len());
+    let mut d = 0usize;
+    for t in toks {
+        out.push(d);
+        match t.text {
+            "{" => d += 1,
+            "}" => d = d.saturating_sub(1),
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Index one past the matching closer for the opener at `open` (`(`/`)` or
+/// `{`/`}`). Returns `toks.len()` when unbalanced.
+fn skip_matched(toks: &[Tok<'_>], open: usize, o: &str, c: &str) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        if toks[i].text == o {
+            depth += 1;
+        } else if toks[i].text == c {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Index one past the `>` matching the `<` at `open`, treating the `>` of a
+/// `->` arrow as plain punctuation.
+fn skip_generics(toks: &[Tok<'_>], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match toks[i].text {
+            "<" => depth += 1,
+            ">" if i > 0 && toks[i - 1].text == "-" => {}
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Do `type_toks` name a callable, directly or through `fn_bounded` generics?
+fn is_callable_type(type_toks: &[&str], fn_bounded: &[String]) -> bool {
+    if type_toks
+        .iter()
+        .any(|t| matches!(*t, "Fn" | "FnMut" | "FnOnce"))
+    {
+        return true;
+    }
+    // A bare generic parameter (possibly behind `&`/`mut`).
+    let idents: Vec<&&str> = type_toks
+        .iter()
+        .filter(|t| {
+            t.chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        })
+        .collect();
+    idents.len() == 1 && fn_bounded.iter().any(|g| g == *idents[0])
+}
+
+/// Collect `ident: ... Fn...`-bounded generic names from a generics or
+/// `where` token region.
+fn fn_bounded_generics(toks: &[Tok<'_>], range: std::ops::Range<usize>, out: &mut Vec<String>) {
+    let mut i = range.start;
+    while i < range.end {
+        if toks[i].text == ":"
+            && i > range.start
+            && !is_keyword(toks[i - 1].text)
+            && toks[i - 1]
+                .text
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            // Scan the bound until a top-level `,` or the region end.
+            let name = toks[i - 1].text.to_string();
+            let mut j = i + 1;
+            let mut angle = 0i32;
+            let mut paren = 0i32;
+            while j < range.end {
+                match toks[j].text {
+                    "<" => angle += 1,
+                    ">" if toks[j - 1].text != "-" => angle -= 1,
+                    "(" => paren += 1,
+                    ")" => paren -= 1,
+                    "," if angle <= 0 && paren <= 0 => break,
+                    "Fn" | "FnMut" | "FnOnce" if !out.contains(&name) => {
+                        out.push(name.clone());
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Segment every `fn` item (including nested ones) out of the token stream.
+fn functions(toks: &[Tok<'_>]) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].text != "fn" || i + 1 >= n {
+            i += 1;
+            continue;
+        }
+        let name_tok = i + 1;
+        let name = toks[name_tok].text;
+        if !name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+        {
+            i += 1;
+            continue;
+        }
+        let mut j = name_tok + 1;
+        let mut fn_bounded: Vec<String> = Vec::new();
+        if j < n && toks[j].text == "<" {
+            let end = skip_generics(toks, j);
+            fn_bounded_generics(toks, j + 1..end.saturating_sub(1), &mut fn_bounded);
+            j = end;
+        }
+        if j >= n || toks[j].text != "(" {
+            i = name_tok + 1;
+            continue;
+        }
+        let params_open = j;
+        let params_end = skip_matched(toks, j, "(", ")"); // one past `)`
+                                                          // Return type / where clause up to the body `{` or a decl `;`.
+        let mut k = params_end;
+        let mut where_start = None;
+        while k < n && toks[k].text != "{" && toks[k].text != ";" {
+            match toks[k].text {
+                "(" => {
+                    k = skip_matched(toks, k, "(", ")");
+                    continue;
+                }
+                "<" if toks[k - 1].text != "-" && toks[k - 1].text != "<" => {
+                    k = skip_generics(toks, k);
+                    continue;
+                }
+                "where" => where_start = Some(k + 1),
+                _ => {}
+            }
+            k += 1;
+        }
+        if k >= n || toks[k].text == ";" {
+            i = name_tok + 1;
+            continue;
+        }
+        if let Some(ws) = where_start {
+            fn_bounded_generics(toks, ws..k, &mut fn_bounded);
+        }
+        let body_open = k;
+        let body_close = skip_matched(toks, body_open, "{", "}").saturating_sub(1);
+
+        // Parameter names with callable types.
+        let mut callback_params = Vec::new();
+        {
+            let mut p = params_open + 1;
+            let mut seg_start = p;
+            let mut angle = 0i32;
+            let mut paren = 0i32;
+            let mut brack = 0i32;
+            while p < params_end {
+                let t = toks[p].text;
+                let closing_param_list = p + 1 == params_end;
+                let top_comma = t == "," && angle <= 0 && paren <= 0 && brack <= 0;
+                if top_comma || closing_param_list {
+                    let seg_end = if top_comma { p } else { p.max(seg_start) };
+                    param_callback(toks, seg_start..seg_end, &fn_bounded, &mut callback_params);
+                    seg_start = p + 1;
+                }
+                match t {
+                    "<" => angle += 1,
+                    ">" if toks[p - 1].text != "-" => angle -= 1,
+                    "(" => paren += 1,
+                    ")" if !closing_param_list => paren -= 1,
+                    "[" => brack += 1,
+                    "]" => brack -= 1,
+                    _ => {}
+                }
+                p += 1;
+            }
+        }
+
+        out.push(FnInfo {
+            name: name.to_string(),
+            fn_tok: i,
+            body: (body_open, body_close),
+            lines: (toks[i].line, toks[body_close.min(n - 1)].line),
+            callback_params,
+        });
+        // Continue scanning *inside* the body so nested fns are found too.
+        i = name_tok + 1;
+    }
+    out
+}
+
+/// If the parameter segment `name: TYPE` has a callable TYPE, record `name`.
+fn param_callback(
+    toks: &[Tok<'_>],
+    seg: std::ops::Range<usize>,
+    fn_bounded: &[String],
+    out: &mut Vec<String>,
+) {
+    let Some(colon) = (seg.start..seg.end).find(|&i| toks[i].text == ":") else {
+        return;
+    };
+    if colon == seg.start {
+        return;
+    }
+    let name = toks[colon - 1].text;
+    if is_keyword(name)
+        || !name
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphabetic() || c == '_')
+    {
+        return;
+    }
+    let type_toks: Vec<&str> = (colon + 1..seg.end).map(|i| toks[i].text).collect();
+    if is_callable_type(&type_toks, fn_bounded) {
+        out.push(name.to_string());
+    }
+}
+
+/// `impl` block spans with the implemented type name, for resolving a bare
+/// `self.lock()` to a class.
+fn impl_spans(toks: &[Tok<'_>]) -> Vec<(String, usize, usize)> {
+    let mut out = Vec::new();
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].text != "impl" {
+            i += 1;
+            continue;
+        }
+        let mut j = i + 1;
+        if j < n && toks[j].text == "<" {
+            j = skip_generics(toks, j);
+        }
+        // Walk to the body `{`, remembering the last plain ident seen (the
+        // implemented type for both `impl T` and `impl Tr for T`).
+        let mut name: Option<&str> = None;
+        while j < n && toks[j].text != "{" {
+            let t = toks[j].text;
+            if t == "<" && toks[j - 1].text != "-" {
+                j = skip_generics(toks, j);
+                continue;
+            }
+            if !is_keyword(t)
+                && t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                name = Some(t);
+            }
+            j += 1;
+        }
+        if j >= n {
+            break;
+        }
+        let close = skip_matched(toks, j, "{", "}").saturating_sub(1);
+        if let Some(nm) = name {
+            out.push((nm.to_string(), j, close));
+        }
+        i = j + 1;
+    }
+    out
+}
+
+/// Walk the receiver chain backwards from the `.` before the method token,
+/// returning the chain segments innermost-last (`self.inner.lock()` →
+/// `["self", "inner"]`).
+fn receiver_chain<'a>(toks: &'a [Tok<'a>], dot: usize) -> Vec<&'a str> {
+    let mut chain = Vec::new();
+    let mut i = dot; // index of the `.` token
+    loop {
+        if i == 0 {
+            break;
+        }
+        let prev = &toks[i - 1];
+        if prev.text == ")" {
+            // A call result, e.g. `self.registry().lock()`: attribute the
+            // class to the called method's name.
+            let mut depth = 0usize;
+            let mut k = i - 1;
+            loop {
+                match toks[k].text {
+                    ")" => depth += 1,
+                    "(" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                if k == 0 {
+                    return chain;
+                }
+                k -= 1;
+            }
+            if k > 0 {
+                let name = toks[k - 1].text;
+                if !is_keyword(name)
+                    && name
+                        .chars()
+                        .next()
+                        .is_some_and(|c| c.is_alphabetic() || c == '_')
+                {
+                    chain.push(name);
+                }
+            }
+            break;
+        }
+        if !prev
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+            || prev.text.chars().next().is_some_and(|c| c.is_ascii_digit())
+        {
+            break;
+        }
+        chain.push(prev.text);
+        if i >= 2 && toks[i - 2].text == "." {
+            i -= 2;
+        } else {
+            break;
+        }
+    }
+    chain.reverse();
+    chain
+}
+
+/// Extract every acquisition site with its guard live range.
+fn acquires(toks: &[Tok<'_>], depth: &[usize], impls: &[(String, usize, usize)]) -> Vec<Acquire> {
+    let n = toks.len();
+    let mut out = Vec::new();
+    for i in 0..n {
+        if toks[i].text != "." || i + 3 >= n {
+            continue;
+        }
+        let method = match toks[i + 1].text {
+            "lock" => "lock",
+            "read" => "read",
+            "write" => "write",
+            _ => continue,
+        };
+        if toks[i + 2].text != "(" || toks[i + 3].text != ")" {
+            continue;
+        }
+        let chain = receiver_chain(toks, i);
+        let class = match chain.as_slice() {
+            [] => continue,
+            ["self"] => impls
+                .iter()
+                .rev()
+                .find(|(_, open, close)| *open <= i && i <= *close)
+                .map(|(nm, _, _)| nm.clone())
+                .unwrap_or_else(|| "self".to_string()),
+            rest => {
+                let last = rest[rest.len() - 1];
+                if last == "self" {
+                    continue;
+                }
+                last.to_string()
+            }
+        };
+
+        // Guard binding: `let [mut] g = <chain>.<method>()...`.
+        let chain_start = chain_start_tok(toks, i);
+        let mut guard_var = None;
+        if chain_start >= 3 && toks[chain_start - 1].text == "=" {
+            let g = toks[chain_start - 2].text;
+            let kw = toks[chain_start - 3].text;
+            let kw2 = if chain_start >= 4 {
+                toks[chain_start - 4].text
+            } else {
+                ""
+            };
+            if (kw == "let" || (kw == "mut" && kw2 == "let"))
+                && g.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+            {
+                guard_var = Some(g.to_string());
+            }
+        }
+
+        let d = depth[i];
+        let live_end = match &guard_var {
+            Some(g) => {
+                // Until the enclosing block closes or the guard is dropped.
+                // `depth[j]` is the depth *before* token `j`, so the
+                // enclosing `}` is the first one at depth <= d.
+                let mut end = n;
+                for (j, t) in toks.iter().enumerate().skip(i + 4) {
+                    if t.text == "}" && depth[j] <= d {
+                        end = j;
+                        break;
+                    }
+                    if t.text == "drop"
+                        && j + 2 < n
+                        && toks[j + 1].text == "("
+                        && toks[j + 2].text == g.as_str()
+                    {
+                        end = j;
+                        break;
+                    }
+                }
+                end
+            }
+            None => {
+                // Temporary: until the end of the statement.
+                let mut end = n;
+                for (j, t) in toks.iter().enumerate().skip(i + 4) {
+                    if (t.text == ";" && depth[j] == d) || (t.text == "}" && depth[j] < d) {
+                        end = j;
+                        break;
+                    }
+                }
+                end
+            }
+        };
+        out.push(Acquire {
+            class,
+            method,
+            tok: i + 1,
+            line: toks[i + 1].line,
+            live_end,
+            guard_var,
+        });
+    }
+    out
+}
+
+/// First token of the receiver chain feeding the `.` at `dot`.
+fn chain_start_tok(toks: &[Tok<'_>], dot: usize) -> usize {
+    let mut i = dot;
+    loop {
+        if i == 0 {
+            return 0;
+        }
+        let prev = &toks[i - 1];
+        if !prev
+            .text
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_')
+        {
+            return i;
+        }
+        if i >= 2 && toks[i - 2].text == "." {
+            i -= 2;
+        } else {
+            return i - 1;
+        }
+    }
+}
+
+/// Build the full model for one masked, tokenized file.
+pub fn build(toks: &[Tok<'_>]) -> FileModel {
+    let depth = depths(toks);
+    let impls = impl_spans(toks);
+    let fns = functions(toks);
+    let acq = acquires(toks, &depth, &impls);
+    FileModel {
+        depth,
+        fns,
+        acquires: acq,
+    }
+}
+
+impl FileModel {
+    /// Innermost function whose body contains token `idx`.
+    pub fn enclosing_fn(&self, idx: usize) -> Option<&FnInfo> {
+        self.fns
+            .iter()
+            .filter(|f| f.body.0 <= idx && idx <= f.body.1)
+            .min_by_key(|f| f.body.1 - f.body.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::{mask, tokenize};
+
+    fn model(src: &str) -> (Vec<String>, Vec<(String, Option<String>)>) {
+        let m = mask(src, "concheck:allow(");
+        let toks = tokenize(&m.text);
+        let fm = build(&toks);
+        (
+            fm.fns.iter().map(|f| f.name.clone()).collect(),
+            fm.acquires
+                .iter()
+                .map(|a| (a.class.clone(), a.guard_var.clone()))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn functions_and_acquires_are_found() {
+        let src = "impl Reg {\n    fn go(&self) {\n        let g = self.inner.lock();\n        other.read();\n    }\n}\n";
+        let (fns, acq) = model(src);
+        assert_eq!(fns, vec!["go"]);
+        assert_eq!(
+            acq,
+            vec![
+                ("inner".to_string(), Some("g".to_string())),
+                ("other".to_string(), None),
+            ]
+        );
+    }
+
+    #[test]
+    fn bare_self_lock_resolves_to_impl_type() {
+        let src = "impl SnapshotRegistry {\n    fn stats(&self) { let inner = self.lock(); }\n}\n";
+        let (_, acq) = model(src);
+        assert_eq!(acq[0].0, "SnapshotRegistry");
+        assert_eq!(acq[0].1.as_deref(), Some("inner"));
+    }
+
+    #[test]
+    fn argful_read_write_are_not_acquires() {
+        let src = "fn f(w: &mut W) { w.write(buf); r.read(&mut buf); }\n";
+        let (_, acq) = model(src);
+        assert!(acq.is_empty(), "{acq:?}");
+    }
+
+    #[test]
+    fn callback_params_direct_and_generic() {
+        let src = "fn f<F: FnMut(usize) -> bool>(a: u32, cb: impl Fn(), g: F) {}\nfn h(x: u32) where { }\n";
+        let m = mask(src, "concheck:allow(");
+        let toks = tokenize(&m.text);
+        let fm = build(&toks);
+        assert_eq!(fm.fns[0].callback_params, vec!["cb", "g"]);
+        assert!(fm.fns[1].callback_params.is_empty());
+    }
+
+    #[test]
+    fn guard_live_range_ends_at_block_or_drop() {
+        let src = "fn f() {\n    { let g = m.lock(); use1(); }\n    after();\n    let h = m2.lock();\n    drop(h);\n    tail();\n}\n";
+        let m = mask(src, "concheck:allow(");
+        let toks = tokenize(&m.text);
+        let fm = build(&toks);
+        let a = &fm.acquires[0];
+        // use1 is inside the range, after() is not.
+        let use1 = toks.iter().position(|t| t.text == "use1").unwrap();
+        let after = toks.iter().position(|t| t.text == "after").unwrap();
+        assert!(a.tok < use1 && use1 < a.live_end);
+        assert!(after >= a.live_end);
+        let b = &fm.acquires[1];
+        let tail = toks.iter().position(|t| t.text == "tail").unwrap();
+        assert!(tail >= b.live_end, "drop(h) ends the range");
+    }
+
+    #[test]
+    fn call_result_receiver_uses_method_name() {
+        let src = "fn f() { self.registry().lock(); }\n";
+        let (_, acq) = model(src);
+        assert_eq!(acq[0].0, "registry");
+    }
+}

@@ -173,22 +173,33 @@ pub fn maintain_batch(
             buckets[k % p].push(w);
         }
         let stats = &stats;
+        // Happens-before edges mirroring the morsel pool in `ojv-exec`:
+        // spawn edge into every bucket worker, join edge back to the batch
+        // driver before it merges the per-bucket result vectors.
+        crate::trace::publish("core.batch.spawn");
         std::thread::scope(|scope| {
             let handles: Vec<_> = buckets
                 .into_iter()
-                .map(|bucket| {
+                .enumerate()
+                .map(|(b, bucket)| {
                     scope.spawn(move || {
-                        bucket
+                        if crate::trace::active() {
+                            crate::trace::register_thread(&format!("batch-worker-{b}"));
+                        }
+                        crate::trace::observe("core.batch.spawn");
+                        let out = bucket
                             .into_iter()
                             .map(|w| {
                                 let s = &stats[w.idx];
                                 run_job(w, catalog, update, policy, s)
                             })
-                            .collect::<Vec<_>>()
+                            .collect::<Vec<_>>();
+                        crate::trace::publish("core.batch.join");
+                        out
                     })
                 })
                 .collect();
-            handles
+            let merged: Vec<_> = handles
                 .into_iter()
                 .flat_map(|h| match h.join() {
                     Ok(v) => v,
@@ -203,7 +214,12 @@ pub fn maintain_batch(
                         }),
                     )],
                 })
-                .collect()
+                .collect();
+            // All workers are joined: pull their published clocks, then
+            // stamp the merge buffer as a main-thread write.
+            crate::trace::observe("core.batch.join");
+            crate::trace::on_write("core.batch.merge");
+            merged
         })
     };
     results.sort_by_key(|(i, _)| *i);

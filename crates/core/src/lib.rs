@@ -63,6 +63,7 @@ pub mod secondary;
 pub mod snapshot;
 pub mod sql;
 pub mod term_delta;
+mod trace;
 pub mod view_def;
 pub mod view_match;
 

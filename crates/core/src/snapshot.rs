@@ -115,7 +115,11 @@ impl ViewChain {
             // floor() == current, so a validated lsn is >= current.
             return Ok(Arc::clone(&self.tip));
         };
-        if lsn == hist.base_lsn {
+        // Deltas ascend, so if the first one is already above `lsn` the base
+        // image *is* the image at `lsn` — no replay, no copy (this is every
+        // materialization of a view the pinned-over commits never touched).
+        let replay_needed = hist.deltas.first().is_some_and(|d| d.lsn <= lsn);
+        if !replay_needed {
             return Ok(Arc::clone(&hist.base));
         }
         if let Some((_, store)) = hist.cache.iter().find(|(l, _)| *l == lsn) {
@@ -213,6 +217,37 @@ pub struct SnapshotRegistry {
     inner: Arc<Mutex<Inner>>,
 }
 
+/// Lock label and traced-cell name for the registry's single mutex and the
+/// chain state it protects (see DESIGN.md §11 for the lock hierarchy).
+const REGISTRY_LOCK: &str = "core.snapshot-registry.inner";
+const REGISTRY_CHAINS: &str = "core.snapshot-registry.chains";
+
+/// Guard over the registry state. A thin wrapper around the `MutexGuard`
+/// that reports release to the happens-before detector, so lock-protected
+/// chain accesses carry release→acquire edges in race-detector runs.
+struct RegistryGuard<'a> {
+    guard: std::sync::MutexGuard<'a, Inner>,
+}
+
+impl std::ops::Deref for RegistryGuard<'_> {
+    type Target = Inner;
+    fn deref(&self) -> &Inner {
+        &self.guard
+    }
+}
+
+impl std::ops::DerefMut for RegistryGuard<'_> {
+    fn deref_mut(&mut self) -> &mut Inner {
+        &mut self.guard
+    }
+}
+
+impl Drop for RegistryGuard<'_> {
+    fn drop(&mut self) {
+        crate::trace::lock_released(REGISTRY_LOCK);
+    }
+}
+
 impl Default for SnapshotRegistry {
     fn default() -> Self {
         Self::new()
@@ -231,8 +266,12 @@ impl SnapshotRegistry {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
-        self.inner.lock().expect("snapshot registry mutex poisoned")
+    fn lock(&self) -> RegistryGuard<'_> {
+        let guard = self.inner.lock().expect("snapshot registry mutex poisoned");
+        // Recorded *after* the real mutex is held so the detector transfers
+        // the releasing thread's clock to us (release -> acquire HB edge).
+        crate::trace::lock_acquired(REGISTRY_LOCK);
+        RegistryGuard { guard }
     }
 
     /// Register a view's current image as the tip of a new chain. Called
@@ -247,6 +286,7 @@ impl SnapshotRegistry {
             .collect();
         let schema = ojv_rel::Schema::shared(cols)?;
         let mut inner = self.lock();
+        crate::trace::on_write(REGISTRY_CHAINS);
         inner.lsn = inner.lsn.max(at);
         inner.chains.push(ViewChain {
             name: Arc::from(view.name()),
@@ -262,6 +302,7 @@ impl SnapshotRegistry {
     /// stay readable; new pins no longer include the view.
     pub(crate) fn unregister(&self, name: &str) {
         let mut inner = self.lock();
+        crate::trace::on_write(REGISTRY_CHAINS);
         inner.chains.retain(|c| c.name.as_ref() != name);
     }
 
@@ -271,8 +312,25 @@ impl SnapshotRegistry {
     /// the chain's history so those versions stay materializable.
     pub(crate) fn commit(&self, lsn: Lsn, updates: Vec<(String, Vec<ViewOp>)>) -> Result<()> {
         let mut inner = self.lock();
+        crate::trace::on_write(REGISTRY_CHAINS);
         let prev = inner.lsn;
         let retain_history = !inner.pins.is_empty();
+        if retain_history {
+            // Anchor *every* chain's history at the pre-commit LSN — also
+            // views this batch leaves untouched (empty delta): a held pin
+            // below `lsn` must keep each view's old version materializable,
+            // and an unanchored chain's floor would jump to the new LSN.
+            // The base is the pre-commit tip: an Arc clone, not a copy;
+            // make_mut below pays the one O(n) copy only for touched views.
+            for chain in &mut inner.chains {
+                chain.hist.get_or_insert_with(|| ChainHist {
+                    base_lsn: prev,
+                    base: Arc::clone(&chain.tip),
+                    deltas: Vec::new(),
+                    cache: Vec::new(),
+                });
+            }
+        }
         for (name, ops) in updates {
             if ops.is_empty() {
                 continue;
@@ -281,14 +339,7 @@ impl SnapshotRegistry {
                 continue; // dropped concurrently with the batch
             };
             if retain_history {
-                let hist = chain.hist.get_or_insert_with(|| ChainHist {
-                    base_lsn: prev,
-                    // The pre-commit tip *is* the base image: an Arc clone,
-                    // not a copy. make_mut below pays the one O(n) copy.
-                    base: Arc::clone(&chain.tip),
-                    deltas: Vec::new(),
-                    cache: Vec::new(),
-                });
+                let hist = chain.hist.as_mut().expect("anchored above");
                 hist.deltas.push(CommitDelta {
                     lsn,
                     ops: Arc::new(ops.clone()),
@@ -319,6 +370,9 @@ impl SnapshotRegistry {
 
     fn pin_inner(&self, at: Option<Lsn>) -> Result<Snapshot> {
         let mut inner = self.lock();
+        // A pin *writes*: it bumps the pin table and may fill version
+        // caches, so it conflicts with concurrent pins absent the lock.
+        crate::trace::on_write(REGISTRY_CHAINS);
         let current = inner.lsn;
         let lsn = at.unwrap_or(current);
         let floor = inner
@@ -364,6 +418,7 @@ impl SnapshotRegistry {
 
     fn unpin(&self, key: Lsn) {
         let mut inner = self.lock();
+        crate::trace::on_write(REGISTRY_CHAINS);
         if let Some(pos) = inner.pins.iter().position(|(l, _)| *l == key) {
             inner.pins[pos].1 -= 1;
             if inner.pins[pos].1 == 0 {
@@ -375,12 +430,15 @@ impl SnapshotRegistry {
 
     /// Newest committed LSN.
     pub fn current_lsn(&self) -> Lsn {
-        self.lock().lsn
+        let inner = self.lock();
+        crate::trace::on_read(REGISTRY_CHAINS);
+        inner.lsn
     }
 
     /// Current registry metrics.
     pub fn stats(&self) -> SnapshotStats {
         let inner = self.lock();
+        crate::trace::on_read(REGISTRY_CHAINS);
         let current = inner.lsn;
         SnapshotStats {
             current_lsn: current,

@@ -24,6 +24,7 @@ pub mod morsel;
 pub mod ops;
 pub mod parallel;
 pub mod run;
+mod trace;
 
 pub use error::{ExecError, ExecResult};
 pub use hashtbl::{KeyHashTable, KeySet};

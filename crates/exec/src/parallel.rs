@@ -53,18 +53,35 @@ where
     let next = AtomicUsize::new(0);
     let workers = spec.threads.min(n).max(1);
     let mut indexed: Vec<(usize, T)> = Vec::with_capacity(n);
+    // Happens-before edge: everything the caller did before spawning the
+    // morsel pool is visible to every worker (spawn edge), and everything a
+    // worker did is visible to the caller after the joins (join edge). The
+    // merge buffer itself is a traced cell so the detector can prove the
+    // workers' results are only touched by the main thread post-join.
+    crate::trace::publish("exec.morsel.spawn");
     std::thread::scope(|s| {
         let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                s.spawn(|| {
+            .map(|w| {
+                let next = &next;
+                let work = &work;
+                s.spawn(move || {
+                    if crate::trace::active() {
+                        crate::trace::register_thread(&format!("morsel-worker-{w}"));
+                    }
+                    crate::trace::observe("exec.morsel.spawn");
                     let mut local = Vec::new();
                     loop {
+                        // Morsel claim counter: uniqueness is all that
+                        // matters; results are ordered by the in-order
+                        // merge after scope join.
+                        // concheck:allow(atomic-ordering)
                         let i = next.fetch_add(1, Ordering::Relaxed);
                         if i >= n {
                             break;
                         }
                         local.push((i, work(i)));
                     }
+                    crate::trace::publish("exec.morsel.join");
                     local
                 })
             })
@@ -72,7 +89,9 @@ where
         for h in handles {
             indexed.extend(h.join().expect("morsel worker panicked"));
         }
+        crate::trace::observe("exec.morsel.join");
     });
+    crate::trace::on_write("exec.morsel.merge");
     indexed.sort_unstable_by_key(|(i, _)| *i);
     indexed.into_iter().map(|(_, t)| t).collect()
 }
@@ -101,24 +120,29 @@ impl OpStats {
         started: Instant,
         alloc0: ojv_rel::AllocSnapshot,
     ) {
+        // Monotonic stats counters, read only after the owning scope joins.
+        // concheck:allow(atomic-ordering)
         self.rows_in.fetch_add(rows_in as u64, Ordering::Relaxed);
-        self.rows_out.fetch_add(rows_out as u64, Ordering::Relaxed);
-        self.morsels.fetch_add(morsels as u64, Ordering::Relaxed);
+        self.rows_out.fetch_add(rows_out as u64, Ordering::Relaxed); // concheck:allow(atomic-ordering)
+        self.morsels.fetch_add(morsels as u64, Ordering::Relaxed); // concheck:allow(atomic-ordering)
         self.time_ns
-            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            .fetch_add(started.elapsed().as_nanos() as u64, Ordering::Relaxed); // concheck:allow(atomic-ordering)
         let da = ojv_rel::alloc_snapshot().since(&alloc0);
-        self.allocs.fetch_add(da.count, Ordering::Relaxed);
-        self.alloc_bytes.fetch_add(da.bytes, Ordering::Relaxed);
+        self.allocs.fetch_add(da.count, Ordering::Relaxed); // concheck:allow(atomic-ordering)
+        self.alloc_bytes.fetch_add(da.bytes, Ordering::Relaxed); // concheck:allow(atomic-ordering)
     }
 
     pub fn snapshot(&self) -> OpStatsSnapshot {
         OpStatsSnapshot {
+            // Best-effort stats snapshot; exact values only required
+            // after workers join.
+            // concheck:allow(atomic-ordering)
             rows_in: self.rows_in.load(Ordering::Relaxed),
-            rows_out: self.rows_out.load(Ordering::Relaxed),
-            morsels: self.morsels.load(Ordering::Relaxed),
-            time_ns: self.time_ns.load(Ordering::Relaxed),
-            allocs: self.allocs.load(Ordering::Relaxed),
-            alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed),
+            rows_out: self.rows_out.load(Ordering::Relaxed), // concheck:allow(atomic-ordering)
+            morsels: self.morsels.load(Ordering::Relaxed),   // concheck:allow(atomic-ordering)
+            time_ns: self.time_ns.load(Ordering::Relaxed),   // concheck:allow(atomic-ordering)
+            allocs: self.allocs.load(Ordering::Relaxed),     // concheck:allow(atomic-ordering)
+            alloc_bytes: self.alloc_bytes.load(Ordering::Relaxed), // concheck:allow(atomic-ordering)
         }
     }
 }

@@ -1,0 +1,29 @@
+//! Happens-before trace shim.
+//!
+//! With the `concheck` feature (or under `cfg(test)`), these forward to the
+//! vector-clock race detector in `ojv_testkit::race`; otherwise they are
+//! inlined no-ops, so the default build carries zero instrumentation cost.
+//! The detector itself is also inert until a test installs it, so even
+//! feature-enabled builds only pay when a session is active.
+
+#[cfg(any(test, feature = "concheck"))]
+pub(crate) use ojv_testkit::race::{active, observe, on_write, publish, register_thread};
+
+#[cfg(not(any(test, feature = "concheck")))]
+mod noop {
+    #[inline(always)]
+    pub(crate) fn active() -> bool {
+        false
+    }
+    #[inline(always)]
+    pub(crate) fn on_write(_cell: &str) {}
+    #[inline(always)]
+    pub(crate) fn publish(_chan: &str) {}
+    #[inline(always)]
+    pub(crate) fn observe(_chan: &str) {}
+    #[inline(always)]
+    pub(crate) fn register_thread(_name: &str) {}
+}
+
+#[cfg(not(any(test, feature = "concheck")))]
+pub(crate) use noop::*;

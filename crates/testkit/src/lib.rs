@@ -12,7 +12,10 @@
 //! * [`check`] — the [`property!`] macro's case runner and shrink loop,
 //! * [`sched`] — a deterministic virtual-thread scheduler (seeded, replayed,
 //!   or exhaustively enumerated interleavings — the in-repo stand-in for
-//!   `loom`).
+//!   `loom`),
+//! * [`race`] — a vector-clock happens-before race detector plus runtime
+//!   lock witness, woven into [`sched`]'s virtual threads (the dynamic half
+//!   of the `ojv-concheck` concurrency soundness layer).
 //!
 //! ```
 //! use ojv_testkit::property;
@@ -29,6 +32,7 @@
 
 pub mod check;
 pub mod fault;
+pub mod race;
 pub mod rng;
 pub mod sched;
 pub mod strategy;

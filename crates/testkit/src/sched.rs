@@ -38,6 +38,7 @@
 //! replay(&trace, &mut [mk('a', 2), mk('b', 1)]); // reproduces the run
 //! ```
 
+use crate::race;
 use crate::rng::Rng;
 
 /// One logical thread: each call advances it by one step and returns
@@ -49,18 +50,29 @@ pub type Actor = Box<dyn FnMut() -> bool>;
 /// `seed` and stepped once. Returns the trace of chosen actor indices —
 /// feeding it to [`replay`] with freshly-built actors reproduces the run
 /// exactly.
+///
+/// When a [`crate::race`] detector session is active, every actor runs as
+/// a virtual thread with its own vector clock: spawn edges at schedule
+/// start, a join edge when an actor finishes, and a full rejoin when the
+/// schedule ends.
 pub fn run_seeded(seed: u64, actors: &mut [Actor]) -> Vec<usize> {
     let mut rng = Rng::seed_from_u64(seed);
     let mut live: Vec<usize> = (0..actors.len()).collect();
     let mut trace = Vec::new();
+    race::begin_schedule(actors.len());
     while !live.is_empty() {
         let pick = rng.gen_range(0..live.len());
         let idx = live[pick];
         trace.push(idx);
-        if !actors[idx]() {
+        race::enter_virtual(Some(idx));
+        let more = actors[idx]();
+        race::enter_virtual(None);
+        if !more {
+            race::virtual_done(idx);
             live.remove(pick);
         }
     }
+    race::end_schedule();
     trace
 }
 
@@ -71,6 +83,7 @@ pub fn run_seeded(seed: u64, actors: &mut [Actor]) -> Vec<usize> {
 /// constructed actor set.
 pub fn replay(trace: &[usize], actors: &mut [Actor]) {
     let mut live = vec![true; actors.len()];
+    race::begin_schedule(actors.len());
     for (step, &idx) in trace.iter().enumerate() {
         assert!(
             idx < actors.len(),
@@ -81,8 +94,14 @@ pub fn replay(trace: &[usize], actors: &mut [Actor]) {
             live[idx],
             "trace step {step} steps actor {idx}, which already finished"
         );
+        race::enter_virtual(Some(idx));
         live[idx] = actors[idx]();
+        race::enter_virtual(None);
+        if !live[idx] {
+            race::virtual_done(idx);
+        }
     }
+    race::end_schedule();
 }
 
 /// Every interleaving of `steps.len()` actors where actor `i` runs
@@ -173,15 +192,19 @@ mod tests {
         let original = log.borrow().clone();
         let log2 = Rc::new(RefCell::new(Vec::new()));
         replay(&trace, &mut [logger(&log2, 'a', 4), logger(&log2, 'b', 3)]);
-        assert_eq!(*log2.borrow(), original);
+        assert_eq!(*log2.borrow(), original, "replay of seed 9 trace {trace:?}");
     }
 
     #[test]
     fn interleavings_enumerate_the_multinomial() {
-        assert_eq!(interleavings(&[1]), vec![vec![0]]);
-        assert_eq!(interleavings(&[2, 1]).len(), 3);
-        assert_eq!(interleavings(&[3, 3]).len(), 20);
-        assert_eq!(interleavings(&[2, 2, 2]).len(), 90);
+        assert_eq!(interleavings(&[1]), vec![vec![0]], "trace set for [1]");
+        assert_eq!(interleavings(&[2, 1]).len(), 3, "trace count for [2,1]");
+        assert_eq!(interleavings(&[3, 3]).len(), 20, "trace count for [3,3]");
+        assert_eq!(
+            interleavings(&[2, 2, 2]).len(),
+            90,
+            "trace count for [2,2,2]"
+        );
         // All distinct, all complete.
         let all = interleavings(&[3, 2]);
         for t in &all {
@@ -199,7 +222,11 @@ mod tests {
         for trace in interleavings(&[2, 2]) {
             let log = Rc::new(RefCell::new(Vec::new()));
             replay(&trace, &mut [logger(&log, 'a', 2), logger(&log, 'b', 2)]);
-            assert_eq!(log.borrow().len(), 4);
+            assert_eq!(
+                log.borrow().len(),
+                4,
+                "incomplete replay of trace {trace:?}"
+            );
         }
     }
 

@@ -1,58 +1,85 @@
 //! Dependency-free token-level lint gate for the maintenance pipeline.
 //!
-//! The scanner masks string/char literals and comments (preserving newlines),
-//! tokenizes what remains, and matches token sequences — so `FxHashMap::new()`
-//! never matches the `default-hasher` lint and `"unsafe"` inside a string
-//! never matches `unsafe-code`. Each lint has a stable id and a per-line
-//! escape hatch: `// lint:allow(<id>)` on the offending line or the line
-//! directly above suppresses the finding.
+//! The scanner is built on `ojv_concheck::scan` — the same masking and
+//! tokenizing substrate the concurrency checker uses: string/char literals
+//! and comments are blanked (preserving newlines), the rest is tokenized,
+//! and lints match token sequences — so `FxHashMap::new()` never matches the
+//! `default-hasher` lint and `"unsafe"` inside a string never matches
+//! `unsafe-code`. Each lint has a stable id and a per-line escape hatch:
+//! `// lint:allow(<id>)` on the offending line or the line directly above
+//! suppresses the finding.
 
-use std::fs;
 use std::io;
-use std::path::{Path, PathBuf};
+use std::path::Path;
+
+use ojv_concheck::model;
+use ojv_concheck::scan::{self, collect_rs, Tok};
 
 /// A lint rule known to the scanner.
 pub struct LintDef {
     pub id: &'static str,
+    /// Where the rule is enforced (the confinement scope `--list` prints).
+    pub scope: &'static str,
     pub desc: &'static str,
 }
 
-/// All lints, in the order `--list` prints them.
-pub const LINTS: [LintDef; 8] = [
+/// All lints, sorted by id — the order `--list` prints them.
+pub const LINTS: [LintDef; 10] = [
     LintDef {
-        id: "vec-vec-datum",
-        desc: "no Vec<Vec<Datum>> row batches in crates/exec (use RowBuf)",
+        id: "cast",
+        scope: "crates/durability/src/",
+        desc: "no `as u32`/`as u64` in the WAL framing (crates/durability) — use try_from",
     },
     LintDef {
         id: "default-hasher",
+        scope: "crates/exec/src/, crates/storage/src/",
         desc:
             "no HashMap::new()/HashSet::new() default hasher in exec/storage (use ojv_rel fxhash)",
     },
     LintDef {
+        id: "fs-outside-durability",
+        scope: "everywhere but crates/{durability,bench,xtask,concheck}/",
+        desc: "no std::fs / File:: outside crates/durability, crates/bench, crates/xtask, \
+               crates/concheck (everything else goes through the Vfs trait)",
+    },
+    LintDef {
+        id: "mutex-in-exec-hot-path",
+        scope: "crates/exec/src/ except parallel.rs",
+        desc: "no lock types (Mutex/RwLock/Condvar) in the executor outside parallel.rs — \
+               operators share state via &-references and atomics only, so no operator can \
+               block a morsel worker",
+    },
+    LintDef {
         id: "panic-hot-path",
+        scope: "crates/exec/src/{eval,ops/join,ops/dedup}.rs",
         desc: "no unwrap()/expect()/panic! in eval/join/dedup hot paths outside tests",
     },
     LintDef {
-        id: "unsafe-code",
-        desc: "unsafe only in the allowlisted crates/rel/src/alloc.rs",
-    },
-    LintDef {
-        id: "fs-outside-durability",
-        desc: "no std::fs / File:: outside crates/durability, crates/bench, crates/xtask \
-               (everything else goes through the Vfs trait)",
-    },
-    LintDef {
-        id: "cast",
-        desc: "no `as u32`/`as u64` in the WAL framing (crates/durability) — use try_from",
-    },
-    LintDef {
         id: "plan-compile-confined",
+        scope: "crates/core/src/ except {compile,analyze}.rs",
         desc: "plan derivation/verification (primary_delta_plan, verify_static, \
                verify_maintenance, verify_from_view) only in core's compile/analyze modules \
                — everything else consumes CompiledMaintenancePlan",
     },
     LintDef {
+        id: "sched-seed-logged",
+        scope: "all scanned files",
+        desc: "every run_seeded/interleavings call site must embed its seed (or trace) in a \
+               nearby string — a failure that does not name its schedule cannot be replayed",
+    },
+    LintDef {
+        id: "unsafe-code",
+        scope: "everywhere but crates/rel/src/alloc.rs",
+        desc: "unsafe only in the allowlisted crates/rel/src/alloc.rs",
+    },
+    LintDef {
+        id: "vec-vec-datum",
+        scope: "crates/exec/src/",
+        desc: "no Vec<Vec<Datum>> row batches in crates/exec (use RowBuf)",
+    },
+    LintDef {
         id: "view-store-mutation",
+        scope: "crates/core/src/ except {materialize,maintain,baseline}.rs",
         desc: "no direct ViewStore mutation (store_mut) outside the maintenance commit path \
                (core's materialize/maintain/baseline) — readers go through snapshots so the \
                registry's journaled tips never drift from the working stores",
@@ -94,13 +121,14 @@ fn applies(lint: &str, path: &str) -> bool {
         ),
         "unsafe-code" => path != "crates/rel/src/alloc.rs",
         // Durability is where the real filesystem is abstracted behind the
-        // Vfs trait; bench needs to emit result files; xtask *is* the file
-        // scanner. Everyone else must go through a Vfs so fault injection
-        // covers them.
+        // Vfs trait; bench needs to emit result files; xtask and concheck
+        // *are* the file scanners. Everyone else must go through a Vfs so
+        // fault injection covers them.
         "fs-outside-durability" => {
             !path.starts_with("crates/durability/")
                 && !path.starts_with("crates/bench/")
                 && !path.starts_with("crates/xtask/")
+                && !path.starts_with("crates/concheck/")
         }
         // Silent truncation in record framing corrupts the log; the WAL
         // code converts with try_from and handles the error.
@@ -125,293 +153,30 @@ fn applies(lint: &str, path: &str) -> bool {
                 && path != "crates/core/src/maintain.rs"
                 && path != "crates/core/src/baseline.rs"
         }
+        // The morsel driver in parallel.rs is the one sanctioned
+        // synchronization point of the executor; an operator that blocks on
+        // a lock inside a worker closure can deadlock the claim loop (see
+        // the concheck `lock-in-worker` invariant, which catches the
+        // acquisition — this lint bans even *naming* a lock type).
+        "mutex-in-exec-hot-path" => {
+            path.starts_with("crates/exec/src/") && path != "crates/exec/src/parallel.rs"
+        }
+        // Seed discipline applies to every scanned file, test or not.
+        "sched-seed-logged" => true,
         _ => false,
     }
-}
-
-/// Pull `lint:allow(<id>[, <id>...])` directives out of a comment and record
-/// them against the line each directive appears on.
-fn collect_allows(comment: &str, start_line: usize, allows: &mut Vec<Vec<String>>) {
-    let mut search = 0;
-    while let Some(pos) = comment[search..].find("lint:allow(") {
-        let abs = search + pos;
-        let line = start_line + comment[..abs].bytes().filter(|&b| b == b'\n').count();
-        let rest = &comment[abs + "lint:allow(".len()..];
-        if let Some(close) = rest.find(')') {
-            while allows.len() <= line {
-                allows.push(Vec::new());
-            }
-            for id in rest[..close].split(',') {
-                allows[line].push(id.trim().to_string());
-            }
-        }
-        search = abs + 1;
-    }
-}
-
-/// Blank out comments and string/char literals, preserving newlines so line
-/// numbers survive. Returns the masked text plus per-line allow directives.
-fn mask(src: &str) -> (String, Vec<Vec<String>>) {
-    let b = src.as_bytes();
-    let n = b.len();
-    let mut out: Vec<u8> = Vec::with_capacity(n);
-    let mut allows: Vec<Vec<String>> = vec![Vec::new()];
-    let mut line = 0usize;
-    let mut i = 0usize;
-
-    // Emit the byte range [start, end) as blanks, keeping newlines.
-    macro_rules! blank {
-        ($start:expr, $end:expr) => {
-            for &bb in &b[$start..$end] {
-                if bb == b'\n' {
-                    out.push(b'\n');
-                    line += 1;
-                    if allows.len() <= line {
-                        allows.push(Vec::new());
-                    }
-                } else {
-                    out.push(b' ');
-                }
-            }
-        };
-    }
-
-    while i < n {
-        let c = b[i];
-        // Line comment (also doc comments).
-        if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
-            let start = i;
-            while i < n && b[i] != b'\n' {
-                i += 1;
-            }
-            collect_allows(&src[start..i], line, &mut allows);
-            blank!(start, i);
-            continue;
-        }
-        // Block comment, nested per Rust.
-        if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
-            let start = i;
-            let start_line = line;
-            let mut depth = 1;
-            i += 2;
-            while i < n && depth > 0 {
-                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
-                    depth += 1;
-                    i += 2;
-                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
-                    depth -= 1;
-                    i += 2;
-                } else {
-                    i += 1;
-                }
-            }
-            collect_allows(&src[start..i], start_line, &mut allows);
-            blank!(start, i);
-            continue;
-        }
-        // Raw string literal: optional `b`, then `r`, hashes, quote.
-        if c == b'r' || (c == b'b' && i + 1 < n && b[i + 1] == b'r') {
-            let r_pos = if c == b'b' { i + 1 } else { i };
-            let mut k = r_pos + 1;
-            let mut hashes = 0usize;
-            while k < n && b[k] == b'#' {
-                hashes += 1;
-                k += 1;
-            }
-            if k < n && b[k] == b'"' {
-                let start = i;
-                k += 1;
-                'raw: while k < n {
-                    if b[k] == b'"' {
-                        let mut h = 0usize;
-                        while h < hashes && k + 1 + h < n && b[k + 1 + h] == b'#' {
-                            h += 1;
-                        }
-                        if h == hashes {
-                            k += 1 + hashes;
-                            break 'raw;
-                        }
-                    }
-                    k += 1;
-                }
-                i = k;
-                blank!(start, i);
-                continue;
-            }
-        }
-        // Ordinary string literal (a leading `b` stays an ordinary token).
-        if c == b'"' {
-            let start = i;
-            i += 1;
-            while i < n {
-                if b[i] == b'\\' {
-                    i += 2;
-                    continue;
-                }
-                if b[i] == b'"' {
-                    i += 1;
-                    break;
-                }
-                i += 1;
-            }
-            blank!(start, i.min(n));
-            continue;
-        }
-        // Char literal vs lifetime.
-        if c == b'\'' {
-            if i + 1 < n && b[i + 1] == b'\\' {
-                // Escaped char literal, e.g. '\n', '\'', '\u{41}'.
-                let start = i;
-                i += 2;
-                if i < n {
-                    i += 1;
-                }
-                while i < n && b[i] != b'\'' && b[i] != b'\n' {
-                    i += 1;
-                }
-                if i < n && b[i] == b'\'' {
-                    i += 1;
-                }
-                blank!(start, i);
-                continue;
-            }
-            let is_lifetime = i + 1 < n
-                && (b[i + 1].is_ascii_alphabetic() || b[i + 1] == b'_')
-                && !(i + 2 < n && b[i + 2] == b'\'');
-            if is_lifetime {
-                out.push(c);
-                i += 1;
-                continue;
-            }
-            // Plain (possibly multi-byte) char literal.
-            let start = i;
-            i += 1;
-            while i < n && b[i] != b'\'' && b[i] != b'\n' {
-                i += 1;
-            }
-            if i < n && b[i] == b'\'' {
-                i += 1;
-            }
-            blank!(start, i);
-            continue;
-        }
-        if c == b'\n' {
-            out.push(b'\n');
-            line += 1;
-            if allows.len() <= line {
-                allows.push(Vec::new());
-            }
-            i += 1;
-            continue;
-        }
-        out.push(c);
-        i += 1;
-    }
-    let text = String::from_utf8(out).expect("masking preserves UTF-8");
-    (text, allows)
-}
-
-struct Tok<'a> {
-    text: &'a str,
-    line: usize,
-}
-
-/// Split masked source into identifier and single-character punct tokens.
-fn tokenize(masked: &str) -> Vec<Tok<'_>> {
-    let b = masked.as_bytes();
-    let mut toks = Vec::new();
-    let mut line = 0usize;
-    let mut i = 0usize;
-    let ident = |c: u8| c.is_ascii_alphanumeric() || c == b'_' || c >= 0x80;
-    while i < b.len() {
-        let c = b[i];
-        if c == b'\n' {
-            line += 1;
-            i += 1;
-            continue;
-        }
-        if c.is_ascii_whitespace() {
-            i += 1;
-            continue;
-        }
-        if ident(c) {
-            let s = i;
-            while i < b.len() && ident(b[i]) {
-                i += 1;
-            }
-            toks.push(Tok {
-                text: &masked[s..i],
-                line,
-            });
-            continue;
-        }
-        toks.push(Tok {
-            text: &masked[i..i + 1],
-            line,
-        });
-        i += 1;
-    }
-    toks
-}
-
-fn line_of(masked: &str, byte: usize) -> usize {
-    masked.as_bytes()[..byte.min(masked.len())]
-        .iter()
-        .filter(|&&b| b == b'\n')
-        .count()
-}
-
-/// Per-line flags marking `#[cfg(test)]` brace regions (the attribute line
-/// through the matching closing brace).
-fn test_lines(masked: &str) -> Vec<bool> {
-    let nlines = masked.bytes().filter(|&b| b == b'\n').count() + 1;
-    let mut flags = vec![false; nlines];
-    let b = masked.as_bytes();
-    let mut search = 0usize;
-    while let Some(pos) = masked[search..].find("#[cfg(test)]") {
-        let abs = search + pos;
-        let start_line = line_of(masked, abs);
-        let mut i = abs + "#[cfg(test)]".len();
-        while i < b.len() && b[i] != b'{' {
-            i += 1;
-        }
-        let mut depth = 0usize;
-        while i < b.len() {
-            match b[i] {
-                b'{' => depth += 1,
-                b'}' => {
-                    depth -= 1;
-                    if depth == 0 {
-                        break;
-                    }
-                }
-                _ => {}
-            }
-            i += 1;
-        }
-        let end_line = line_of(masked, i).min(nlines - 1);
-        for flag in flags.iter_mut().take(end_line + 1).skip(start_line) {
-            *flag = true;
-        }
-        search = abs + 1;
-    }
-    flags
 }
 
 /// Scan one file's source. `rel_path` is workspace-relative with `/`
 /// separators; it decides which lints apply.
 pub fn scan_file(rel_path: &str, src: &str) -> Vec<Violation> {
     let path = rel_path.replace('\\', "/");
-    let (masked, allows) = mask(src);
-    let toks = tokenize(&masked);
-    let in_test = test_lines(&masked);
+    let masked = scan::mask(src, "lint:allow(");
+    let toks = scan::tokenize(&masked.text);
+    let in_test = scan::test_lines(&masked.text);
     let src_lines: Vec<&str> = src.lines().collect();
     let mut out = Vec::new();
 
-    let allowed = |line: usize, id: &str| {
-        let has = |l: usize| allows.get(l).is_some_and(|v| v.iter().any(|a| a == id));
-        has(line) || (line > 0 && has(line - 1))
-    };
     let seq = |i: usize, pat: &[&str]| {
         pat.iter()
             .enumerate()
@@ -419,7 +184,7 @@ pub fn scan_file(rel_path: &str, src: &str) -> Vec<Violation> {
     };
 
     let record = |lint: &'static str, line: usize, out: &mut Vec<Violation>| {
-        if allowed(line, lint) {
+        if masked.allowed(line, lint) {
             return;
         }
         out.push(Violation {
@@ -480,45 +245,82 @@ pub fn scan_file(rel_path: &str, src: &str) -> Vec<Violation> {
         {
             record("view-store-mutation", line, &mut out);
         }
+        if applies("mutex-in-exec-hot-path", &path)
+            && matches!(tok.text, "Mutex" | "RwLock" | "Condvar")
+        {
+            record("mutex-in-exec-hot-path", line, &mut out);
+        }
+    }
+
+    if applies("sched-seed-logged", &path) {
+        seed_logged(&path, &masked, &toks, &src_lines, &mut out);
     }
     out
 }
 
-fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
-    if !dir.is_dir() {
-        return Ok(());
-    }
-    for entry in fs::read_dir(dir)? {
-        let p = entry?.path();
-        let name = p.file_name().and_then(|s| s.to_str()).unwrap_or("");
-        if p.is_dir() {
-            if name == "target" || name == ".git" {
-                continue;
-            }
-            collect_rs(&p, out)?;
-        } else if name.ends_with(".rs") {
-            out.push(p);
+/// The `sched-seed-logged` rule: a function that drives the deterministic
+/// scheduler (`run_seeded(..)` or `interleavings(..)`) must mention its seed
+/// (or recorded trace) in at least one string literal inside that function —
+/// an assert message, a `println!`, a `format!` — so a failing schedule can
+/// always be replayed from the output alone.
+fn seed_logged(
+    path: &str,
+    masked: &scan::Masked,
+    toks: &[Tok<'_>],
+    src_lines: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    let fm = model::build(toks);
+    for (i, tok) in toks.iter().enumerate() {
+        if !matches!(tok.text, "run_seeded" | "interleavings") {
+            continue;
+        }
+        // Call sites only: `run_seeded(`, not the definition (`fn
+        // run_seeded(`) and not an import path segment or `use` list entry.
+        let is_call = toks.get(i + 1).is_some_and(|t| t.text == "(");
+        if !is_call || (i > 0 && toks[i - 1].text == "fn") {
+            continue;
+        }
+        let Some(f) = fm.enclosing_fn(i) else {
+            continue;
+        };
+        let mentions_seed = masked.strings.iter().any(|(l, s)| {
+            (f.lines.0..=f.lines.1).contains(l)
+                && (s.to_ascii_lowercase().contains("seed")
+                    || s.to_ascii_lowercase().contains("trace"))
+        });
+        if !mentions_seed && !masked.allowed(tok.line, "sched-seed-logged") {
+            out.push(Violation {
+                lint: "sched-seed-logged",
+                file: path.to_string(),
+                line: tok.line + 1,
+                excerpt: src_lines.get(tok.line).map_or("", |l| l.trim()).to_string(),
+            });
         }
     }
-    Ok(())
 }
 
-/// Scan every `.rs` file under `crates/` and `src/` of the workspace rooted
-/// at `root`. Returns all findings, ordered by path.
+/// Scan every `.rs` file under `crates/`, `src/`, and `tests/` of the
+/// workspace rooted at `root`. Returns all findings, ordered by path.
 pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
-    let mut files = Vec::new();
-    collect_rs(&root.join("crates"), &mut files)?;
-    collect_rs(&root.join("src"), &mut files)?;
-    files.sort();
-    let mut all = Vec::new();
-    for f in &files {
+    let mut files = scan::read_workspace(root)?;
+    // The workspace-root integration suites are in scope too (notably for
+    // sched-seed-logged): read_workspace only walks crates/ and src/.
+    let mut extra = Vec::new();
+    collect_rs(&root.join("tests"), &mut extra)?;
+    extra.sort();
+    for f in &extra {
         let rel = f
             .strip_prefix(root)
             .unwrap_or(f)
             .to_string_lossy()
             .replace('\\', "/");
-        let src = fs::read_to_string(f)?;
-        all.extend(scan_file(&rel, &src));
+        let src = std::fs::read_to_string(f)?;
+        files.push((rel, src));
+    }
+    let mut all = Vec::new();
+    for (rel, src) in &files {
+        all.extend(scan_file(rel, src));
     }
     Ok(all)
 }
@@ -526,6 +328,7 @@ pub fn run(root: &Path) -> io::Result<Vec<Violation>> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::fs;
 
     #[test]
     fn lint_ids_are_distinct() {
@@ -533,6 +336,14 @@ mod tests {
             for b in &LINTS[i + 1..] {
                 assert_ne!(a.id, b.id);
             }
+        }
+    }
+
+    /// `--list` order is part of the golden output: ids sorted, stable.
+    #[test]
+    fn lints_are_sorted_by_id() {
+        for w in LINTS.windows(2) {
+            assert!(w[0].id < w[1].id, "{} !< {}", w[0].id, w[1].id);
         }
     }
 
@@ -629,7 +440,7 @@ mod tests {
     }
 
     #[test]
-    fn fs_banned_outside_durability_bench_xtask() {
+    fn fs_banned_outside_durability_bench_xtask_concheck() {
         let uses = "use std::fs;\nfn f() { let _ = std::fs::read(\"x\"); }\n";
         let v = scan_file("crates/core/src/durable.rs", uses);
         assert_eq!(v.len(), 2);
@@ -642,11 +453,13 @@ mod tests {
         // Identifier boundary: FaultFile::new is not File::.
         let fault = "fn f() { let _ = FaultFile::new(inner, spec); }\n";
         assert!(scan_file("crates/testkit/src/fault.rs", fault).is_empty());
-        // The allowlisted crates are exempt.
+        // The allowlisted crates are exempt — including concheck, whose
+        // workspace reader is a file scanner like xtask's.
         for path in [
             "crates/durability/src/vfs.rs",
             "crates/bench/src/bin/repro.rs",
             "crates/xtask/src/lint.rs",
+            "crates/concheck/src/scan.rs",
         ] {
             assert!(scan_file(path, uses).is_empty(), "{path}");
         }
@@ -727,6 +540,53 @@ mod tests {
         assert!(scan_file("crates/core/src/database.rs", other).is_empty());
     }
 
+    #[test]
+    fn mutex_banned_in_exec_outside_parallel() {
+        let src = "use std::sync::Mutex;\nfn f() { let m: Mutex<u32> = Mutex::new(0); }\n";
+        let v = scan_file("crates/exec/src/ops/join.rs", src);
+        assert_eq!(v.len(), 3, "both the use and both mentions fire");
+        assert!(v.iter().all(|x| x.lint == "mutex-in-exec-hot-path"));
+        // RwLock and Condvar are lock types too.
+        let rw = "fn f() { let l = RwLock::new(0); let c = Condvar::new(); }\n";
+        assert_eq!(scan_file("crates/exec/src/hashtbl.rs", rw).len(), 2);
+        // parallel.rs is the sanctioned synchronization point.
+        assert!(scan_file("crates/exec/src/parallel.rs", src).is_empty());
+        // Other crates are out of scope (core's snapshot registry is a Mutex).
+        assert!(scan_file("crates/core/src/snapshot.rs", src).is_empty());
+        // Identifier boundary: MutexGuard in a comment or FakeMutex do not
+        // match — but the real `MutexGuard` type does not appear in exec.
+        let other = "fn f(g: FakeMutex) {}\n";
+        assert!(scan_file("crates/exec/src/ops/join.rs", other).is_empty());
+        // Escape hatch.
+        let allowed = "fn f() { let m = Mutex::new(0); } // lint:allow(mutex-in-exec-hot-path)\n";
+        assert!(scan_file("crates/exec/src/ops/join.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn sched_seed_must_be_logged() {
+        // A seeded run whose assertions never mention the seed: violation.
+        let bad = "#[test]\nfn t() {\n    let tr = run_seeded(7, &mut actors);\n    assert_eq!(a, b);\n}\n";
+        let v = scan_file("tests/foo.rs", bad);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "sched-seed-logged");
+        assert_eq!(v[0].line, 3);
+        // Embedding the seed in an assert message satisfies the rule.
+        let good = "#[test]\nfn t() {\n    let tr = run_seeded(7, &mut actors);\n    assert_eq!(a, b, \"diverged under seed {seed}\");\n}\n";
+        assert!(scan_file("tests/foo.rs", good).is_empty());
+        // `interleavings` drivers may name the trace instead.
+        let tr = "#[test]\nfn t() {\n    for trace in interleavings(&[2, 2]) {\n        step();\n        assert_eq!(a, b, \"replay trace {trace:?}\");\n    }\n}\n";
+        assert!(scan_file("tests/foo.rs", tr).is_empty());
+        // The definition site and `use` imports are not call sites.
+        let def = "pub fn run_seeded(seed: u64, actors: &mut [Actor]) -> Vec<usize> { vec![] }\n";
+        assert!(scan_file("crates/testkit/src/sched.rs", def).is_empty());
+        let import = "use ojv_testkit::sched::{interleavings, run_seeded};\n";
+        assert!(scan_file("tests/foo.rs", import).is_empty());
+        // Escape hatch.
+        let allowed =
+            "fn t() {\n    // lint:allow(sched-seed-logged)\n    run_seeded(7, &mut actors);\n}\n";
+        assert!(scan_file("tests/foo.rs", allowed).is_empty());
+    }
+
     /// A seeded fs violation fails the gate just like the older lints.
     #[test]
     fn seeded_fs_violation_fails_the_gate() {
@@ -763,6 +623,25 @@ mod tests {
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].lint, "vec-vec-datum");
         assert_eq!(v[0].file, "crates/exec/src/seeded.rs");
+    }
+
+    /// A seeded mutex-in-worker violation under tests/ also fails the gate —
+    /// `run` scans the workspace-root integration suites too.
+    #[test]
+    fn seeded_unlogged_seed_under_tests_fails_the_gate() {
+        let root = std::env::temp_dir().join(format!("xtask-lint-sched-{}", std::process::id()));
+        let dir = root.join("tests");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("seeded.rs"),
+            "fn t() {\n    run_seeded(3, &mut actors);\n    assert!(ok);\n}\n",
+        )
+        .unwrap();
+        let v = run(&root).unwrap();
+        fs::remove_dir_all(&root).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "sched-seed-logged");
+        assert_eq!(v[0].file, "tests/seeded.rs");
     }
 
     /// The repo itself must scan clean — this is the in-tree mirror of the

@@ -1,8 +1,15 @@
 //! `cargo run -p xtask -- <task>` — in-repo developer tasks.
 //!
-//! Currently one task: `lint`, a dependency-free token-level scanner that
-//! enforces the pipeline's hot-path hygiene rules (see `lint.rs`). Exits
-//! non-zero when any lint fires, which is how ci/check.sh gates on it.
+//! Two gates, both dependency-free token-level scanners over the workspace
+//! sources and both wired into ci/check.sh:
+//!
+//! * `lint` — hot-path hygiene rules (see `lint.rs`).
+//! * `concheck` — the static side of the concurrency checker in
+//!   `ojv-concheck`: lock-order cycles, locks in worker closures, guards
+//!   held across callbacks, relaxed atomic orderings.
+//!
+//! Both exit non-zero when anything fires; `--list` prints the rule table
+//! (id, confinement scope, description) sorted by id.
 #![forbid(unsafe_code)]
 
 mod lint;
@@ -10,28 +17,59 @@ mod lint;
 use std::path::Path;
 
 fn usage() -> ! {
-    eprintln!("usage: cargo run -p xtask -- lint [--list]");
+    eprintln!("usage: cargo run -p xtask -- <lint|concheck> [--list]");
     std::process::exit(2);
+}
+
+/// The `--list` table: one rule per line, `<id> <scope> -- <desc>`, sorted
+/// by id (golden-tested in `tests/cli_list.rs`).
+fn render_list(rows: &[(&str, &str, &str)]) -> String {
+    let idw = rows.iter().map(|r| r.0.len()).max().unwrap_or(0);
+    let scw = rows.iter().map(|r| r.1.len()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (id, scope, desc) in rows {
+        out.push_str(&format!("{id:<idw$}  {scope:<scw$}  {desc}\n"));
+    }
+    out
+}
+
+fn lint_list() -> String {
+    let rows: Vec<_> = lint::LINTS
+        .iter()
+        .map(|l| (l.id, l.scope, l.desc))
+        .collect();
+    render_list(&rows)
+}
+
+fn concheck_list() -> String {
+    let rows: Vec<_> = ojv_concheck::INVARIANTS
+        .iter()
+        .map(|i| (i.id, i.scope, i.desc))
+        .collect();
+    render_list(&rows)
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cmd: Option<&str> = None;
     let mut list = false;
     for a in &args {
         match a.as_str() {
-            "lint" => {}
+            "lint" | "concheck" if cmd.is_none() => cmd = Some(a),
             "--list" => list = true,
             _ => usage(),
         }
     }
-    if args.is_empty() {
-        usage();
-    }
+    let Some(cmd) = cmd else { usage() };
 
     if list {
-        for l in &lint::LINTS {
-            println!("{:<16} {}", l.id, l.desc);
-        }
+        print!(
+            "{}",
+            match cmd {
+                "lint" => lint_list(),
+                _ => concheck_list(),
+            }
+        );
         return;
     }
 
@@ -40,19 +78,29 @@ fn main() {
         .parent()
         .and_then(Path::parent)
         .expect("xtask lives two levels below the workspace root");
-    match lint::run(root) {
+    let (count, result) = match cmd {
+        "lint" => (
+            lint::LINTS.len(),
+            lint::run(root).map(|v| v.iter().map(|x| x.to_string()).collect::<Vec<_>>()),
+        ),
+        _ => (
+            ojv_concheck::INVARIANTS.len(),
+            ojv_concheck::run(root).map(|v| v.iter().map(|x| x.to_string()).collect::<Vec<_>>()),
+        ),
+    };
+    match result {
         Ok(violations) if violations.is_empty() => {
-            println!("xtask lint: clean ({} lints)", lint::LINTS.len());
+            println!("xtask {cmd}: clean ({count} rules)");
         }
         Ok(violations) => {
             for v in &violations {
                 eprintln!("{v}");
             }
-            eprintln!("xtask lint: {} violation(s)", violations.len());
+            eprintln!("xtask {cmd}: {} violation(s)", violations.len());
             std::process::exit(1);
         }
         Err(e) => {
-            eprintln!("xtask lint: io error: {e}");
+            eprintln!("xtask {cmd}: io error: {e}");
             std::process::exit(1);
         }
     }

@@ -1,0 +1,108 @@
+//! Golden tests for `xtask lint --list` and `xtask concheck --list`.
+//!
+//! The table (id, confinement scope, description; one rule per line, sorted
+//! by id) is part of the gate's contract: documentation and CI output link
+//! to rule ids, so adding, removing, or re-scoping a rule must show up here
+//! as an intentional diff.
+
+use std::process::Command;
+
+fn list_output(args: &[&str]) -> String {
+    let out = Command::new(env!("CARGO_BIN_EXE_xtask"))
+        .args(args)
+        .output()
+        .expect("run xtask");
+    assert!(out.status.success(), "{args:?} exited nonzero");
+    String::from_utf8(out.stdout).expect("utf-8 output")
+}
+
+/// `(id, scope)` pairs per line, in printed order.
+fn ids_and_scopes(listing: &str) -> Vec<(String, String)> {
+    listing
+        .lines()
+        .map(|l| {
+            let mut cols = l.split("  ").filter(|c| !c.trim().is_empty());
+            let id = cols.next().expect("id column").trim().to_string();
+            let scope = cols.next().expect("scope column").trim().to_string();
+            (id, scope)
+        })
+        .collect()
+}
+
+#[test]
+fn lint_list_is_sorted_and_scoped() {
+    let listing = list_output(&["lint", "--list"]);
+    let rows = ids_and_scopes(&listing);
+    let golden = [
+        ("cast", "crates/durability/src/"),
+        ("default-hasher", "crates/exec/src/, crates/storage/src/"),
+        (
+            "fs-outside-durability",
+            "everywhere but crates/{durability,bench,xtask,concheck}/",
+        ),
+        (
+            "mutex-in-exec-hot-path",
+            "crates/exec/src/ except parallel.rs",
+        ),
+        (
+            "panic-hot-path",
+            "crates/exec/src/{eval,ops/join,ops/dedup}.rs",
+        ),
+        (
+            "plan-compile-confined",
+            "crates/core/src/ except {compile,analyze}.rs",
+        ),
+        ("sched-seed-logged", "all scanned files"),
+        ("unsafe-code", "everywhere but crates/rel/src/alloc.rs"),
+        ("vec-vec-datum", "crates/exec/src/"),
+        (
+            "view-store-mutation",
+            "crates/core/src/ except {materialize,maintain,baseline}.rs",
+        ),
+    ];
+    assert_eq!(
+        rows,
+        golden
+            .iter()
+            .map(|(i, s)| (i.to_string(), s.to_string()))
+            .collect::<Vec<_>>(),
+        "lint --list drifted from the golden table:\n{listing}"
+    );
+}
+
+#[test]
+fn concheck_list_is_sorted_and_scoped() {
+    let listing = list_output(&["concheck", "--list"]);
+    let rows = ids_and_scopes(&listing);
+    let golden = [
+        ("atomic-ordering", "crates/*/src, src (non-test code)"),
+        ("guard-across-callback", "crates/*/src, src (non-test code)"),
+        ("lock-in-worker", "crates/*/src, src (non-test code)"),
+        (
+            "lock-order-cycle",
+            "workspace-wide graph over non-test code",
+        ),
+    ];
+    assert_eq!(
+        rows,
+        golden
+            .iter()
+            .map(|(i, s)| (i.to_string(), s.to_string()))
+            .collect::<Vec<_>>(),
+        "concheck --list drifted from the golden table:\n{listing}"
+    );
+}
+
+#[test]
+fn both_lists_are_sorted_by_id() {
+    for cmd in ["lint", "concheck"] {
+        let listing = list_output(&[cmd, "--list"]);
+        let ids: Vec<_> = ids_and_scopes(&listing)
+            .into_iter()
+            .map(|(i, _)| i)
+            .collect();
+        let mut sorted = ids.clone();
+        sorted.sort();
+        assert_eq!(ids, sorted, "{cmd} --list ids are not sorted");
+    }
+}

@@ -1,0 +1,144 @@
+//! Mutation test for the concurrency checker: a deliberately *reversed*
+//! lock acquisition, committed here so the defect class stays covered.
+//!
+//! `transfer_forward` takes `a` then `b`; `transfer_backward` takes `b`
+//! then `a`. That pair is the textbook deadlock shape, and it must be
+//! caught by **both** sides of the checker:
+//!
+//! * the static lock-order graph (`ojv_concheck::check_sources` over this
+//!   file's own source, via `include_str!`) reports a `lock-order-cycle`;
+//! * the runtime lock witness (the `testkit::race` detector observing the
+//!   real acquisitions) reports a cycle in the witnessed order — and every
+//!   runtime edge is cross-checked against the static graph.
+//!
+//! This file lives under `tests/` precisely because the repo-wide
+//! `cargo run -p xtask -- concheck` gate scans only `crates/` and `src/`:
+//! the seeded violation exercises the checker without failing the gate.
+
+use std::collections::BTreeSet;
+
+use ojv_concheck::{check_sources, lock_graph};
+use ojv_testkit::race::{self, TracedMutex};
+
+struct Accounts {
+    a: TracedMutex<i64>,
+    b: TracedMutex<i64>,
+}
+
+/// Sanctioned order: `a` before `b`.
+fn transfer_forward(acc: &Accounts, amount: i64) {
+    let mut a = acc.a.lock();
+    let mut b = acc.b.lock();
+    *a -= amount;
+    *b += amount;
+}
+
+/// The mutation: `b` before `a` — a deadlock hazard against
+/// `transfer_forward` running on another thread.
+fn transfer_backward(acc: &Accounts, amount: i64) {
+    let mut b = acc.b.lock();
+    let mut a = acc.a.lock();
+    *b -= amount;
+    *a += amount;
+}
+
+const SELF_SRC: &str = include_str!("concheck_mutation.rs");
+
+fn self_sources() -> Vec<(String, String)> {
+    vec![(
+        "tests/concheck_mutation.rs".to_string(),
+        SELF_SRC.to_string(),
+    )]
+}
+
+fn static_edge_pairs() -> BTreeSet<(String, String)> {
+    lock_graph(&self_sources())
+        .into_iter()
+        .map(|e| (e.from, e.to))
+        .collect()
+}
+
+/// Static side: the syntactic lock-order graph over this very file contains
+/// the `a -> b` and `b -> a` edges and reports the cycle.
+#[test]
+fn static_graph_catches_the_reversed_order() {
+    let violations = check_sources(&self_sources());
+    let cycles: Vec<_> = violations
+        .iter()
+        .filter(|v| v.invariant == "lock-order-cycle")
+        .collect();
+    assert!(
+        !cycles.is_empty(),
+        "the reversed acquisition must produce a lock-order-cycle, got: {violations:?}"
+    );
+    for c in &cycles {
+        assert!(
+            c.detail.contains('a') && c.detail.contains('b'),
+            "cycle report should name both lock classes: {c}"
+        );
+    }
+    let pairs = static_edge_pairs();
+    assert!(
+        pairs.contains(&("a".to_string(), "b".to_string()))
+            && pairs.contains(&("b".to_string(), "a".to_string())),
+        "graph must contain both directions of the reversal: {pairs:?}"
+    );
+}
+
+/// Dynamic side: actually run both transfer orders under the race detector.
+/// The lock witness records the real acquisition order and finds the same
+/// cycle; every witnessed edge also exists in the static graph.
+#[test]
+fn runtime_witness_catches_the_reversed_order() {
+    let detector = race::install("mutation:transfer-forward-backward");
+    let acc = Accounts {
+        a: TracedMutex::new("a", 100),
+        b: TracedMutex::new("b", 0),
+    };
+    transfer_forward(&acc, 10);
+    transfer_backward(&acc, 5);
+    assert_eq!(*acc.a.lock(), 95);
+    assert_eq!(*acc.b.lock(), 5);
+    let report = detector.finish();
+    // A reversed order is a deadlock hazard, not a data race: the accesses
+    // themselves are all lock-protected.
+    report.assert_no_races();
+    let cycle = report
+        .witness_cycle()
+        .expect("lock witness must see the a<->b reversal");
+    assert!(
+        cycle.contains(&"a".to_string()) && cycle.contains(&"b".to_string()),
+        "witness cycle should involve both locks: {cycle:?}"
+    );
+
+    // Cross-check: the runtime witness never invents an edge the static
+    // graph cannot see — the two sides agree on the acquisition order.
+    let static_pairs = static_edge_pairs();
+    for e in &report.witness {
+        assert!(
+            static_pairs.contains(&(e.from.clone(), e.to.clone())),
+            "runtime edge {} -> {} missing from the static lock graph {static_pairs:?}",
+            e.from,
+            e.to
+        );
+    }
+}
+
+/// A consistent-order control: taking `a` then `b` twice leaves the witness
+/// acyclic — the detectors flag the mutation, not lock nesting per se.
+#[test]
+fn consistent_order_stays_clean() {
+    let detector = race::install("mutation:control-consistent-order");
+    let acc = Accounts {
+        a: TracedMutex::new("a", 0),
+        b: TracedMutex::new("b", 0),
+    };
+    transfer_forward(&acc, 1);
+    transfer_forward(&acc, 2);
+    let report = detector.finish();
+    report.assert_no_races();
+    assert!(
+        report.witness_cycle().is_none(),
+        "consistent a->b nesting must not witness a cycle"
+    );
+}

@@ -1,0 +1,55 @@
+//! Regression: re-pinning an LSN that a live pin already holds must keep
+//! working across commits — including for a view the commit never touched.
+//!
+//! Replaces a PR-6 review scratch test whose setup was invalid (its
+//! "no-op" insert violated the fixture's `fk_lineitem_orders` constraint
+//! and never reached the scenario): the interesting case is a commit that
+//! updates one view while another registered view's delta is empty. Both
+//! chains must advance to the same LSN (no cross-view skew), and version
+//! 0 must stay materializable through the held pin's floor.
+
+use ojv::prelude::*;
+use ojv_core::fixtures;
+use ojv_core::view_def::ViewDef;
+
+#[test]
+fn pin_at_held_floor_survives_commit_with_untouched_view() {
+    let mut c = fixtures::example1_catalog();
+    fixtures::populate_example1(&mut c, 6, 9);
+    let mut db = Database::new(c);
+    // One view over lineitem, one over part only: a lineitem insert
+    // updates the first and publishes an empty delta for the second.
+    db.create_view(fixtures::oj_view_def()).unwrap();
+    db.create_view(ViewDef::new("parts_only", ViewExpr::table("part")))
+        .unwrap();
+
+    // Hold a pin at LSN 0 so history is retained across the commit.
+    let held = db.snapshot().unwrap();
+    assert_eq!(held.lsn(), 0);
+    let held_bytes = held.state_bytes().unwrap();
+
+    // A valid insert: fresh (orderkey, linenumber) against an existing
+    // order and part. It lands in oj_view; parts_only is untouched.
+    db.insert("lineitem", vec![fixtures::lineitem_row(1, 900, 1, 5, 1.0)])
+        .unwrap();
+    assert_eq!(db.commit_lsn(), 1);
+
+    // Re-pin the version the held pin keeps alive: same LSN, same bytes.
+    let repinned = db
+        .snapshot_at(0)
+        .expect("version 0 is pinned (held), so pin_at(0) must succeed");
+    assert_eq!(repinned.lsn(), 0);
+    assert_eq!(repinned.state_bytes().unwrap(), held_bytes);
+
+    // The tip snapshot sees both views at LSN 1 — the untouched view's
+    // chain advanced with the batch (no cross-view skew).
+    let tip = db.snapshot().unwrap();
+    assert_eq!(tip.lsn(), 1);
+    assert_ne!(tip.state_bytes().unwrap(), held_bytes);
+
+    // Dropping every pin reclaims all history.
+    drop((held, repinned, tip));
+    let stats = db.snapshots().stats();
+    assert_eq!(stats.active_pins, 0);
+    assert_eq!(stats.retained_ops, 0, "history reclaimed after last unpin");
+}
