@@ -46,6 +46,14 @@ echo "==> race detector (full): seeded matrix under --features concheck"
 cargo test --offline -q --features concheck --test snapshot_interleavings -- --ignored
 cargo test --offline -q --features concheck --test snapshot_isolation -- --ignored
 
+echo "==> change-feed suite: unit, differential property, interleavings (plain + concheck)"
+cargo test --offline -q -p ojv-feed
+cargo test --offline -q --test property_feed --test feed_interleavings
+cargo test --offline -q --features concheck --test property_feed --test feed_interleavings
+
+echo "==> change-feed fan-out panel (100k subscribers, writes BENCH_pr9.json)"
+./target/release/repro --sf 0.05 feedbench
+
 echo "==> bench targets compile (criterion-lite shim)"
 cargo check --offline -p ojv-bench --benches --features criterion
 

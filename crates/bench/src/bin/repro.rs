@@ -1,7 +1,8 @@
 //! Reproduce the paper's tables and figures.
 //!
 //! ```text
-//! repro [--sf 0.05] [--seed 42] [--quick] [table1|fig5a|fig5b|example1|graphs|walbench|all]
+//! repro [--sf 0.05] [--seed 42] [--quick] \
+//!       [table1|fig5a|fig5b|example1|graphs|walbench|multiview|readers|feedbench|all]
 //! ```
 //!
 //! * `table1` — Table 1: term cardinalities of V3 and rows affected by a
@@ -19,7 +20,10 @@
 //! * `readers` — snapshot-reader throughput at 1/8/32 reader threads while
 //!   maintenance streams insert batches, plus the single-reader
 //!   snapshot-vs-direct baseline (`BENCH_pr6.json`),
-//! * `all` — everything above except `walbench`, `multiview` and `readers`.
+//! * `feedbench` — change-feed fan-out of per-batch deltas to 100k filtered
+//!   subscribers vs naive per-subscriber re-scans (`BENCH_pr9.json`),
+//! * `all` — everything above except `walbench`, `multiview`, `readers`
+//!   and `feedbench`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -87,6 +91,7 @@ fn main() {
         "walbench" => walbench(&env, &cfg),
         "multiview" => multiview(&env, &cfg),
         "readers" => readers(&env, &cfg),
+        "feedbench" => feedbench(&env, &cfg),
         "all" => {
             graphs(&env);
             sql(&env);
@@ -97,7 +102,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|walbench|multiview|readers|all"
+                "unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|walbench|multiview|readers|feedbench|all"
             );
             std::process::exit(2);
         }
@@ -298,6 +303,72 @@ fn readers(env: &Env, cfg: &Config) {
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
     let path = "BENCH_pr6.json";
+    match std::fs::write(path, s) {
+        Ok(()) => println!("machine-readable results written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+fn feedbench(env: &Env, cfg: &Config) {
+    let batch = (*cfg.batch_sizes.last().expect("batch sizes configured")).max(10_000);
+    let (subscribers, distinct, sample, batches) = (100_000usize, 250usize, 200usize, 3usize);
+    let (setup, points) = ojv_bench::feedbench::run_feedbench(
+        env,
+        cfg,
+        batch,
+        subscribers,
+        distinct,
+        sample,
+        batches,
+    );
+    println!(
+        "{}",
+        ojv_bench::feedbench::render_feedbench(&setup, &points)
+    );
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{ \"sf\": {}, \"seed\": {}, \"batch\": {}, \"subscribers\": {}, \
+         \"distinct_specs\": {}, \"naive_sample\": {}, \"batches\": {} }},",
+        cfg.sf, cfg.seed, batch, subscribers, distinct, sample, batches
+    );
+    let _ = writeln!(
+        s,
+        "  \"setup\": {{ \"subscribers\": {}, \"distinct_specs\": {}, \"shared_evals\": {}, \
+         \"filter_groups\": {}, \"view_rows\": {}, \"register_ns\": {} }},",
+        setup.subscribers,
+        setup.distinct_specs,
+        setup.shared_evals,
+        setup.filter_groups,
+        setup.view_rows,
+        setup.setup.as_nanos()
+    );
+    let _ = writeln!(s, "  \"panels\": [");
+    let _ = writeln!(s, "    {{ \"panel\": \"feed_fanout\", \"measurements\": [");
+    for (mi, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{ \"batch\": {}, \"commit_ns\": {}, \"fanout_ns\": {}, \"drain_ns\": {}, \
+             \"delivered\": {}, \"naive_sample\": {}, \"naive_sample_ns\": {}, \
+             \"naive_est_ns\": {}, \"speedup\": {:.1} }}{}",
+            p.batch,
+            p.commit.as_nanos(),
+            p.fanout.as_nanos(),
+            p.drain.as_nanos(),
+            p.delivered,
+            p.naive_sample,
+            p.naive_sample_time.as_nanos(),
+            p.naive_est.as_nanos(),
+            p.speedup,
+            if mi + 1 < points.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(s, "    ] }}");
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    let path = "BENCH_pr9.json";
     match std::fs::write(path, s) {
         Ok(()) => println!("machine-readable results written to {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

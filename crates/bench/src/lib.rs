@@ -7,10 +7,13 @@
 //! * [`report`] — plain-text table/series formatting for the `repro` binary,
 //! * [`walbench`] — WAL overhead of durable maintenance per fsync policy,
 //! * [`multiview`] — batched multi-view maintenance with shared-plan A/B,
-//! * [`readbench`] — snapshot-reader throughput concurrent with maintenance.
+//! * [`readbench`] — snapshot-reader throughput concurrent with maintenance,
+//! * [`feedbench`] — change-feed fan-out to a 100k filtered-subscriber
+//!   population versus naive per-subscriber re-scans.
 
 #![forbid(unsafe_code)]
 
+pub mod feedbench;
 pub mod harness;
 pub mod multiview;
 pub mod readbench;

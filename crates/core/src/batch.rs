@@ -250,7 +250,10 @@ struct Work<'a> {
     shared_with: usize,
 }
 
-fn panic_detail(p: &(dyn std::any::Any + Send)) -> String {
+/// Render a caught panic payload for error surfacing. Shared with the
+/// change-feed fan-out pool (`ojv-feed`), which catches worker panics at the
+/// same per-job boundary this module does.
+pub fn panic_detail(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = p.downcast_ref::<String>() {

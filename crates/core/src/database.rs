@@ -12,8 +12,10 @@ use crate::error::{CoreError, Result};
 use crate::maintain::MaintenanceReport;
 use crate::materialize::MaterializedView;
 use crate::policy::MaintenancePolicy;
-use crate::snapshot::{Snapshot, SnapshotRegistry};
+use crate::snapshot::{CommitObserver, Snapshot, SnapshotRegistry};
 use crate::view_def::ViewDef;
+
+use std::sync::Arc;
 
 /// The catalog plus registered materialized (and aggregated) views.
 #[derive(Debug)]
@@ -29,6 +31,12 @@ pub struct Database {
     /// concurrent snapshot reads. Aggregate views keep their own stores and
     /// are not versioned (a documented limitation of the snapshot layer).
     snapshots: SnapshotRegistry,
+    /// Downstream consumer of committed deltas (e.g. the `ojv-feed` hub),
+    /// invoked once per commit after the registry has published the batch.
+    observer: Option<Arc<dyn CommitObserver>>,
+    /// Per-view `(name, inserts, deletes)` of the last commit's journaled
+    /// delta, for `explain_batch`'s `delta` lines. Only touched views appear.
+    last_deltas: Vec<(String, usize, usize)>,
     /// Maintenance policy applied to every view on every update.
     pub policy: MaintenancePolicy,
     /// Maintain independent views on separate threads. Views never share
@@ -41,7 +49,9 @@ impl Clone for Database {
     /// Cloning forks the database: the clone gets its *own* snapshot
     /// registry (re-seeded from the cloned view stores at the same commit
     /// LSN), so pins against the original never retain the clone's versions
-    /// and vice versa.
+    /// and vice versa. For the same reason the clone carries *no* commit
+    /// observer — a feed hub subscribed to the original must not receive
+    /// the fork's commits.
     fn clone(&self) -> Self {
         let snapshots = SnapshotRegistry::new();
         for v in &self.views {
@@ -55,6 +65,8 @@ impl Clone for Database {
             agg_views: self.agg_views.clone(),
             commit_lsn: self.commit_lsn,
             snapshots,
+            observer: None,
+            last_deltas: self.last_deltas.clone(),
             policy: self.policy,
             parallel_maintenance: self.parallel_maintenance,
         }
@@ -69,6 +81,8 @@ impl Database {
             agg_views: Vec::new(),
             commit_lsn: 0,
             snapshots: SnapshotRegistry::new(),
+            observer: None,
+            last_deltas: Vec::new(),
             policy: MaintenancePolicy::default(),
             parallel_maintenance: false,
         }
@@ -224,11 +238,44 @@ impl Database {
             .iter_mut()
             .map(|v| (v.name().to_string(), v.take_journal()))
             .collect();
-        let published = self.snapshots.commit(lsn, drained);
+        let published = self.snapshots.commit(lsn, &drained);
         self.commit_lsn = self.commit_lsn.max(lsn);
+        self.last_deltas = drained
+            .iter()
+            .filter(|(_, ops)| !ops.is_empty())
+            .map(|(name, ops)| {
+                let (ins, del) = crate::snapshot::delta_counts(ops);
+                (name.clone(), ins, del)
+            })
+            .collect();
+        // Notified even when maintenance errored: the journals above were
+        // drained and published regardless, and a feed that skipped them
+        // would drift from the registry tips it mirrors.
+        if let Some(obs) = &self.observer {
+            obs.on_commit(lsn, &drained);
+        }
         let reports = result?;
         published?;
         Ok(reports)
+    }
+
+    /// Attach a commit observer: from now on every commit hands its
+    /// LSN-stamped view deltas to `obs` after the snapshot registry has
+    /// published them. One observer at a time; attaching replaces any
+    /// previous one. A change-feed hub attaches itself here.
+    pub fn attach_commit_observer(&mut self, obs: Arc<dyn CommitObserver>) {
+        self.observer = Some(obs);
+    }
+
+    /// Detach the commit observer, if any.
+    pub fn detach_commit_observer(&mut self) {
+        self.observer = None;
+    }
+
+    /// Per-view `(name, inserts, deletes)` journaled by the last commit
+    /// (touched views only, in registration order).
+    pub fn last_commit_deltas(&self) -> &[(String, usize, usize)] {
+        &self.last_deltas
     }
 
     /// Register an already-materialized view (recovery restores view stores
@@ -279,7 +326,7 @@ impl Database {
     pub(crate) fn set_commit_lsn(&mut self, lsn: Lsn) {
         self.commit_lsn = lsn;
         self.snapshots
-            .commit(lsn, Vec::new())
+            .commit(lsn, &[])
             .expect("an empty commit only advances the registry LSN and cannot fail");
     }
 
@@ -326,6 +373,19 @@ impl Database {
             }
         }
         let mut rendered = crate::batch::render_batch_plan(table, &plans);
+        // Observability lines: what the last commit changed per view, and —
+        // when a feed hub is attached — how wide the fan-out is and how much
+        // of it dedup collapsed. Both render only when present, so a fresh
+        // database's explain output is unchanged.
+        for (name, ins, del) in &self.last_deltas {
+            rendered.push_str(&format!("  delta {name}: +{ins}/-{del} rows\n"));
+        }
+        if let Some(stats) = self.observer.as_ref().and_then(|o| o.fanout_stats()) {
+            rendered.push_str(&format!(
+                "  subscribers: {} ({} shared evals)\n",
+                stats.subscribers, stats.shared_evals
+            ));
+        }
         rendered.push_str(&format!("  snapshot lsn={}\n", self.commit_lsn));
         Ok(rendered)
     }
@@ -494,6 +554,79 @@ mod tests {
             .unwrap()
             .output()
             .bag_eq(&par.agg_view("agg").unwrap().output()));
+    }
+
+    /// Test observer: counts the ops it was handed and reports fixed
+    /// fan-out stats, so the golden below pins the explain wiring without
+    /// pulling in the real feed hub (which lives downstream in `ojv-feed`).
+    #[derive(Debug, Default)]
+    struct Probe {
+        ops_seen: std::sync::Mutex<usize>,
+        commits: std::sync::Mutex<Vec<ojv_durability::Lsn>>,
+    }
+
+    impl crate::snapshot::CommitObserver for Probe {
+        fn on_commit(
+            &self,
+            lsn: ojv_durability::Lsn,
+            updates: &[(String, Vec<crate::snapshot::ViewOp>)],
+        ) {
+            *self.ops_seen.lock().unwrap() +=
+                updates.iter().map(|(_, ops)| ops.len()).sum::<usize>();
+            self.commits.lock().unwrap().push(lsn);
+        }
+
+        fn fanout_stats(&self) -> Option<crate::snapshot::FanoutStats> {
+            Some(crate::snapshot::FanoutStats {
+                subscribers: 12,
+                shared_evals: 3,
+            })
+        }
+    }
+
+    /// Golden: after a commit, `explain_batch` renders the last commit's
+    /// per-view delta counts and the attached observer's fan-out line, in
+    /// that order, above the snapshot footer.
+    #[test]
+    fn explain_batch_reports_deltas_and_subscribers() {
+        let mut db = db();
+        db.create_view(oj_view_def()).unwrap();
+        let probe = std::sync::Arc::new(Probe::default());
+        db.attach_commit_observer(probe.clone());
+        // A brand-new part matches no lineitem: the full outer join gains
+        // exactly one null-extended row, so the delta is exactly +1/-0.
+        db.insert("part", vec![part_row(100, "probe", 1.0)])
+            .unwrap();
+        assert!(
+            *probe.ops_seen.lock().unwrap() >= 1,
+            "observer received the commit's journaled ops"
+        );
+        assert_eq!(*probe.commits.lock().unwrap(), vec![1]);
+        let text = db.explain_batch("part").unwrap();
+        assert!(
+            text.ends_with(
+                "  delta oj_view: +1/-0 rows\n\
+                 \x20 subscribers: 12 (3 shared evals)\n\
+                 \x20 snapshot lsn=1\n"
+            ),
+            "explain must render delta and subscriber lines:\n{text}"
+        );
+        // Detaching removes the subscribers line but keeps the delta lines.
+        db.detach_commit_observer();
+        let text = db.explain_batch("part").unwrap();
+        assert!(!text.contains("subscribers:"), "{text}");
+        assert!(text.contains("  delta oj_view: +1/-0 rows\n"), "{text}");
+        assert_eq!(db.last_commit_deltas(), &[("oj_view".to_string(), 1, 0)]);
+    }
+
+    /// An update that touches no view journals nothing: no delta lines.
+    #[test]
+    fn explain_batch_omits_delta_lines_without_commits() {
+        let mut db = db();
+        db.create_view(oj_view_def()).unwrap();
+        let text = db.explain_batch("part").unwrap();
+        assert!(!text.contains("delta "), "{text}");
+        assert!(!text.contains("subscribers:"), "{text}");
     }
 
     #[test]

@@ -898,6 +898,23 @@ impl<V: Vfs> DurableDatabase<V> {
         &self.db
     }
 
+    /// Attach a commit observer to the wrapped database (see
+    /// [`Database::attach_commit_observer`]). Under the durable layer the
+    /// observer sees *WAL* LSNs, so a change-feed cursor is a durable
+    /// position: after a crash and recovery, re-subscribing from the last
+    /// drained LSN resumes exactly where the feed left off.
+    pub fn attach_commit_observer(
+        &mut self,
+        obs: std::sync::Arc<dyn crate::snapshot::CommitObserver>,
+    ) {
+        self.db.attach_commit_observer(obs);
+    }
+
+    /// Detach the commit observer, if any.
+    pub fn detach_commit_observer(&mut self) {
+        self.db.detach_commit_observer();
+    }
+
     /// The shared snapshot registry of the wrapped database. Snapshot LSNs
     /// are WAL LSNs here: a pin at LSN `n` is the view state as of durable
     /// LSN `n`.

@@ -81,7 +81,10 @@ pub mod prelude {
     pub use crate::materialize::MaterializedView;
     pub use crate::parser::parse_view;
     pub use crate::policy::{MaintenancePolicy, SecondaryStrategy};
-    pub use crate::snapshot::{Snapshot, SnapshotRegistry, SnapshotStats, SnapshotView, ViewOp};
+    pub use crate::snapshot::{
+        delta_counts, CommitObserver, FanoutStats, Snapshot, SnapshotRegistry, SnapshotStats,
+        SnapshotView, ViewOp,
+    };
     pub use crate::view_def::{col_between, col_cmp, col_eq, NamedAtom, ViewDef, ViewExpr};
     pub use crate::view_match::{execute_match, match_view, ViewMatch};
     pub use ojv_algebra::{CmpOp, JoinKind};

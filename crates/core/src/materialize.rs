@@ -166,6 +166,11 @@ impl ViewStore {
         &self.rows
     }
 
+    /// Wide-row column indexes forming the view's unique key.
+    pub fn key_cols(&self) -> &[usize] {
+        &self.key_cols
+    }
+
     pub fn key_of_row(&self, row: &[Datum]) -> Vec<Datum> {
         key_of(row, &self.key_cols)
     }

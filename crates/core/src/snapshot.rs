@@ -67,6 +67,46 @@ pub enum ViewOp {
     Delete(Vec<Datum>),
 }
 
+/// Count the journaled ops in one view's commit delta: `(inserts, deletes)`.
+/// These are the raw per-commit counts `explain_batch` renders as
+/// `+N/-M rows`; net-effect cancellation across a batch is the change-feed
+/// layer's job (`ojv-feed`), not the registry's.
+pub fn delta_counts(ops: &[ViewOp]) -> (usize, usize) {
+    let inserts = ops
+        .iter()
+        .filter(|o| matches!(o, ViewOp::Insert(_)))
+        .count();
+    (inserts, ops.len() - inserts)
+}
+
+/// Fan-out statistics a [`CommitObserver`] exposes for `explain_batch`:
+/// how many subscriptions are registered and how many *distinct* evaluations
+/// actually run per commit after identical subscriptions are deduplicated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FanoutStats {
+    /// Registered subscriptions across all views.
+    pub subscribers: usize,
+    /// Deduplicated evaluation groups (≤ `subscribers`).
+    pub shared_evals: usize,
+}
+
+/// Observer of committed view deltas. The database invokes it once per
+/// commit, *after* the registry has published the batch at `lsn`, with the
+/// exact journaled ops that advanced each view's tip — the hand-off point
+/// for downstream consumers such as the change-feed hub in `ojv-feed`.
+/// Implementations must tolerate empty per-view op lists (untouched views)
+/// and commits for views they have never seen.
+pub trait CommitObserver: Send + Sync + std::fmt::Debug {
+    /// A batch committed at `lsn`; `updates` holds one `(view, ops)` entry
+    /// per registered view (ops empty when the batch left it untouched).
+    fn on_commit(&self, lsn: Lsn, updates: &[(String, Vec<ViewOp>)]);
+
+    /// Current fan-out statistics, if the observer tracks subscriptions.
+    fn fanout_stats(&self) -> Option<FanoutStats> {
+        None
+    }
+}
+
 /// One commit's redo delta for a single view.
 #[derive(Debug, Clone)]
 struct CommitDelta {
@@ -310,7 +350,7 @@ impl SnapshotRegistry {
     /// ops and stamp the registry at `lsn` — atomically for all views. While
     /// pins retain older versions, the pre-commit tip becomes (or extends)
     /// the chain's history so those versions stay materializable.
-    pub(crate) fn commit(&self, lsn: Lsn, updates: Vec<(String, Vec<ViewOp>)>) -> Result<()> {
+    pub(crate) fn commit(&self, lsn: Lsn, updates: &[(String, Vec<ViewOp>)]) -> Result<()> {
         let mut inner = self.lock();
         crate::trace::on_write(REGISTRY_CHAINS);
         let prev = inner.lsn;
@@ -335,7 +375,11 @@ impl SnapshotRegistry {
             if ops.is_empty() {
                 continue;
             }
-            let Some(chain) = inner.chains.iter_mut().find(|c| c.name.as_ref() == name) else {
+            let Some(chain) = inner
+                .chains
+                .iter_mut()
+                .find(|c| c.name.as_ref() == name.as_str())
+            else {
                 continue; // dropped concurrently with the batch
             };
             if retain_history {
@@ -346,8 +390,8 @@ impl SnapshotRegistry {
                 });
             }
             let tip = Arc::make_mut(&mut chain.tip);
-            for op in &ops {
-                tip.apply_op(op, &name)?;
+            for op in ops {
+                tip.apply_op(op, name)?;
             }
         }
         inner.lsn = inner.lsn.max(lsn);
@@ -487,6 +531,25 @@ impl SnapshotView {
     /// The stored wide rows (internal representation, heap order).
     pub fn wide_rows(&self) -> &[Row] {
         self.store.rows()
+    }
+
+    /// Global wide-row column indexes of the view's projected output.
+    /// Subscription filters and projections in `ojv-feed` are declared over
+    /// output columns and mapped through this onto the stored wide rows, so
+    /// evaluation never widens or re-projects a row it rejects.
+    pub fn projection(&self) -> &[usize] {
+        &self.projection
+    }
+
+    /// Wide-row column indexes of the view's unique key (the identity a
+    /// [`ViewOp::Delete`] names).
+    pub fn key_cols(&self) -> &[usize] {
+        self.store.key_cols()
+    }
+
+    /// Schema of the projected output.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
     }
 
     /// Look up a stored row by view key.

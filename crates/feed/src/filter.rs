@@ -1,0 +1,304 @@
+//! Subscription filters and projections.
+//!
+//! A [`FeedFilter`] is a conjunction of atoms over a view's *output*
+//! columns. Evaluation maps each output column through the view's
+//! projection onto the stored wide rows, so a row is filtered in place —
+//! never widened, copied, or re-projected just to be rejected.
+//!
+//! Evaluation is deliberately confined to this crate: the `feed-eval-confined`
+//! xtask lint bans `matches_row` call sites outside `crates/feed`, so every
+//! subscription predicate runs through the deduplicated fan-out (or an
+//! explicitly allowed escape), never ad hoc per-subscriber loops elsewhere.
+
+use ojv_algebra::CmpOp;
+use ojv_rel::{put_datum, put_str, put_u32, put_u64, Datum};
+
+use crate::error::{FeedError, Result};
+
+/// One conjunct of a subscription filter, over view output columns.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FeedAtom {
+    /// `col <op> literal` with SQL comparison semantics: a `Null` on either
+    /// side never matches (use [`FeedAtom::IsNull`] / [`FeedAtom::IsNotNull`]
+    /// to test for the padding nulls outer joins introduce).
+    Cmp { col: usize, op: CmpOp, lit: Datum },
+    /// Output column is `Null` (e.g. the null-extended side of an outer
+    /// join).
+    IsNull { col: usize },
+    /// Output column is non-`Null`.
+    IsNotNull { col: usize },
+}
+
+impl FeedAtom {
+    fn col(&self) -> usize {
+        match self {
+            FeedAtom::Cmp { col, .. } | FeedAtom::IsNull { col } | FeedAtom::IsNotNull { col } => {
+                *col
+            }
+        }
+    }
+
+    /// Evaluate against a wide row; output column `i` lives at
+    /// `row[cols[i]]`.
+    fn matches_row(&self, row: &[Datum], cols: &[usize]) -> bool {
+        match self {
+            FeedAtom::Cmp { col, op, lit } => {
+                let v = &row[cols[*col]];
+                if matches!(v, Datum::Null) || matches!(lit, Datum::Null) {
+                    return false;
+                }
+                op.eval(v.cmp(lit))
+            }
+            FeedAtom::IsNull { col } => matches!(row[cols[*col]], Datum::Null),
+            FeedAtom::IsNotNull { col } => !matches!(row[cols[*col]], Datum::Null),
+        }
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            FeedAtom::Cmp { col, op, lit } => {
+                buf.push(0);
+                put_u32(buf, *col as u32); // lint:allow(cast) — column index
+                buf.push(cmp_tag(*op));
+                put_datum(buf, lit).expect("filter literals fit u32 framing");
+            }
+            FeedAtom::IsNull { col } => {
+                buf.push(1);
+                put_u32(buf, *col as u32); // lint:allow(cast) — column index
+            }
+            FeedAtom::IsNotNull { col } => {
+                buf.push(2);
+                put_u32(buf, *col as u32); // lint:allow(cast) — column index
+            }
+        }
+    }
+}
+
+fn cmp_tag(op: CmpOp) -> u8 {
+    match op {
+        CmpOp::Eq => 0,
+        CmpOp::Ne => 1,
+        CmpOp::Lt => 2,
+        CmpOp::Le => 3,
+        CmpOp::Gt => 4,
+        CmpOp::Ge => 5,
+    }
+}
+
+/// A conjunction of [`FeedAtom`]s; the empty conjunction matches every row.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FeedFilter {
+    atoms: Vec<FeedAtom>,
+}
+
+impl FeedFilter {
+    /// The match-all filter.
+    pub fn all() -> Self {
+        FeedFilter { atoms: Vec::new() }
+    }
+
+    pub fn new(atoms: Vec<FeedAtom>) -> Self {
+        FeedFilter { atoms }
+    }
+
+    /// Single-comparison filter: `col <op> lit`.
+    pub fn cmp(col: usize, op: CmpOp, lit: Datum) -> Self {
+        FeedFilter {
+            atoms: vec![FeedAtom::Cmp { col, op, lit }],
+        }
+    }
+
+    /// Conjoin another atom (builder style).
+    pub fn and(mut self, atom: FeedAtom) -> Self {
+        self.atoms.push(atom);
+        self
+    }
+
+    pub fn atoms(&self) -> &[FeedAtom] {
+        &self.atoms
+    }
+
+    /// Evaluate the conjunction against a stored wide row, with output
+    /// column `i` of the view at `row[cols[i]]`. This is *the* subscription
+    /// predicate entry point the `feed-eval-confined` lint pins to this
+    /// crate.
+    pub fn matches_row(&self, row: &[Datum], cols: &[usize]) -> bool {
+        self.atoms.iter().all(|a| a.matches_row(row, cols))
+    }
+
+    /// Largest output column any atom references.
+    pub fn max_col(&self) -> Option<usize> {
+        self.atoms.iter().map(|a| a.col()).max()
+    }
+
+    fn encode(&self, buf: &mut Vec<u8>) {
+        put_u32(buf, self.atoms.len() as u32); // lint:allow(cast) — atom count
+        for a in &self.atoms {
+            a.encode(buf);
+        }
+    }
+}
+
+/// A subscription request: a view, an optional filter, and an optional
+/// column projection (output column indexes; `None` delivers every output
+/// column). Two specs that resolve identically share one evaluation in the
+/// hub.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SubscriptionSpec {
+    pub view: String,
+    pub filter: FeedFilter,
+    pub projection: Option<Vec<usize>>,
+}
+
+impl SubscriptionSpec {
+    /// Subscribe to every row of `view`.
+    pub fn on(view: &str) -> Self {
+        SubscriptionSpec {
+            view: view.to_string(),
+            filter: FeedFilter::all(),
+            projection: None,
+        }
+    }
+
+    pub fn with_filter(mut self, filter: FeedFilter) -> Self {
+        self.filter = filter;
+        self
+    }
+
+    pub fn with_projection(mut self, cols: Vec<usize>) -> Self {
+        self.projection = Some(cols);
+        self
+    }
+
+    /// Validate column references against the view's output width and
+    /// resolve the projection (`None` → all output columns).
+    pub(crate) fn resolve(&self, width: usize) -> Result<Vec<usize>> {
+        let bad = |column: usize| FeedError::BadColumn {
+            view: self.view.clone(),
+            column,
+            width,
+        };
+        if let Some(c) = self.filter.max_col() {
+            if c >= width {
+                return Err(bad(c));
+            }
+        }
+        match &self.projection {
+            Some(cols) => {
+                if let Some(&c) = cols.iter().find(|&&c| c >= width) {
+                    return Err(bad(c));
+                }
+                Ok(cols.clone())
+            }
+            None => Ok((0..width).collect()),
+        }
+    }
+
+    /// Canonical fingerprint of `(view, filter, resolved projection)` — the
+    /// dedup identity: equal fingerprints share one evaluation per commit.
+    /// `projection` must already be resolved (see
+    /// [`SubscriptionSpec::resolve`]) so `None` and an explicit full
+    /// projection collide, as they should.
+    pub(crate) fn fingerprint(&self, projection: &[usize]) -> u64 {
+        let mut buf = Vec::new();
+        put_str(&mut buf, &self.view).expect("view names fit u32 framing");
+        self.filter.encode(&mut buf);
+        put_u32(&mut buf, projection.len() as u32); // lint:allow(cast) — column count
+        for &c in projection {
+            put_u64(&mut buf, c as u64); // lint:allow(cast) — usize widens into u64
+        }
+        fnv1a(&buf)
+    }
+
+    /// Fingerprint of the filter alone (the trie's mid level: subscriptions
+    /// sharing a filter share its evaluation even when projections differ).
+    pub(crate) fn filter_fingerprint(&self) -> u64 {
+        let mut buf = Vec::new();
+        self.filter.encode(&mut buf);
+        fnv1a(&buf)
+    }
+}
+
+/// FNV-1a over a canonical byte encoding (the same construction the plan
+/// fingerprints use).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_semantics_are_sql_like() {
+        let cols = [0usize, 1];
+        let f = FeedFilter::cmp(1, CmpOp::Ge, Datum::Int(5));
+        assert!(f.matches_row(&[Datum::Int(1), Datum::Int(5)], &cols));
+        assert!(!f.matches_row(&[Datum::Int(1), Datum::Int(4)], &cols));
+        // Null never compares true, not even under Ne.
+        assert!(!f.matches_row(&[Datum::Int(1), Datum::Null], &cols));
+        let ne = FeedFilter::cmp(1, CmpOp::Ne, Datum::Int(5));
+        assert!(!ne.matches_row(&[Datum::Int(1), Datum::Null], &cols));
+        let isnull = FeedFilter::new(vec![FeedAtom::IsNull { col: 1 }]);
+        assert!(isnull.matches_row(&[Datum::Int(1), Datum::Null], &cols));
+        assert!(!isnull.matches_row(&[Datum::Int(1), Datum::Int(0)], &cols));
+    }
+
+    #[test]
+    fn conjunction_and_projection_mapping() {
+        // Output col 0 lives at wide index 2, output col 1 at wide index 0.
+        let cols = [2usize, 0];
+        let f = FeedFilter::cmp(0, CmpOp::Eq, Datum::str("x")).and(FeedAtom::IsNotNull { col: 1 });
+        let row = [Datum::Int(7), Datum::Null, Datum::str("x")];
+        assert!(f.matches_row(&row, &cols));
+        let row = [Datum::Null, Datum::Null, Datum::str("x")];
+        assert!(!f.matches_row(&row, &cols));
+        assert_eq!(f.max_col(), Some(1));
+        assert_eq!(FeedFilter::all().max_col(), None);
+    }
+
+    #[test]
+    fn fingerprints_dedup_identical_specs() {
+        let a = SubscriptionSpec::on("v").with_filter(FeedFilter::cmp(1, CmpOp::Gt, Datum::Int(3)));
+        let b = a.clone();
+        let pa = a.resolve(4).unwrap();
+        let pb = b.resolve(4).unwrap();
+        assert_eq!(a.fingerprint(&pa), b.fingerprint(&pb));
+        // None and the explicit full projection resolve identically.
+        let c = a.clone().with_projection(vec![0, 1, 2, 3]);
+        let pc = c.resolve(4).unwrap();
+        assert_eq!(a.fingerprint(&pa), c.fingerprint(&pc));
+        // Any differing component diverges.
+        let d = a.clone().with_projection(vec![1]);
+        let pd = d.resolve(4).unwrap();
+        assert_ne!(a.fingerprint(&pa), d.fingerprint(&pd));
+        let e = SubscriptionSpec::on("w").with_filter(a.filter.clone());
+        assert_ne!(a.fingerprint(&pa), e.fingerprint(&pa));
+        let f = SubscriptionSpec::on("v").with_filter(FeedFilter::cmp(1, CmpOp::Ge, Datum::Int(3)));
+        assert_ne!(a.fingerprint(&pa), f.fingerprint(&pa));
+        // Filter-level fingerprints ignore view and projection.
+        assert_eq!(a.filter_fingerprint(), e.filter_fingerprint());
+        assert_ne!(a.filter_fingerprint(), f.filter_fingerprint());
+    }
+
+    #[test]
+    fn resolve_validates_columns() {
+        let spec =
+            SubscriptionSpec::on("v").with_filter(FeedFilter::cmp(9, CmpOp::Eq, Datum::Int(0)));
+        assert!(matches!(
+            spec.resolve(4),
+            Err(FeedError::BadColumn { column: 9, .. })
+        ));
+        let spec = SubscriptionSpec::on("v").with_projection(vec![0, 4]);
+        assert!(matches!(
+            spec.resolve(4),
+            Err(FeedError::BadColumn { column: 4, .. })
+        ));
+        assert_eq!(SubscriptionSpec::on("v").resolve(3).unwrap(), vec![0, 1, 2]);
+    }
+}

@@ -1,0 +1,221 @@
+//! What subscribers receive: net update sets, catch-up materializations,
+//! and a reference client-side state for applying them.
+//!
+//! Rows travel in the flat `[view key | projected output]` layout inside a
+//! [`RowBuf`], one `Arc<UpdateSet>` per commit per evaluation group — every
+//! subscriber of a group shares the same allocation, exactly like the
+//! `shared_with` rows of batched maintenance.
+
+use std::sync::Arc;
+
+use ojv_durability::Lsn;
+use ojv_rel::{fx_map_with_capacity, put_row, put_u64, Datum, FxHashMap, Row, RowBuf};
+
+/// Net changes one commit produced for one evaluation group, in LSN order.
+///
+/// Intra-batch cancellation has already been applied: a row inserted and
+/// deleted inside the same batch appears in neither part, and an UPDATE
+/// whose projected columns are unchanged vanishes entirely. A key may
+/// appear in both parts (`deletes` then `inserts`) — that is an UPDATE of a
+/// projected column, decomposed into its two halves. Apply `deletes` before
+/// `inserts`.
+#[derive(Debug, Clone)]
+pub struct UpdateSet {
+    /// Commit this set corresponds to.
+    pub lsn: Lsn,
+    /// Leading columns of every `inserts` row (and the whole `deletes` row)
+    /// that form the view key.
+    pub key_width: usize,
+    /// Net-inserted rows: `[view key | projected output]`.
+    pub inserts: RowBuf,
+    /// Net-deleted view keys.
+    pub deletes: RowBuf,
+}
+
+impl UpdateSet {
+    pub(crate) fn empty(lsn: Lsn, key_width: usize, proj_width: usize) -> Self {
+        UpdateSet {
+            lsn,
+            key_width,
+            inserts: RowBuf::new(key_width + proj_width),
+            deletes: RowBuf::new(key_width),
+        }
+    }
+
+    /// No net effect for this group at this commit.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// `(inserted rows, deleted keys)`.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.inserts.len(), self.deletes.len())
+    }
+}
+
+/// A full filtered/projected image of the view at one LSN, produced from a
+/// pinned snapshot: the starting state of a new subscription, or the
+/// replacement state of a lapsed subscriber's rebase.
+#[derive(Debug, Clone)]
+pub struct Materialization {
+    /// Snapshot LSN the image was scanned at.
+    pub lsn: Lsn,
+    /// Leading key columns of every row.
+    pub key_width: usize,
+    /// Rows in `[view key | projected output]` layout.
+    pub rows: RowBuf,
+}
+
+/// What a drain produced.
+#[derive(Debug)]
+pub enum Drained {
+    /// The sets committed since the cursor, oldest first (possibly none).
+    /// Shared allocations: every subscriber of the same evaluation group
+    /// drains clones of the same `Arc`s.
+    Updates(Vec<Arc<UpdateSet>>),
+    /// The subscriber lagged past the retained ring: its state is stale
+    /// beyond repair by streaming, so here is a fresh full image (from a
+    /// snapshot pin) to replace it with.
+    Rebase(Materialization),
+}
+
+/// How a [`crate::FeedHub::resume`] request was satisfied.
+#[derive(Debug)]
+pub enum Resumed {
+    /// The ring still covers `from_lsn`: keep the existing state and simply
+    /// drain.
+    Stream,
+    /// The ring no longer covers `from_lsn`, but the snapshot registry
+    /// could still pin it: a synthetic net update set moving a state at
+    /// `from_lsn` directly to the set's LSN (the diff of the two pinned
+    /// images).
+    CatchUp(Arc<UpdateSet>),
+    /// `from_lsn` is below the snapshot floor — reclamation already freed
+    /// it. Full replacement image instead.
+    Rebase(Materialization),
+}
+
+/// Reference client-side state of one subscription: `view key → projected
+/// row`. Tests and benches use it as the differential instrument — after
+/// applying a subscriber's stream, [`SubscriberState::state_bytes`] must
+/// byte-equal the same encoding of a fresh filtered scan of the pinned
+/// snapshot at the same LSN.
+#[derive(Debug, Clone)]
+pub struct SubscriberState {
+    key_width: usize,
+    rows: FxHashMap<Vec<Datum>, Row>,
+}
+
+impl SubscriberState {
+    /// Start from an initial (or rebase) materialization.
+    pub fn new(image: &Materialization) -> Self {
+        let mut s = SubscriberState {
+            key_width: image.key_width,
+            rows: fx_map_with_capacity(image.rows.len()),
+        };
+        s.rebase(image);
+        s
+    }
+
+    /// Replace the whole state with a fresh image.
+    pub fn rebase(&mut self, image: &Materialization) {
+        self.key_width = image.key_width;
+        self.rows.clear();
+        for row in image.rows.iter() {
+            self.rows.insert(
+                row[..image.key_width].to_vec(),
+                row[image.key_width..].to_vec(),
+            );
+        }
+    }
+
+    /// Apply one net update set (deletes, then inserts).
+    pub fn apply(&mut self, set: &UpdateSet) {
+        for key in set.deletes.iter() {
+            self.rows.remove(key);
+        }
+        for row in set.inserts.iter() {
+            self.rows
+                .insert(row[..set.key_width].to_vec(), row[set.key_width..].to_vec());
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Projected row for a key, if present.
+    pub fn get(&self, key: &[Datum]) -> Option<&Row> {
+        self.rows.get(key)
+    }
+
+    /// Canonical encoding: row count, then `(key, projected row)` pairs
+    /// sorted by key. Two states holding the same mapping are byte-equal
+    /// regardless of the order updates arrived in.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut keys: Vec<&Vec<Datum>> = self.rows.keys().collect();
+        keys.sort();
+        let mut buf = Vec::new();
+        put_u64(&mut buf, self.rows.len() as u64); // lint:allow(cast) — usize widens into u64
+        for key in keys {
+            put_row(&mut buf, key).expect("keys fit u32 framing");
+            put_row(&mut buf, &self.rows[key]).expect("rows fit u32 framing");
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn image(lsn: Lsn, rows: &[(i64, i64)]) -> Materialization {
+        let mut buf = RowBuf::new(2);
+        for &(k, v) in rows {
+            buf.push_row(&[Datum::Int(k), Datum::Int(v)]);
+        }
+        Materialization {
+            lsn,
+            key_width: 1,
+            rows: buf,
+        }
+    }
+
+    #[test]
+    fn apply_deletes_then_inserts() {
+        let mut s = SubscriberState::new(&image(1, &[(1, 10), (2, 20)]));
+        let mut set = UpdateSet::empty(2, 1, 1);
+        // UPDATE of key 1 decomposed: delete then re-insert with a new value.
+        set.deletes.push_row(&[Datum::Int(1)]);
+        set.inserts.push_row(&[Datum::Int(1), Datum::Int(11)]);
+        // Plain delete of key 2, plain insert of key 3.
+        set.deletes.push_row(&[Datum::Int(2)]);
+        set.inserts.push_row(&[Datum::Int(3), Datum::Int(30)]);
+        s.apply(&set);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.get(&[Datum::Int(1)]), Some(&vec![Datum::Int(11)]));
+        assert_eq!(s.get(&[Datum::Int(2)]), None);
+        assert_eq!(s.get(&[Datum::Int(3)]), Some(&vec![Datum::Int(30)]));
+    }
+
+    #[test]
+    fn state_bytes_is_order_independent() {
+        let a = SubscriberState::new(&image(1, &[(1, 10), (2, 20), (3, 30)]));
+        let b = SubscriberState::new(&image(9, &[(3, 30), (1, 10), (2, 20)]));
+        assert_eq!(a.state_bytes(), b.state_bytes());
+        let c = SubscriberState::new(&image(1, &[(1, 10), (2, 21), (3, 30)]));
+        assert_ne!(a.state_bytes(), c.state_bytes());
+    }
+
+    #[test]
+    fn rebase_replaces_everything() {
+        let mut s = SubscriberState::new(&image(1, &[(1, 10), (2, 20)]));
+        s.rebase(&image(5, &[(7, 70)]));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&[Datum::Int(7)]), Some(&vec![Datum::Int(70)]));
+    }
+}

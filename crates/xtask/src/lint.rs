@@ -24,7 +24,7 @@ pub struct LintDef {
 }
 
 /// All lints, sorted by id — the order `--list` prints them.
-pub const LINTS: [LintDef; 10] = [
+pub const LINTS: [LintDef; 11] = [
     LintDef {
         id: "cast",
         scope: "crates/durability/src/",
@@ -35,6 +35,13 @@ pub const LINTS: [LintDef; 10] = [
         scope: "crates/exec/src/, crates/storage/src/",
         desc:
             "no HashMap::new()/HashSet::new() default hasher in exec/storage (use ojv_rel fxhash)",
+    },
+    LintDef {
+        id: "feed-eval-confined",
+        scope: "everywhere but crates/feed/src/",
+        desc: "no subscription-predicate evaluation (matches_row) outside crates/feed — \
+               per-subscriber filtering must go through the hub's deduplicated fan-out, \
+               never ad hoc loops that re-evaluate once per subscriber",
     },
     LintDef {
         id: "fs-outside-durability",
@@ -161,6 +168,11 @@ fn applies(lint: &str, path: &str) -> bool {
         "mutex-in-exec-hot-path" => {
             path.starts_with("crates/exec/src/") && path != "crates/exec/src/parallel.rs"
         }
+        // Subscription predicates are evaluated once per filter group inside
+        // the feed hub's fan-out; a `matches_row` call site anywhere else is
+        // a per-subscriber loop bypassing the dedup (the exact O(subscribers)
+        // blow-up the hub exists to avoid).
+        "feed-eval-confined" => !path.starts_with("crates/feed/src/"),
         // Seed discipline applies to every scanned file, test or not.
         "sched-seed-logged" => true,
         _ => false,
@@ -249,6 +261,12 @@ pub fn scan_file(rel_path: &str, src: &str) -> Vec<Violation> {
             && matches!(tok.text, "Mutex" | "RwLock" | "Condvar")
         {
             record("mutex-in-exec-hot-path", line, &mut out);
+        }
+        if applies("feed-eval-confined", &path)
+            && !in_test.get(line).copied().unwrap_or(false)
+            && tok.text == "matches_row"
+        {
+            record("feed-eval-confined", line, &mut out);
         }
     }
 
@@ -560,6 +578,47 @@ mod tests {
         // Escape hatch.
         let allowed = "fn f() { let m = Mutex::new(0); } // lint:allow(mutex-in-exec-hot-path)\n";
         assert!(scan_file("crates/exec/src/ops/join.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn feed_eval_confined_to_the_feed_crate() {
+        let src = "fn f(fl: &FeedFilter, r: &[Datum]) -> bool { fl.matches_row(r, cols) }\n";
+        let v = scan_file("crates/core/src/database.rs", src);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "feed-eval-confined");
+        // Integration suites are scanned too — a per-subscriber loop in a
+        // test file is the same O(subscribers) bypass.
+        assert_eq!(scan_file("tests/feed.rs", src).len(), 1);
+        // The feed crate is the sanctioned home.
+        assert!(scan_file("crates/feed/src/hub.rs", src).is_empty());
+        assert!(scan_file("crates/feed/src/filter.rs", src).is_empty());
+        // In-file test modules may exercise the predicate directly.
+        let tested = "#[cfg(test)]\nmod tests {\n    fn f() { fl.matches_row(r, cols); }\n}\n";
+        assert!(scan_file("crates/core/src/database.rs", tested).is_empty());
+        // Escape hatch.
+        let allowed = "fn f() { fl.matches_row(r, cols) } // lint:allow(feed-eval-confined)\n";
+        assert!(scan_file("crates/bench/src/feedbench.rs", allowed).is_empty());
+        // Identifier boundary: matches_rows / row_matches are different tokens.
+        let other = "fn g() { matches_rows(); row_matches(); }\n";
+        assert!(scan_file("crates/core/src/database.rs", other).is_empty());
+    }
+
+    /// A seeded feed-eval violation fails the gate like the older lints.
+    #[test]
+    fn seeded_feed_eval_violation_fails_the_gate() {
+        let root = std::env::temp_dir().join(format!("xtask-lint-feed-{}", std::process::id()));
+        let dir = root.join("crates/bench/src");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("seeded.rs"),
+            "fn f() { for s in subs { s.filter.matches_row(row, cols); } }\n",
+        )
+        .unwrap();
+        let v = run(&root).unwrap();
+        fs::remove_dir_all(&root).unwrap();
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "feed-eval-confined");
+        assert_eq!(v[0].file, "crates/bench/src/seeded.rs");
     }
 
     #[test]

@@ -36,6 +36,7 @@ fn lint_list_is_sorted_and_scoped() {
     let golden = [
         ("cast", "crates/durability/src/"),
         ("default-hasher", "crates/exec/src/, crates/storage/src/"),
+        ("feed-eval-confined", "everywhere but crates/feed/src/"),
         (
             "fs-outside-durability",
             "everywhere but crates/{durability,bench,xtask,concheck}/",

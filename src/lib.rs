@@ -17,6 +17,7 @@ pub use ojv_analysis as analysis;
 pub use ojv_core as core;
 pub use ojv_durability as durability;
 pub use ojv_exec as exec;
+pub use ojv_feed as feed;
 pub use ojv_rel as rel;
 pub use ojv_storage as storage;
 pub use ojv_tpch as tpch;
