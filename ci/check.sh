@@ -54,6 +54,14 @@ cargo test --offline -q --features concheck --test property_feed --test feed_int
 echo "==> change-feed fan-out panel (100k subscribers, writes BENCH_pr9.json)"
 ./target/release/repro --sf 0.05 feedbench
 
+echo "==> sharding suite: differential property + group-commit crash matrix (plain + concheck)"
+cargo test --offline -q --test property_sharding --test readme_quickstart_sharding
+cargo test --offline -q --features concheck --test property_sharding
+
+echo "==> shard scaling smoke (1/2 shards, quick; scratch cwd keeps the committed SF=1 artifact)"
+mkdir -p target/shardbench-smoke
+(cd target/shardbench-smoke && ../../target/release/repro --quick --shards 1,2 shardbench)
+
 echo "==> bench targets compile (criterion-lite shim)"
 cargo check --offline -p ojv-bench --benches --features criterion
 

@@ -1,8 +1,8 @@
 //! Reproduce the paper's tables and figures.
 //!
 //! ```text
-//! repro [--sf 0.05] [--seed 42] [--quick] \
-//!       [table1|fig5a|fig5b|example1|graphs|walbench|multiview|readers|feedbench|all]
+//! repro [--sf 0.05] [--seed 42] [--quick] [--shards 1,2,4,8] \
+//!       [table1|fig5a|fig5b|example1|graphs|walbench|multiview|readers|feedbench|shardbench|all]
 //! ```
 //!
 //! * `table1` — Table 1: term cardinalities of V3 and rows affected by a
@@ -22,8 +22,11 @@
 //!   snapshot-vs-direct baseline (`BENCH_pr6.json`),
 //! * `feedbench` — change-feed fan-out of per-batch deltas to 100k filtered
 //!   subscribers vs naive per-subscriber re-scans (`BENCH_pr9.json`),
-//! * `all` — everything above except `walbench`, `multiview`, `readers`
-//!   and `feedbench`.
+//! * `shardbench` — batch maintenance through the hash-partitioned
+//!   `ShardedDatabase` at 1/2/4/8 shards, with columnar heap footprints and
+//!   honest machine metadata (`BENCH_pr10.json`),
+//! * `all` — everything above except `walbench`, `multiview`, `readers`,
+//!   `feedbench` and `shardbench`.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -42,9 +45,17 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut cfg = Config::default();
     let mut command = "all".to_string();
+    let mut shards: Vec<usize> = vec![1, 2, 4, 8];
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--shards" => {
+                i += 1;
+                shards = args[i]
+                    .split(',')
+                    .map(|s| s.trim().parse().expect("--shards takes integers"))
+                    .collect();
+            }
             "--sf" => {
                 i += 1;
                 cfg.sf = args[i].parse().expect("--sf takes a number");
@@ -92,6 +103,7 @@ fn main() {
         "multiview" => multiview(&env, &cfg),
         "readers" => readers(&env, &cfg),
         "feedbench" => feedbench(&env, &cfg),
+        "shardbench" => shardbench(&env, &cfg, &shards),
         "all" => {
             graphs(&env);
             sql(&env);
@@ -102,7 +114,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|walbench|multiview|readers|feedbench|all"
+                "unknown command {other}; use table1|fig5a|fig5b|example1|graphs|sql|walbench|multiview|readers|feedbench|shardbench|all"
             );
             std::process::exit(2);
         }
@@ -369,6 +381,71 @@ fn feedbench(env: &Env, cfg: &Config) {
     let _ = writeln!(s, "  ]");
     let _ = writeln!(s, "}}");
     let path = "BENCH_pr9.json";
+    match std::fs::write(path, s) {
+        Ok(()) => println!("machine-readable results written to {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
+
+/// Shard-count scaling sweep through the hash-partitioned engine; emits
+/// `BENCH_pr10.json` with honest machine metadata (a single-core container
+/// cannot show parallel shard speedup, and says so).
+fn shardbench(env: &Env, cfg: &Config, shard_counts: &[usize]) {
+    let batch = (*cfg.batch_sizes.last().expect("batch sizes configured")).min(10_000);
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let points = ojv_bench::shardbench::run_shardbench(env, cfg, batch, shard_counts);
+    println!(
+        "{}",
+        ojv_bench::shardbench::render_shardbench(&points, cores)
+    );
+
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(
+        s,
+        "  \"config\": {{ \"sf\": {}, \"seed\": {}, \"repetitions\": {}, \"batch\": {} }},",
+        cfg.sf, cfg.seed, cfg.repetitions, batch
+    );
+    let _ = writeln!(
+        s,
+        "  \"machine\": {{ \"cores\": {cores}, \"note\": \"{}\" }},",
+        if cores == 1 {
+            "single core visible: per-shard maintenance is concurrent, not parallel; \
+             the sweep measures partitioning overhead, not parallel speedup"
+        } else {
+            "per-shard maintenance runs on scoped threads, one per touched shard"
+        }
+    );
+    let _ = writeln!(s, "  \"panels\": [");
+    let _ = writeln!(
+        s,
+        "    {{ \"panel\": \"shard_scaling\", \"measurements\": ["
+    );
+    for (mi, p) in points.iter().enumerate() {
+        let _ = writeln!(
+            s,
+            "      {{ \"shards\": {}, \"sf\": {}, \"batch\": {}, \"build_ns\": {}, \
+             \"heap_bytes\": {}, \"min_shard_rows\": {}, \"max_shard_rows\": {}, \
+             \"insert_ns\": {}, \"delete_ns\": {}, \"primary_rows\": {}, \
+             \"speedup\": {:.3} }}{}",
+            p.shards,
+            cfg.sf,
+            p.batch,
+            p.build.as_nanos(),
+            p.heap_bytes,
+            p.min_shard_rows,
+            p.max_shard_rows,
+            p.insert.as_nanos(),
+            p.delete.as_nanos(),
+            p.primary_rows,
+            p.speedup,
+            if mi + 1 < points.len() { "," } else { "" },
+        );
+    }
+    let _ = writeln!(s, "    ] }}");
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    let path = "BENCH_pr10.json";
     match std::fs::write(path, s) {
         Ok(()) => println!("machine-readable results written to {path}"),
         Err(e) => eprintln!("could not write {path}: {e}"),

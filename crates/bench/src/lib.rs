@@ -9,7 +9,10 @@
 //! * [`multiview`] — batched multi-view maintenance with shared-plan A/B,
 //! * [`readbench`] — snapshot-reader throughput concurrent with maintenance,
 //! * [`feedbench`] — change-feed fan-out to a 100k filtered-subscriber
-//!   population versus naive per-subscriber re-scans.
+//!   population versus naive per-subscriber re-scans,
+//! * [`shardbench`] — batch maintenance through the hash-partitioned
+//!   [`ShardedDatabase`](ojv_core::shard::ShardedDatabase) at 1/2/4/8
+//!   shards.
 
 #![forbid(unsafe_code)]
 
@@ -18,5 +21,6 @@ pub mod harness;
 pub mod multiview;
 pub mod readbench;
 pub mod report;
+pub mod shardbench;
 pub mod views;
 pub mod walbench;

@@ -539,10 +539,9 @@ mod tests {
         let l = c.table("lineitem").unwrap();
         let part_col = l.schema().index_of("lineitem", "l_partkey").unwrap();
         let keys: Vec<Vec<Datum>> = l
-            .rows()
-            .iter()
-            .filter(|r| r[part_col] == Datum::Int(2))
-            .map(|r| vec![r[0].clone(), r[1].clone()])
+            .iter_refs()
+            .filter(|r| r.datum(part_col) == Datum::Int(2))
+            .map(|r| vec![r.datum(0), r.datum(1)])
             .collect();
         if keys.is_empty() {
             return; // fixture produced no such lines; nothing to test

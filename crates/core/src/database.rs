@@ -233,6 +233,32 @@ impl Database {
         lsn: Lsn,
     ) -> Result<Vec<MaintenanceReport>> {
         let result = self.maintain_all(update);
+        let published = self.publish_commit(lsn);
+        let reports = result?;
+        published?;
+        Ok(reports)
+    }
+
+    /// The worker half of [`Database::maintain_update_at`]: run maintenance
+    /// for every view *without* publishing to the snapshot registry. The
+    /// sharded facade fans this out per shard (each shard owns its stores,
+    /// so the fan-out shares nothing) and publishes every shard afterwards
+    /// — on the coordinator thread — via [`Database::publish_commit`].
+    pub(crate) fn maintain_views_only(
+        &mut self,
+        update: &Update,
+    ) -> Result<Vec<MaintenanceReport>> {
+        self.maintain_all(update)
+    }
+
+    /// The coordinator half of [`Database::maintain_update_at`]: drain the
+    /// view journals and publish them to the snapshot registry as one
+    /// atomic commit at `lsn`. Journals are drained and published even when
+    /// maintenance errored, so the registry's tips always track the working
+    /// stores. Safe to call with nothing journaled — an empty commit just
+    /// advances the registry to `lsn` (how untouched shards join a group
+    /// commit).
+    pub(crate) fn publish_commit(&mut self, lsn: Lsn) -> Result<()> {
         let drained: Vec<(String, Vec<crate::snapshot::ViewOp>)> = self
             .views
             .iter_mut()
@@ -254,9 +280,7 @@ impl Database {
         if let Some(obs) = &self.observer {
             obs.on_commit(lsn, &drained);
         }
-        let reports = result?;
-        published?;
-        Ok(reports)
+        published
     }
 
     /// Attach a commit observer: from now on every commit hands its

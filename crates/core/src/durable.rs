@@ -434,6 +434,38 @@ fn decode_state(data: &[u8]) -> Result<DecodedState> {
     })
 }
 
+/// Encode one shard's full state (catalog + eager views) as a checkpoint
+/// payload — the sharded durable layer writes one of these per shard, in
+/// the exact format [`DurableDatabase`] uses (deferred section empty).
+pub(crate) fn encode_shard_state(db: &Database) -> Result<Vec<u8>> {
+    encode_state(db, &[])
+}
+
+/// Rebuild one shard from a checkpoint payload written by
+/// [`encode_shard_state`]: restore the catalog and views, anchor the
+/// snapshot-LSN clock at `lsn`.
+pub(crate) fn restore_shard_state(
+    data: &[u8],
+    policy: MaintenancePolicy,
+    lsn: Lsn,
+) -> Result<Database> {
+    let state = decode_state(data)?;
+    if !state.deferred.is_empty() {
+        return Err(CoreError::Durability(DurabilityError::Corrupt {
+            file: "checkpoint".to_string(),
+            detail: "shard checkpoints cannot carry deferred views".to_string(),
+        }));
+    }
+    let mut db = Database::new(state.catalog);
+    db.policy = policy;
+    db.set_commit_lsn(lsn);
+    for section in state.views {
+        let view = restore_view(db.catalog(), section)?;
+        db.install_view(view)?;
+    }
+    Ok(db)
+}
+
 /// Rebuild a view from a snapshot section and cross-check the rebuilt count
 /// indexes against the checkpointed ones (a cheap end-to-end integrity
 /// check: rows and indexes were serialized independently).

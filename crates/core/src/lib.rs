@@ -60,6 +60,8 @@ pub mod materialize;
 pub mod parser;
 pub mod policy;
 pub mod secondary;
+pub mod shard;
+pub mod shard_durable;
 pub mod snapshot;
 pub mod sql;
 pub mod term_delta;
@@ -81,6 +83,8 @@ pub mod prelude {
     pub use crate::materialize::MaterializedView;
     pub use crate::parser::parse_view;
     pub use crate::policy::{MaintenancePolicy, SecondaryStrategy};
+    pub use crate::shard::{RoutingSpec, ShardedDatabase, ShardedSnapshot};
+    pub use crate::shard_durable::{ShardedDurableDatabase, ShardedRecoveryReport};
     pub use crate::snapshot::{
         delta_counts, CommitObserver, FanoutStats, Snapshot, SnapshotRegistry, SnapshotStats,
         SnapshotView, ViewOp,

@@ -1,0 +1,807 @@
+//! Durable sharding: per-shard WAL streams under a group-commit
+//! coordinator.
+//!
+//! # Log topology
+//!
+//! Every shard owns a private WAL (its own [`Vfs`] directory) holding that
+//! shard's applied delta batches, appended **without** fsync
+//! ([`FsyncPolicy::Never`]). A separate **coordinator** stream holds one
+//! [`REC_GROUP`] record per logical commit: the vector of per-shard local
+//! last-LSNs as of that commit. The coordinator record's own LSN *is* the
+//! global commit LSN — the same LSN every shard's snapshot registry
+//! publishes at, so durable LSNs and snapshot LSNs are one clock.
+//!
+//! # Group commit
+//!
+//! A logical commit touching K of N shards costs:
+//!
+//! 1. append the K per-shard deltas to their WALs (buffered, no fsync),
+//! 2. **one fsync per touched shard** — the cross-shard barrier,
+//! 3. one coordinator append + fsync of the group record.
+//!
+//! That is K+1 fsyncs per commit batch, not one per (shard, record): a
+//! batch of M rows fanning out to K shards still pays K+1, which is the
+//! "group" in group commit. The group record is the commit point — shard
+//! records above the newest durable group record are, by definition, from
+//! commits that never happened.
+//!
+//! # Recovery
+//!
+//! [`ShardedDurableDatabase::open`] converges on the **group-commit LSN
+//! floor**: it reads the newest durable group record (global LSN `G`, local
+//! floor vector `F`), restores each shard from its own checkpoint, and
+//! replays that shard's WAL records with local LSN ≤ `F[s]` — records
+//! *above* the floor (shard WALs that were fsynced when the crash hit
+//! before the coordinator record became durable) are discarded, and a fresh
+//! shard checkpoint is written over them so they can never resurface. A
+//! shard record *missing* below the floor is real corruption (the group
+//! record vouched for it) and fails recovery. Either way, all N shards land
+//! on exactly the commits `≤ G` — byte-identical, via the canonical
+//! [`ShardedDatabase::state_bytes`], to an uncrashed twin that stopped at
+//! `G`.
+
+use ojv_durability::{
+    prune_checkpoints, read_latest_checkpoint, write_checkpoint, DurabilityError, FsyncPolicy, Lsn,
+    Vfs, Wal, WalOptions, WalRecord,
+};
+use ojv_rel::{put_u32, put_u64, ByteReader, Datum, Row};
+use ojv_storage::{decode_update, encode_update, Catalog, Update, UpdateOp};
+
+use crate::durable::{encode_shard_state, restore_shard_state, REC_UPDATE};
+use crate::error::{CoreError, Result};
+use crate::maintain::MaintenanceReport;
+use crate::policy::MaintenancePolicy;
+use crate::shard::{RoutingSpec, ShardedDatabase, ShardedSnapshot};
+use crate::view_def::ViewDef;
+
+/// Coordinator WAL record kind: one group commit.
+/// Payload: `[u32 shard_count][u64 local last-LSN per shard]`.
+pub const REC_GROUP: u8 = 3;
+
+/// `REC_UPDATE` flag bit mirrored from the single-node durable layer: this
+/// shard batch is half of an SQL `UPDATE` decomposition.
+const FLAG_UPDATE_DECOMPOSITION: u8 = 1;
+
+fn codec_err(detail: impl Into<String>) -> CoreError {
+    CoreError::Rel(ojv_rel::RelError::Codec {
+        detail: detail.into(),
+    })
+}
+
+fn corrupt(file: impl Into<String>, detail: impl Into<String>) -> CoreError {
+    CoreError::Durability(DurabilityError::Corrupt {
+        file: file.into(),
+        detail: detail.into(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator codecs
+// ---------------------------------------------------------------------------
+
+fn encode_group(floors: &[Lsn]) -> Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(4 + 8 * floors.len());
+    let n = u32::try_from(floors.len()).map_err(|_| codec_err("shard count exceeds u32"))?;
+    put_u32(&mut buf, n);
+    for &f in floors {
+        put_u64(&mut buf, f);
+    }
+    Ok(buf)
+}
+
+fn decode_group(rec: &WalRecord, shards: usize) -> Result<Vec<Lsn>> {
+    let mut r = ByteReader::new(&rec.payload);
+    let n = r.u32("group shard count").map_err(CoreError::Rel)? as usize; // lint:allow(cast) — u32 widens into usize
+    if n != shards {
+        return Err(corrupt(
+            "coordinator wal",
+            format!(
+                "group record at lsn {} names {n} shards, directory has {shards}",
+                rec.lsn
+            ),
+        ));
+    }
+    let mut floors = Vec::with_capacity(n);
+    for _ in 0..n {
+        floors.push(r.u64("group shard floor").map_err(CoreError::Rel)?);
+    }
+    Ok(floors)
+}
+
+/// Coordinator checkpoint payload: the constraint flag, the floor vector as
+/// of the checkpoint, and the routing spec (the one piece of façade state
+/// that lives in no shard).
+fn encode_coord_state(enforce: bool, floors: &[Lsn], routing: &RoutingSpec) -> Result<Vec<u8>> {
+    let mut buf = Vec::new();
+    buf.push(u8::from(enforce));
+    let n = u32::try_from(floors.len()).map_err(|_| codec_err("shard count exceeds u32"))?;
+    put_u32(&mut buf, n);
+    for &f in floors {
+        put_u64(&mut buf, f);
+    }
+    let entries: Vec<(&str, &[String])> = routing.entries().collect();
+    let n = u32::try_from(entries.len()).map_err(|_| codec_err("table count exceeds u32"))?;
+    put_u32(&mut buf, n);
+    for (table, cols) in entries {
+        ojv_rel::put_str(&mut buf, table).map_err(CoreError::Rel)?;
+        let n = u32::try_from(cols.len()).map_err(|_| codec_err("column count exceeds u32"))?;
+        put_u32(&mut buf, n);
+        for c in cols {
+            ojv_rel::put_str(&mut buf, c).map_err(CoreError::Rel)?;
+        }
+    }
+    Ok(buf)
+}
+
+fn decode_coord_state(data: &[u8]) -> Result<(bool, Vec<Lsn>, RoutingSpec)> {
+    let mut r = ByteReader::new(data);
+    let enforce = r.u8("enforce flag").map_err(CoreError::Rel)? != 0;
+    let n = r.u32("shard count").map_err(CoreError::Rel)? as usize; // lint:allow(cast) — u32 widens into usize
+    let mut floors = Vec::with_capacity(n.min(r.remaining()));
+    for _ in 0..n {
+        floors.push(r.u64("shard floor").map_err(CoreError::Rel)?);
+    }
+    let n_tables = r.u32("table count").map_err(CoreError::Rel)? as usize; // lint:allow(cast) — u32 widens into usize
+    let mut routing = RoutingSpec::new();
+    for _ in 0..n_tables {
+        let table = r.str("routing table").map_err(CoreError::Rel)?.to_string();
+        let n_cols = r.u32("routing column count").map_err(CoreError::Rel)? as usize; // lint:allow(cast) — u32 widens into usize
+        let mut cols = Vec::with_capacity(n_cols.min(r.remaining()));
+        for _ in 0..n_cols {
+            cols.push(r.str("routing column").map_err(CoreError::Rel)?.to_string());
+        }
+        let col_refs: Vec<&str> = cols.iter().map(String::as_str).collect();
+        routing = routing.table(&table, &col_refs);
+    }
+    if !r.is_empty() {
+        return Err(codec_err(format!(
+            "{} trailing bytes after coordinator state",
+            r.remaining()
+        )));
+    }
+    Ok((enforce, floors, routing))
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDurableDatabase
+// ---------------------------------------------------------------------------
+
+/// One shard's private log: its directory and WAL stream.
+struct ShardLog<V: Vfs> {
+    vfs: V,
+    wal: Wal,
+}
+
+/// What sharded recovery found and did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedRecoveryReport {
+    /// Global LSN of the newest durable group record — the commit floor all
+    /// shards converged on.
+    pub group_lsn: Lsn,
+    /// High-water LSN of the coordinator checkpoint.
+    pub checkpoint_lsn: Lsn,
+    /// Shard WAL records re-applied (across all shards).
+    pub replayed_updates: usize,
+    /// Shard WAL records above the group floor, discarded: their shard WAL
+    /// was fsynced but the crash hit before the group record was.
+    pub discarded_records: usize,
+    /// Per-stream torn/corrupt-tail reasons (index N = coordinator).
+    pub truncated: Vec<Option<String>>,
+}
+
+/// A [`ShardedDatabase`] whose commits survive crashes: per-shard WALs,
+/// group-commit coordinator, per-shard checkpoints (see module docs).
+pub struct ShardedDurableDatabase<V: Vfs> {
+    db: ShardedDatabase,
+    shards: Vec<ShardLog<V>>,
+    coord_vfs: V,
+    coord_wal: Wal,
+    policy: MaintenancePolicy,
+    /// Set when a durable write failed after an in-memory mutation — RAM is
+    /// ahead of the group-committed log, so every later durable operation
+    /// is refused (mirrors [`crate::durable::DurableDatabase`] poisoning).
+    poisoned: Option<String>,
+}
+
+impl<V: Vfs> ShardedDurableDatabase<V> {
+    /// Initialize a fresh sharded durable database: one directory per shard
+    /// plus the coordinator's. Shard count = `shard_vfs.len()`; the
+    /// template's rows are routed to their owner shards and every directory
+    /// gets its genesis checkpoint.
+    pub fn create(
+        shard_vfs: Vec<V>,
+        coord_vfs: V,
+        template: &Catalog,
+        routing: RoutingSpec,
+        policy: MaintenancePolicy,
+    ) -> Result<Self> {
+        let db = ShardedDatabase::new(template, shard_vfs.len(), routing.clone())?;
+        let mut shards = Vec::with_capacity(shard_vfs.len());
+        for (mut vfs, shard_db) in shard_vfs.into_iter().zip(db.shards()) {
+            // Shard appends never fsync themselves: durability comes from
+            // the group-commit barrier below.
+            let wal = Wal::create(
+                &mut vfs,
+                WalOptions {
+                    policy: FsyncPolicy::Never,
+                    ..WalOptions::default()
+                },
+                1,
+            )?;
+            write_checkpoint(&mut vfs, 0, &encode_shard_state(shard_db)?)?;
+            shards.push(ShardLog { vfs, wal });
+        }
+        let mut coord_vfs = coord_vfs;
+        let coord_wal = Wal::create(
+            &mut coord_vfs,
+            WalOptions {
+                policy: policy.fsync,
+                ..WalOptions::default()
+            },
+            1,
+        )?;
+        let floors = vec![0; shards.len()];
+        write_checkpoint(
+            &mut coord_vfs,
+            0,
+            &encode_coord_state(db.enforce_constraints, &floors, &routing)?,
+        )?;
+        let mut this = ShardedDurableDatabase {
+            db,
+            shards,
+            coord_vfs,
+            coord_wal,
+            policy,
+            poisoned: None,
+        };
+        this.db.set_policy(policy);
+        Ok(this)
+    }
+
+    /// Open an existing sharded durable database, converging every shard on
+    /// the group-commit LSN floor (see module docs).
+    pub fn open(
+        shard_vfs: Vec<V>,
+        coord_vfs: V,
+        policy: MaintenancePolicy,
+    ) -> Result<(Self, ShardedRecoveryReport)> {
+        let n_shards = shard_vfs.len();
+        let mut coord_vfs = coord_vfs;
+        let ckpt = read_latest_checkpoint(&mut coord_vfs)?.ok_or_else(|| {
+            corrupt(
+                "coordinator checkpoint",
+                "no valid coordinator checkpoint found (directory never initialized?)",
+            )
+        })?;
+        let (enforce, ckpt_floors, routing) = decode_coord_state(&ckpt.payload)?;
+        if ckpt_floors.len() != n_shards {
+            return Err(corrupt(
+                "coordinator checkpoint",
+                format!(
+                    "checkpoint names {} shards, caller supplied {n_shards} directories",
+                    ckpt_floors.len()
+                ),
+            ));
+        }
+        let (mut coord_wal, coord_scan) = Wal::open(
+            &mut coord_vfs,
+            WalOptions {
+                policy: policy.fsync,
+                ..WalOptions::default()
+            },
+            ckpt.lsn + 1,
+        )?;
+        if coord_wal.next_lsn() <= ckpt.lsn {
+            // Same guard as the single-node layer: a corrupt record below
+            // the checkpoint LSN must not make the log re-issue LSNs the
+            // replay filter would skip.
+            coord_wal.begin_after(&mut coord_vfs, ckpt.lsn + 1)?;
+        }
+        // Fold the group records into the final floor: the newest durable
+        // group record defines both the global commit LSN and each shard's
+        // local replay ceiling.
+        let mut group_lsn = ckpt.lsn;
+        let mut floors = ckpt_floors;
+        for rec in &coord_scan.records {
+            if rec.kind != REC_GROUP {
+                return Err(corrupt(
+                    "coordinator wal",
+                    format!("unknown record kind {} at lsn {}", rec.kind, rec.lsn),
+                ));
+            }
+            if rec.lsn <= ckpt.lsn {
+                continue; // already reflected in the checkpointed floor
+            }
+            floors = decode_group(rec, n_shards)?;
+            group_lsn = rec.lsn;
+        }
+
+        let mut report = ShardedRecoveryReport {
+            group_lsn,
+            checkpoint_lsn: ckpt.lsn,
+            replayed_updates: 0,
+            discarded_records: 0,
+            truncated: Vec::with_capacity(n_shards + 1),
+        };
+
+        let mut shard_dbs = Vec::with_capacity(n_shards);
+        let mut shard_logs = Vec::with_capacity(n_shards);
+        for (s, mut vfs) in shard_vfs.into_iter().enumerate() {
+            let label = format!("shard{s} wal");
+            let ckpt = read_latest_checkpoint(&mut vfs)?
+                .ok_or_else(|| corrupt(&label, "no valid shard checkpoint found"))?;
+            // The shard checkpoint is stamped with a *local* WAL LSN, but
+            // the snapshot registry runs on the *global* commit clock —
+            // anchor the restored chains at 0 and publish once at the group
+            // floor below; pins below the floor die with the crash anyway.
+            let mut db = restore_shard_state(&ckpt.payload, policy, 0)?;
+            let (mut wal, scan) = Wal::open(
+                &mut vfs,
+                WalOptions {
+                    policy: FsyncPolicy::Never,
+                    ..WalOptions::default()
+                },
+                ckpt.lsn + 1,
+            )?;
+            if wal.next_lsn() <= ckpt.lsn {
+                wal.begin_after(&mut vfs, ckpt.lsn + 1)?;
+            }
+            report.truncated.push(scan.truncated.map(|t| t.reason));
+            // Replay this shard's committed tail: records in
+            // (checkpoint, floor]. Anything above the floor was never group
+            // committed; anything missing below it is corruption the group
+            // record vouched against.
+            let floor = floors[s];
+            let mut next_expected = ckpt.lsn + 1;
+            let mut discarded = 0usize;
+            for rec in &scan.records {
+                if rec.lsn <= ckpt.lsn {
+                    continue; // pre-checkpoint record in an unpruned segment
+                }
+                if rec.lsn > floor {
+                    discarded += 1;
+                    continue;
+                }
+                if rec.lsn != next_expected {
+                    return Err(corrupt(
+                        &label,
+                        format!("gap before lsn {} (expected {next_expected})", rec.lsn),
+                    ));
+                }
+                next_expected += 1;
+                Self::replay_shard_record(&mut db, rec)?;
+                report.replayed_updates += 1;
+            }
+            if next_expected <= floor {
+                return Err(corrupt(
+                    &label,
+                    format!(
+                        "log ends at lsn {} but the durable group record vouches for {floor}",
+                        next_expected - 1
+                    ),
+                ));
+            }
+            // Converge the shard's registry on the global commit LSN so
+            // cross-shard snapshots pin cleanly at `group_lsn`.
+            if group_lsn > 0 {
+                db.publish_commit(group_lsn)?;
+            }
+            db.set_commit_lsn(group_lsn);
+            if discarded > 0 {
+                // Bury the uncommitted records: a fresh checkpoint stamped
+                // at the log head covers their LSNs with the *committed*
+                // state, so no later recovery can replay them.
+                wal.sync(&mut vfs)?;
+                let head = wal.last_lsn();
+                write_checkpoint(&mut vfs, head, &encode_shard_state(&db)?)?;
+                wal.prune_below(&mut vfs, head + 1)?;
+                prune_checkpoints(&mut vfs, head)?;
+            }
+            report.discarded_records += discarded;
+            shard_dbs.push(db);
+            shard_logs.push(ShardLog { vfs, wal });
+        }
+        report
+            .truncated
+            .push(coord_scan.truncated.map(|t| t.reason));
+
+        let db = ShardedDatabase::from_recovered(shard_dbs, &routing, enforce, group_lsn)?;
+        Ok((
+            ShardedDurableDatabase {
+                db,
+                shards: shard_logs,
+                coord_vfs,
+                coord_wal,
+                policy,
+                poisoned: None,
+            },
+            report,
+        ))
+    }
+
+    fn replay_shard_record(db: &mut crate::database::Database, rec: &WalRecord) -> Result<()> {
+        if rec.kind != REC_UPDATE {
+            return Err(corrupt(
+                "shard wal",
+                format!("unknown record kind {} at lsn {}", rec.kind, rec.lsn),
+            ));
+        }
+        let mut r = ByteReader::new(&rec.payload);
+        let flags = r.u8("update flags").map_err(CoreError::Rel)?;
+        let update = decode_update(rec.payload.get(1..).unwrap_or(&[]), db.catalog())?;
+        match update.op {
+            UpdateOp::Insert => {
+                db.catalog_mut()
+                    .insert(&update.table, update.rows.rows().to_vec())?;
+            }
+            UpdateOp::Delete => {
+                let key_cols = db.catalog().table(&update.table)?.key_cols().to_vec();
+                let keys: Vec<Vec<Datum>> = update
+                    .rows
+                    .rows()
+                    .iter()
+                    .map(|row| ojv_rel::key_of(row, &key_cols))
+                    .collect();
+                db.catalog_mut().delete(&update.table, &keys)?;
+            }
+        }
+        let saved = db.policy;
+        if flags & FLAG_UPDATE_DECOMPOSITION != 0 {
+            db.policy.update_decomposition = true;
+        }
+        let maintained = db.maintain_views_only(&update);
+        db.policy = saved;
+        maintained?;
+        Ok(())
+    }
+
+    fn check_usable(&self) -> Result<()> {
+        match &self.poisoned {
+            Some(detail) => Err(CoreError::Poisoned {
+                detail: detail.clone(),
+            }),
+            None => Ok(()),
+        }
+    }
+
+    fn poison(&mut self, during: &str, err: CoreError) -> CoreError {
+        if self.poisoned.is_none() {
+            self.poisoned = Some(format!("{during} failed: {err}"));
+        }
+        err
+    }
+
+    /// The group-commit barrier: log the routed per-shard deltas, fsync the
+    /// touched shard WALs, make the group record durable, then maintain and
+    /// publish every shard at the group record's LSN.
+    fn group_commit(
+        &mut self,
+        updates: &[Option<Update>],
+        flags: u8,
+    ) -> Result<Vec<MaintenanceReport>> {
+        // 1. Buffered appends to the owner shards' WALs (no fsync). The
+        // catalog mutation has already happened, so failures poison.
+        let logged = (|| -> Result<()> {
+            for (log, up) in self.shards.iter_mut().zip(updates) {
+                let Some(up) = up else { continue };
+                let body = encode_update(up)?;
+                let mut payload = Vec::with_capacity(1 + body.len());
+                payload.push(flags);
+                payload.extend_from_slice(&body);
+                log.wal.append(&mut log.vfs, REC_UPDATE, &payload)?;
+            }
+            Ok(())
+        })();
+        logged.map_err(|e| self.poison("shard WAL append of an applied update", e))?;
+        // 2 + 3. The cross-shard fsync barrier, then the commit point. The
+        // group record names every shard's log head (touched or not).
+        let committed = (|| -> Result<Lsn> {
+            for (log, up) in self.shards.iter_mut().zip(updates) {
+                if up.is_some() {
+                    log.wal.sync(&mut log.vfs)?;
+                }
+            }
+            let floors: Vec<Lsn> = self.shards.iter().map(|l| l.wal.last_lsn()).collect();
+            let payload = encode_group(&floors)?;
+            Ok(self
+                .coord_wal
+                .append(&mut self.coord_vfs, REC_GROUP, &payload)?)
+        })();
+        let lsn = committed.map_err(|e| self.poison("group-commit barrier", e))?;
+        // 4. Maintain + publish at the global commit LSN. Maintenance
+        // failures do not poison: the deltas are durable, and recovery
+        // replays maintenance from them.
+        self.db.maintain_and_publish_at(updates, lsn)
+    }
+
+    /// Durable insert: route + apply, group-commit, maintain (see
+    /// [`ShardedDatabase::insert`] for the constraint semantics).
+    pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<Vec<MaintenanceReport>> {
+        self.check_usable()?;
+        let updates = self.db.apply_insert_routed(table, rows)?;
+        self.group_commit(&updates, 0)
+    }
+
+    /// Durable delete by unique key.
+    pub fn delete(&mut self, table: &str, keys: &[Vec<Datum>]) -> Result<Vec<MaintenanceReport>> {
+        self.check_usable()?;
+        let updates = self.db.apply_delete_routed(table, keys)?;
+        self.group_commit(&updates, 0)
+    }
+
+    /// Durable SQL-style `UPDATE` (delete + insert, two group commits, both
+    /// logged with the decomposition flag so replay disables the §6 fast
+    /// paths exactly as the original run did).
+    pub fn update(
+        &mut self,
+        table: &str,
+        keys: &[Vec<Datum>],
+        new_rows: Vec<Row>,
+    ) -> Result<Vec<MaintenanceReport>> {
+        self.check_usable()?;
+        let saved = self.policy;
+        let mut decomposed = self.policy;
+        decomposed.update_decomposition = true;
+        self.db.set_policy(decomposed);
+        let result = (|| {
+            let del = self.db.apply_delete_routed(table, keys)?;
+            let mut reports = self.group_commit(&del, FLAG_UPDATE_DECOMPOSITION)?;
+            let ins = self.db.apply_insert_routed(table, new_rows)?;
+            reports.extend(self.group_commit(&ins, FLAG_UPDATE_DECOMPOSITION)?);
+            Ok(reports)
+        })();
+        self.db.set_policy(saved);
+        result
+    }
+
+    /// Create a routing-aligned view on every shard and checkpoint
+    /// immediately — view definitions live in shard checkpoints, not logs.
+    pub fn create_view(&mut self, def: ViewDef) -> Result<()> {
+        self.check_usable()?;
+        self.db.create_view(def)?;
+        self.checkpoint()
+            .map_err(|e| self.poison("checkpoint after view creation", e))?;
+        Ok(())
+    }
+
+    /// Checkpoint every shard and the coordinator, then prune the logs:
+    /// each shard's state is serialized at its current log head, and the
+    /// coordinator checkpoint pins the matching floor vector.
+    pub fn checkpoint(&mut self) -> Result<Lsn> {
+        self.check_usable()?;
+        let mut floors = Vec::with_capacity(self.shards.len());
+        for (log, shard_db) in self.shards.iter_mut().zip(self.db.shards()) {
+            log.wal.sync(&mut log.vfs)?;
+            let head = log.wal.last_lsn();
+            write_checkpoint(&mut log.vfs, head, &encode_shard_state(shard_db)?)?;
+            log.wal.prune_below(&mut log.vfs, head + 1)?;
+            prune_checkpoints(&mut log.vfs, head)?;
+            floors.push(head);
+        }
+        self.coord_wal.sync(&mut self.coord_vfs)?;
+        let lsn = self.coord_wal.last_lsn();
+        let payload =
+            encode_coord_state(self.db.enforce_constraints, &floors, &self.routing_spec())?;
+        write_checkpoint(&mut self.coord_vfs, lsn, &payload)?;
+        self.coord_wal.prune_below(&mut self.coord_vfs, lsn + 1)?;
+        prune_checkpoints(&mut self.coord_vfs, lsn)?;
+        Ok(lsn)
+    }
+
+    fn routing_spec(&self) -> RoutingSpec {
+        self.db.routing_spec()
+    }
+
+    /// Flush every stream to stable storage (useful under
+    /// [`FsyncPolicy::EveryN`] before an intentional stop).
+    pub fn sync(&mut self) -> Result<()> {
+        for log in &mut self.shards {
+            log.wal.sync(&mut log.vfs)?;
+        }
+        self.coord_wal.sync(&mut self.coord_vfs)?;
+        Ok(())
+    }
+
+    /// The wrapped in-memory façade.
+    pub fn database(&self) -> &ShardedDatabase {
+        &self.db
+    }
+
+    /// Canonical cross-shard state encoding (see
+    /// [`ShardedDatabase::state_bytes`]) — recovery compares against an
+    /// uncrashed twin with exactly this.
+    pub fn state_bytes(&self) -> Result<Vec<u8>> {
+        self.db.state_bytes()
+    }
+
+    /// Pin a consistent cross-shard snapshot at the newest group commit.
+    pub fn snapshot(&self) -> Result<ShardedSnapshot> {
+        self.db.snapshot()
+    }
+
+    /// Global commit LSN (== coordinator WAL LSN of the newest group
+    /// record).
+    pub fn commit_lsn(&self) -> Lsn {
+        self.db.commit_lsn()
+    }
+
+    /// Why durable operations are refused, if a durable write failed after
+    /// an in-memory mutation.
+    pub fn poison_reason(&self) -> Option<&str> {
+        self.poisoned.as_deref()
+    }
+
+    /// Tear the database apart into its filesystems (`N` shard directories
+    /// + coordinator) — crash tests keep only the bytes.
+    pub fn into_vfs(self) -> (Vec<V>, V) {
+        (
+            self.shards.into_iter().map(|l| l.vfs).collect(),
+            self.coord_vfs,
+        )
+    }
+
+    /// Per-shard VFS access for fault inspection.
+    pub fn shard_vfs(&self, shard: usize) -> &V {
+        &self.shards[shard].vfs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::*;
+    use crate::view_def::{col_eq, ViewExpr};
+    use ojv_durability::MemVfs;
+
+    fn routing() -> RoutingSpec {
+        RoutingSpec::new()
+            .table("part", &["p_partkey"])
+            .table("orders", &["o_orderkey"])
+            .table("lineitem", &["l_orderkey"])
+    }
+
+    fn ol_view() -> ViewDef {
+        ViewDef::new(
+            "ol_view",
+            ViewExpr::left_outer(
+                vec![col_eq("orders", "o_orderkey", "lineitem", "l_orderkey")],
+                ViewExpr::table("orders"),
+                ViewExpr::table("lineitem"),
+            ),
+        )
+    }
+
+    fn fresh(n: usize) -> ShardedDurableDatabase<MemVfs> {
+        let mut c = example1_catalog();
+        populate_example1(&mut c, 8, 9);
+        let vfs: Vec<MemVfs> = (0..n).map(|_| MemVfs::new()).collect();
+        let mut d = ShardedDurableDatabase::create(
+            vfs,
+            MemVfs::new(),
+            &c,
+            routing(),
+            MaintenancePolicy::default(),
+        )
+        .unwrap();
+        d.create_view(ol_view()).unwrap();
+        d
+    }
+
+    /// "Crash": keep only each stream's durable (synced) bytes.
+    fn crash(d: ShardedDurableDatabase<MemVfs>) -> (Vec<MemVfs>, MemVfs) {
+        let (shards, coord) = d.into_vfs();
+        (shards.iter().map(MemVfs::crash).collect(), coord.crash())
+    }
+
+    #[test]
+    fn commit_crash_reopen_is_byte_identical() {
+        for n in [1usize, 2, 4] {
+            let mut d = fresh(n);
+            d.insert("lineitem", vec![lineitem_row(3, 7, 2, 4, 42.0)])
+                .unwrap();
+            d.insert("lineitem", vec![lineitem_row(5, 8, 1, 1, 7.0)])
+                .unwrap();
+            d.delete("lineitem", &[vec![Datum::Int(3), Datum::Int(7)]])
+                .unwrap();
+            let expected = d.state_bytes().unwrap();
+            let lsn = d.commit_lsn();
+            let (shards, coord) = crash(d);
+            let (r, report) =
+                ShardedDurableDatabase::open(shards, coord, MaintenancePolicy::default()).unwrap();
+            assert_eq!(report.group_lsn, lsn, "{n} shards");
+            assert_eq!(r.state_bytes().unwrap(), expected, "{n} shards");
+            assert_eq!(r.commit_lsn(), lsn);
+        }
+    }
+
+    #[test]
+    fn unsynced_shard_tail_rolls_back_to_group_floor() {
+        let mut d = fresh(3);
+        d.insert("lineitem", vec![lineitem_row(3, 7, 2, 4, 42.0)])
+            .unwrap();
+        let committed = d.state_bytes().unwrap();
+        let floor = d.commit_lsn();
+
+        // A half-finished commit: the owner shard's WAL gets the record and
+        // even an fsync, but the coordinator record never lands (crash
+        // between barrier steps 2 and 3).
+        let row = lineitem_row(5, 8, 1, 1, 7.0);
+        let ups = d.db.apply_insert_routed("lineitem", vec![row]).unwrap();
+        for (log, up) in d.shards.iter_mut().zip(&ups) {
+            let Some(up) = up else { continue };
+            let mut payload = vec![0u8];
+            payload.extend_from_slice(&encode_update(up).unwrap());
+            log.wal.append(&mut log.vfs, REC_UPDATE, &payload).unwrap();
+            log.wal.sync(&mut log.vfs).unwrap();
+        }
+        let (shards, coord) = crash(d);
+
+        let (r, report) =
+            ShardedDurableDatabase::open(shards, coord, MaintenancePolicy::default()).unwrap();
+        assert_eq!(report.group_lsn, floor);
+        assert_eq!(report.discarded_records, 1, "the orphaned shard record");
+        assert_eq!(r.state_bytes().unwrap(), committed);
+
+        // And the discarded record must stay dead across ANOTHER cycle.
+        let (shards, coord) = crash(r);
+        let (r2, rep2) =
+            ShardedDurableDatabase::open(shards, coord, MaintenancePolicy::default()).unwrap();
+        assert_eq!(rep2.discarded_records, 0);
+        assert_eq!(r2.state_bytes().unwrap(), committed);
+    }
+
+    #[test]
+    fn checkpoint_bounds_replay() {
+        let mut d = fresh(2);
+        d.insert("lineitem", vec![lineitem_row(3, 7, 2, 4, 42.0)])
+            .unwrap();
+        d.checkpoint().unwrap();
+        d.insert("lineitem", vec![lineitem_row(5, 8, 1, 1, 7.0)])
+            .unwrap();
+        let expected = d.state_bytes().unwrap();
+        let (shards, coord) = crash(d);
+        let (r, report) =
+            ShardedDurableDatabase::open(shards, coord, MaintenancePolicy::default()).unwrap();
+        assert_eq!(report.replayed_updates, 1, "only the post-checkpoint batch");
+        assert_eq!(r.state_bytes().unwrap(), expected);
+    }
+
+    #[test]
+    fn update_decomposition_survives_replay() {
+        let mut d = fresh(4);
+        d.update(
+            "lineitem",
+            &[vec![Datum::Int(2), Datum::Int(1)]],
+            vec![lineitem_row(2, 1, 3, 99, 1.0)],
+        )
+        .unwrap();
+        let expected = d.state_bytes().unwrap();
+        let (shards, coord) = crash(d);
+        let (r, _) =
+            ShardedDurableDatabase::open(shards, coord, MaintenancePolicy::default()).unwrap();
+        assert_eq!(r.state_bytes().unwrap(), expected);
+        for s in r.database().shards() {
+            assert!(crate::maintain::verify_against_recompute(
+                s.view("ol_view").unwrap(),
+                s.catalog()
+            ));
+        }
+    }
+
+    #[test]
+    fn recovered_database_keeps_committing() {
+        let mut d = fresh(2);
+        d.insert("lineitem", vec![lineitem_row(3, 7, 2, 4, 42.0)])
+            .unwrap();
+        let (shards, coord) = crash(d);
+        let (mut r, _) =
+            ShardedDurableDatabase::open(shards, coord, MaintenancePolicy::default()).unwrap();
+        r.insert("lineitem", vec![lineitem_row(5, 8, 1, 1, 7.0)])
+            .unwrap();
+        let expected = r.state_bytes().unwrap();
+        let (shards, coord) = crash(r);
+        let (r2, _) =
+            ShardedDurableDatabase::open(shards, coord, MaintenancePolicy::default()).unwrap();
+        assert_eq!(r2.state_bytes().unwrap(), expected);
+    }
+}

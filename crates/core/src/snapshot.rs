@@ -533,6 +533,12 @@ impl SnapshotView {
         self.store.rows()
     }
 
+    /// The underlying store image — the sharded snapshot's canonical
+    /// encoder reads rows *and* count indexes through this.
+    pub(crate) fn store(&self) -> &ViewStore {
+        &self.store
+    }
+
     /// Global wide-row column indexes of the view's projected output.
     /// Subscription filters and projections in `ojv-feed` are declared over
     /// output columns and mapped through this onto the stored wide rows, so

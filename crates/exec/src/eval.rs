@@ -1,7 +1,8 @@
 //! Scalar predicate evaluation over wide rows.
 
 use ojv_algebra::{Atom, Pred};
-use ojv_rel::Datum;
+use ojv_rel::{Datum, DatumRef};
+use ojv_storage::RowRef;
 
 use crate::layout::ViewLayout;
 
@@ -54,7 +55,7 @@ pub fn eval_pred_merged(
         } else {
             left
         };
-        &row[layout.global(*c)]
+        row[layout.global(*c)].as_ref()
     };
     pred.atoms().iter().all(|a| eval_atom_with(a, get))
 }
@@ -72,8 +73,29 @@ pub fn eval_pred_split(
     let get = |c: &ojv_algebra::ColRef| {
         let g = layout.global(*c);
         match g.checked_sub(offset) {
-            Some(local) if local < right.len() => &right[local],
-            _ => &left[g],
+            Some(local) if local < right.len() => right[local].as_ref(),
+            _ => left[g].as_ref(),
+        }
+    };
+    pred.atoms().iter().all(|a| eval_atom_with(a, get))
+}
+
+/// [`eval_pred_split`] where the right side is a *columnar* base-table row:
+/// right columns read straight from the table's column pages, left columns
+/// from the wide probe row. The hot shape of narrow-build and index joins
+/// after the heap rework.
+pub fn eval_pred_split_ref(
+    layout: &ViewLayout,
+    pred: &Pred,
+    left: &[Datum],
+    right: RowRef<'_>,
+    offset: usize,
+) -> bool {
+    let get = |c: &ojv_algebra::ColRef| {
+        let g = layout.global(*c);
+        match g.checked_sub(offset) {
+            Some(local) if local < right.width() => right.dat(local),
+            _ => left[g].as_ref(),
         }
     };
     pred.atoms().iter().all(|a| eval_atom_with(a, get))
@@ -92,22 +114,48 @@ pub fn eval_pred_two_narrow(
 ) -> bool {
     let get = |c: &ojv_algebra::ColRef| {
         if c.table == lt {
-            &left[c.col]
+            left[c.col].as_ref()
         } else {
             debug_assert_eq!(c.table, rt, "atom references a third table");
-            &right[c.col]
+            right[c.col].as_ref()
+        }
+    };
+    pred.atoms().iter().all(|a| eval_atom_with(a, get))
+}
+
+/// [`eval_pred_two_narrow`] with a columnar right row.
+pub fn eval_pred_two_narrow_ref(
+    pred: &Pred,
+    lt: ojv_algebra::TableId,
+    left: &[Datum],
+    rt: ojv_algebra::TableId,
+    right: RowRef<'_>,
+) -> bool {
+    let get = |c: &ojv_algebra::ColRef| {
+        if c.table == lt {
+            left[c.col].as_ref()
+        } else {
+            debug_assert_eq!(c.table, rt, "atom references a third table");
+            right.dat(c.col)
         }
     };
     pred.atoms().iter().all(|a| eval_atom_with(a, get))
 }
 
 /// One atom under SQL three-valued logic, columns resolved by `get`.
+///
+/// The getter returns a borrowed [`DatumRef`] view so one evaluator serves
+/// both wide-row slices and columnar rows — `DatumRef::sql_cmp` mirrors
+/// `Datum::sql_cmp` exactly.
 #[inline]
-fn eval_atom_with<'r>(atom: &Atom, get: impl Fn(&ojv_algebra::ColRef) -> &'r Datum) -> bool {
+fn eval_atom_with<'r>(atom: &Atom, get: impl Fn(&ojv_algebra::ColRef) -> DatumRef<'r>) -> bool {
     match atom {
         Atom::Cols(a, op, b) => get(a).sql_cmp(get(b)).map(|o| op.eval(o)).unwrap_or(false),
-        Atom::Const(c, op, lit) => get(c).sql_cmp(lit).map(|o| op.eval(o)).unwrap_or(false),
-        Atom::Between(c, lo, hi) => match (get(c).sql_cmp(lo), get(c).sql_cmp(hi)) {
+        Atom::Const(c, op, lit) => get(c)
+            .sql_cmp_datum(lit)
+            .map(|o| op.eval(o))
+            .unwrap_or(false),
+        Atom::Between(c, lo, hi) => match (get(c).sql_cmp_datum(lo), get(c).sql_cmp_datum(hi)) {
             (Some(a), Some(b)) => a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater,
             _ => false,
         },
@@ -119,19 +167,15 @@ fn eval_atom_with<'r>(atom: &Atom, get: impl Fn(&ojv_algebra::ColRef) -> &'r Dat
 /// Used to run pushed-down scan predicates before widening — the caller
 /// must guarantee every atom references only the scanned table.
 pub fn eval_pred_narrow(pred: &Pred, row: &[Datum]) -> bool {
-    pred.atoms().iter().all(|a| {
-        let get = |c: &ojv_algebra::ColRef| &row[c.col];
-        match a {
-            Atom::Cols(x, op, y) => get(x).sql_cmp(get(y)).map(|o| op.eval(o)).unwrap_or(false),
-            Atom::Const(c, op, lit) => get(c).sql_cmp(lit).map(|o| op.eval(o)).unwrap_or(false),
-            Atom::Between(c, lo, hi) => match (get(c).sql_cmp(lo), get(c).sql_cmp(hi)) {
-                (Some(a), Some(b)) => {
-                    a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater
-                }
-                _ => false,
-            },
-        }
-    })
+    let get = |c: &ojv_algebra::ColRef| row[c.col].as_ref();
+    pred.atoms().iter().all(|a| eval_atom_with(a, get))
+}
+
+/// [`eval_pred_narrow`] over a columnar base-table row: pushed-down scan
+/// predicates evaluate straight off the column pages, no materialization.
+pub fn eval_pred_narrow_ref(pred: &Pred, row: RowRef<'_>) -> bool {
+    let get = |c: &ojv_algebra::ColRef| row.dat(c.col);
+    pred.atoms().iter().all(|a| eval_atom_with(a, get))
 }
 
 #[cfg(test)]

@@ -24,6 +24,7 @@
 //! both correct and what keeps outer-join dangling tuples dangling.
 
 use ojv_rel::{fx_map_with_capacity, key_hash, Datum, FxHashMap, RowBuf};
+use ojv_storage::RowRef;
 
 const NIL: u32 = u32::MAX;
 
@@ -108,6 +109,22 @@ impl KeyHashTable {
             .iter()
             .zip(probe_cols)
             .all(|(&bc, &pc)| build_row[bc] == probe_row[pc])
+    }
+
+    /// [`Self::key_matches`] where the build row is *columnar*: candidate
+    /// verification reads the key columns straight off the heap's column
+    /// pages (`DatumRef` equality mirrors `Datum` equality).
+    #[inline]
+    pub fn key_matches_ref(
+        &self,
+        build_row: RowRef<'_>,
+        probe_row: &[Datum],
+        probe_cols: &[usize],
+    ) -> bool {
+        self.key_cols
+            .iter()
+            .zip(probe_cols)
+            .all(|(&bc, &pc)| build_row.dat(bc) == probe_row[pc])
     }
 }
 
@@ -200,6 +217,31 @@ impl KeySet {
                 .iter()
                 .zip(cols)
                 .all(|(&kc, &pc)| k[kc] == row[pc])
+            {
+                return true;
+            }
+            cur = self.next[cur as usize];
+        }
+        false
+    }
+
+    /// [`Self::contains`] for a *columnar* probe row: the key columns hash
+    /// and compare via `DatumRef`, whose hash stream is byte-identical to
+    /// `Datum`'s, so the probe hits the same buckets. No allocation.
+    #[inline]
+    pub fn contains_ref(&self, row: RowRef<'_>, cols: &[usize]) -> bool {
+        if cols.iter().any(|&c| row.is_null(c)) {
+            return false;
+        }
+        let h = ojv_rel::key_hash_with(cols, |c| row.dat(c));
+        let mut cur = self.head.get(&h).copied().unwrap_or(NIL);
+        while cur != NIL {
+            let k = self.keys.row(cur as usize);
+            if self
+                .all_cols
+                .iter()
+                .zip(cols)
+                .all(|(&kc, &pc)| row.dat(pc) == k[kc])
             {
                 return true;
             }

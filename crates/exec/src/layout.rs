@@ -148,6 +148,22 @@ impl ViewLayout {
         dst[slot.offset..slot.offset + slot.len].clone_from_slice(row);
     }
 
+    /// [`Self::widen_into`] from a columnar row: the heap writes straight
+    /// into the table's slot of a fresh null row (strings clone the backing
+    /// `Arc`, scalars copy) — no intermediate `Vec<Datum>`.
+    pub fn widen_ref_into(
+        &self,
+        t: TableId,
+        row: ojv_storage::RowRef<'_>,
+        out: &mut ojv_rel::RowBuf,
+    ) {
+        let slot = self.slot(t);
+        debug_assert_eq!(row.width(), slot.len);
+        debug_assert_eq!(out.width(), self.width);
+        let dst = out.push_null_row();
+        row.copy_into(&mut dst[slot.offset..slot.offset + slot.len]);
+    }
+
     /// Extract table `t`'s portion of a wide row.
     pub fn narrow(&self, t: TableId, row: &[Datum]) -> Row {
         let slot = self.slot(t);

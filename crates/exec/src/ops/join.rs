@@ -18,10 +18,10 @@
 use std::time::Instant;
 
 use ojv_algebra::{JoinKind, Pred, TableId, TableSet};
-use ojv_rel::{alloc_snapshot, key_eq_rows, key_hash, Datum, Row, RowBuf};
+use ojv_rel::{alloc_snapshot, key_eq_rows, key_hash_with, Datum, Row, RowBuf};
 use ojv_storage::Table;
 
-use crate::eval::{eval_pred_merged, eval_pred_split};
+use crate::eval::{eval_pred_merged, eval_pred_split_ref};
 use crate::hashtbl::{KeyHashTable, KeySet};
 use crate::layout::ViewLayout;
 use crate::parallel::{map_morsels, ExecEnv};
@@ -364,7 +364,6 @@ pub fn narrow_build_join_buf(
     residual: &Pred,
 ) -> RowBuf {
     let layout = env.layout;
-    let right_rows = table.rows();
     let keep_merged = !matches!(kind, JoinKind::LeftSemi | JoinKind::LeftAnti);
     let (offset, slot_len) = {
         let slot = layout.slot(right_id);
@@ -372,21 +371,21 @@ pub fn narrow_build_join_buf(
     };
     let build_start = Instant::now();
     let build_alloc = alloc_snapshot();
-    let hashes: Vec<Option<u64>> = right_rows
-        .iter()
+    let hashes: Vec<Option<u64>> = table
+        .iter_refs()
         .enumerate()
         .map(|(i, r)| {
-            if keep.is_some_and(|k| !k[i]) || rcols_local.iter().any(|&c| r[c].is_null()) {
+            if keep.is_some_and(|k| !k[i]) || rcols_local.iter().any(|&c| r.is_null(c)) {
                 None
             } else {
-                Some(key_hash(r, rcols_local))
+                Some(key_hash_with(rcols_local, |c| r.dat(c)))
             }
         })
         .collect();
     let hash_table = KeyHashTable::from_hashes(&hashes, rcols_local);
     env.record(
         |s| &s.join_build,
-        right_rows.len(),
+        table.len(),
         hash_table.distinct_hashes(),
         1,
         build_start,
@@ -402,9 +401,9 @@ pub fn narrow_build_join_buf(
             let l = left.row(li);
             let mut matched = false;
             for ri in hash_table.candidates(l, lcols) {
-                let r = &right_rows[ri];
-                if !hash_table.key_matches(r, l, lcols)
-                    || !eval_pred_split(layout, residual, l, r, offset)
+                let r = table.row_ref(ri);
+                if !hash_table.key_matches_ref(r, l, lcols)
+                    || !eval_pred_split_ref(layout, residual, l, r, offset)
                 {
                     continue;
                 }
@@ -415,7 +414,7 @@ pub fn narrow_build_join_buf(
                 }
                 let n = out.len();
                 out.push_row(l);
-                out.row_mut(n)[offset..offset + slot_len].clone_from_slice(r);
+                r.copy_into(&mut out.row_mut(n)[offset..offset + slot_len]);
             }
             match kind {
                 JoinKind::LeftOuter | JoinKind::FullOuter if !matched => out.push_row(l),
@@ -429,7 +428,7 @@ pub fn narrow_build_join_buf(
     let morsels = map_morsels(env.spec, left.len(), probe);
 
     let n_morsels = morsels.len();
-    let mut right_matched = vec![false; right_rows.len()];
+    let mut right_matched = vec![false; table.len()];
     let mut out = RowBuf::new(layout.width());
     for (rows, matched) in morsels {
         out.append(&rows);
@@ -438,11 +437,11 @@ pub fn narrow_build_join_buf(
         }
     }
     if matches!(kind, JoinKind::RightOuter | JoinKind::FullOuter) {
-        for (i, r) in right_rows.iter().enumerate() {
+        for (i, r) in table.iter_refs().enumerate() {
             if keep.is_some_and(|k| !k[i]) || right_matched[i] {
                 continue;
             }
-            layout.widen_into(right_id, r, &mut out);
+            layout.widen_ref_into(right_id, r, &mut out);
         }
     }
     env.record(
@@ -562,11 +561,11 @@ pub fn index_join_excluding_buf(
                 }
                 for r in table.index_lookup(index, &probe) {
                     if let Some(ex) = exclude {
-                        if ex.contains(r, key_cols) {
+                        if ex.contains_ref(r, key_cols) {
                             continue;
                         }
                     }
-                    if !eval_pred_split(layout, residual, l, r, offset) {
+                    if !eval_pred_split_ref(layout, residual, l, r, offset) {
                         continue;
                     }
                     matched = true;
@@ -575,7 +574,7 @@ pub fn index_join_excluding_buf(
                     }
                     let n = out.len();
                     out.push_row(l);
-                    out.row_mut(n)[offset..offset + slot_len].clone_from_slice(r);
+                    r.copy_into(&mut out.row_mut(n)[offset..offset + slot_len]);
                 }
             }
             match kind {
@@ -663,11 +662,11 @@ pub fn index_join_narrow_left_buf(
                 }
                 for r in table.index_lookup(index, &probe) {
                     if let Some(ex) = exclude {
-                        if ex.contains(r, key_cols) {
+                        if ex.contains_ref(r, key_cols) {
                             continue;
                         }
                     }
-                    if !crate::eval::eval_pred_two_narrow(residual, left_id, l, right_id, r) {
+                    if !crate::eval::eval_pred_two_narrow_ref(residual, left_id, l, right_id, r) {
                         continue;
                     }
                     matched = true;
@@ -677,7 +676,7 @@ pub fn index_join_narrow_left_buf(
                     let n = out.len();
                     let row = out.push_null_row();
                     row[loffset..loffset + llen].clone_from_slice(l);
-                    row[roffset..roffset + rlen].clone_from_slice(r);
+                    r.copy_into(&mut row[roffset..roffset + rlen]);
                     debug_assert_eq!(out.len(), n + 1);
                 }
             }

@@ -5,7 +5,7 @@ use ojv_rel::{Relation, Row, RowBuf};
 use ojv_storage::Catalog;
 
 use crate::error::{ExecError, ExecResult};
-use crate::eval::{eval_pred, eval_pred_narrow};
+use crate::eval::{eval_pred, eval_pred_narrow_ref};
 use crate::hashtbl::KeySet;
 use crate::layout::ViewLayout;
 use crate::morsel::ParallelSpec;
@@ -107,9 +107,9 @@ pub fn eval_expr_buf(ctx: &ExecCtx<'_>, expr: &Expr) -> ExecResult<RowBuf> {
         Expr::Empty => Ok(RowBuf::new(width)),
         Expr::Table(t) => {
             let table = ctx.base_table(*t)?;
-            let mut out = RowBuf::with_capacity(width, table.rows().len());
-            for r in table.rows() {
-                ctx.layout.widen_into(*t, r, &mut out);
+            let mut out = RowBuf::with_capacity(width, table.len());
+            for r in table.iter_refs() {
+                ctx.layout.widen_ref_into(*t, r, &mut out);
             }
             Ok(out)
         }
@@ -132,10 +132,10 @@ pub fn eval_expr_buf(ctx: &ExecCtx<'_>, expr: &Expr) -> ExecResult<RowBuf> {
             let key_cols = table.key_cols();
             let delta_keys =
                 KeySet::build(delta.rows.rows().iter().map(|r| r.as_slice()), key_cols);
-            let mut out = RowBuf::with_capacity(width, table.rows().len());
-            for r in table.rows() {
-                if !delta_keys.contains(r, key_cols) {
-                    ctx.layout.widen_into(*t, r, &mut out);
+            let mut out = RowBuf::with_capacity(width, table.len());
+            for r in table.iter_refs() {
+                if !delta_keys.contains_ref(r, key_cols) {
+                    ctx.layout.widen_ref_into(*t, r, &mut out);
                 }
             }
             Ok(out)
@@ -319,11 +319,12 @@ pub fn join_buf_expr(
                 let key_cols = table.key_cols();
                 Some(
                     table
-                        .rows()
-                        .iter()
+                        .iter_refs()
                         .map(|r| {
-                            scan.pred.is_none_or(|p| eval_pred_narrow(p, r))
-                                && excluded.as_ref().is_none_or(|ex| !ex.contains(r, key_cols))
+                            scan.pred.is_none_or(|p| eval_pred_narrow_ref(p, r))
+                                && excluded
+                                    .as_ref()
+                                    .is_none_or(|ex| !ex.contains_ref(r, key_cols))
                         })
                         .collect(),
                 )

@@ -148,6 +148,160 @@ impl Datum {
     }
 }
 
+/// A borrowed view of a [`Datum`] — the unit columnar storage hands out.
+///
+/// Column-major pages cannot return `&Datum` (no `Datum` exists in memory;
+/// values live in typed column vectors), so readers get this by-value view
+/// instead: scalar variants are copied, strings are borrowed. Equality,
+/// ordering, and hashing mirror [`Datum`] *exactly* — in particular
+/// `Int`/`Float` cross-type equality and the hash through the float bit
+/// pattern — so a `DatumRef` key probe hits the same buckets an owned
+/// `Datum` key occupies.
+#[derive(Debug, Clone, Copy)]
+pub enum DatumRef<'a> {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Str(&'a str),
+    /// Days since 1970-01-01.
+    Date(i32),
+}
+
+impl<'a> DatumRef<'a> {
+    /// True iff this value is `NULL`.
+    #[inline]
+    pub fn is_null(self) -> bool {
+        matches!(self, DatumRef::Null)
+    }
+
+    /// Materialize an owned [`Datum`]. Strings allocate a fresh `Arc<str>`;
+    /// hot paths that need the owned datum should prefer storage-level
+    /// accessors that clone the backing `Arc` instead.
+    pub fn to_datum(self) -> Datum {
+        match self {
+            DatumRef::Null => Datum::Null,
+            DatumRef::Bool(b) => Datum::Bool(b),
+            DatumRef::Int(v) => Datum::Int(v),
+            DatumRef::Float(v) => Datum::Float(v),
+            DatumRef::Str(s) => Datum::str(s),
+            DatumRef::Date(d) => Datum::Date(d),
+        }
+    }
+
+    /// SQL-style three-valued comparison; mirrors [`Datum::sql_cmp`].
+    pub fn sql_cmp(self, other: DatumRef<'_>) -> Option<Ordering> {
+        match (self, other) {
+            (DatumRef::Null, _) | (_, DatumRef::Null) => None,
+            (DatumRef::Int(a), DatumRef::Int(b)) => Some(a.cmp(&b)),
+            (DatumRef::Float(a), DatumRef::Float(b)) => Some(total_f64_cmp(a, b)),
+            (DatumRef::Int(a), DatumRef::Float(b)) => Some(cmp_int_float(a, b)),
+            (DatumRef::Float(a), DatumRef::Int(b)) => Some(cmp_int_float(b, a).reverse()),
+            (DatumRef::Bool(a), DatumRef::Bool(b)) => Some(a.cmp(&b)),
+            (DatumRef::Str(a), DatumRef::Str(b)) => Some(a.cmp(b)),
+            (DatumRef::Date(a), DatumRef::Date(b)) => Some(a.cmp(&b)),
+            _ => None,
+        }
+    }
+
+    /// [`Self::sql_cmp`] against an owned datum without materializing.
+    #[inline]
+    pub fn sql_cmp_datum(self, other: &Datum) -> Option<Ordering> {
+        self.sql_cmp(other.as_ref())
+    }
+
+    fn variant_rank(self) -> u8 {
+        match self {
+            DatumRef::Null => 0,
+            DatumRef::Bool(_) => 1,
+            DatumRef::Int(_) => 2,
+            DatumRef::Float(_) => 3,
+            DatumRef::Str(_) => 4,
+            DatumRef::Date(_) => 5,
+        }
+    }
+
+    /// Total order mirroring [`Datum`]'s `Ord` (`NULL` first, numeric
+    /// cross-type comparison, then variant rank).
+    pub fn total_cmp(self, other: DatumRef<'_>) -> Ordering {
+        match (self, other) {
+            (DatumRef::Null, DatumRef::Null) => Ordering::Equal,
+            (DatumRef::Int(a), DatumRef::Float(b)) => cmp_int_float(a, b),
+            (DatumRef::Float(a), DatumRef::Int(b)) => cmp_int_float(b, a).reverse(),
+            _ => match self.variant_rank().cmp(&other.variant_rank()) {
+                Ordering::Equal => match (self, other) {
+                    (DatumRef::Bool(a), DatumRef::Bool(b)) => a.cmp(&b),
+                    (DatumRef::Int(a), DatumRef::Int(b)) => a.cmp(&b),
+                    (DatumRef::Float(a), DatumRef::Float(b)) => total_f64_cmp(a, b),
+                    (DatumRef::Str(a), DatumRef::Str(b)) => a.cmp(b),
+                    (DatumRef::Date(a), DatumRef::Date(b)) => a.cmp(&b),
+                    _ => unreachable!("equal variant ranks imply equal variants"),
+                },
+                o => o,
+            },
+        }
+    }
+}
+
+impl PartialEq for DatumRef<'_> {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(*other) == Ordering::Equal
+    }
+}
+
+impl Eq for DatumRef<'_> {}
+
+impl PartialEq<Datum> for DatumRef<'_> {
+    fn eq(&self, other: &Datum) -> bool {
+        *self == other.as_ref()
+    }
+}
+
+impl Hash for DatumRef<'_> {
+    /// Byte-for-byte the same hash stream as [`Datum`]'s `Hash` impl, so
+    /// borrowed probes can hit maps keyed by owned datums.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            DatumRef::Null => state.write_u8(0),
+            DatumRef::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            DatumRef::Int(v) => {
+                state.write_u8(2);
+                state.write_u64((*v as f64).to_bits());
+            }
+            DatumRef::Float(v) => {
+                state.write_u8(2);
+                state.write_u64(v.to_bits());
+            }
+            DatumRef::Str(s) => {
+                state.write_u8(4);
+                s.hash(state);
+            }
+            DatumRef::Date(d) => {
+                state.write_u8(5);
+                d.hash(state);
+            }
+        }
+    }
+}
+
+impl Datum {
+    /// Borrow this datum as a [`DatumRef`].
+    #[inline]
+    pub fn as_ref(&self) -> DatumRef<'_> {
+        match self {
+            Datum::Null => DatumRef::Null,
+            Datum::Bool(b) => DatumRef::Bool(*b),
+            Datum::Int(v) => DatumRef::Int(*v),
+            Datum::Float(v) => DatumRef::Float(*v),
+            Datum::Str(s) => DatumRef::Str(s),
+            Datum::Date(d) => DatumRef::Date(*d),
+        }
+    }
+}
+
 fn total_f64_cmp(a: f64, b: f64) -> Ordering {
     a.total_cmp(&b)
 }
@@ -455,5 +609,41 @@ mod tests {
     fn data_type_of_null_is_none() {
         assert_eq!(Datum::Null.data_type(), None);
         assert_eq!(Datum::Int(1).data_type(), Some(DataType::Int));
+    }
+
+    /// Every `DatumRef` must hash to exactly the bytes its owned twin
+    /// hashes to — columnar probes rely on hitting owned-key buckets.
+    #[test]
+    fn datum_ref_hash_and_eq_parity() {
+        use crate::fxhash::fx_hash_one;
+        let samples = vec![
+            Datum::Null,
+            Datum::Bool(true),
+            Datum::Bool(false),
+            Datum::Int(0),
+            Datum::Int(-7),
+            Datum::Int(1 << 53),
+            Datum::Float(2.5),
+            Datum::Float(-0.0),
+            Datum::Float(f64::NAN),
+            Datum::str(""),
+            Datum::str("hello"),
+            Datum::Date(9131),
+        ];
+        for a in &samples {
+            assert_eq!(fx_hash_one(a), fx_hash_one(&a.as_ref()), "{a:?}");
+            for b in &samples {
+                assert_eq!(a == b, a.as_ref() == b.as_ref(), "{a:?} vs {b:?}");
+                assert_eq!(a.cmp(b), a.as_ref().total_cmp(b.as_ref()), "{a:?} vs {b:?}");
+                assert_eq!(
+                    a.sql_cmp(b),
+                    a.as_ref().sql_cmp(b.as_ref()),
+                    "{a:?} vs {b:?}"
+                );
+            }
+        }
+        // Cross-type Int/Float equality carries over.
+        assert_eq!(DatumRef::Int(2), DatumRef::Float(2.0));
+        assert_eq!(DatumRef::Int(2), Datum::Float(2.0));
     }
 }

@@ -38,7 +38,7 @@ pub use alloc::{alloc_counting_active, alloc_snapshot, AllocSnapshot, CountingAl
 pub use codec::{
     decode_datum, encode_datum, put_datum, put_row, put_str, put_u32, put_u64, ByteReader,
 };
-pub use datum::{date, date_from_days, days_from_date, DataType, Datum};
+pub use datum::{date, date_from_days, days_from_date, DataType, Datum, DatumRef};
 pub use error::RelError;
 pub use floatsum::ExactFloatSum;
 pub use fxhash::{
@@ -47,6 +47,6 @@ pub use fxhash::{
 };
 pub use relation::Relation;
 pub use row::{all_non_null, all_null, key_into, key_of, row_display, Row};
-pub use rowbuf::{key_eq, key_eq_rows, key_hash, RowBuf};
+pub use rowbuf::{key_eq, key_eq_rows, key_hash, key_hash_with, RowBuf};
 pub use schema::{Column, Schema, SchemaRef};
 pub use subsume::{minimum_union, outer_union, outer_union_schema, remove_subsumed, subsumes};

@@ -220,6 +220,20 @@ pub fn key_hash(row: &[Datum], cols: &[usize]) -> u64 {
     h.finish()
 }
 
+/// [`key_hash`] over an *accessor* instead of a row slice: hashes the key
+/// columns produced by `get(col)` with the same deterministic stream, so a
+/// columnar row (which cannot yield `&[Datum]`) probes the same buckets.
+/// `DatumRef`'s `Hash` impl is byte-identical to `Datum`'s.
+#[inline]
+pub fn key_hash_with<'a>(cols: &[usize], get: impl Fn(usize) -> crate::DatumRef<'a>) -> u64 {
+    let mut h = FxHasher::default();
+    cols.len().hash(&mut h);
+    for &c in cols {
+        get(c).hash(&mut h);
+    }
+    h.finish()
+}
+
 /// True iff the key columns of `row` equal `key` element-wise (plain `Eq`,
 /// the same equivalence hash tables use — *not* SQL null semantics).
 #[inline]

@@ -127,6 +127,22 @@ impl Schema {
         Schema::new(cols)
     }
 
+    /// Canonicalize numeric-widened datums in place: an `Int` datum in a
+    /// `Float` column becomes the equal `Float` (the representation columnar
+    /// storage keeps). Applied at the update boundary so the delta handed to
+    /// maintenance, the WAL record, and the stored row are byte-identical.
+    /// `Datum` equality/ordering/hashing are already cross-type for this
+    /// pair, so the rewrite is unobservable to predicates and keys.
+    pub fn canonicalize_row(&self, row: &mut Row) {
+        for (datum, col) in row.iter_mut().zip(&self.columns) {
+            if col.ty == DataType::Float {
+                if let Datum::Int(v) = datum {
+                    *datum = Datum::Float(*v as f64);
+                }
+            }
+        }
+    }
+
     /// Validate a row against this schema: arity, nullability, and types.
     pub fn check_row(&self, row: &Row) -> Result<(), RelError> {
         if row.len() != self.columns.len() {

@@ -189,12 +189,43 @@ impl Catalog {
         self.fks.iter().filter(move |fk| fk.parent == parent)
     }
 
+    /// Does deleting `parent` key `key` violate a foreign key *against the
+    /// rows of this catalog*? Returns the first violated constraint.
+    ///
+    /// This is the read half of [`Catalog::delete`]'s restrict check,
+    /// exposed for the sharded facade: children need not be colocated with
+    /// the parent they reference, so the facade broadcasts this probe to
+    /// every shard before routing the delete to the parent's owner.
+    pub fn fk_restricting(
+        &self,
+        parent: &str,
+        key: &[Datum],
+    ) -> Result<Option<&ForeignKey>, StorageError> {
+        for fk in self.fks.iter().filter(|fk| fk.parent == parent) {
+            let child = self.table(&fk.child)?;
+            if child.count_secondary(fk.child_index, key) > 0 {
+                return Ok(Some(fk));
+            }
+        }
+        Ok(None)
+    }
+
     /// Insert a batch of rows, enforcing unique keys and FK parent existence.
     ///
     /// All-or-nothing: validation runs before any row is applied. Returns the
     /// applied delta.
     pub fn insert(&mut self, table: &str, rows: Vec<Row>) -> Result<Update, StorageError> {
         let tidx = self.index_of(table)?;
+        // Canonicalize numeric-widened datums up front so the applied delta
+        // (and hence the WAL record) matches the columnar heap's stored
+        // representation byte for byte.
+        let mut rows = rows;
+        {
+            let schema = self.tables[tidx].schema().clone();
+            for row in &mut rows {
+                schema.canonicalize_row(row);
+            }
+        }
         if self.enforce_constraints {
             // FK parent check: the parent may be satisfied by existing rows
             // or by rows earlier in this same batch (self-referencing batches

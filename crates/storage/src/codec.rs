@@ -156,8 +156,10 @@ pub fn encode_catalog(catalog: &Catalog) -> Result<Vec<u8>, RelError> {
             }
         }
         put_usize(&mut buf, t.len(), "row count")?;
-        for row in t.rows() {
-            put_row(&mut buf, row)?;
+        let mut scratch = vec![ojv_rel::Datum::Null; t.schema().len()];
+        for pos in 0..t.len() {
+            t.heap().copy_row_into(pos, &mut scratch);
+            put_row(&mut buf, &scratch)?;
         }
     }
     let fks = catalog.foreign_keys();

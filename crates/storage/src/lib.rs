@@ -21,10 +21,14 @@ pub mod catalog;
 pub mod codec;
 pub mod delta;
 pub mod error;
+pub mod heap;
+pub mod shard;
 pub mod table;
 
 pub use catalog::{Catalog, ForeignKey};
 pub use codec::{decode_catalog, decode_update, encode_catalog, encode_update};
 pub use delta::{Update, UpdateOp};
 pub use error::StorageError;
+pub use heap::{ColumnHeap, RowRef, SEG_ROWS};
+pub use shard::{ShardId, ShardRouter};
 pub use table::{IndexRef, Table};

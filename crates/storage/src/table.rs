@@ -3,6 +3,7 @@
 use ojv_rel::{key_of, Datum, FxHashMap, Relation, Row, SchemaRef};
 
 use crate::error::StorageError;
+use crate::heap::{ColumnHeap, RowRef};
 
 /// A secondary (non-unique) hash index over a column subset.
 #[derive(Debug, Clone, Default)]
@@ -12,14 +13,14 @@ struct SecondaryIndex {
 }
 
 impl SecondaryIndex {
-    fn insert(&mut self, row: &Row, pos: usize) {
+    fn insert(&mut self, row: &[Datum], pos: usize) {
         self.map
             .entry(key_of(row, &self.cols))
             .or_default()
             .push(pos);
     }
 
-    fn remove(&mut self, row: &Row, pos: usize) {
+    fn remove(&mut self, row: &[Datum], pos: usize) {
         let key = key_of(row, &self.cols);
         if let Some(v) = self.map.get_mut(&key) {
             if let Some(i) = v.iter().position(|&p| p == pos) {
@@ -31,7 +32,7 @@ impl SecondaryIndex {
         }
     }
 
-    fn reposition(&mut self, row: &Row, from: usize, to: usize) {
+    fn reposition(&mut self, row: &[Datum], from: usize, to: usize) {
         let key = key_of(row, &self.cols);
         if let Some(v) = self.map.get_mut(&key) {
             if let Some(i) = v.iter().position(|&p| p == from) {
@@ -50,18 +51,21 @@ pub enum IndexRef {
     Secondary(usize),
 }
 
-/// An in-memory table: a row heap plus a hash index on the unique key.
+/// An in-memory table: a columnar row heap plus a hash index on the unique
+/// key.
 ///
-/// Rows are stored densely; deletion uses swap-remove and fixes up index
-/// entries for the moved row, so both insert and delete are O(1) expected
-/// per row.
+/// Rows live in a [`ColumnHeap`] — segmented column-major pages with
+/// per-column null bitmaps — and are addressed by dense position; deletion
+/// uses swap-remove and fixes up index entries for the moved row, so both
+/// insert and delete stay O(1) expected per row. Readers receive [`RowRef`]
+/// handles (or materialize owned rows on cold paths).
 #[derive(Debug, Clone)]
 pub struct Table {
     name: String,
     schema: SchemaRef,
     key_cols: Vec<usize>,
-    rows: Vec<Row>,
-    /// unique key -> position in `rows`. Lookups borrow (`&[Datum]`), and
+    heap: ColumnHeap,
+    /// unique key -> position in the heap. Lookups borrow (`&[Datum]`), and
     /// the deterministic fx hasher keeps probes cheap on the delta hot path.
     unique: FxHashMap<Vec<Datum>, usize>,
     secondary: Vec<SecondaryIndex>,
@@ -92,9 +96,9 @@ impl Table {
         }
         Ok(Table {
             name: name.to_string(),
-            schema,
+            schema: schema.clone(),
             key_cols,
-            rows: Vec::new(),
+            heap: ColumnHeap::new(schema),
             unique: FxHashMap::default(),
             secondary: Vec::new(),
         })
@@ -114,20 +118,44 @@ impl Table {
     }
 
     pub fn len(&self) -> usize {
-        self.rows.len()
+        self.heap.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
+        self.heap.is_empty()
     }
 
-    pub fn rows(&self) -> &[Row] {
-        &self.rows
+    /// The backing column-major heap — the zero-copy scan surface join
+    /// builds and probes read from.
+    pub fn heap(&self) -> &ColumnHeap {
+        &self.heap
+    }
+
+    /// Borrowed handle to the row at heap position `pos`.
+    #[inline]
+    pub fn row_ref(&self, pos: usize) -> RowRef<'_> {
+        self.heap.row_ref(pos)
+    }
+
+    /// Materialize the row at heap position `pos`.
+    pub fn row(&self, pos: usize) -> Row {
+        self.heap.row(pos)
+    }
+
+    /// Iterate all rows as borrowed handles, in heap order.
+    pub fn iter_refs(&self) -> impl ExactSizeIterator<Item = RowRef<'_>> + Clone {
+        self.heap.iter()
+    }
+
+    /// Iterate all rows materialized, in heap order — cold paths only
+    /// (checkpoint encoding, tests); scans should use [`Self::iter_refs`].
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = Row> + '_ {
+        (0..self.heap.len()).map(move |pos| self.heap.row(pos))
     }
 
     /// Materialize the table contents as a relation.
     pub fn to_relation(&self) -> Relation {
-        Relation::new(self.schema.clone(), self.rows.clone())
+        Relation::new(self.schema.clone(), self.iter_rows().collect())
     }
 
     /// Add a secondary index over `cols`; returns its id. Existing rows are
@@ -144,8 +172,10 @@ impl Table {
             cols,
             map: FxHashMap::default(),
         };
-        for (pos, row) in self.rows.iter().enumerate() {
-            idx.insert(row, pos);
+        let mut scratch = vec![Datum::Null; self.schema.len()];
+        for pos in 0..self.heap.len() {
+            self.heap.copy_row_into(pos, &mut scratch);
+            idx.insert(&scratch, pos);
         }
         self.secondary.push(idx);
         self.secondary.len() - 1
@@ -158,8 +188,8 @@ impl Table {
     }
 
     /// Look up a row by unique key.
-    pub fn get(&self, key: &[Datum]) -> Option<&Row> {
-        self.unique.get(key).map(|&pos| &self.rows[pos])
+    pub fn get(&self, key: &[Datum]) -> Option<RowRef<'_>> {
+        self.unique.get(key).map(|&pos| self.heap.row_ref(pos))
     }
 
     /// Find an index (unique or secondary) covering exactly the column set
@@ -192,7 +222,7 @@ impl Table {
         &'a self,
         index: IndexRef,
         key: &[Datum],
-    ) -> Box<dyn Iterator<Item = &'a Row> + 'a> {
+    ) -> Box<dyn Iterator<Item = RowRef<'a>> + 'a> {
         match index {
             IndexRef::Unique => Box::new(self.get(key).into_iter()),
             IndexRef::Secondary(i) => Box::new(self.lookup_secondary(i, key)),
@@ -205,13 +235,13 @@ impl Table {
     }
 
     /// Rows matching `key` on secondary index `idx`.
-    pub fn lookup_secondary(&self, idx: usize, key: &[Datum]) -> impl Iterator<Item = &Row> {
+    pub fn lookup_secondary(&self, idx: usize, key: &[Datum]) -> impl Iterator<Item = RowRef<'_>> {
         self.secondary[idx]
             .map
             .get(key)
             .into_iter()
             .flatten()
-            .map(move |&pos| &self.rows[pos])
+            .map(move |&pos| self.heap.row_ref(pos))
     }
 
     /// Number of rows matching `key` on secondary index `idx`.
@@ -232,7 +262,7 @@ impl Table {
             IndexRef::Unique => 1.0,
             IndexRef::Secondary(i) => {
                 let distinct = self.secondary_distinct(i).max(1);
-                (self.rows.len() as f64 / distinct as f64).max(1.0)
+                (self.heap.len() as f64 / distinct as f64).max(1.0)
             }
         }
     }
@@ -252,12 +282,12 @@ impl Table {
                 key: ojv_rel::row_display(&key),
             });
         }
-        let pos = self.rows.len();
+        let pos = self.heap.len();
         for idx in &mut self.secondary {
             idx.insert(&row, pos);
         }
         self.unique.insert(key, pos);
-        self.rows.push(row);
+        self.heap.push_row(&row);
         Ok(())
     }
 
@@ -270,20 +300,19 @@ impl Table {
                 table: self.name.clone(),
                 key: ojv_rel::row_display(key),
             })?;
-        let row = self.rows.swap_remove(pos);
+        let row = self.heap.row(pos);
         for idx in &mut self.secondary {
             idx.remove(&row, pos);
         }
+        let last = self.heap.len() - 1;
+        self.heap.swap_remove(pos);
         // Fix up indexes for the row that moved into `pos` (if any).
-        if pos < self.rows.len() {
-            let moved_from = self.rows.len();
-            let moved_key = key_of(&self.rows[pos], &self.key_cols);
+        if pos < self.heap.len() {
+            let moved = self.heap.row(pos);
+            let moved_key = key_of(&moved, &self.key_cols);
             self.unique.insert(moved_key, pos);
-            // Clone to appease the borrow checker; rows are cheap to clone
-            // relative to the delete path's other work.
-            let moved = self.rows[pos].clone();
             for idx in &mut self.secondary {
-                idx.reposition(&moved, moved_from, pos);
+                idx.reposition(&moved, last, pos);
             }
         }
         Ok(row)
@@ -292,10 +321,9 @@ impl Table {
     /// Delete all rows matching `pred`, returning them.
     pub fn delete_where(&mut self, pred: impl Fn(&Row) -> bool) -> Vec<Row> {
         let keys: Vec<Vec<Datum>> = self
-            .rows
-            .iter()
+            .iter_rows()
             .filter(|r| pred(r))
-            .map(|r| key_of(r, &self.key_cols))
+            .map(|r| key_of(&r, &self.key_cols))
             .collect();
         keys.iter()
             .map(|k| self.delete(k).expect("key collected from live rows"))
@@ -328,7 +356,7 @@ mod tests {
         t.insert(row(1, 10, "a")).unwrap();
         t.insert(row(2, 10, "b")).unwrap();
         assert_eq!(t.len(), 2);
-        assert_eq!(t.get(&[Datum::Int(1)]).unwrap()[2], Datum::str("a"));
+        assert_eq!(t.get(&[Datum::Int(1)]).unwrap().datum(2), Datum::str("a"));
         let deleted = t.delete(&[Datum::Int(1)]).unwrap();
         assert_eq!(deleted[0], Datum::Int(1));
         assert!(t.get(&[Datum::Int(1)]).is_none());
@@ -374,7 +402,7 @@ mod tests {
         t.delete(&[Datum::Int(5)]).unwrap();
         t.delete(&[Datum::Int(9)]).unwrap();
         for i in [1i64, 2, 3, 4, 6, 7, 8] {
-            assert_eq!(t.get(&[Datum::Int(i)]).unwrap()[0], Datum::Int(i));
+            assert_eq!(t.get(&[Datum::Int(i)]).unwrap().datum(0), Datum::Int(i));
         }
         assert_eq!(t.len(), 7);
     }
@@ -392,7 +420,7 @@ mod tests {
         assert_eq!(t.count_secondary(idx, &[Datum::Int(0)]), 1);
         let hits: Vec<_> = t.lookup_secondary(idx, &[Datum::Int(0)]).collect();
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0][0], Datum::Int(6));
+        assert_eq!(hits[0].datum(0), Datum::Int(6));
     }
 
     #[test]
@@ -425,5 +453,26 @@ mod tests {
         assert!(t
             .insert(vec![Datum::Null, Datum::Int(0), Datum::Null])
             .is_err());
+    }
+
+    #[test]
+    fn heap_order_matches_insert_then_swap_remove_model() {
+        // The heap must report rows in exactly the order the old
+        // `Vec<Row>` + swap_remove storage did: checkpoint bytes and
+        // restore determinism depend on it.
+        let mut t = table();
+        let mut model: Vec<Row> = Vec::new();
+        for i in 0..50 {
+            let r = row(i, i % 7, "v");
+            t.insert(r.clone()).unwrap();
+            model.push(r);
+        }
+        for key in [0i64, 25, 49, 13] {
+            let pos = model.iter().position(|r| r[0] == Datum::Int(key)).unwrap();
+            t.delete(&[Datum::Int(key)]).unwrap();
+            model.swap_remove(pos);
+        }
+        let got: Vec<Row> = t.iter_rows().collect();
+        assert_eq!(got, model);
     }
 }

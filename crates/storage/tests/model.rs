@@ -99,16 +99,16 @@ property! {
             assert_eq!(t.len(), model.len());
             for (&id, &grp) in &model {
                 let row = t.get(&[Datum::Int(id)]).expect("model row present");
-                assert_eq!(row[1].clone(), Datum::Int(grp));
+                assert_eq!(row.datum(1), Datum::Int(grp));
             }
             // Secondary index agrees with a scan.
             for g in 0..4i64 {
                 let via_index = t.count_secondary(grp_idx, &[Datum::Int(g)]);
-                let via_scan = t.rows().iter().filter(|r| r[1] == Datum::Int(g)).count();
+                let via_scan = t.iter_refs().filter(|r| r.datum(1) == Datum::Int(g)).count();
                 assert_eq!(via_index, via_scan, "group {}", g);
                 let hits: Vec<i64> = t
                     .lookup_secondary(grp_idx, &[Datum::Int(g)])
-                    .map(|r| r[0].as_int().unwrap())
+                    .map(|r| r.datum(0).as_int().unwrap())
                     .collect();
                 assert_eq!(hits.len(), via_scan);
             }

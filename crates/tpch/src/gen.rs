@@ -339,8 +339,8 @@ mod tests {
         );
         // Spot-check FK consistency manually: every lineitem's order exists.
         let orders = c.table("orders").unwrap();
-        for row in c.table("lineitem").unwrap().rows().iter().take(500) {
-            assert!(orders.contains_key(&[row[0].clone()]));
+        for row in c.table("lineitem").unwrap().iter_refs().take(500) {
+            assert!(orders.contains_key(&[row.datum(0)]));
         }
     }
 

@@ -24,7 +24,7 @@ pub struct LintDef {
 }
 
 /// All lints, sorted by id — the order `--list` prints them.
-pub const LINTS: [LintDef; 11] = [
+pub const LINTS: [LintDef; 12] = [
     LintDef {
         id: "cast",
         scope: "crates/durability/src/",
@@ -73,6 +73,14 @@ pub const LINTS: [LintDef; 11] = [
         scope: "all scanned files",
         desc: "every run_seeded/interleavings call site must embed its seed (or trace) in a \
                nearby string — a failure that does not name its schedule cannot be replayed",
+    },
+    LintDef {
+        id: "shard-routing-confined",
+        scope: "everywhere but crates/storage/src/shard.rs, crates/core/src/shard{,_durable}.rs",
+        desc: "no direct ShardId/ShardRouter construction or route_* calls outside the \
+               router's module and core's shard facade — a second routing decision point \
+               can disagree with the facade's and send a row's maintenance to the wrong \
+               shard",
     },
     LintDef {
         id: "unsafe-code",
@@ -173,6 +181,15 @@ fn applies(lint: &str, path: &str) -> bool {
         // a per-subscriber loop bypassing the dedup (the exact O(subscribers)
         // blow-up the hub exists to avoid).
         "feed-eval-confined" => !path.starts_with("crates/feed/src/"),
+        // Routing is decided in exactly two places: the router's own module
+        // and the core facade that owns the shards. Any other call site
+        // could hash differently (or construct a ShardId out of thin air)
+        // and route a row's maintenance to a shard that does not own it.
+        "shard-routing-confined" => {
+            path != "crates/storage/src/shard.rs"
+                && path != "crates/core/src/shard.rs"
+                && path != "crates/core/src/shard_durable.rs"
+        }
         // Seed discipline applies to every scanned file, test or not.
         "sched-seed-logged" => true,
         _ => false,
@@ -267,6 +284,17 @@ pub fn scan_file(rel_path: &str, src: &str) -> Vec<Violation> {
             && tok.text == "matches_row"
         {
             record("feed-eval-confined", line, &mut out);
+        }
+        if applies("shard-routing-confined", &path)
+            && !in_test.get(line).copied().unwrap_or(false)
+            && ((matches!(tok.text, "ShardId" | "ShardRouter")
+                && seq(i + 1, &[":", ":", "new", "("]))
+                || (matches!(tok.text, "route" | "route_key" | "route_ref" | "route_with")
+                    && i > 0
+                    && toks[i - 1].text == "."
+                    && toks.get(i + 1).is_some_and(|t| t.text == "(")))
+        {
+            record("shard-routing-confined", line, &mut out);
         }
     }
 
@@ -601,6 +629,64 @@ mod tests {
         // Identifier boundary: matches_rows / row_matches are different tokens.
         let other = "fn g() { matches_rows(); row_matches(); }\n";
         assert!(scan_file("crates/core/src/database.rs", other).is_empty());
+    }
+
+    #[test]
+    fn shard_routing_confined_to_router_and_facade() {
+        let ctor = "fn f() -> ShardId { ShardId::new(3) }\n";
+        let v = scan_file("crates/core/src/database.rs", ctor);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].lint, "shard-routing-confined");
+        // Building a private router is the same bypass.
+        let router = "fn f() { let r = ShardRouter::new(4); }\n";
+        assert_eq!(
+            scan_file("crates/bench/src/shardbench.rs", router)[0].lint,
+            "shard-routing-confined"
+        );
+        // Every route_* call site is covered.
+        let routes = "fn g(r: ShardRouter) {\n    r.route(row, cols);\n    r.route_key(key);\n    r.route_ref(rr, cols);\n    r.route_with(cols, get);\n}\n";
+        let v2 = scan_file("crates/core/src/durable.rs", routes);
+        assert_eq!(v2.len(), 4);
+        assert!(v2.iter().all(|x| x.lint == "shard-routing-confined"));
+        // The router's module and core's shard facade are the sanctioned homes.
+        for path in [
+            "crates/storage/src/shard.rs",
+            "crates/core/src/shard.rs",
+            "crates/core/src/shard_durable.rs",
+        ] {
+            assert!(scan_file(path, ctor).is_empty(), "{path}");
+            assert!(scan_file(path, routes).is_empty(), "{path}");
+        }
+        // In-file test modules may route directly.
+        let tested = "#[cfg(test)]\nmod tests {\n    fn f() { let _ = ShardId::new(0); }\n}\n";
+        assert!(scan_file("crates/core/src/database.rs", tested).is_empty());
+        // Escape hatch.
+        let allowed = "fn f() { ShardId::new(0); } // lint:allow(shard-routing-confined)\n";
+        assert!(scan_file("crates/core/src/database.rs", allowed).is_empty());
+        // Identifier boundary: shard_of_row / a struct field named route are
+        // different tokens, and `ShardId` without `::new` (a type position)
+        // is fine.
+        let other = "fn h(id: ShardId) { db.shard_of_row(t, r); s.enroute(x); }\n";
+        assert!(scan_file("crates/core/src/database.rs", other).is_empty());
+    }
+
+    /// A seeded routing violation under tests/ fails the gate — integration
+    /// suites must go through the facade too.
+    #[test]
+    fn seeded_shard_routing_violation_fails_the_gate() {
+        let root = std::env::temp_dir().join(format!("xtask-lint-shard-{}", std::process::id()));
+        let dir = root.join("tests");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(
+            dir.join("seeded.rs"),
+            "fn f() { let r = ShardRouter::new(2); let _ = r.route_key(&key); }\n",
+        )
+        .unwrap();
+        let v = run(&root).unwrap();
+        fs::remove_dir_all(&root).unwrap();
+        assert_eq!(v.len(), 2);
+        assert!(v.iter().all(|x| x.lint == "shard-routing-confined"));
+        assert_eq!(v[0].file, "tests/seeded.rs");
     }
 
     /// A seeded feed-eval violation fails the gate like the older lints.

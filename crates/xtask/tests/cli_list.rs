@@ -54,6 +54,10 @@ fn lint_list_is_sorted_and_scoped() {
             "crates/core/src/ except {compile,analyze}.rs",
         ),
         ("sched-seed-logged", "all scanned files"),
+        (
+            "shard-routing-confined",
+            "everywhere but crates/storage/src/shard.rs, crates/core/src/shard{,_durable}.rs",
+        ),
         ("unsafe-code", "everywhere but crates/rel/src/alloc.rs"),
         ("vec-vec-datum", "crates/exec/src/"),
         (

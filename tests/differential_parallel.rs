@@ -141,7 +141,7 @@ fn run_shape(kind: JoinKind) {
                 let mut keys = Vec::new();
                 for _ in 0..n {
                     let tbl = serial_cat.table(table).unwrap();
-                    let victim = tbl.rows()[rng.gen_range(0..tbl.len())][0].clone();
+                    let victim = tbl.row_ref(rng.gen_range(0..tbl.len())).datum(0);
                     if !keys.contains(&vec![victim.clone()]) {
                         keys.push(vec![victim]);
                     }

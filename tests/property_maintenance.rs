@@ -215,7 +215,7 @@ property! {
                     if tbl.is_empty() {
                         continue;
                     }
-                    let victim = tbl.rows()[rng.gen_range(0..tbl.len())][0].clone();
+                    let victim = tbl.row_ref(rng.gen_range(0..tbl.len())).datum(0);
                     (t, false, None, Some(vec![victim]))
                 }
             };
